@@ -1,0 +1,49 @@
+//! E5 — §6.2: pushing the query into the parsing of candidate regions vs
+//! building full objects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qof_bench::bibtex_partial;
+use qof_corpus::bibtex;
+use qof_db::Database;
+use qof_grammar::{build_value, build_value_filtered, Parser, PathFilter};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_pushdown_parse");
+    group.sample_size(20);
+    let fdb = bibtex_partial(1600, &["Reference", "Last_Name"]);
+    let refs = fdb.instance().get("Reference").unwrap().clone();
+    let schema = bibtex::schema();
+    let sym = schema.grammar.symbol("Reference").unwrap();
+    let filter = PathFilter::from_paths(&[vec![
+        "Authors".to_string(),
+        "Name".to_string(),
+        "Last_Name".to_string(),
+    ]]);
+    let text = fdb.corpus().text().to_owned();
+    group.bench_function("full_build", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            let parser = Parser::new(&schema.grammar, &text);
+            for region in refs.iter() {
+                let tree = parser.parse_symbol(sym, region.span()).unwrap();
+                build_value(&tree, &schema.grammar, &text, &mut db);
+            }
+            db.stats().value_nodes
+        })
+    });
+    group.bench_function("pushdown_build", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            let parser = Parser::new(&schema.grammar, &text);
+            for region in refs.iter() {
+                let tree = parser.parse_symbol(sym, region.span()).unwrap();
+                build_value_filtered(&tree, &schema.grammar, &text, &mut db, &filter);
+            }
+            db.stats().value_nodes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,801 @@
+//! The executor: builds a [`FileDatabase`] over a corpus (parse once,
+//! extract the configured indices — the service the text system provides),
+//! then runs planned queries: index phase → optional content join →
+//! candidate parsing with push-down → residual filtering → projection.
+
+use std::collections::HashMap;
+
+use qof_db::{Database, DbStats, Value};
+use qof_grammar::{
+    build_value_filtered, extract_regions, IndexSpec, ParseError, ParseStats, Parser, PathFilter,
+    StructuringSchema,
+};
+use qof_pat::{Engine, EvalError, EvalStats, Instance, Region, RegionSet};
+use qof_text::{Corpus, SuffixArray, Tokenizer, WordIndex};
+
+use qof_db::PathCost;
+
+use crate::plan::{CondNode, Plan, PlanError, Planner, ProjPlan};
+use crate::residual::{eval_single, path_values};
+use crate::{parse_query, Query, QueryParseError, Rig};
+
+/// Errors while building a [`FileDatabase`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A file failed to parse under the structuring schema.
+    Parse {
+        /// Name of the offending file.
+        file: String,
+        /// The parser error.
+        error: ParseError,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Parse { file, error } => write!(f, "cannot index `{file}`: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Errors while answering a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text failed to parse.
+    Syntax(QueryParseError),
+    /// Planning failed.
+    Plan(String),
+    /// Region-expression evaluation failed.
+    Eval(EvalError),
+    /// A candidate region failed to parse (index/file out of sync).
+    CandidateParse(ParseError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Syntax(e) => write!(f, "{e}"),
+            QueryError::Plan(e) => write!(f, "{e}"),
+            QueryError::Eval(e) => write!(f, "{e}"),
+            QueryError::CandidateParse(e) => write!(f, "candidate region: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<QueryParseError> for QueryError {
+    fn from(e: QueryParseError) -> Self {
+        QueryError::Syntax(e)
+    }
+}
+
+impl From<PlanError> for QueryError {
+    fn from(e: PlanError) -> Self {
+        QueryError::Plan(e.to_string())
+    }
+}
+
+impl From<EvalError> for QueryError {
+    fn from(e: EvalError) -> Self {
+        QueryError::Eval(e)
+    }
+}
+
+/// Cost summary of one query run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Region-algebra work.
+    pub eval: EvalStats,
+    /// Parsing work (candidates + result materialization).
+    pub parse: ParseStats,
+    /// Database construction work.
+    pub db: DbStats,
+    /// Text bytes read for content joins and index-side projections.
+    pub content_bytes: u64,
+    /// Candidate view regions considered.
+    pub candidates: usize,
+    /// Result count.
+    pub results: usize,
+    /// Whether the index phase alone computed the exact answer (§6.3).
+    pub exact_index: bool,
+}
+
+impl RunStats {
+    /// Total file bytes touched (parse + content reads).
+    pub fn bytes_touched(&self) -> u64 {
+        self.parse.bytes_scanned + self.content_bytes
+    }
+}
+
+/// The result of a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Matched regions of the projected variable.
+    pub regions: RegionSet,
+    /// Materialized values (objects for `SELECT r`, atoms for `SELECT r.p`).
+    pub values: Vec<Value>,
+    /// The object database holding any materialized objects.
+    pub db: Database,
+    /// EXPLAIN text of the executed plan.
+    pub explain: String,
+    /// Cost counters.
+    pub stats: RunStats,
+}
+
+/// A queryable view of a corpus: word index + region indices + schema.
+pub struct FileDatabase {
+    corpus: Corpus,
+    tokenizer: Tokenizer,
+    words: WordIndex,
+    suffix: Option<SuffixArray>,
+    schema: StructuringSchema,
+    spec: IndexSpec,
+    instance: Instance,
+    full_rig: Rig,
+    partial_rig: Rig,
+}
+
+impl FileDatabase {
+    /// Parses every file of the corpus with the schema's grammar, extracts
+    /// the regions requested by `spec`, and builds the word index.
+    pub fn build(
+        corpus: Corpus,
+        schema: StructuringSchema,
+        spec: IndexSpec,
+    ) -> Result<Self, BuildError> {
+        let tokenizer = Tokenizer::new();
+        let mut instance = Instance::new();
+        {
+            let parser = Parser::new(&schema.grammar, corpus.text());
+            for file in corpus.files() {
+                let tree = parser.parse_root(file.span.clone()).map_err(|error| {
+                    BuildError::Parse { file: file.name.clone(), error }
+                })?;
+                let file_instance = extract_regions(&tree, &schema.grammar, &spec);
+                for (name, set) in file_instance.iter() {
+                    instance.merge(name, set.clone());
+                }
+            }
+        }
+        let words = match spec.word_scope() {
+            None => WordIndex::build(&corpus, &tokenizer),
+            Some(scope) => {
+                // §7 selective word indexing: only occurrences inside the
+                // scoped regions are indexed.
+                let spans = instance
+                    .get(scope)
+                    .map(|set| set.iter().map(|r| r.span()).collect())
+                    .unwrap_or_default();
+                qof_text::WordIndexBuilder::new(&tokenizer).scoped_to(spans).build(&corpus)
+            }
+        };
+        let full_rig = Rig::from_grammar(&schema.grammar);
+        let indexed: std::collections::BTreeSet<String> = instance
+            .names()
+            .filter(|n| !n.contains('.'))
+            .map(str::to_owned)
+            .collect();
+        let partial_rig = full_rig.partial(&indexed);
+        Ok(Self {
+            corpus,
+            tokenizer,
+            words,
+            suffix: None,
+            schema,
+            spec,
+            instance,
+            full_rig,
+            partial_rig,
+        })
+    }
+
+    /// Like [`FileDatabase::build`], but parses the corpus's files on
+    /// `threads` worker threads (region extraction dominates indexing time
+    /// on multi-file corpora). Produces a database identical to the
+    /// sequential build.
+    pub fn build_parallel(
+        corpus: Corpus,
+        schema: StructuringSchema,
+        spec: IndexSpec,
+        threads: usize,
+    ) -> Result<Self, BuildError> {
+        let threads = threads.max(1);
+        let spans: Vec<(String, qof_text::Span)> =
+            corpus.files().iter().map(|f| (f.name.clone(), f.span.clone())).collect();
+        // Chunk files round-robin; each worker parses its chunk and returns
+        // a partial instance.
+        let chunks: Vec<Vec<(String, qof_text::Span)>> = {
+            let mut c: Vec<Vec<(String, qof_text::Span)>> = vec![Vec::new(); threads];
+            for (i, fs) in spans.into_iter().enumerate() {
+                c[i % threads].push(fs);
+            }
+            c
+        };
+        let partials: Vec<Result<Instance, BuildError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let schema = &schema;
+                    let corpus = &corpus;
+                    let spec = &spec;
+                    scope.spawn(move || {
+                        let parser = Parser::new(&schema.grammar, corpus.text());
+                        let mut partial = Instance::new();
+                        for (name, span) in chunk {
+                            let tree = parser.parse_root(span.clone()).map_err(|error| {
+                                BuildError::Parse { file: name.clone(), error }
+                            })?;
+                            let fi = extract_regions(&tree, &schema.grammar, spec);
+                            for (rname, set) in fi.iter() {
+                                partial.merge(rname, set.clone());
+                            }
+                        }
+                        Ok(partial)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
+        });
+        let mut instance = Instance::new();
+        for partial in partials {
+            for (rname, set) in partial?.iter() {
+                instance.merge(rname, set.clone());
+            }
+        }
+        let tokenizer = Tokenizer::new();
+        let words = WordIndex::build(&corpus, &tokenizer);
+        let full_rig = Rig::from_grammar(&schema.grammar);
+        let indexed: std::collections::BTreeSet<String> = instance
+            .names()
+            .filter(|n| !n.contains('.'))
+            .map(str::to_owned)
+            .collect();
+        let partial_rig = full_rig.partial(&indexed);
+        Ok(Self {
+            corpus,
+            tokenizer,
+            words,
+            suffix: None,
+            schema,
+            spec,
+            instance,
+            full_rig,
+            partial_rig,
+        })
+    }
+
+    /// Adds a PAT suffix array (enables prefix search; optional because
+    /// construction is the most expensive part of indexing).
+    pub fn with_suffix_array(mut self) -> Self {
+        self.suffix = Some(SuffixArray::build(&self.corpus, &Tokenizer::new()));
+        self
+    }
+
+    /// Incrementally indexes another file: appends it to the corpus, parses
+    /// it, merges its regions and extends the word index. Existing offsets
+    /// stay valid (the new file's span lies past all previous text). The
+    /// RIGs depend only on the grammar and are unchanged; a suffix array,
+    /// if present, is rebuilt.
+    pub fn add_file(
+        &mut self,
+        name: impl Into<String>,
+        contents: &str,
+    ) -> Result<(), BuildError> {
+        let name = name.into();
+        // Parse into a scratch copy first so a malformed file leaves the
+        // database untouched.
+        let mut probe = self.corpus.clone();
+        let id = probe.push_file(name.clone(), contents);
+        let span = probe.file(id).expect("just pushed").span.clone();
+        let file_instance = {
+            let parser = Parser::new(&self.schema.grammar, probe.text());
+            let tree = parser
+                .parse_root(span.clone())
+                .map_err(|error| BuildError::Parse { file: name, error })?;
+            extract_regions(&tree, &self.schema.grammar, &self.spec)
+        };
+        self.corpus = probe;
+        for (rname, set) in file_instance.iter() {
+            self.instance.merge(rname, set.clone());
+        }
+        self.words.append_span(&self.corpus, &self.tokenizer, span);
+        if self.suffix.is_some() {
+            self.suffix = Some(SuffixArray::build(&self.corpus, &Tokenizer::new()));
+        }
+        Ok(())
+    }
+
+    /// The indexed corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The structuring schema.
+    pub fn schema(&self) -> &StructuringSchema {
+        &self.schema
+    }
+
+    /// The region-index instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The word index.
+    pub fn word_index(&self) -> &WordIndex {
+        &self.words
+    }
+
+    /// The index specification this database was built with.
+    pub fn index_spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// The RIG of the fully indexed grammar (§4.2).
+    pub fn full_rig(&self) -> &Rig {
+        &self.full_rig
+    }
+
+    /// The RIG of the indexed subset (§6.1).
+    pub fn partial_rig(&self) -> &Rig {
+        &self.partial_rig
+    }
+
+    fn planner(&self) -> Planner<'_> {
+        Planner {
+            schema: &self.schema,
+            instance: &self.instance,
+            full_rig: &self.full_rig,
+            partial_rig: &self.partial_rig,
+            full_indexing: self.spec.is_full(),
+        }
+    }
+
+    /// Plans a query without running it.
+    pub fn plan(&self, src: &str) -> Result<Plan, QueryError> {
+        let q = parse_query(src)?;
+        Ok(self.planner().plan(&q)?)
+    }
+
+    /// EXPLAIN: the plan description.
+    pub fn explain(&self, src: &str) -> Result<String, QueryError> {
+        Ok(self.plan(src)?.describe())
+    }
+
+    /// Parses, plans and runs a query.
+    pub fn query(&self, src: &str) -> Result<QueryResult, QueryError> {
+        let q = parse_query(src)?;
+        self.query_ast(&q)
+    }
+
+    /// Runs an already-parsed query.
+    pub fn query_ast(&self, q: &Query) -> Result<QueryResult, QueryError> {
+        let plan = self.planner().plan(q)?;
+        self.execute(q, &plan)
+    }
+
+    /// Runs only the index phase of a query: the candidate regions of the
+    /// projected variable and whether they are exact. No file text is
+    /// parsed — this is the measure used by the index-vs-database
+    /// experiments.
+    pub fn query_regions(&self, src: &str) -> Result<(RegionSet, bool, RunStats), QueryError> {
+        let q = parse_query(src)?;
+        let plan = self.planner().plan(&q)?;
+        let engine = self.engine();
+        let mut states = Vec::new();
+        for vp in &plan.vars {
+            states.push(self.var_candidates(&engine, vp)?);
+        }
+        let idx = plan
+            .vars
+            .iter()
+            .position(|vp| vp.var == q.projected_var())
+            .unwrap_or(0);
+        let (regions, exact) = states.swap_remove(idx);
+        let stats = RunStats {
+            eval: engine.stats(),
+            candidates: regions.len(),
+            results: regions.len(),
+            exact_index: exact,
+            ..RunStats::default()
+        };
+        Ok((regions, exact, stats))
+    }
+
+    fn engine(&self) -> Engine<'_> {
+        let e = Engine::new(&self.corpus, &self.words, &self.instance);
+        match &self.suffix {
+            Some(sa) => e.with_suffix_array(sa),
+            None => e,
+        }
+    }
+
+    fn view_regions(&self, symbol: &str) -> RegionSet {
+        self.instance.get(symbol).cloned().unwrap_or_default()
+    }
+
+    /// Evaluates a planned condition to `(candidate view regions, exact)`.
+    fn eval_cond(
+        &self,
+        engine: &Engine<'_>,
+        node: &CondNode,
+        view: &RegionSet,
+        content_bytes: &mut u64,
+    ) -> Result<(RegionSet, bool), QueryError> {
+        match node {
+            CondNode::IndexOnly { expr, exact, .. } => {
+                Ok((engine.eval(expr)?.intersect(view), *exact))
+            }
+            CondNode::ContentCompare { left, right, exact, .. } => {
+                let l = engine.eval(left)?;
+                let r = engine.eval(right)?;
+                if !exact {
+                    // The located sets only approximate the attribute
+                    // regions, so comparing their contents is not
+                    // superset-safe. Candidates: views containing at least
+                    // one located region from each side; the residual parse
+                    // phase decides.
+                    let both = view.including(&l).intersect(&view.including(&r));
+                    return Ok((both, false));
+                }
+                let lg = group_by_container(view, &l);
+                let rg = group_by_container(view, &r);
+                let mut l_strings: HashMap<usize, Vec<&str>> = HashMap::new();
+                for (ci, item) in lg {
+                    *content_bytes += u64::from(item.len());
+                    l_strings.entry(ci).or_default().push(self.corpus.slice(item.span()));
+                }
+                let mut hits: Vec<Region> = Vec::new();
+                for (ci, item) in rg {
+                    *content_bytes += u64::from(item.len());
+                    let s = self.corpus.slice(item.span());
+                    if l_strings.get(&ci).is_some_and(|ls| ls.contains(&s)) {
+                        hits.push(view.as_slice()[ci]);
+                    }
+                }
+                Ok((RegionSet::from_regions(hits), true))
+            }
+            CondNode::And(a, b) => {
+                let (ra, xa) = self.eval_cond(engine, a, view, content_bytes)?;
+                let (rb, xb) = self.eval_cond(engine, b, view, content_bytes)?;
+                Ok((ra.intersect(&rb), xa && xb))
+            }
+            CondNode::Or(a, b) => {
+                let (ra, xa) = self.eval_cond(engine, a, view, content_bytes)?;
+                let (rb, xb) = self.eval_cond(engine, b, view, content_bytes)?;
+                Ok((ra.union(&rb), xa && xb))
+            }
+            CondNode::Not(a) => {
+                let (ra, xa) = self.eval_cond(engine, a, view, content_bytes)?;
+                if xa {
+                    Ok((view.difference(&ra), true))
+                } else {
+                    // The complement of a superset is not a superset:
+                    // fall back to all view regions as candidates.
+                    Ok((view.clone(), false))
+                }
+            }
+        }
+    }
+
+    fn var_candidates(
+        &self,
+        engine: &Engine<'_>,
+        vp: &crate::plan::VarPlan,
+    ) -> Result<(RegionSet, bool), QueryError> {
+        let view = self.view_regions(&vp.symbol);
+        match &vp.cond {
+            None => Ok((view, true)),
+            Some(c) => {
+                let mut content_bytes = 0;
+                
+                self.eval_cond(engine, c, &view, &mut content_bytes)
+            }
+        }
+    }
+
+    fn execute(&self, q: &Query, plan: &Plan) -> Result<QueryResult, QueryError> {
+        let engine = self.engine();
+        let mut stats = RunStats::default();
+
+        // Phase 1: per-variable candidates through the index.
+        struct VarState {
+            regions: RegionSet,
+            exact: bool,
+        }
+        let mut states: Vec<VarState> = Vec::new();
+        for vp in &plan.vars {
+            let view = self.view_regions(&vp.symbol);
+            let (regions, exact) = match &vp.cond {
+                None => (view, true),
+                Some(c) => self.eval_cond(&engine, c, &view, &mut stats.content_bytes)?,
+            };
+            states.push(VarState { regions, exact });
+        }
+
+        // Phase 2: cross-variable content join.
+        let mut join_pairs: Option<Vec<(Region, Region)>> = None;
+        let mut join_exact = true;
+        if let Some(j) = &plan.join {
+            let li = plan.vars.iter().position(|v| v.var == j.left_var).expect("planned var");
+            let ri = plan.vars.iter().position(|v| v.var == j.right_var).expect("planned var");
+            let l_deep = engine.eval(&j.left)?;
+            let r_deep = engine.eval(&j.right)?;
+            let lg = group_by_container(&states[li].regions, &l_deep);
+            let rg = group_by_container(&states[ri].regions, &r_deep);
+            let mut table: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (ci, item) in &lg {
+                stats.content_bytes += u64::from(item.len());
+                table.entry(self.corpus.slice(item.span())).or_default().push(*ci);
+            }
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            for (ci, item) in &rg {
+                stats.content_bytes += u64::from(item.len());
+                if let Some(ls) = table.get(self.corpus.slice(item.span())) {
+                    for &l in ls {
+                        pairs.push((l, *ci));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            pairs.dedup();
+            let lr = states[li].regions.clone();
+            let rr = states[ri].regions.clone();
+            let region_pairs: Vec<(Region, Region)> = pairs
+                .iter()
+                .map(|&(a, b)| (lr.as_slice()[a], rr.as_slice()[b]))
+                .collect();
+            states[li].regions =
+                RegionSet::from_regions(region_pairs.iter().map(|p| p.0).collect());
+            states[ri].regions =
+                RegionSet::from_regions(region_pairs.iter().map(|p| p.1).collect());
+            join_exact = j.exact;
+            join_pairs = Some(region_pairs);
+        }
+
+        stats.candidates = states.iter().map(|s| s.regions.len()).sum();
+        stats.exact_index =
+            states.iter().all(|s| s.exact) && join_exact && plan.join.is_none() == join_pairs.is_none();
+
+        // Phase 3: decide what must be parsed.
+        let mut db = Database::new();
+        let parser = Parser::new(&self.schema.grammar, self.corpus.text());
+        // objects[var_index]: region -> built value
+        let mut objects: Vec<HashMap<Region, Value>> = vec![HashMap::new(); plan.vars.len()];
+
+        let proj_var = q.projected_var();
+        let proj_idx = plan.vars.iter().position(|v| v.var == proj_var).unwrap_or(0);
+        let index_only_projection = matches!(
+            &plan.projection,
+            ProjPlan::Values { chain: Some((_, _, true)), .. }
+        );
+
+        for (i, vp) in plan.vars.iter().enumerate() {
+            let must_filter = !states[i].exact;
+            let join_residual = join_pairs.is_some() && !join_exact;
+            let materialize = i == proj_idx && !index_only_projection;
+            if !(must_filter || join_residual || materialize) {
+                continue;
+            }
+            let sym = self
+                .schema
+                .grammar
+                .symbol(&vp.symbol)
+                .expect("view symbol exists");
+            // When only materializing, parse with a full filter; when
+            // filtering candidates, parse with the push-down filter first.
+            let filter = if must_filter || join_residual {
+                vp.filter.clone()
+            } else {
+                PathFilter::all()
+            };
+            let mut survivors: Vec<Region> = Vec::new();
+            for region in states[i].regions.iter() {
+                let tree = parser
+                    .parse_symbol(sym, region.span())
+                    .map_err(QueryError::CandidateParse)?;
+                let value = build_value_filtered(
+                    &tree,
+                    &self.schema.grammar,
+                    self.corpus.text(),
+                    &mut db,
+                    &filter,
+                );
+                let keep = match (&vp.residual, must_filter) {
+                    (Some(cond), true) => {
+                        let mut cost = PathCost::default();
+                        eval_single(&db, &vp.var, &value, cond, &mut cost)
+                    }
+                    _ => true,
+                };
+                if keep {
+                    survivors.push(*region);
+                    objects[i].insert(*region, value);
+                }
+            }
+            states[i].regions = RegionSet::from_regions(survivors);
+            states[i].exact = true;
+        }
+
+        // Phase 3b: join residual on parsed pairs.
+        if let (Some(pairs), false) = (&join_pairs, join_exact) {
+            if let Some(j) = &plan.join {
+                let li = plan.vars.iter().position(|v| v.var == j.left_var).expect("var");
+                let ri = plan.vars.iter().position(|v| v.var == j.right_var).expect("var");
+                let mut keep: Vec<(Region, Region)> = Vec::new();
+                for (lr, rr) in pairs {
+                    let (Some(lv), Some(rv)) = (objects[li].get(lr), objects[ri].get(rr)) else {
+                        continue;
+                    };
+                    let mut cost = PathCost::default();
+                    let ls: Vec<&Value> = path_values(&db, lv, &j.left_steps, &mut cost);
+                    let rs: Vec<&Value> = path_values(&db, rv, &j.right_steps, &mut cost);
+                    if ls.iter().any(|a| rs.iter().any(|b| a == b)) {
+                        keep.push((*lr, *rr));
+                    }
+                }
+                states[li].regions =
+                    RegionSet::from_regions(keep.iter().map(|p| p.0).collect());
+                states[ri].regions =
+                    RegionSet::from_regions(keep.iter().map(|p| p.1).collect());
+                join_pairs = Some(keep);
+            }
+        }
+        let _ = &join_pairs;
+
+        // Phase 4: projection.
+        let result_regions = states[proj_idx].regions.clone();
+        let mut values: Vec<Value> = Vec::new();
+        match &plan.projection {
+            ProjPlan::Objects { .. } => {
+                for region in result_regions.iter() {
+                    if let Some(v) = objects[proj_idx].get(region) {
+                        values.push(deref_top(&db, v));
+                    }
+                }
+            }
+            ProjPlan::Values { steps, chain, .. } => {
+                if index_only_projection {
+                    // Read the projected attribute regions directly.
+                    let (expr, _, _) = chain.as_ref().expect("index-only projection has a chain");
+                    let deep = engine.eval(expr)?;
+                    for (_, item) in group_by_container(&result_regions, &deep) {
+                        stats.content_bytes += u64::from(item.len());
+                        values.push(Value::Str(self.corpus.slice(item.span()).to_owned()));
+                    }
+                    values.sort();
+                    values.dedup();
+                } else {
+                    let mut cost = PathCost::default();
+                    for region in result_regions.iter() {
+                        if let Some(v) = objects[proj_idx].get(region) {
+                            for hit in path_values(&db, v, steps, &mut cost) {
+                                values.push(hit.clone());
+                            }
+                        }
+                    }
+                    values.sort();
+                    values.dedup();
+                }
+            }
+        }
+
+        stats.eval = engine.stats();
+        stats.parse = parser.stats();
+        stats.db = db.stats();
+        stats.results = result_regions.len();
+        Ok(QueryResult {
+            regions: result_regions,
+            values,
+            db,
+            explain: plan.describe(),
+            stats,
+        })
+    }
+}
+
+/// Dereferences a top-level object reference into its stored value.
+fn deref_top(db: &Database, v: &Value) -> Value {
+    match v {
+        Value::Ref(oid) => db.deref(*oid).cloned().unwrap_or_else(|| v.clone()),
+        other => other.clone(),
+    }
+}
+
+/// Pairs `(container index, item)` for every item lying inside a container.
+/// Containers may nest (self-nested views); an item maps to each container
+/// that includes it.
+fn group_by_container(containers: &RegionSet, items: &RegionSet) -> Vec<(usize, Region)> {
+    let mut out = Vec::new();
+    let cs = containers.as_slice();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut ci = 0usize;
+    for item in items.iter() {
+        while ci < cs.len() && cs[ci] <= *item {
+            while let Some(&top) = stack.last() {
+                if cs[top].end <= cs[ci].start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(ci);
+            ci += 1;
+        }
+        while let Some(&top) = stack.last() {
+            if cs[top].end <= item.start {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        for &c in &stack {
+            if cs[c].includes(item) {
+                out.push((c, *item));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(pairs: &[(u32, u32)]) -> RegionSet {
+        RegionSet::from_regions(pairs.iter().map(|&(a, b)| Region::new(a, b)).collect())
+    }
+
+    #[test]
+    fn group_by_container_disjoint() {
+        let containers = rs(&[(0, 10), (20, 30), (40, 50)]);
+        let items = rs(&[(2, 4), (22, 24), (26, 28), (60, 62)]);
+        let got = group_by_container(&containers, &items);
+        assert_eq!(
+            got,
+            vec![(0, Region::new(2, 4)), (1, Region::new(22, 24)), (1, Region::new(26, 28))]
+        );
+    }
+
+    #[test]
+    fn group_by_container_nested_containers() {
+        // Self-nested views: an item belongs to every enclosing container.
+        let containers = rs(&[(0, 100), (10, 50)]);
+        let items = rs(&[(20, 25), (60, 65)]);
+        let got = group_by_container(&containers, &items);
+        let outer = containers.as_slice().iter().position(|r| *r == Region::new(0, 100)).unwrap();
+        let inner = containers.as_slice().iter().position(|r| *r == Region::new(10, 50)).unwrap();
+        assert!(got.contains(&(outer, Region::new(20, 25))));
+        assert!(got.contains(&(inner, Region::new(20, 25))));
+        assert!(got.contains(&(outer, Region::new(60, 65))));
+        assert!(!got.contains(&(inner, Region::new(60, 65))));
+    }
+
+    #[test]
+    fn group_by_container_boundary() {
+        let containers = rs(&[(0, 10)]);
+        // Touching the end is included; crossing is not.
+        let items = rs(&[(5, 10), (8, 12)]);
+        let got = group_by_container(&containers, &items);
+        assert_eq!(got, vec![(0, Region::new(5, 10))]);
+    }
+
+    #[test]
+    fn deref_top_resolves_refs() {
+        let mut db = Database::new();
+        let oid = db.new_object("C", Value::str("payload"));
+        assert_eq!(deref_top(&db, &Value::Ref(oid)).as_str(), Some("payload"));
+        assert_eq!(deref_top(&db, &Value::str("plain")).as_str(), Some("plain"));
+    }
+
+    #[test]
+    fn runstats_bytes_touched_sums() {
+        let mut s = RunStats::default();
+        s.parse.bytes_scanned = 10;
+        s.content_bytes = 5;
+        assert_eq!(s.bytes_touched(), 15);
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # qof-core
+//!
+//! The primary contribution of *Optimizing Queries on Files* (Consens &
+//! Milo, SIGMOD 1994): querying semi-structured files through a text index,
+//! with RIG-based optimization of region expressions.
+//!
+//! The pipeline, mirroring the paper:
+//!
+//! 1. A file format is described by a *structuring schema*
+//!    ([`qof_grammar::StructuringSchema`]); [`FileDatabase::build`] parses
+//!    the corpus once, extracts the configured region indices and the word
+//!    index (the service the underlying text system provides).
+//! 2. The *region inclusion graph* ([`Rig`]) is derived automatically from
+//!    the grammar (§4.2), both for full indexing and for any partial index
+//!    subset (§6.1).
+//! 3. An XSQL-like query ([`Query`], parsed by [`parse_query`]) is
+//!    *translated* into inclusion expressions ([`InclusionExpr`]) over the
+//!    indexed region names (§5.1).
+//! 4. The [`optimize`] algorithm (§3.2) rewrites each expression into its
+//!    unique most efficient version: `⊃d` weakened to `⊃` and chains
+//!    shortened, justified by Propositions 3.3 and 3.5 and Theorem 3.6.
+//! 5. The [`planner`](plan) decides whether the index computes the query
+//!    exactly (§6.3) or yields *candidate regions* that are then parsed with
+//!    the query pushed into the parsing process (§6.2), and the executor
+//!    runs the whole plan, joining region contents in the object database
+//!    where the region algebra cannot (§5.2).
+//!
+//! [`baseline`] implements the comparison system: the standard-database
+//! pipeline that parses and loads the whole file before querying. §7's
+//! index-selection guidelines are implemented by [`advise`].
+
+mod advisor;
+pub mod baseline;
+mod exec;
+mod incl;
+mod optimizer;
+mod plan;
+mod query;
+mod residual;
+mod rig;
+mod translate;
+
+pub use advisor::{advise, Advice};
+pub use exec::{BuildError, FileDatabase, QueryError, QueryResult, RunStats};
+pub use incl::{ChainOp, Direction, InclusionExpr, SelectKind};
+pub use optimizer::{is_trivially_empty, optimize, Optimized, Rewrite};
+pub use plan::{Exactness, Plan};
+pub use query::{parse_query, Cond, Projection, QPath, QStep, Query, QueryParseError, RightHand};
+pub use residual::{
+    compile_cond, compile_steps, db_steps_for, eval_pair, eval_single, path_values, CompiledCond,
+    CompiledPath,
+};
+pub use rig::{Rig, RigViolation};
+pub use translate::{PathSpec, TranslateError};

@@ -1,0 +1,371 @@
+//! The optimization algorithm of §3.2: given an inclusion expression and a
+//! RIG, compute the unique most efficient equivalent expression
+//! (Theorem 3.6).
+//!
+//! Step 1 weakens `⊃d` to `⊃` wherever Proposition 3.5(a) licenses it;
+//! step 2 repeatedly shortens `Ri ⊃ Rj ⊃ Rk` to `Ri ⊃ Rk` wherever
+//! Proposition 3.5(b) licenses it, until no more changes can be done.
+//!
+//! The paper claims (Theorem 3.6, via Sethi's finite Church–Rosser theorem)
+//! that the normal form is *unique*. Property testing found a
+//! counterexample — with edges `A→{B,F}, B→E, E→F` the chain
+//! `A ⊃d B ⊃d E ⊃d F` reduces to either `A ⊃ E ⊃ F` or `A ⊃ B ⊃ F`
+//! depending on which shortening fires first. All normal forms observed are
+//! semantically equivalent and cost-identical (see
+//! `tests/property_optimizer.rs`), so this implementation simply applies
+//! rewrites leftmost-first for a canonical, deterministic result.
+//!
+//! Projection chains (`⊂`/`⊂d`) are handled identically: the chain is kept
+//! in container order internally, which makes the two directions symmetric.
+
+use crate::{ChainOp, Direction, InclusionExpr, Rig};
+
+/// One applied rewrite, for EXPLAIN output and the examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rewrite {
+    /// Human-readable description of the rewrite and its justification.
+    pub description: String,
+    /// The expression after this rewrite.
+    pub result: String,
+}
+
+/// The result of optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Optimized {
+    /// The most efficient equivalent expression.
+    pub expr: InclusionExpr,
+    /// Whether Proposition 3.3 proved the expression always empty.
+    pub trivially_empty: bool,
+    /// The rewrites applied, in order.
+    pub trace: Vec<Rewrite>,
+}
+
+/// Proposition 3.3: the expression's result is empty for **every** instance
+/// satisfying the RIG iff (i) some `Ri ⊃d Rj` has no edge `(Ri, Rj)`, or
+/// (ii) some `Ri ⊃ Rj` has no path from `Ri` to `Rj`.
+pub fn is_trivially_empty(expr: &InclusionExpr, rig: &Rig) -> bool {
+    let names = expr.names();
+    for (i, op) in expr.ops().iter().enumerate() {
+        let (a, b) = (&names[i], &names[i + 1]);
+        let dead = match op {
+            ChainOp::Direct => !rig.has_edge(a, b),
+            ChainOp::Incl => !rig.has_path(a, b),
+        };
+        if dead {
+            return true;
+        }
+    }
+    false
+}
+
+/// The §3.2 optimization algorithm (leftmost-first, see the module docs on
+/// uniqueness). Runs in time polynomial in the chain length (each graph
+/// predicate is one or two reachability queries).
+pub fn optimize(expr: &InclusionExpr, rig: &Rig) -> Optimized {
+    let mut trace = Vec::new();
+    if is_trivially_empty(expr, rig) {
+        return Optimized { expr: expr.clone(), trivially_empty: true, trace };
+    }
+
+    let mut names: Vec<String> = expr.names().to_vec();
+    let mut ops: Vec<ChainOp> = expr.ops().to_vec();
+
+    // Step 1: replace ⊃d/⊂d by ⊃/⊂ where Proposition 3.5(a) applies: the
+    // edge is the only path, or the hop touches the chain's existential
+    // endpoint. For selection (⊃) chains that endpoint is the deepest
+    // (rightmost) element and the rule is "every path starts with the
+    // edge"; for projection (⊂) chains the result is the *deepest* set, so
+    // the dual applies at the outermost end: "every path ends with the
+    // edge" (the paper's §5.2 symmetry claim needs this dualization —
+    // property testing caught the literal rule producing wrong projections
+    // on self-nested regions).
+    for i in 0..ops.len() {
+        if ops[i] != ChainOp::Direct {
+            continue;
+        }
+        let (a, b) = (names[i].clone(), names[i + 1].clone());
+        let endpoint = match expr.direction() {
+            Direction::Including => i + 1 == names.len() - 1,
+            Direction::IncludedIn => i == 0,
+        };
+        let endpoint_ok = match expr.direction() {
+            Direction::Including => endpoint && rig.all_paths_start_with_edge(&a, &b),
+            Direction::IncludedIn => endpoint && rig.all_paths_end_with_edge(&a, &b),
+        };
+        let (applies, why) = if rig.only_path_edge(&a, &b) {
+            (true, format!("({a}, {b}) is the only path from {a} to {b}"))
+        } else if endpoint_ok {
+            let rule = match expr.direction() {
+                Direction::Including => "starts",
+                Direction::IncludedIn => "ends",
+            };
+            (true, format!("endpoint hop and every path from {a} to {b} {rule} with the edge"))
+        } else {
+            (false, String::new())
+        };
+        if applies {
+            ops[i] = ChainOp::Incl;
+            let cur = expr.with_chain(names.clone(), ops.clone());
+            trace.push(Rewrite {
+                description: format!("weaken direct inclusion {a} → {b}: {why}"),
+                result: cur.to_string(),
+            });
+        }
+    }
+
+    // Step 2: repeatedly shorten Ri ⊃ Rj ⊃ Rk to Ri ⊃ Rk when every path
+    // from Ri to Rk passes through Rj (Proposition 3.5(b)).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..names.len().saturating_sub(2) {
+            if ops[i] != ChainOp::Incl || ops[i + 1] != ChainOp::Incl {
+                continue;
+            }
+            let (a, m, b) = (names[i].clone(), names[i + 1].clone(), names[i + 2].clone());
+            if rig.all_paths_pass_through(&a, &b, &m) {
+                names.remove(i + 1);
+                ops.remove(i);
+                let cur = expr.with_chain(names.clone(), ops.clone());
+                trace.push(Rewrite {
+                    description: format!(
+                        "drop {m}: every path from {a} to {b} passes through {m}"
+                    ),
+                    result: cur.to_string(),
+                });
+                changed = true;
+                break;
+            }
+        }
+    }
+
+    Optimized { expr: expr.with_chain(names, ops), trivially_empty: false, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SelectKind;
+
+    fn bib_rig() -> Rig {
+        let mut g = Rig::new();
+        g.add_edge("Reference", "Key");
+        g.add_edge("Reference", "Authors");
+        g.add_edge("Reference", "Title");
+        g.add_edge("Reference", "Editors");
+        g.add_edge("Authors", "Name");
+        g.add_edge("Editors", "Name");
+        g.add_edge("Name", "First_Name");
+        g.add_edge("Name", "Last_Name");
+        g
+    }
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_running_example_e1_to_e2() {
+        // Reference ⊃d Authors ⊃d Name ⊃d σ_"Chang"(Last_Name)
+        // must become Reference ⊃ Authors ⊃ σ_"Chang"(Last_Name).
+        let e1 = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            Some((SelectKind::Eq, "Chang".into())),
+        );
+        let opt = optimize(&e1, &bib_rig());
+        assert!(!opt.trivially_empty);
+        assert_eq!(
+            opt.expr.to_string(),
+            "Reference ⊃ Authors ⊃ σ_\"Chang\"(Last_Name)"
+        );
+        // Three weakenings + one shortening.
+        assert_eq!(opt.trace.len(), 4);
+    }
+
+    #[test]
+    fn authors_test_is_not_dropped() {
+        // The result keeps Authors: paths to Last_Name also run through
+        // Editors, so inclusion in Authors must still be tested (the paper's
+        // key point about filtering editor names).
+        let e1 = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            Some((SelectKind::Eq, "Chang".into())),
+        );
+        let opt = optimize(&e1, &bib_rig());
+        assert!(opt.expr.names().iter().any(|n| n == "Authors"));
+        assert!(!opt.expr.names().iter().any(|n| n == "Name"));
+    }
+
+    #[test]
+    fn without_ambiguity_chain_collapses_fully() {
+        // Drop the Editors route: every path to Last_Name now goes through
+        // Authors and Name, so both middles vanish.
+        let mut g = Rig::new();
+        g.add_edge("Reference", "Authors");
+        g.add_edge("Authors", "Name");
+        g.add_edge("Name", "Last_Name");
+        let e = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            Some((SelectKind::Eq, "Chang".into())),
+        );
+        let opt = optimize(&e, &g);
+        assert_eq!(opt.expr.to_string(), "Reference ⊃ σ_\"Chang\"(Last_Name)");
+    }
+
+    #[test]
+    fn trivially_empty_no_edge() {
+        // e3 = Reference ⊃ Title ⊃ Last_Name: no path Title → Last_Name.
+        let e = InclusionExpr::including(
+            names(&["Reference", "Title", "Last_Name"]),
+            vec![ChainOp::Incl, ChainOp::Incl],
+            None,
+        );
+        assert!(is_trivially_empty(&e, &bib_rig()));
+        assert!(optimize(&e, &bib_rig()).trivially_empty);
+    }
+
+    #[test]
+    fn trivially_empty_direct_without_edge() {
+        // Reference ⊃d Name: path exists but no edge.
+        let e = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Name"]),
+            None,
+        );
+        assert!(is_trivially_empty(&e, &bib_rig()));
+    }
+
+    #[test]
+    fn non_rightmost_direct_is_kept_when_paths_diverge() {
+        // G: A →d B with a second path A → C → B, and B → D.
+        // A ⊃d B ⊃d D: the (A,B) direct test cannot be weakened (two paths,
+        // B not rightmost); (B,D) can if D is only reachable via the edge.
+        let mut g = Rig::new();
+        g.add_edge("A", "B");
+        g.add_edge("A", "C");
+        g.add_edge("C", "B");
+        g.add_edge("B", "D");
+        let e = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["A", "B", "D"]),
+            None,
+        );
+        let opt = optimize(&e, &g);
+        assert_eq!(opt.expr.to_string(), "A ⊃d B ⊃ D");
+    }
+
+    #[test]
+    fn rightmost_with_multiple_paths_all_starting_with_edge() {
+        // A → B plus A → B → ... : every path from A to B starts with the
+        // edge (B has a self-returning route B → E → B).
+        let mut g = Rig::new();
+        g.add_edge("A", "B");
+        g.add_edge("B", "E");
+        g.add_edge("E", "B");
+        let e = InclusionExpr::all_direct(Direction::Including, names(&["A", "B"]), None);
+        let opt = optimize(&e, &g);
+        // Multiple paths A→B exist (through the cycle), but all start with
+        // the edge and B is rightmost: weakened.
+        assert_eq!(opt.expr.to_string(), "A ⊃ B");
+    }
+
+    #[test]
+    fn projection_chain_optimizes_symmetrically() {
+        // §5.2: Last_Name ⊂d Name ⊂d Authors ⊂d Reference →
+        //       Last_Name ⊂ Authors ⊂ Reference.
+        let e = InclusionExpr::all_direct(
+            Direction::IncludedIn,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            None,
+        );
+        let opt = optimize(&e, &bib_rig());
+        assert_eq!(opt.expr.to_string(), "Last_Name ⊂ Authors ⊂ Reference");
+    }
+
+    #[test]
+    fn cyclic_rig_keeps_direct_ops() {
+        // Self-nested sections: Section → Subsections → Section.
+        // Section ⊃d Subsections cannot be weakened: paths through the cycle
+        // exist and Subsections is rightmost, but not every path starts with
+        // the edge... actually here every path Section→Subsections starts
+        // with the only edge out of Section towards Subsections.
+        let mut g = Rig::new();
+        g.add_edge("Section", "Subsections");
+        g.add_edge("Subsections", "Section");
+        g.add_edge("Section", "Head");
+        let e = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Section", "Subsections"]),
+            None,
+        );
+        let opt = optimize(&e, &g);
+        // Successors of Section besides Subsections: Head, which does not
+        // reach Subsections. So the rightmost rule applies.
+        assert_eq!(opt.expr.to_string(), "Section ⊃ Subsections");
+
+        // But Section ⊃d Head cannot be weakened even though Head is
+        // rightmost: a path Section → Subsections → Section → Head does not
+        // start with the edge.
+        let e2 = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Section", "Head"]),
+            None,
+        );
+        let opt2 = optimize(&e2, &g);
+        assert_eq!(opt2.expr.to_string(), "Section ⊃d Head");
+    }
+
+    #[test]
+    fn idempotent() {
+        let e1 = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            Some((SelectKind::Eq, "Chang".into())),
+        );
+        let g = bib_rig();
+        let once = optimize(&e1, &g);
+        let twice = optimize(&once.expr, &g);
+        assert_eq!(once.expr, twice.expr);
+        assert!(twice.trace.is_empty());
+    }
+
+    #[test]
+    fn two_name_chain_weakens_or_keeps() {
+        let g = bib_rig();
+        // Reference ⊃d Key: edge is the only path — weakened.
+        let e = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Key"]),
+            None,
+        );
+        assert_eq!(optimize(&e, &g).expr.to_string(), "Reference ⊃ Key");
+    }
+
+    #[test]
+    fn selector_is_preserved_through_rewrites() {
+        let g = bib_rig();
+        let e = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Authors", "Name", "Last_Name"]),
+            Some((SelectKind::Contains, "Chang".into())),
+        );
+        let opt = optimize(&e, &g);
+        assert_eq!(opt.expr.to_string(), "Authors ⊃ σ∋\"Chang\"(Last_Name)");
+        assert_eq!(opt.expr.selector().map(|(k, _)| k), Some(SelectKind::Contains));
+    }
+
+    #[test]
+    fn trace_describes_rewrites() {
+        let e1 = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            Some((SelectKind::Eq, "Chang".into())),
+        );
+        let opt = optimize(&e1, &bib_rig());
+        assert!(opt.trace.iter().any(|r| r.description.contains("drop Name")));
+        assert!(opt.trace.iter().any(|r| r.description.contains("weaken direct inclusion")));
+    }
+}

@@ -1,0 +1,921 @@
+//! The query planner: translates a parsed query into optimized region
+//! expressions over the *indexed* names (§5.1/§6.1), decides whether the
+//! index computes each part exactly or as a candidate superset (§6.3), and
+//! prepares the residual parse-and-filter work (§6.2).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use qof_grammar::{PathFilter, StructuringSchema};
+use qof_pat::{Instance, RegionExpr};
+
+use crate::optimizer::optimize;
+use crate::residual::{compile_cond, compile_steps, CompiledCond, CompiledPath};
+use crate::translate::{filter_paths, resolve_path, PathSpec, SkOp, TranslateError};
+use crate::{ChainOp, Cond, Direction, InclusionExpr, Projection, QPath, Query, Rig, SelectKind};
+
+/// Whether a candidate set is provably the exact answer (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exactness {
+    /// Candidates coincide with the answer; no parsing needed to filter.
+    Exact,
+    /// Candidates are a superset; they must be parsed and filtered.
+    Candidates,
+}
+
+/// A planned condition sub-tree, interpreted by the executor.
+#[derive(Debug, Clone)]
+pub enum CondNode {
+    /// Fully index-computable leaf: evaluates to view-region candidates.
+    IndexOnly {
+        /// The region expression producing view-region candidates.
+        expr: RegionExpr,
+        /// Pretty form of the (optimized) inclusion expressions.
+        display: String,
+        /// Whether the candidates are exact.
+        exact: bool,
+    },
+    /// Same-variable attribute comparison (§5.2): locate both attribute
+    /// region sets through the index, then join their contents.
+    ContentCompare {
+        /// Deep regions of the left path.
+        left: RegionExpr,
+        /// Deep regions of the right path.
+        right: RegionExpr,
+        /// Pretty form.
+        display: String,
+        /// Whether the located attribute sets are exact.
+        exact: bool,
+    },
+    /// Conjunction (intersection of candidates).
+    And(Box<CondNode>, Box<CondNode>),
+    /// Disjunction (union of candidates).
+    Or(Box<CondNode>, Box<CondNode>),
+    /// Negation (complement w.r.t. the view extent; only exact when the
+    /// child is exact — otherwise the executor falls back to all views).
+    Not(Box<CondNode>),
+}
+
+/// Plan for one range variable.
+#[derive(Debug, Clone)]
+pub struct VarPlan {
+    /// The variable.
+    pub var: String,
+    /// The view name.
+    pub view: String,
+    /// The non-terminal the view ranges over.
+    pub symbol: String,
+    /// The planned local condition, if any.
+    pub cond: Option<CondNode>,
+    /// The compiled local condition, for residual filtering after parsing.
+    pub residual: Option<CompiledCond>,
+    /// Push-down filter covering every path the query touches on this var.
+    pub filter: PathFilter,
+}
+
+/// Plan for the (single) cross-variable join.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Left variable.
+    pub left_var: String,
+    /// Deep regions of the left path.
+    pub left: RegionExpr,
+    /// Compiled left path (for residual re-checking).
+    pub left_steps: CompiledPath,
+    /// Right variable.
+    pub right_var: String,
+    /// Deep regions of the right path.
+    pub right: RegionExpr,
+    /// Compiled right path.
+    pub right_steps: CompiledPath,
+    /// Whether both located sets are exact.
+    pub exact: bool,
+    /// Pretty form.
+    pub display: String,
+}
+
+/// Plan for the projection.
+#[derive(Debug, Clone)]
+pub enum ProjPlan {
+    /// `SELECT r`: materialize whole objects.
+    Objects {
+        /// The projected variable.
+        var: String,
+    },
+    /// `SELECT r.p`: attribute values.
+    Values {
+        /// The projected variable.
+        var: String,
+        /// Compiled path to evaluate on materialized objects.
+        steps: CompiledPath,
+        /// Index-side projection chain (deep regions), when available:
+        /// `(expression, display, exact)`.
+        chain: Option<(RegionExpr, String, bool)>,
+    },
+}
+
+/// A complete query plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Per-variable plans, in FROM order.
+    pub vars: Vec<VarPlan>,
+    /// The cross-variable join, if any.
+    pub join: Option<JoinPlan>,
+    /// The projection.
+    pub projection: ProjPlan,
+}
+
+/// Planning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Path translation failed.
+    Translate(TranslateError),
+    /// The FROM clause references an unknown view.
+    UnknownView(String),
+    /// The view's non-terminal is not indexed, so candidates cannot be
+    /// located (§6 requires at least the view regions).
+    ViewNotIndexed(String),
+    /// A query shape outside the supported fragment.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Translate(e) => write!(f, "{e}"),
+            PlanError::UnknownView(v) => write!(f, "unknown view `{v}`"),
+            PlanError::ViewNotIndexed(s) => {
+                write!(f, "view symbol `{s}` is not indexed; no candidate regions can be located")
+            }
+            PlanError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<TranslateError> for PlanError {
+    fn from(e: TranslateError) -> Self {
+        PlanError::Translate(e)
+    }
+}
+
+/// The planner: borrows the schema, the instance (for the indexed names)
+/// and both RIGs.
+pub struct Planner<'a> {
+    /// The structuring schema.
+    pub schema: &'a StructuringSchema,
+    /// The region-index instance (its names define the partial index).
+    pub instance: &'a Instance,
+    /// RIG of the fully indexed grammar.
+    pub full_rig: &'a Rig,
+    /// RIG of the indexed subset.
+    pub partial_rig: &'a Rig,
+    /// Whether the index spec covers every non-terminal (full indexing).
+    pub full_indexing: bool,
+}
+
+/// One projected chain: names/ops over indexed names only.
+#[derive(Debug, Clone)]
+struct ProjectedChain {
+    names: Vec<String>,
+    ops: Vec<EOp>,
+    exact: bool,
+    /// Selector on the deepest element.
+    selector: Option<(SelectKind, String)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EOp {
+    Direct,
+    Incl,
+    Exact(u32),
+}
+
+impl<'a> Planner<'a> {
+    /// Plans a query.
+    pub fn plan(&self, q: &Query) -> Result<Plan, PlanError> {
+        if q.ranges.is_empty() {
+            return Err(PlanError::Unsupported("empty FROM clause".into()));
+        }
+        let mut vars: Vec<VarPlan> = Vec::new();
+        for (view, var) in &q.ranges {
+            let symbol = self
+                .schema
+                .view_symbol_name(view)
+                .ok_or_else(|| PlanError::UnknownView(view.clone()))?
+                .to_owned();
+            if !self.instance.has(&symbol) {
+                return Err(PlanError::ViewNotIndexed(symbol));
+            }
+            vars.push(VarPlan {
+                var: var.clone(),
+                view: view.clone(),
+                symbol,
+                cond: None,
+                residual: None,
+                filter: PathFilter::none(),
+            });
+        }
+
+        // Split the WHERE into per-var conjuncts and cross-var joins.
+        let mut local: Vec<(String, Vec<Cond>)> =
+            vars.iter().map(|v| (v.var.clone(), Vec::new())).collect();
+        let mut joins: Vec<(QPath, QPath)> = Vec::new();
+        if let Some(w) = &q.where_ {
+            for conjunct in flatten_and(w) {
+                let used = vars_of(&conjunct);
+                match used.len() {
+                    1 => {
+                        let v = used.into_iter().next().expect("one var");
+                        let slot = local
+                            .iter_mut()
+                            .find(|(name, _)| *name == v)
+                            .ok_or_else(|| {
+                                PlanError::Unsupported(format!("unknown variable `{v}`"))
+                            })?;
+                        slot.1.push(conjunct);
+                    }
+                    2 => match conjunct {
+                        Cond::Eq(p, crate::RightHand::Path(qp)) => joins.push((p, qp)),
+                        other => {
+                            return Err(PlanError::Unsupported(format!(
+                                "cross-variable condition `{other}` must be a top-level equality"
+                            )))
+                        }
+                    },
+                    n => {
+                        return Err(PlanError::Unsupported(format!(
+                            "condition uses {n} variables"
+                        )))
+                    }
+                }
+            }
+        }
+        if joins.len() > 1 {
+            return Err(PlanError::Unsupported(
+                "at most one cross-variable join is supported".into(),
+            ));
+        }
+        if vars.len() > 2 {
+            return Err(PlanError::Unsupported("at most two range variables".into()));
+        }
+        if vars.len() == 2 && joins.is_empty() {
+            return Err(PlanError::Unsupported(
+                "two range variables require a join condition".into(),
+            ));
+        }
+
+        // Plan per-var conditions, collecting push-down filter paths.
+        for vp in &mut vars {
+            let conds = &local.iter().find(|(n, _)| *n == vp.var).expect("slot").1;
+            let mut filter_specs: Vec<Vec<String>> = Vec::new();
+            let planned = conds
+                .iter()
+                .map(|c| self.plan_cond(c, &vp.symbol, &mut filter_specs))
+                .collect::<Result<Vec<_>, _>>()?;
+            vp.cond = planned.into_iter().reduce(|a, b| CondNode::And(Box::new(a), Box::new(b)));
+            let folded = conds
+                .iter()
+                .cloned()
+                .reduce(|a, b| Cond::And(Box::new(a), Box::new(b)));
+            vp.residual = match folded {
+                None => None,
+                Some(c) => {
+                    let symbol = vp.symbol.clone();
+                    Some(
+                        compile_cond(&self.schema.grammar, &move |_| Some(symbol.clone()), &c)
+                            .map_err(PlanError::Translate)?,
+                    )
+                }
+            };
+            vp.filter = PathFilter::from_paths(&filter_specs);
+        }
+
+        // Plan the join.
+        let join = match joins.into_iter().next() {
+            None => None,
+            Some((p, qp)) => {
+                let (lv, rv) = (p.var.clone(), qp.var.clone());
+                let lsym = vars
+                    .iter()
+                    .find(|v| v.var == lv)
+                    .ok_or_else(|| PlanError::Unsupported(format!("unknown variable `{lv}`")))?
+                    .symbol
+                    .clone();
+                let rsym = vars
+                    .iter()
+                    .find(|v| v.var == rv)
+                    .ok_or_else(|| PlanError::Unsupported(format!("unknown variable `{rv}`")))?
+                    .symbol
+                    .clone();
+                let lspec = resolve_path(&self.schema.grammar, &lsym, &p.steps)?;
+                let rspec = resolve_path(&self.schema.grammar, &rsym, &qp.steps)?;
+                let (le, ld, lex) = self.deep_expr(&lspec)?;
+                let (re, rd, rex) = self.deep_expr(&rspec)?;
+                // Extend the push-down filters with the join paths.
+                for vp in &mut vars {
+                    let spec = if vp.var == lv { &lspec } else if vp.var == rv { &rspec } else { continue };
+                    let mut f = PathFilter::from_paths(&filter_paths(spec));
+                    f.merge(&vp.filter);
+                    vp.filter = f;
+                }
+                Some(JoinPlan {
+                    left_var: lv,
+                    left: le,
+                    left_steps: compile_steps(&self.schema.grammar, &lsym, &p.steps)?,
+                    right_var: rv,
+                    right: re,
+                    right_steps: compile_steps(&self.schema.grammar, &rsym, &qp.steps)?,
+                    exact: lex && rex,
+                    display: format!("join on content: [{ld}] = [{rd}]"),
+                })
+            }
+        };
+
+        // Plan the projection.
+        let projection = match &q.select {
+            Projection::Var(v) => {
+                // SELECT r materializes whole objects: keep everything.
+                if let Some(vp) = vars.iter_mut().find(|vp| vp.var == *v) {
+                    vp.filter = PathFilter::all();
+                }
+                ProjPlan::Objects { var: v.clone() }
+            }
+            Projection::Path(p) => {
+                let vp = vars
+                    .iter_mut()
+                    .find(|vp| vp.var == p.var)
+                    .ok_or_else(|| PlanError::Unsupported(format!("unknown variable `{}`", p.var)))?;
+                let spec = resolve_path(&self.schema.grammar, &vp.symbol, &p.steps)?;
+                let mut f = PathFilter::from_paths(&filter_paths(&spec));
+                f.merge(&vp.filter);
+                vp.filter = f;
+                let chain = self.deep_expr(&spec).ok();
+                let steps = compile_steps(&self.schema.grammar, &vp.symbol, &p.steps)?;
+                ProjPlan::Values {
+                    var: p.var.clone(),
+                    steps,
+                    chain,
+                }
+            }
+        };
+
+        Ok(Plan { vars, join, projection })
+    }
+
+    /// Plans a single-variable condition.
+    fn plan_cond(
+        &self,
+        cond: &Cond,
+        view_symbol: &str,
+        filters: &mut Vec<Vec<String>>,
+    ) -> Result<CondNode, PlanError> {
+        match cond {
+            Cond::Eq(p, crate::RightHand::Const(w)) => {
+                let spec = resolve_path(&self.schema.grammar, view_symbol, &p.steps)?;
+                filters.extend(filter_paths(&spec));
+                let (expr, display, exact) = self.container_expr(&spec, w)?;
+                Ok(CondNode::IndexOnly { expr, display, exact })
+            }
+            Cond::Eq(p, crate::RightHand::Path(qp)) => {
+                let lspec = resolve_path(&self.schema.grammar, view_symbol, &p.steps)?;
+                let rspec = resolve_path(&self.schema.grammar, view_symbol, &qp.steps)?;
+                filters.extend(filter_paths(&lspec));
+                filters.extend(filter_paths(&rspec));
+                let (le, ld, lex) = self.deep_expr(&lspec)?;
+                let (re, rd, rex) = self.deep_expr(&rspec)?;
+                Ok(CondNode::ContentCompare {
+                    left: le,
+                    right: re,
+                    display: format!("content([{ld}]) = content([{rd}])"),
+                    exact: lex && rex,
+                })
+            }
+            Cond::And(a, b) => Ok(CondNode::And(
+                Box::new(self.plan_cond(a, view_symbol, filters)?),
+                Box::new(self.plan_cond(b, view_symbol, filters)?),
+            )),
+            Cond::Or(a, b) => Ok(CondNode::Or(
+                Box::new(self.plan_cond(a, view_symbol, filters)?),
+                Box::new(self.plan_cond(b, view_symbol, filters)?),
+            )),
+            Cond::Not(a) => Ok(CondNode::Not(Box::new(self.plan_cond(a, view_symbol, filters)?))),
+        }
+    }
+
+    /// Builds the candidate expression producing **view regions** for a
+    /// constant selection on a path, union over alternatives.
+    fn container_expr(
+        &self,
+        spec: &PathSpec,
+        word: &str,
+    ) -> Result<(RegionExpr, String, bool), PlanError> {
+        // A trailing `*` in the constant selects by word prefix — PAT's
+        // lexical search (`r.Last_Name = "Ch*"`).
+        let selector = match word.strip_suffix('*') {
+            Some(prefix) if !prefix.is_empty() => (SelectKind::Prefix, prefix.to_owned()),
+            _ => (SelectKind::Eq, word.to_owned()),
+        };
+        let mut exprs: Vec<(RegionExpr, String, bool)> = Vec::new();
+        for alt in &spec.alternatives {
+            let chain = self.project_chain(alt, Some(selector.clone()));
+            let (expr, display, exact) = self.lower_chain(chain, Direction::Including);
+            exprs.push((expr, display, exact));
+        }
+        Ok(combine_union(exprs))
+    }
+
+    /// Builds the expression producing the **deep attribute regions** of a
+    /// path (for projections and content joins), union over alternatives.
+    fn deep_expr(&self, spec: &PathSpec) -> Result<(RegionExpr, String, bool), PlanError> {
+        let mut exprs: Vec<(RegionExpr, String, bool)> = Vec::new();
+        for alt in &spec.alternatives {
+            let chain = self.project_chain(alt, None);
+            let (expr, display, exact) = self.lower_chain(chain, Direction::IncludedIn);
+            exprs.push((expr, display, exact));
+        }
+        Ok(combine_union(exprs))
+    }
+
+    /// §6.1: projects a skeleton onto the indexed names, computing the
+    /// connecting operators and the §6.3 exactness.
+    fn project_chain(
+        &self,
+        alt: &crate::translate::Skeleton,
+        selector: Option<(SelectKind, String)>,
+    ) -> ProjectedChain {
+        let indexed: BTreeSet<&str> = self.instance.names().collect();
+        let mut names: Vec<String> = vec![alt.names[0].clone()];
+        let mut ops: Vec<EOp> = Vec::new();
+        let mut exact = true;
+
+        // Pending relation accumulated while dropping non-indexed names.
+        let mut pending: Option<EOp> = None;
+        let mut dropped_since_last = false;
+        for (i, op) in alt.ops.iter().enumerate() {
+            let next_name = &alt.names[i + 1];
+            let step = match op {
+                SkOp::Adjacent => EOp::Direct,
+                SkOp::Star | SkOp::Closure => EOp::Incl,
+                SkOp::Exact(n) => EOp::Exact(*n),
+            };
+            pending = Some(merge_eop(pending, step));
+            // Scoped-index substitution (§7): an unindexed name may still be
+            // indexed under an ancestor scope appearing earlier on the path.
+            let scoped = alt.names[..=i]
+                .iter()
+                .rev()
+                .map(|anc| qof_grammar::IndexSpec::scoped_key(anc, next_name))
+                .find(|key| self.instance.has(key));
+            let plain = indexed.contains(next_name.as_str());
+            if plain || scoped.is_some() {
+                let kept = if plain { next_name.clone() } else { scoped.expect("checked") };
+                let op = pending.take().expect("an op precedes every kept name");
+                // Exactness: a Direct hop must match a unique route through
+                // the non-indexed names (§6.3); a degraded Exact is a
+                // superset; Star is exact by its own semantics.
+                match op {
+                    EOp::Direct => {
+                        // §6.3's uniqueness test runs even under full
+                        // indexing: extent collapse can make an indexed
+                        // intermediate transparent, so a second viable
+                        // route (e.g. through a statement cycle) breaks
+                        // exactness regardless of what is indexed.
+                        let prev = names.last().expect("chain starts with the view symbol");
+                        let route_from = strip_scope(prev);
+                        if !self.unique_route(route_from, next_name, &indexed) {
+                            exact = false;
+                        }
+                        ops.push(EOp::Direct);
+                    }
+                    EOp::Incl => ops.push(EOp::Incl),
+                    EOp::Exact(n) => {
+                        if self.full_indexing && !dropped_since_last {
+                            ops.push(EOp::Exact(n));
+                        } else {
+                            // Degraded: the nesting count would be off.
+                            ops.push(EOp::Incl);
+                            exact = false;
+                        }
+                    }
+                }
+                names.push(kept);
+                dropped_since_last = false;
+            } else {
+                dropped_since_last = true;
+            }
+        }
+        if pending.is_some() {
+            // The target attribute itself is not indexed: the deepest kept
+            // name approximates it; a word selector weakens to "contains".
+            exact = false;
+            let selector = selector.map(|(_, w)| (SelectKind::Contains, w));
+            return ProjectedChain { names, ops, exact, selector };
+        }
+        ProjectedChain { names, ops, exact, selector }
+    }
+
+    /// Optimizes the Direct/Incl runs of a projected chain against the
+    /// partial RIG and lowers it to a region expression.
+    fn lower_chain(
+        &self,
+        chain: ProjectedChain,
+        dir: Direction,
+    ) -> (RegionExpr, String, bool) {
+        // Split at Exact ops; optimize each run as an InclusionExpr.
+        let mut runs: Vec<(Vec<String>, Vec<ChainOp>)> = Vec::new();
+        let mut links: Vec<u32> = Vec::new();
+        let mut cur_names = vec![chain.names[0].clone()];
+        let mut cur_ops: Vec<ChainOp> = Vec::new();
+        for (i, op) in chain.ops.iter().enumerate() {
+            match op {
+                EOp::Direct => {
+                    cur_ops.push(ChainOp::Direct);
+                    cur_names.push(chain.names[i + 1].clone());
+                }
+                EOp::Incl => {
+                    cur_ops.push(ChainOp::Incl);
+                    cur_names.push(chain.names[i + 1].clone());
+                }
+                EOp::Exact(n) => {
+                    runs.push((std::mem::take(&mut cur_names), std::mem::take(&mut cur_ops)));
+                    links.push(*n);
+                    cur_names = vec![chain.names[i + 1].clone()];
+                }
+            }
+        }
+        runs.push((cur_names, cur_ops));
+
+        let mut optimized_runs: Vec<InclusionExpr> = Vec::new();
+        let mut empty = false;
+        for (k, (names, ops)) in runs.into_iter().enumerate() {
+            let selector = if k == links.len() { chain.selector.clone() } else { None };
+            let ie = match dir {
+                Direction::Including => InclusionExpr::including(names, ops, selector),
+                Direction::IncludedIn => InclusionExpr::included_in(names, ops, selector),
+            };
+            // Scoped keys are not RIG nodes; skip optimization for runs
+            // containing them (they are already short).
+            let has_scoped = ie.names().iter().any(|n| n.contains('.'));
+            if has_scoped {
+                optimized_runs.push(ie);
+                continue;
+            }
+            let opt = optimize(&ie, self.partial_rig);
+            if opt.trivially_empty {
+                empty = true;
+            }
+            optimized_runs.push(opt.expr);
+        }
+
+        // Reassemble: fold runs right-to-left with NestedExactly links.
+        let mut display = String::new();
+        for (k, run) in optimized_runs.iter().enumerate() {
+            if k > 0 {
+                let _ = write!(display, " ⊃^{} ", links[k - 1]);
+            }
+            let _ = write!(display, "{run}");
+        }
+        if empty {
+            display.push_str("  [provably empty]");
+        }
+        let expr = if empty {
+            // ∅ as name − name on the head (always empty, cheap).
+            let head = RegionExpr::name(&chain.names[0]);
+            head.clone().difference(head)
+        } else {
+            let mut iter = optimized_runs.into_iter().rev();
+            let mut expr = iter.next().expect("at least one run").to_region_expr();
+            for run in iter {
+                // run ⊃^n expr: nest under the run's deepest name.
+                let n = links.pop().unwrap_or(0);
+                let run_expr = run.to_region_expr();
+                expr = graft_nested(run_expr, expr, n);
+            }
+            expr
+        };
+        (expr, display, chain.exact)
+    }
+
+    /// §6.3's uniqueness condition, extended for *extent collapse*.
+    ///
+    /// The partial-universe `⊃d` hop from `a` to `b` is exact iff exactly
+    /// one walk `a → … → b` in the full RIG is **viable**, where a walk is
+    /// viable iff every *indexed* intermediate `w` on it fails to block the
+    /// direct-inclusion test — which happens exactly when all links from
+    /// `a` up to `w` are collapsible (`w`'s region can share extents with
+    /// `a`'s) or all links from `w` down to `b` are collapsible
+    /// ([`Grammar::can_collapse`](qof_grammar::Grammar::can_collapse)).
+    ///
+    /// Viability is recognized by a deterministic three-phase automaton
+    /// over the walk's nodes — Head (still inside the collapsible prefix
+    /// run), Middle (indexed nodes forbidden), Tail (every node must be
+    /// collapsible to the end) — so distinct viable walks correspond
+    /// one-to-one to accepting paths in the RIG × phase product graph.
+    /// The test counts those paths (capped at 2); a product cycle that can
+    /// still reach acceptance means unboundedly many viable walks.
+    fn unique_route(&self, a: &str, b: &str, indexed: &BTreeSet<&str>) -> bool {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        enum Phase {
+            Head,
+            Middle,
+            Tail,
+        }
+        let g = self.full_rig;
+        let grammar = &self.schema.grammar;
+        let collapsible =
+            |p: &str| grammar.symbol(p).is_some_and(|sym| grammar.can_collapse(sym));
+        let is_indexed = |n: &str| indexed.contains(n);
+        let step = |phase: Phase, n: &str| -> Option<Phase> {
+            match phase {
+                // All nodes consumed so far (including `a`) were collapsible:
+                // `n` is head-OK regardless of indexing; the run continues
+                // only if `n` itself collapses.
+                Phase::Head => Some(if collapsible(n) { Phase::Head } else { Phase::Middle }),
+                // Past the head run: indexed nodes must start the tail run.
+                Phase::Middle => {
+                    if !is_indexed(n) {
+                        Some(Phase::Middle)
+                    } else if collapsible(n) {
+                        Some(Phase::Tail)
+                    } else {
+                        None
+                    }
+                }
+                // Inside the tail run: everything must collapse down to `b`.
+                Phase::Tail => collapsible(n).then_some(Phase::Tail),
+            }
+        };
+        let start_phase = if collapsible(a) { Phase::Head } else { Phase::Middle };
+
+        // can_accept: from (node, phase), can some walk reach `b`?
+        // Fixpoint over the finite product graph.
+        use std::collections::HashMap;
+        let nodes: Vec<&str> = g.node_names().collect();
+        let phases = [Phase::Head, Phase::Middle, Phase::Tail];
+        let mut accept: HashMap<(&str, Phase), bool> = HashMap::new();
+        for &n in &nodes {
+            for &p in &phases {
+                accept.insert((n, p), false);
+            }
+        }
+        loop {
+            let mut changed = false;
+            for &n in &nodes {
+                for &p in &phases {
+                    if accept[&(n, p)] {
+                        continue;
+                    }
+                    let reaches = g.successors(n).iter().any(|&m| {
+                        m == b
+                            || step(p, m)
+                                .is_some_and(|p2| accept.get(&(m, p2)).copied().unwrap_or(false))
+                    });
+                    if reaches {
+                        accept.insert((n, p), true);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Count accepting product paths from (a, start_phase), capped at 2.
+        // Walks may pass through `b` and reach it again, so arriving at `b`
+        // both accepts and (when a transition exists) continues.
+        fn dfs<'x>(
+            g: &'x Rig,
+            b: &str,
+            cur: (&'x str, Phase),
+            step: &dyn Fn(Phase, &str) -> Option<Phase>,
+            accept: &std::collections::HashMap<(&'x str, Phase), bool>,
+            on_path: &mut Vec<(&'x str, Phase)>,
+            count: &mut u32,
+        ) where
+        {
+            if *count >= 2 {
+                return;
+            }
+            for next in g.successors(cur.0) {
+                if next == b {
+                    *count += 1;
+                    if *count >= 2 {
+                        return;
+                    }
+                }
+                let Some(p2) = step(cur.1, next) else { continue };
+                let state = (next, p2);
+                if on_path.contains(&state) {
+                    // A product cycle: if acceptance is still reachable,
+                    // pumping it yields unboundedly many viable walks.
+                    if accept.get(&state).copied().unwrap_or(false) {
+                        *count = 2;
+                        return;
+                    }
+                    continue;
+                }
+                if !accept.get(&state).copied().unwrap_or(false) {
+                    continue;
+                }
+                on_path.push(state);
+                dfs(g, b, state, step, accept, on_path, count);
+                on_path.pop();
+                if *count >= 2 {
+                    return;
+                }
+            }
+        }
+        let mut count = 0;
+        let mut on_path = vec![(a, start_phase)];
+        dfs(g, b, (a, start_phase), &step, &accept, &mut on_path, &mut count);
+        count == 1
+    }
+}
+
+/// Replaces the deepest leaf of `outer_expr` — built from a chain, so its
+/// rightmost operand — by `NestedExactly { deepest, inner, n }`.
+fn graft_nested(outer_expr: RegionExpr, inner: RegionExpr, n: u32) -> RegionExpr {
+    use RegionExpr::*;
+    match outer_expr {
+        Name(s) => RegionExpr::Name(s).nested_exactly(inner, n),
+        Including(a, b) => Including(a, Box::new(graft_nested(*b, inner, n))),
+        DirectIncluding(a, b) => DirectIncluding(a, Box::new(graft_nested(*b, inner, n))),
+        SelectEq(e, w) => SelectEq(Box::new(graft_nested(*e, inner, n)), w),
+        SelectContains(e, w) => SelectContains(Box::new(graft_nested(*e, inner, n)), w),
+        other => other.nested_exactly(inner, n),
+    }
+}
+
+fn merge_eop(pending: Option<EOp>, next: EOp) -> EOp {
+    match pending {
+        None => next,
+        // Once any star/exact gap is crossed, only plain inclusion remains
+        // sound; consecutive adjacents while dropping stay Direct.
+        Some(EOp::Direct) => match next {
+            EOp::Direct => EOp::Direct,
+            EOp::Incl | EOp::Exact(_) => EOp::Incl,
+        },
+        Some(EOp::Incl) => EOp::Incl,
+        Some(EOp::Exact(n)) => match next {
+            // An Exact link absorbs following adjacents into a longer gap
+            // only when nothing else was dropped; approximating with the
+            // count is unsound, so widen to Incl.
+            EOp::Direct => EOp::Exact(n),
+            _ => EOp::Incl,
+        },
+    }
+}
+
+fn strip_scope(name: &str) -> &str {
+    name.rsplit('.').next().unwrap_or(name)
+}
+
+fn combine_union(exprs: Vec<(RegionExpr, String, bool)>) -> (RegionExpr, String, bool) {
+    let exact = exprs.iter().all(|(_, _, x)| *x);
+    let display = exprs
+        .iter()
+        .map(|(_, d, _)| d.clone())
+        .collect::<Vec<_>>()
+        .join("  ∪  ");
+    let expr = exprs
+        .into_iter()
+        .map(|(e, _, _)| e)
+        .reduce(|a, b| a.union(b))
+        .expect("at least one alternative");
+    (expr, display, exact)
+}
+
+/// Flattens top-level conjunctions.
+fn flatten_and(c: &Cond) -> Vec<Cond> {
+    match c {
+        Cond::And(a, b) => {
+            let mut out = flatten_and(a);
+            out.extend(flatten_and(b));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// The variables a condition mentions.
+fn vars_of(c: &Cond) -> BTreeSet<String> {
+    fn walk(c: &Cond, out: &mut BTreeSet<String>) {
+        match c {
+            Cond::Eq(p, rhs) => {
+                out.insert(p.var.clone());
+                if let crate::RightHand::Path(q) = rhs {
+                    out.insert(q.var.clone());
+                }
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Cond::Not(a) => walk(a, out),
+        }
+    }
+    let mut out = BTreeSet::new();
+    walk(c, &mut out);
+    out
+}
+
+impl Plan {
+    /// Whether the whole plan is answered exactly by the index phase
+    /// (§6.3): every condition leaf, the join and the projection chain are
+    /// certified exact.
+    pub fn exactness(&self) -> Exactness {
+        fn cond_exact(c: &CondNode) -> bool {
+            match c {
+                CondNode::IndexOnly { exact, .. }
+                | CondNode::ContentCompare { exact, .. } => *exact,
+                CondNode::And(a, b) | CondNode::Or(a, b) => cond_exact(a) && cond_exact(b),
+                CondNode::Not(a) => cond_exact(a),
+            }
+        }
+        let vars_ok = self.vars.iter().all(|v| v.cond.as_ref().is_none_or(cond_exact));
+        let join_ok = self.join.as_ref().is_none_or(|j| j.exact);
+        if vars_ok && join_ok {
+            Exactness::Exact
+        } else {
+            Exactness::Candidates
+        }
+    }
+
+    /// Pretty multi-line description of the plan (EXPLAIN).
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for vp in &self.vars {
+            let _ = writeln!(out, "var {} : view {} over <{}>", vp.var, vp.view, vp.symbol);
+            if let Some(c) = &vp.cond {
+                describe_cond(c, 1, &mut out);
+            } else {
+                let _ = writeln!(out, "  candidates: all <{}> regions", vp.symbol);
+            }
+        }
+        if let Some(j) = &self.join {
+            let _ = writeln!(
+                out,
+                "join {} ⋈ {}: {} [{}]",
+                j.left_var,
+                j.right_var,
+                j.display,
+                if j.exact { "exact" } else { "candidates" }
+            );
+        }
+        match &self.projection {
+            ProjPlan::Objects { var } => {
+                let _ = writeln!(out, "project: objects of {var}");
+            }
+            ProjPlan::Values { var, chain, .. } => match chain {
+                Some((_, d, exact)) => {
+                    let _ = writeln!(
+                        out,
+                        "project: values of {var} via index [{d}] [{}]",
+                        if *exact { "exact" } else { "candidates" }
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "project: values of {var} via parsed objects");
+                }
+            },
+        }
+        out
+    }
+}
+
+fn describe_cond(c: &CondNode, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match c {
+        CondNode::IndexOnly { display, exact, .. } => {
+            let _ = writeln!(
+                out,
+                "{pad}index: {display} [{}]",
+                if *exact { "exact" } else { "candidates" }
+            );
+        }
+        CondNode::ContentCompare { display, exact, .. } => {
+            let _ = writeln!(
+                out,
+                "{pad}{display} [{}]",
+                if *exact { "exact" } else { "candidates" }
+            );
+        }
+        CondNode::And(a, b) => {
+            let _ = writeln!(out, "{pad}AND");
+            describe_cond(a, depth + 1, out);
+            describe_cond(b, depth + 1, out);
+        }
+        CondNode::Or(a, b) => {
+            let _ = writeln!(out, "{pad}OR");
+            describe_cond(a, depth + 1, out);
+            describe_cond(b, depth + 1, out);
+        }
+        CondNode::Not(a) => {
+            let _ = writeln!(out, "{pad}NOT");
+            describe_cond(a, depth + 1, out);
+        }
+    }
+}

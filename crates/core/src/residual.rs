@@ -1,0 +1,286 @@
+//! Residual predicates: conditions compiled to database path steps, used to
+//! filter parsed candidate objects (§6.2's second phase) and by the
+//! standard-database baseline.
+//!
+//! Compilation is grammar-aware: a query step into a `Repeat` item becomes
+//! an element traversal, a transparent choice branch contributes no step,
+//! and everything else is a tuple-field access. Because a query path may
+//! resolve to several derivation alternatives, a compiled path is a *set*
+//! of step lists; a value matches when any alternative does.
+
+use qof_db::{eval_path_counted, Database, DbStep, PathCost, Value};
+use qof_grammar::{Grammar, RuleBody};
+
+use crate::translate::{resolve_path, Skeleton, SkOp, TranslateError};
+use crate::{Cond, QStep, RightHand};
+
+/// A compiled path: one step list per derivation alternative.
+pub type CompiledPath = Vec<Vec<DbStep>>;
+
+/// A condition with all paths compiled to database steps.
+#[derive(Debug, Clone)]
+pub enum CompiledCond {
+    /// `var.path = "const"`.
+    EqConst {
+        /// The range variable the path roots at.
+        var: String,
+        /// The compiled path alternatives.
+        paths: CompiledPath,
+        /// The constant.
+        value: String,
+    },
+    /// `lvar.path = rvar.path` (same or different variables).
+    EqPath {
+        /// Left variable.
+        lvar: String,
+        /// Left path alternatives.
+        lpaths: CompiledPath,
+        /// Right variable.
+        rvar: String,
+        /// Right path alternatives.
+        rpaths: CompiledPath,
+    },
+    /// Conjunction.
+    And(Box<CompiledCond>, Box<CompiledCond>),
+    /// Disjunction.
+    Or(Box<CompiledCond>, Box<CompiledCond>),
+    /// Negation.
+    Not(Box<CompiledCond>),
+}
+
+/// Compiles one skeleton to database steps.
+pub fn db_steps_for(grammar: &Grammar, alt: &Skeleton) -> Vec<DbStep> {
+    let mut out = Vec::new();
+    for (i, op) in alt.ops.iter().enumerate() {
+        let parent = &alt.names[i];
+        let name = &alt.names[i + 1];
+        match op {
+            SkOp::Adjacent => {
+                let Some(psym) = grammar.symbol(parent) else { continue };
+                match &grammar.rule(psym).body {
+                    RuleBody::Repeat { .. } => out.push(DbStep::Elements),
+                    // A choice node's value IS its branch's value: stepping
+                    // into the branch is the identity in value space.
+                    RuleBody::Choice(_) => {}
+                    _ => out.push(DbStep::Field(name.clone())),
+                }
+            }
+            SkOp::Star => {
+                out.push(DbStep::AnyPath);
+                out.push(DbStep::Field(name.clone()));
+            }
+            SkOp::Closure => {
+                // The closure target is not a value field; the next step's
+                // field access discriminates within the AnyPath frontier.
+                out.push(DbStep::AnyPath);
+            }
+            SkOp::Exact(n) => {
+                out.push(DbStep::Exactly(*n));
+                out.push(DbStep::Field(name.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Compiles a query path rooted at `view_symbol` into step-list
+/// alternatives.
+pub fn compile_steps(
+    grammar: &Grammar,
+    view_symbol: &str,
+    steps: &[QStep],
+) -> Result<CompiledPath, TranslateError> {
+    let spec = resolve_path(grammar, view_symbol, steps)?;
+    let mut out: CompiledPath =
+        spec.alternatives.iter().map(|alt| db_steps_for(grammar, alt)).collect();
+    out.dedup();
+    Ok(out)
+}
+
+/// Compiles a condition; `view_symbol_of` maps a range variable to the
+/// non-terminal its view ranges over.
+pub fn compile_cond(
+    grammar: &Grammar,
+    view_symbol_of: &dyn Fn(&str) -> Option<String>,
+    cond: &Cond,
+) -> Result<CompiledCond, TranslateError> {
+    let sym = |var: &str| {
+        view_symbol_of(var).ok_or_else(|| TranslateError::UnknownSymbol(var.to_owned()))
+    };
+    Ok(match cond {
+        Cond::Eq(p, RightHand::Const(w)) => CompiledCond::EqConst {
+            var: p.var.clone(),
+            paths: compile_steps(grammar, &sym(&p.var)?, &p.steps)?,
+            value: w.clone(),
+        },
+        Cond::Eq(p, RightHand::Path(q)) => CompiledCond::EqPath {
+            lvar: p.var.clone(),
+            lpaths: compile_steps(grammar, &sym(&p.var)?, &p.steps)?,
+            rvar: q.var.clone(),
+            rpaths: compile_steps(grammar, &sym(&q.var)?, &q.steps)?,
+        },
+        Cond::And(a, b) => CompiledCond::And(
+            Box::new(compile_cond(grammar, view_symbol_of, a)?),
+            Box::new(compile_cond(grammar, view_symbol_of, b)?),
+        ),
+        Cond::Or(a, b) => CompiledCond::Or(
+            Box::new(compile_cond(grammar, view_symbol_of, a)?),
+            Box::new(compile_cond(grammar, view_symbol_of, b)?),
+        ),
+        Cond::Not(a) => CompiledCond::Not(Box::new(compile_cond(grammar, view_symbol_of, a)?)),
+    })
+}
+
+/// The union of a compiled path's results over its alternatives.
+pub fn path_values<'a>(
+    db: &'a Database,
+    value: &'a Value,
+    paths: &CompiledPath,
+    cost: &mut PathCost,
+) -> Vec<&'a Value> {
+    let mut out: Vec<&Value> = Vec::new();
+    for steps in paths {
+        out.extend(eval_path_counted(db, value, steps, cost));
+    }
+    out.sort_unstable();
+    out.dedup_by(|a, b| a == b);
+    out
+}
+
+/// Evaluates a compiled condition against a single binding `var = value`.
+/// Paths rooted at other variables evaluate to no values.
+pub fn eval_single(
+    db: &Database,
+    var: &str,
+    value: &Value,
+    cond: &CompiledCond,
+    cost: &mut PathCost,
+) -> bool {
+    eval_pair(db, var, value, "\u{0}", value, cond, cost)
+}
+
+/// Evaluates a compiled condition against a pair of bindings.
+pub fn eval_pair(
+    db: &Database,
+    v1: &str,
+    a: &Value,
+    v2: &str,
+    b: &Value,
+    cond: &CompiledCond,
+    cost: &mut PathCost,
+) -> bool {
+    let binding = |var: &str| -> Option<&Value> {
+        if var == v1 {
+            Some(a)
+        } else if var == v2 {
+            Some(b)
+        } else {
+            None
+        }
+    };
+    match cond {
+        CompiledCond::EqConst { var, paths, value } => binding(var).is_some_and(|v| {
+            let prefix = value.strip_suffix('*').filter(|p| !p.is_empty());
+            path_values(db, v, paths, cost).iter().any(|x| {
+                x.as_str().is_some_and(|s| match prefix {
+                    Some(p) => s.starts_with(p),
+                    None => s == value.as_str(),
+                })
+            })
+        }),
+        CompiledCond::EqPath { lvar, lpaths, rvar, rpaths } => {
+            let (Some(lv), Some(rv)) = (binding(lvar), binding(rvar)) else {
+                return false;
+            };
+            let ls = path_values(db, lv, lpaths, cost);
+            let rs = path_values(db, rv, rpaths, cost);
+            ls.iter().any(|x| rs.iter().any(|y| x == y))
+        }
+        CompiledCond::And(x, y) => {
+            eval_pair(db, v1, a, v2, b, x, cost) && eval_pair(db, v1, a, v2, b, y, cost)
+        }
+        CompiledCond::Or(x, y) => {
+            eval_pair(db, v1, a, v2, b, x, cost) || eval_pair(db, v1, a, v2, b, y, cost)
+        }
+        CompiledCond::Not(x) => !eval_pair(db, v1, a, v2, b, x, cost),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use qof_grammar::{lit, nt, TokenPattern, ValueBuilder};
+
+    fn grammar() -> Grammar {
+        Grammar::builder("Set")
+            .repeat("Set", "Entry", None, ValueBuilder::Set)
+            .seq(
+                "Entry",
+                [lit("["), nt("Key"), lit(":"), nt("Authors"), lit("]")],
+                ValueBuilder::ObjectAuto("Entry".into()),
+            )
+            .token("Key", TokenPattern::Word, ValueBuilder::Atom)
+            .repeat("Authors", "Name", Some(","), ValueBuilder::Set)
+            .seq("Name", [nt("Last_Name")], ValueBuilder::TupleAuto)
+            .token("Last_Name", TokenPattern::Word, ValueBuilder::Atom)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn repeat_items_compile_to_elements() {
+        let g = grammar();
+        let steps: Vec<QStep> = ["Authors", "Name", "Last_Name"]
+            .iter()
+            .map(|s| QStep::Attr(s.to_string()))
+            .collect();
+        let compiled = compile_steps(&g, "Entry", &steps).unwrap();
+        assert_eq!(
+            compiled,
+            vec![vec![
+                DbStep::Field("Authors".into()),
+                DbStep::Elements,
+                DbStep::Field("Last_Name".into()),
+            ]]
+        );
+    }
+
+    #[test]
+    fn compiled_condition_evaluates() {
+        let g = grammar();
+        let q = parse_query("SELECT r FROM Entries r WHERE r.Authors.Name.Last_Name = \"Chang\"")
+            .unwrap();
+        let cc = compile_cond(&g, &|_| Some("Entry".to_owned()), q.where_.as_ref().unwrap())
+            .unwrap();
+        let db = Database::new();
+        let hit = Value::tuple([
+            ("Key", Value::str("k1")),
+            (
+                "Authors",
+                Value::set([Value::tuple([("Last_Name", Value::str("Chang"))])]),
+            ),
+        ]);
+        let miss = Value::tuple([
+            ("Key", Value::str("k2")),
+            (
+                "Authors",
+                Value::set([Value::tuple([("Last_Name", Value::str("Milo"))])]),
+            ),
+        ]);
+        let mut cost = PathCost::default();
+        assert!(eval_single(&db, "r", &hit, &cc, &mut cost));
+        assert!(!eval_single(&db, "r", &miss, &cc, &mut cost));
+    }
+
+    #[test]
+    fn star_and_vars_compile() {
+        let g = grammar();
+        let steps = vec![QStep::Star("X".into()), QStep::Attr("Last_Name".into())];
+        let compiled = compile_steps(&g, "Entry", &steps).unwrap();
+        assert_eq!(compiled[0], vec![DbStep::AnyPath, DbStep::Field("Last_Name".into())]);
+        let steps2 = vec![QStep::Vars(2), QStep::Attr("Last_Name".into())];
+        let compiled2 = compile_steps(&g, "Entry", &steps2).unwrap();
+        assert_eq!(compiled2[0], vec![DbStep::Exactly(2), DbStep::Field("Last_Name".into())]);
+    }
+}

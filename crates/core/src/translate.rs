@@ -1,0 +1,403 @@
+//! Translation of query paths into region-expression chains (§5.1, §6.1).
+//!
+//! A path expression in a query matches derivation path(s) in the grammar —
+//! "the path expression in the query corresponds to a path in the RIG". The
+//! [`resolve_path`] function computes those derivation paths ([`Skeleton`]s);
+//! the planner then projects them onto the indexed names and optimizes the
+//! resulting inclusion expressions.
+
+use crate::QStep;
+use qof_grammar::{Grammar, RuleBody, SymbolId};
+use std::fmt;
+
+/// How two consecutive skeleton names relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkOp {
+    /// Parent/child in the grammar — a RIG edge (translates to `⊃d`).
+    Adjacent,
+    /// A `*X` variable — any derivation path (translates to `⊃`).
+    Star,
+    /// A transitive-closure step `A+` — like [`SkOp::Star`], but the target
+    /// name is not a value field (it is discriminated by the region index
+    /// only; the value side uses the following attribute).
+    Closure,
+    /// A run of `n` single-step variables — exactly `n` regions in between.
+    Exact(u32),
+}
+
+/// One derivation alternative for a query path: grammar symbol names from
+/// the view symbol (inclusive) to the target attribute, with the relation
+/// between each consecutive pair. `is_field[i]` says whether `names[i+1]`
+/// is a *value field* (appears in the database value) as opposed to a
+/// transparent choice branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Skeleton {
+    /// Symbol names, `names[0]` being the view symbol.
+    pub names: Vec<String>,
+    /// Relations; `ops[i]` connects `names[i]` and `names[i+1]`.
+    pub ops: Vec<SkOp>,
+    /// Whether `names[i+1]` is a value field (aligned with `ops`).
+    pub is_field: Vec<bool>,
+}
+
+/// The resolved alternatives of one query path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSpec {
+    /// All derivation alternatives (several when choice rules fork).
+    pub alternatives: Vec<Skeleton>,
+}
+
+/// Errors raised during translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The FROM clause names a view the schema does not define.
+    UnknownView(String),
+    /// No derivation of the view symbol carries this attribute here.
+    NoSuchAttribute {
+        /// The attribute that failed to resolve.
+        attribute: String,
+        /// The symbol it was looked up under.
+        under: String,
+    },
+    /// A `*X`/`X1..Xn` variable must be followed by an attribute.
+    VariableAtEnd,
+    /// The referenced symbol does not exist in the grammar.
+    UnknownSymbol(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UnknownView(v) => write!(f, "unknown view `{v}`"),
+            TranslateError::NoSuchAttribute { attribute, under } => {
+                write!(f, "attribute `{attribute}` does not exist under `{under}`")
+            }
+            TranslateError::VariableAtEnd => {
+                write!(f, "a path variable must be followed by an attribute")
+            }
+            TranslateError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Resolves a query path (the steps after the range variable) against the
+/// grammar, starting at the view symbol.
+pub fn resolve_path(
+    grammar: &Grammar,
+    view_symbol: &str,
+    steps: &[QStep],
+) -> Result<PathSpec, TranslateError> {
+    let start = grammar
+        .symbol(view_symbol)
+        .ok_or_else(|| TranslateError::UnknownSymbol(view_symbol.to_owned()))?;
+    let mut alternatives = Vec::new();
+    let seed = Skeleton { names: vec![view_symbol.to_owned()], ops: vec![], is_field: vec![] };
+    walk(grammar, start, steps, seed, &mut alternatives)?;
+    if alternatives.is_empty() {
+        // walk reports precise errors; empty without error cannot happen.
+        return Err(TranslateError::NoSuchAttribute {
+            attribute: steps
+                .iter()
+                .find_map(|s| match s {
+                    QStep::Attr(a) => Some(a.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default(),
+            under: view_symbol.to_owned(),
+        });
+    }
+    Ok(PathSpec { alternatives })
+}
+
+fn walk(
+    grammar: &Grammar,
+    sym: SymbolId,
+    steps: &[QStep],
+    acc: Skeleton,
+    out: &mut Vec<Skeleton>,
+) -> Result<(), TranslateError> {
+    let Some((step, rest)) = steps.split_first() else {
+        out.push(acc);
+        return Ok(());
+    };
+    match step {
+        QStep::Attr(a) => {
+            let mut matches = Vec::new();
+            attr_matches(grammar, sym, a, &mut Vec::new(), &mut matches);
+            if matches.is_empty() {
+                return Err(TranslateError::NoSuchAttribute {
+                    attribute: a.clone(),
+                    under: grammar.name(sym).to_owned(),
+                });
+            }
+            for chain in matches {
+                let mut next = acc.clone();
+                for (k, &s) in chain.iter().enumerate() {
+                    next.names.push(grammar.name(s).to_owned());
+                    next.ops.push(SkOp::Adjacent);
+                    // Only the final element of the chain is the named field;
+                    // intermediate entries are transparent choice branches.
+                    next.is_field.push(k == chain.len() - 1);
+                }
+                walk(grammar, *chain.last().expect("non-empty match"), rest, next, out)?;
+            }
+            Ok(())
+        }
+        QStep::Star(_) | QStep::Vars(_) => {
+            let Some(QStep::Attr(a)) = rest.first() else {
+                return Err(TranslateError::VariableAtEnd);
+            };
+            let target = grammar
+                .symbol(a)
+                .ok_or_else(|| TranslateError::UnknownSymbol(a.clone()))?;
+            let mut next = acc;
+            next.names.push(a.clone());
+            next.ops.push(match step {
+                QStep::Star(_) => SkOp::Star,
+                QStep::Vars(n) => SkOp::Exact(*n),
+                _ => unreachable!(),
+            });
+            next.is_field.push(true);
+            walk(grammar, target, &rest[1..], next, out)
+        }
+        QStep::Plus(a) => {
+            // `A+`: a closure hop to the symbol itself; the remaining steps
+            // continue from it. Region-wise this is plain inclusion — the
+            // nested repetitions of A collapse into one ⊃ (§5.3's
+            // transitive-closure claim).
+            let target = grammar
+                .symbol(a)
+                .ok_or_else(|| TranslateError::UnknownSymbol(a.clone()))?;
+            let mut next = acc;
+            next.names.push(a.clone());
+            next.ops.push(SkOp::Closure);
+            next.is_field.push(false);
+            walk(grammar, target, rest, next, out)
+        }
+    }
+}
+
+/// Chains of symbols leading from `sym` (exclusive) to a child named `attr`,
+/// descending transparently through choice branches.
+fn attr_matches(
+    grammar: &Grammar,
+    sym: SymbolId,
+    attr: &str,
+    visiting: &mut Vec<SymbolId>,
+    out: &mut Vec<Vec<SymbolId>>,
+) {
+    if visiting.contains(&sym) {
+        return; // cyclic choice guard
+    }
+    visiting.push(sym);
+    match &grammar.rule(sym).body {
+        RuleBody::Choice(alts) => {
+            for &alt in alts {
+                if grammar.name(alt) == attr {
+                    out.push(vec![alt]);
+                } else {
+                    let mut deeper = Vec::new();
+                    attr_matches(grammar, alt, attr, visiting, &mut deeper);
+                    for mut d in deeper {
+                        d.insert(0, alt);
+                        out.push(d);
+                    }
+                }
+            }
+        }
+        _ => {
+            for child in grammar.children_of(sym) {
+                if grammar.name(child) == attr {
+                    out.push(vec![child]);
+                }
+            }
+        }
+    }
+    visiting.pop();
+}
+
+/// The value-field paths (for the §6.2 push-down filter) of a spec: each
+/// alternative contributes its field names up to the first `*X`/`X1..Xn`
+/// connector; everything below the last kept field is retained in full.
+pub fn filter_paths(spec: &PathSpec) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for alt in &spec.alternatives {
+        let mut path = Vec::new();
+        for (i, op) in alt.ops.iter().enumerate() {
+            if !matches!(op, SkOp::Adjacent) {
+                break;
+            }
+            if alt.is_field[i] {
+                path.push(alt.names[i + 1].clone());
+            } else {
+                // Transparent choice branch: not a value field; the filter
+                // trie uses node symbols, and Child builders pass filters
+                // through unchanged, so the branch is simply skipped.
+            }
+        }
+        out.push(path);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QStep;
+    use qof_grammar::{lit, nt, TokenPattern, ValueBuilder};
+
+    fn bib_grammar() -> Grammar {
+        Grammar::builder("Ref_Set")
+            .repeat("Ref_Set", "Reference", None, ValueBuilder::Set)
+            .seq(
+                "Reference",
+                [lit("{"), nt("Key"), nt("Authors"), nt("Editors"), lit("}")],
+                ValueBuilder::ObjectAuto("Reference".into()),
+            )
+            .token("Key", TokenPattern::Word, ValueBuilder::Atom)
+            .repeat("Authors", "Name", Some(","), ValueBuilder::Set)
+            .repeat("Editors", "Name", Some(","), ValueBuilder::Set)
+            .seq("Name", [nt("First_Name"), nt("Last_Name")], ValueBuilder::TupleAuto)
+            .token("First_Name", TokenPattern::Initials, ValueBuilder::Atom)
+            .token("Last_Name", TokenPattern::Word, ValueBuilder::Atom)
+            .build()
+            .unwrap()
+    }
+
+    fn attrs(v: &[&str]) -> Vec<QStep> {
+        v.iter().map(|s| QStep::Attr(s.to_string())).collect()
+    }
+
+    #[test]
+    fn simple_path_resolves_to_single_skeleton() {
+        let g = bib_grammar();
+        let spec =
+            resolve_path(&g, "Reference", &attrs(&["Authors", "Name", "Last_Name"])).unwrap();
+        assert_eq!(spec.alternatives.len(), 1);
+        let alt = &spec.alternatives[0];
+        assert_eq!(alt.names, ["Reference", "Authors", "Name", "Last_Name"]);
+        assert!(alt.ops.iter().all(|o| *o == SkOp::Adjacent));
+        assert!(alt.is_field.iter().all(|b| *b));
+    }
+
+    #[test]
+    fn star_path_produces_star_op() {
+        let g = bib_grammar();
+        let spec = resolve_path(
+            &g,
+            "Reference",
+            &[QStep::Star("X".into()), QStep::Attr("Last_Name".into())],
+        )
+        .unwrap();
+        let alt = &spec.alternatives[0];
+        assert_eq!(alt.names, ["Reference", "Last_Name"]);
+        assert_eq!(alt.ops, [SkOp::Star]);
+    }
+
+    #[test]
+    fn vars_path_produces_exact_op() {
+        let g = bib_grammar();
+        let spec = resolve_path(
+            &g,
+            "Reference",
+            &[QStep::Vars(2), QStep::Attr("Last_Name".into())],
+        )
+        .unwrap();
+        assert_eq!(spec.alternatives[0].ops, [SkOp::Exact(2)]);
+    }
+
+    #[test]
+    fn missing_attribute_errors() {
+        let g = bib_grammar();
+        let e = resolve_path(&g, "Reference", &attrs(&["Publisher"])).unwrap_err();
+        assert_eq!(
+            e,
+            TranslateError::NoSuchAttribute {
+                attribute: "Publisher".into(),
+                under: "Reference".into()
+            }
+        );
+        let e2 = resolve_path(&g, "Reference", &attrs(&["Authors", "Publisher"])).unwrap_err();
+        assert!(matches!(e2, TranslateError::NoSuchAttribute { .. }));
+    }
+
+    #[test]
+    fn variable_at_end_errors() {
+        let g = bib_grammar();
+        let e = resolve_path(&g, "Reference", &[QStep::Star("X".into())]).unwrap_err();
+        assert_eq!(e, TranslateError::VariableAtEnd);
+    }
+
+    #[test]
+    fn choice_rules_fork_alternatives() {
+        let g = Grammar::builder("Top")
+            .seq("Top", [nt("Entry")], ValueBuilder::TupleAuto)
+            .choice("Entry", &["Book", "Article"], ValueBuilder::Child)
+            .seq("Book", [lit("b"), nt("Year")], ValueBuilder::TupleAuto)
+            .seq("Article", [lit("a"), nt("Year")], ValueBuilder::TupleAuto)
+            .token("Year", TokenPattern::Number, ValueBuilder::Atom)
+            .build()
+            .unwrap();
+        let spec = resolve_path(&g, "Entry", &attrs(&["Year"])).unwrap();
+        assert_eq!(spec.alternatives.len(), 2);
+        let names: Vec<&Vec<String>> = spec.alternatives.iter().map(|a| &a.names).collect();
+        assert!(names.iter().any(|n| n.contains(&"Book".to_string())));
+        assert!(names.iter().any(|n| n.contains(&"Article".to_string())));
+        // The branch symbol is transparent (not a value field).
+        let alt = &spec.alternatives[0];
+        assert_eq!(alt.is_field, [false, true]);
+    }
+
+    #[test]
+    fn filter_paths_stop_at_connectors() {
+        let g = bib_grammar();
+        let full =
+            resolve_path(&g, "Reference", &attrs(&["Authors", "Name", "Last_Name"])).unwrap();
+        assert_eq!(filter_paths(&full), vec![vec![
+            "Authors".to_string(),
+            "Name".to_string(),
+            "Last_Name".to_string()
+        ]]);
+        let star = resolve_path(
+            &g,
+            "Reference",
+            &[QStep::Star("X".into()), QStep::Attr("Last_Name".into())],
+        )
+        .unwrap();
+        assert_eq!(filter_paths(&star), vec![Vec::<String>::new()]);
+    }
+
+    #[test]
+    fn self_nested_grammar_paths() {
+        let g = Grammar::builder("Doc")
+            .seq("Doc", [lit("<d>"), nt("Sections"), lit("</d>")], ValueBuilder::Child)
+            .repeat("Sections", "Section", None, ValueBuilder::Set)
+            .seq(
+                "Section",
+                [lit("<s>"), nt("Head"), nt("Subsections"), lit("</s>")],
+                ValueBuilder::ObjectAuto("Section".into()),
+            )
+            .token("Head", TokenPattern::Word, ValueBuilder::Atom)
+            .repeat("Subsections", "Section", None, ValueBuilder::Set)
+            .build()
+            .unwrap();
+        // Section.Subsections.Section.Head resolves through the cycle.
+        let spec = resolve_path(
+            &g,
+            "Section",
+            &attrs(&["Subsections", "Section", "Head"]),
+        )
+        .unwrap();
+        assert_eq!(spec.alternatives[0].names, ["Section", "Subsections", "Section", "Head"]);
+        // Star over the cycle.
+        let star = resolve_path(
+            &g,
+            "Section",
+            &[QStep::Star("X".into()), QStep::Attr("Head".into())],
+        )
+        .unwrap();
+        assert_eq!(star.alternatives[0].names, ["Section", "Head"]);
+    }
+}

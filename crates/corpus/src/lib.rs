@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # qof-corpus
+//!
+//! Seeded synthetic corpora for the *Optimizing Queries on Files*
+//! reproduction. The paper's experiments ran over real bibliography files
+//! shared by a research group; since those are not available, these
+//! generators produce deterministic semi-structured files of the kinds the
+//! paper's introduction motivates — bibliographies ([`bibtex`]), e-mail
+//! ([`mail`]), log files ([`logs`]), program sources ([`code`]) and
+//! SGML-like documents ([`sgml`]); the latter two exercise cyclic
+//! region-inclusion graphs through self-nesting.
+//!
+//! Every generator returns both the file text and a *ground truth* the test
+//! suite uses as an oracle, and every format ships the structuring schema
+//! (grammar + views) that maps it into a database.
+
+pub mod bibtex;
+pub mod code;
+pub mod logs;
+pub mod mail;
+pub mod sgml;
+mod vocab;
+
+pub use vocab::{keyword, last_name, lorem, INITIALS, KEYWORDS, LAST_NAMES, WORDS};

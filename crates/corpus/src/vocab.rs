@@ -1,0 +1,92 @@
+//! Shared word pools: names (including the paper's running examples Chang,
+//! Corliss and Griewank), keywords and a filler vocabulary.
+
+use rand::Rng;
+
+/// Last names; the first three are the paper's running examples.
+pub const LAST_NAMES: &[&str] = &[
+    "Chang", "Corliss", "Griewank", "Consens", "Milo", "Tompa", "Gonnet", "Abiteboul", "Cluet",
+    "Salminen", "Kilpelainen", "Mannila", "Mendelzon", "Hadzilacos", "Kifer", "Sagiv", "Lamport",
+    "Bancilhon", "Delobel", "Bertino", "Barbara", "Mehrota", "Burkowski", "Schwartz", "Paepcke",
+    "Goldberg", "Nichols", "Terry", "Sethi", "Aho", "Johnson", "Salton", "McGill", "Stamos",
+    "Thomas", "Luniewski", "Bowen", "Gopal", "Herman", "Hickey", "Mansfield", "Raitz", "Weinrib",
+    "Mylopoulos", "Bernstein", "Wong", "Baker", "Rivera", "Okafor", "Nakamura", "Silva", "Kumar",
+    "Novak", "Haddad", "Larsen", "Moreau", "Petrov", "Svensson", "Walsh", "Zhang",
+];
+
+/// Dotted first-name initials in the style of Figure 1 ("G. F.").
+pub const INITIALS: &[&str] = &[
+    "G. F.", "Y. F.", "A.", "J. R.", "M. P.", "T.", "S.", "F. W.", "P. A.", "H. K.", "D.",
+    "K. C.", "W. H.", "B. M.", "E.", "L.", "R. V.", "C. J.", "N. O.", "V.",
+];
+
+/// Keyword-phrase pool for KEYWORDS fields.
+pub const KEYWORDS: &[&str] = &[
+    "point algorithm", "Taylor series", "radius of convergence", "automatic differentiation",
+    "query optimization", "text indexing", "region algebra", "structuring schema",
+    "object database", "path expression", "inclusion graph", "semi-structured data",
+    "suffix array", "information retrieval", "deductive database", "visual language",
+    "file system", "parser generator", "transitive closure", "partial indexing",
+];
+
+/// Filler vocabulary for titles, abstracts and message bodies.
+pub const WORDS: &[&str] = &[
+    "solving", "ordinary", "differential", "equations", "using", "series", "automatic",
+    "algorithms", "fortran", "program", "system", "database", "query", "index", "region",
+    "text", "file", "structure", "optimization", "evaluation", "expression", "schema",
+    "grammar", "parse", "tree", "graph", "path", "inclusion", "performance", "analysis",
+    "retrieval", "document", "update", "language", "object", "model", "relation", "engine",
+    "search", "word", "partial", "selective", "candidate", "answer", "scan", "storage",
+    "budget", "review", "meeting", "report", "draft", "deadline", "project", "release",
+];
+
+/// A random last name.
+pub fn last_name<R: Rng>(rng: &mut R) -> &'static str {
+    LAST_NAMES[rng.random_range(0..LAST_NAMES.len())]
+}
+
+/// A random keyword phrase.
+pub fn keyword<R: Rng>(rng: &mut R) -> &'static str {
+    KEYWORDS[rng.random_range(0..KEYWORDS.len())]
+}
+
+/// `n` space-separated filler words.
+pub fn lorem<R: Rng>(rng: &mut R, n: usize) -> String {
+    let mut out = String::with_capacity(n * 8);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.random_range(0..WORDS.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_contain_paper_names() {
+        assert!(LAST_NAMES.contains(&"Chang"));
+        assert!(LAST_NAMES.contains(&"Corliss"));
+        assert!(LAST_NAMES.contains(&"Griewank"));
+    }
+
+    #[test]
+    fn lorem_is_deterministic_per_seed() {
+        let a = lorem(&mut StdRng::seed_from_u64(7), 12);
+        let b = lorem(&mut StdRng::seed_from_u64(7), 12);
+        assert_eq!(a, b);
+        assert_eq!(a.split(' ').count(), 12);
+    }
+
+    #[test]
+    fn no_pool_word_contains_quotes_or_braces() {
+        for w in LAST_NAMES.iter().chain(KEYWORDS).chain(WORDS) {
+            assert!(!w.contains('"') && !w.contains('}') && !w.contains('{'));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Path-expression evaluation over complex values, including the `*X`
+//! any-path traversal of XSQL (§5.3). Multi-valued: a path applied to a set
+//! traverses every element, as in `r.Authors.Name.Last_Name` where `Authors`
+//! is a `set(Name)`.
+
+use crate::{Database, Value};
+
+/// One step of a compiled database path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DbStep {
+    /// Tuple field access (dereferences object references first).
+    Field(String),
+    /// Traverse into the elements of a set or list.
+    Elements,
+    /// The `*X` variable: every value reachable by any (possibly empty)
+    /// chain of field/element/reference steps.
+    AnyPath,
+    /// A run of `n` single-variable steps `X1.…​.Xn`: every value reachable
+    /// by exactly `n` hops, where a hop is a field access or a set/list
+    /// element entry (one hop per region, matching §5.3's region count).
+    Exactly(u32),
+}
+
+/// Traversal-cost counters for path evaluation. The OODB pays for `*X` by
+/// visiting every node ("the system has to actually traverse all possible
+/// paths", §5.3); these counters make that cost observable in E7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathCost {
+    /// Value nodes visited during evaluation.
+    pub nodes_visited: u64,
+    /// Object dereferences performed.
+    pub derefs: u64,
+}
+
+/// Evaluates a compiled path against a value; convenience wrapper that
+/// discards cost counters.
+pub fn eval_path<'a>(db: &'a Database, value: &'a Value, steps: &[DbStep]) -> Vec<&'a Value> {
+    let mut cost = PathCost::default();
+    eval_path_counted(db, value, steps, &mut cost)
+}
+
+/// Evaluates a compiled path, accumulating traversal costs.
+pub fn eval_path_counted<'a>(
+    db: &'a Database,
+    value: &'a Value,
+    steps: &[DbStep],
+    cost: &mut PathCost,
+) -> Vec<&'a Value> {
+    let mut frontier: Vec<&'a Value> = vec![resolve(db, value, cost)];
+    for step in steps {
+        let mut next: Vec<&'a Value> = Vec::new();
+        match step {
+            DbStep::Field(name) => {
+                for v in frontier {
+                    field_step(db, v, name, &mut next, cost);
+                }
+            }
+            DbStep::Elements => {
+                for v in frontier {
+                    element_step(db, v, &mut next, cost);
+                }
+            }
+            DbStep::AnyPath => {
+                for v in frontier {
+                    reachable(db, v, &mut next, cost);
+                }
+            }
+            DbStep::Exactly(n) => {
+                for v in frontier {
+                    exactly_n(db, v, *n, &mut next, cost);
+                }
+            }
+        }
+        // Set semantics: paths produce sets of values, so duplicates reached
+        // through different routes collapse.
+        next.sort_unstable();
+        next.dedup_by(|a, b| a == b);
+        frontier = next;
+    }
+    frontier
+}
+
+fn resolve<'a>(db: &'a Database, v: &'a Value, cost: &mut PathCost) -> &'a Value {
+    cost.nodes_visited += 1;
+    if let Value::Ref(oid) = v {
+        cost.derefs += 1;
+        db.deref(*oid).unwrap_or(v)
+    } else {
+        v
+    }
+}
+
+/// Field access on tuples. Collections are **not** transparent: compiled
+/// paths make element traversal explicit with [`DbStep::Elements`], keeping
+/// the step count aligned with the region chains of the grammar (one step
+/// per region, §5.3).
+fn field_step<'a>(
+    db: &'a Database,
+    v: &'a Value,
+    name: &str,
+    out: &mut Vec<&'a Value>,
+    cost: &mut PathCost,
+) {
+    let v = resolve(db, v, cost);
+    if let Value::Tuple(m) = v {
+        if let Some(x) = m.get(name) {
+            out.push(resolve(db, x, cost));
+        }
+    }
+}
+
+/// Set/list element traversal.
+fn element_step<'a>(db: &'a Database, v: &'a Value, out: &mut Vec<&'a Value>, cost: &mut PathCost) {
+    let v = resolve(db, v, cost);
+    if let Value::Set(items) | Value::List(items) = v {
+        for item in items {
+            out.push(resolve(db, item, cost));
+        }
+    }
+}
+
+/// Every value reachable from `v`, including `v` itself — the `*X` closure.
+fn reachable<'a>(db: &'a Database, v: &'a Value, out: &mut Vec<&'a Value>, cost: &mut PathCost) {
+    let v = resolve(db, v, cost);
+    out.push(v);
+    match v {
+        Value::Tuple(m) => {
+            for x in m.values() {
+                reachable(db, x, out, cost);
+            }
+        }
+        Value::Set(items) | Value::List(items) => {
+            for x in items {
+                reachable(db, x, out, cost);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Values reachable by exactly `n` hops, where a hop is a field access or a
+/// set/list element entry — mirroring the one-region-per-step accounting of
+/// the region algebra's exact-nesting operator (§5.3).
+fn exactly_n<'a>(
+    db: &'a Database,
+    v: &'a Value,
+    n: u32,
+    out: &mut Vec<&'a Value>,
+    cost: &mut PathCost,
+) {
+    if n == 0 {
+        out.push(resolve(db, v, cost));
+        return;
+    }
+    let v = resolve(db, v, cost);
+    match v {
+        Value::Tuple(m) => {
+            for x in m.values() {
+                exactly_n(db, x, n - 1, out, cost);
+            }
+        }
+        Value::Set(items) | Value::List(items) => {
+            for x in items {
+                exactly_n(db, x, n - 1, out, cost);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Value {
+        Value::tuple([
+            ("Key", Value::str("Corl82a")),
+            (
+                "Authors",
+                Value::set([
+                    Value::tuple([
+                        ("First_Name", Value::str("G")),
+                        ("Last_Name", Value::str("Corliss")),
+                    ]),
+                    Value::tuple([
+                        ("First_Name", Value::str("Y")),
+                        ("Last_Name", Value::str("Chang")),
+                    ]),
+                ]),
+            ),
+            (
+                "Editors",
+                Value::set([Value::tuple([
+                    ("First_Name", Value::str("A")),
+                    ("Last_Name", Value::str("Griewank")),
+                ])]),
+            ),
+        ])
+    }
+
+    fn strs(vs: Vec<&Value>) -> Vec<&str> {
+        let mut out: Vec<&str> = vs.iter().filter_map(|v| v.as_str()).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn field_then_elements_then_field() {
+        let db = Database::new();
+        let r = reference();
+        let got = eval_path(
+            &db,
+            &r,
+            &[
+                DbStep::Field("Authors".into()),
+                DbStep::Elements,
+                DbStep::Field("Last_Name".into()),
+            ],
+        );
+        assert_eq!(strs(got), ["Chang", "Corliss"]);
+    }
+
+    #[test]
+    fn fields_are_not_set_transparent() {
+        // Compiled paths make element traversal explicit; a field step on a
+        // set yields nothing (keeps hop counts aligned with region chains).
+        let db = Database::new();
+        let r = reference();
+        let got = eval_path(
+            &db,
+            &r,
+            &[DbStep::Field("Authors".into()), DbStep::Field("Last_Name".into())],
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn elements_step() {
+        let db = Database::new();
+        let r = reference();
+        let got = eval_path(&db, &r, &[DbStep::Field("Authors".into()), DbStep::Elements]);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn any_path_reaches_all_last_names() {
+        let db = Database::new();
+        let r = reference();
+        // r.*X.Last_Name — authors AND editors.
+        let got = eval_path(&db, &r, &[DbStep::AnyPath, DbStep::Field("Last_Name".into())]);
+        assert_eq!(strs(got), ["Chang", "Corliss", "Griewank"]);
+    }
+
+    #[test]
+    fn any_path_cost_visits_whole_tree() {
+        let db = Database::new();
+        let r = reference();
+        let mut cost = PathCost::default();
+        eval_path_counted(&db, &r, &[DbStep::AnyPath], &mut cost);
+        assert!(cost.nodes_visited as usize >= r.node_count());
+    }
+
+    #[test]
+    fn exactly_n_counts_hops() {
+        let db = Database::new();
+        let r = reference();
+        // Name tuples sit two hops away (field Authors/Editors, then element
+        // entry), exactly like the two regions between Reference and Name.
+        let got = eval_path(&db, &r, &[DbStep::Exactly(2), DbStep::Field("Last_Name".into())]);
+        assert_eq!(strs(got), ["Chang", "Corliss", "Griewank"]);
+        // One hop lands on the field values (sets/atoms): no Last_Name there.
+        let got1 = eval_path(&db, &r, &[DbStep::Exactly(1), DbStep::Field("Last_Name".into())]);
+        assert!(got1.is_empty());
+        // Three hops are the name atoms themselves.
+        let got3 = eval_path(&db, &r, &[DbStep::Exactly(3)]);
+        assert!(strs(got3).contains(&"Chang"));
+    }
+
+    #[test]
+    fn refs_are_dereferenced() {
+        let mut db = Database::new();
+        let inner = db.new_object("Name", Value::tuple([("Last_Name", Value::str("Milo"))]));
+        let outer = Value::tuple([("Author", Value::Ref(inner))]);
+        let got = eval_path(
+            &db,
+            &outer,
+            &[DbStep::Field("Author".into()), DbStep::Field("Last_Name".into())],
+        );
+        assert_eq!(strs(got), ["Milo"]);
+    }
+
+    #[test]
+    fn missing_field_yields_empty() {
+        let db = Database::new();
+        let r = reference();
+        assert!(eval_path(&db, &r, &[DbStep::Field("Nope".into())]).is_empty());
+    }
+}

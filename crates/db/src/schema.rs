@@ -1,0 +1,184 @@
+//! Database schema types mirroring the first part of a structuring schema
+//! (§4.1: "Class Reference = tuple(Key: string, Authors: set(Name), …)"),
+//! with structural validation of values against types.
+
+use crate::{Database, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A type in the database schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeDef {
+    /// Atomic string.
+    Str,
+    /// Atomic integer.
+    Int,
+    /// `set(T)`.
+    Set(Box<TypeDef>),
+    /// `list(T)`.
+    List(Box<TypeDef>),
+    /// `tuple(f1: T1, …)`.
+    Tuple(BTreeMap<String, TypeDef>),
+    /// Reference to an object of a named class.
+    Class(String),
+    /// Disjunctive type (footnote 5: non-terminals defined disjunctively).
+    Union(Vec<TypeDef>),
+}
+
+impl TypeDef {
+    /// `tuple(...)` from pairs.
+    pub fn tuple<K: Into<String>, I: IntoIterator<Item = (K, TypeDef)>>(fields: I) -> TypeDef {
+        TypeDef::Tuple(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// `set(T)`.
+    pub fn set(t: TypeDef) -> TypeDef {
+        TypeDef::Set(Box::new(t))
+    }
+}
+
+/// A named class with its value type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Type of the class's objects.
+    pub ty: TypeDef,
+}
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Dotted path to the offending value.
+    pub at: String,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at `{}`: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Validates `value` against `ty`; object references are checked against the
+/// class of the referenced object.
+pub fn validate(db: &Database, value: &Value, ty: &TypeDef) -> Result<(), TypeError> {
+    validate_at(db, value, ty, "$")
+}
+
+fn err(at: &str, message: impl Into<String>) -> TypeError {
+    TypeError { at: at.to_owned(), message: message.into() }
+}
+
+fn validate_at(db: &Database, value: &Value, ty: &TypeDef, at: &str) -> Result<(), TypeError> {
+    match (ty, value) {
+        (TypeDef::Str, Value::Str(_)) | (TypeDef::Int, Value::Int(_)) => Ok(()),
+        (TypeDef::Set(t), Value::Set(items)) | (TypeDef::List(t), Value::List(items)) => {
+            for (i, item) in items.iter().enumerate() {
+                validate_at(db, item, t, &format!("{at}[{i}]"))?;
+            }
+            Ok(())
+        }
+        (TypeDef::Tuple(fields), Value::Tuple(m)) => {
+            for (k, ft) in fields {
+                let v = m
+                    .get(k)
+                    .ok_or_else(|| err(at, format!("missing field `{k}`")))?;
+                validate_at(db, v, ft, &format!("{at}.{k}"))?;
+            }
+            Ok(())
+        }
+        (TypeDef::Class(c), Value::Ref(oid)) => match db.class_of(*oid) {
+            Some(actual) if actual == c => Ok(()),
+            Some(actual) => Err(err(at, format!("expected class `{c}`, got `{actual}`"))),
+            None => Err(err(at, format!("dangling reference {oid}"))),
+        },
+        (TypeDef::Union(alts), v) => {
+            for alt in alts {
+                if validate_at(db, v, alt, at).is_ok() {
+                    return Ok(());
+                }
+            }
+            Err(err(at, "no union alternative matched"))
+        }
+        (t, v) => Err(err(at, format!("expected {t:?}, got {v}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name_type() -> TypeDef {
+        TypeDef::tuple([("First_Name", TypeDef::Str), ("Last_Name", TypeDef::Str)])
+    }
+
+    #[test]
+    fn validates_the_paper_reference_type() {
+        let db = Database::new();
+        let ty = TypeDef::tuple([
+            ("Key", TypeDef::Str),
+            ("Authors", TypeDef::set(name_type())),
+        ]);
+        let good = Value::tuple([
+            ("Key", Value::str("Corl82a")),
+            (
+                "Authors",
+                Value::set([Value::tuple([
+                    ("First_Name", Value::str("Y")),
+                    ("Last_Name", Value::str("Chang")),
+                ])]),
+            ),
+        ]);
+        assert!(validate(&db, &good, &ty).is_ok());
+    }
+
+    #[test]
+    fn missing_field_fails_with_path() {
+        let db = Database::new();
+        let ty = TypeDef::tuple([("Key", TypeDef::Str)]);
+        let bad = Value::tuple([("Other", Value::str("x"))]);
+        let e = validate(&db, &bad, &ty).unwrap_err();
+        assert!(e.to_string().contains("missing field `Key`"));
+    }
+
+    #[test]
+    fn wrong_atom_fails() {
+        let db = Database::new();
+        let e = validate(&db, &Value::Int(3), &TypeDef::Str).unwrap_err();
+        assert_eq!(e.at, "$");
+    }
+
+    #[test]
+    fn class_refs_check_target_class() {
+        let mut db = Database::new();
+        let n = db.new_object("Name", Value::str("x"));
+        assert!(validate(&db, &Value::Ref(n), &TypeDef::Class("Name".into())).is_ok());
+        assert!(validate(&db, &Value::Ref(n), &TypeDef::Class("Reference".into())).is_err());
+        assert!(validate(&db, &Value::Ref(crate::Oid(99)), &TypeDef::Class("Name".into())).is_err());
+    }
+
+    #[test]
+    fn union_accepts_any_alternative() {
+        let db = Database::new();
+        let u = TypeDef::Union(vec![TypeDef::Str, TypeDef::Int]);
+        assert!(validate(&db, &Value::str("x"), &u).is_ok());
+        assert!(validate(&db, &Value::Int(1), &u).is_ok());
+        assert!(validate(&db, &Value::Set(vec![]), &u).is_err());
+    }
+
+    #[test]
+    fn nested_error_paths() {
+        let db = Database::new();
+        let ty = TypeDef::set(TypeDef::tuple([("A", TypeDef::Str)]));
+        let bad = Value::Set(vec![
+            Value::tuple([("A", Value::str("ok"))]),
+            Value::tuple([("A", Value::Int(1))]),
+        ]);
+        let e = validate(&db, &bad, &ty).unwrap_err();
+        assert!(e.at.contains("[1].A") || e.at.contains("[0].A"));
+    }
+}

@@ -1,0 +1,168 @@
+//! The complex-value model: atoms, tuples, sets, lists and object
+//! references — the types used by the structuring schemas of §4.1
+//! (`tuple(...)`, `set(...)`, `string`).
+
+use crate::Oid;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An atomic string.
+    Str(String),
+    /// An atomic integer.
+    Int(i64),
+    /// A tuple of named fields.
+    Tuple(BTreeMap<String, Value>),
+    /// A set of values (stored sorted, duplicates removed).
+    Set(Vec<Value>),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A reference to an object in the database.
+    Ref(Oid),
+}
+
+impl Value {
+    /// A string atom.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// A tuple from `(field, value)` pairs.
+    pub fn tuple<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(fields: I) -> Value {
+        Value::Tuple(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// A set; sorts and dedups its elements.
+    pub fn set(items: impl IntoIterator<Item = Value>) -> Value {
+        let mut v: Vec<Value> = items.into_iter().collect();
+        v.sort();
+        v.dedup();
+        Value::Set(v)
+    }
+
+    /// The string contents, if this is a string atom.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer contents, if this is an integer atom.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on tuples.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Tuple(m) => m.get(name),
+            _ => None,
+        }
+    }
+
+    /// Elements of a set or list.
+    pub fn elements(&self) -> Option<&[Value]> {
+        match self {
+            Value::Set(v) | Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes in this value tree (cost/size accounting).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::Str(_) | Value::Int(_) | Value::Ref(_) => 1,
+            Value::Tuple(m) => 1 + m.values().map(Value::node_count).sum::<usize>(),
+            Value::Set(v) | Value::List(v) => 1 + v.iter().map(Value::node_count).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Tuple(m) => {
+                write!(f, "tuple(")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Set(v) => {
+                write!(f, "{{")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::List(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Ref(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Value::tuple([
+            ("Year", Value::str("1982")),
+            ("Pages", Value::Int(30)),
+        ]);
+        assert_eq!(v.field("Year").unwrap().as_str(), Some("1982"));
+        assert_eq!(v.field("Pages").unwrap().as_int(), Some(30));
+        assert!(v.field("Nope").is_none());
+        assert!(v.as_str().is_none());
+    }
+
+    #[test]
+    fn sets_sort_and_dedup() {
+        let s = Value::set([Value::str("b"), Value::str("a"), Value::str("b")]);
+        assert_eq!(s.elements().unwrap().len(), 2);
+        assert_eq!(s.elements().unwrap()[0].as_str(), Some("a"));
+    }
+
+    #[test]
+    fn node_count_is_recursive() {
+        let v = Value::tuple([(
+            "Authors",
+            Value::set([
+                Value::tuple([("Last_Name", Value::str("Chang"))]),
+                Value::tuple([("Last_Name", Value::str("Corliss"))]),
+            ]),
+        )]);
+        // tuple + set + 2*(tuple + str) = 6
+        assert_eq!(v.node_count(), 6);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::tuple([("K", Value::set([Value::Int(1), Value::Int(2)]))]);
+        assert_eq!(v.to_string(), "tuple(K: {1, 2})");
+    }
+}

@@ -1,0 +1,242 @@
+//! Region extraction: turning a parse tree into a region-index instance.
+//!
+//! Under **full indexing** (§5) every non-terminal except the grammar root
+//! is a region name, instantiated by all its occurrences in the parse tree.
+//! Under **partial indexing** (§6) only a chosen subset is. **Selective
+//! indexing** (§7: "instead of indexing all the Name regions it is better to
+//! index only those that reside in some Authors region") scopes a name to
+//! occurrences under a given ancestor; the scoped instance is registered
+//! under the name `"Scope.Name"`.
+
+use crate::{Grammar, ParseNode};
+use qof_pat::{Instance, Region, RegionSet};
+use std::collections::BTreeSet;
+
+/// Which regions to index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexSpec {
+    all: bool,
+    names: BTreeSet<String>,
+    scoped: BTreeSet<(String, String)>,
+    word_scope: Option<String>,
+}
+
+impl IndexSpec {
+    /// Index every non-terminal except the root (full indexing, §5).
+    pub fn full() -> Self {
+        Self { all: true, ..Self::default() }
+    }
+
+    /// Index only the given non-terminals (partial indexing, §6).
+    pub fn names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            all: false,
+            names: names.into_iter().map(Into::into).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Additionally index `name`, but only where it occurs inside a `scope`
+    /// region (selective indexing, §7). Registered as `"scope.name"`.
+    pub fn with_scoped(mut self, scope: &str, name: &str) -> Self {
+        self.scoped.insert((scope.to_owned(), name.to_owned()));
+        self
+    }
+
+    /// Additionally index a plain name.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.names.insert(name.to_owned());
+        self
+    }
+
+    /// Whether a plain (unscoped) name is indexed.
+    pub fn covers(&self, name: &str) -> bool {
+        self.all || self.names.contains(name)
+    }
+
+    /// Whether full indexing was requested.
+    pub fn is_full(&self) -> bool {
+        self.all
+    }
+
+    /// The explicitly requested plain names.
+    pub fn plain_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// The `(scope, name)` selective entries.
+    pub fn scoped_names(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.scoped.iter().map(|(s, n)| (s.as_str(), n.as_str()))
+    }
+
+    /// The instance key used for a scoped entry.
+    pub fn scoped_key(scope: &str, name: &str) -> String {
+        format!("{scope}.{name}")
+    }
+
+    /// Restricts the *word* index to occurrences inside regions of `name`
+    /// (§7: "Selective indexing can also be done for words"). Queries whose
+    /// word selections fall outside the scoped regions will silently match
+    /// nothing — this is the user-chosen space/coverage tradeoff.
+    pub fn with_word_scope(mut self, name: &str) -> Self {
+        self.word_scope = Some(name.to_owned());
+        self
+    }
+
+    /// The word-scope region name, if any.
+    pub fn word_scope(&self) -> Option<&str> {
+        self.word_scope.as_deref()
+    }
+}
+
+/// Extracts the region instance of `spec` from a parse tree. The grammar
+/// root is never indexed (following §4.2). Instances for every requested
+/// name are present even when empty, so partial indexes distinguish
+/// "indexed but absent" from "not indexed".
+pub fn extract_regions(tree: &ParseNode, grammar: &Grammar, spec: &IndexSpec) -> Instance {
+    let mut buckets: std::collections::BTreeMap<String, Vec<Region>> =
+        std::collections::BTreeMap::new();
+    if spec.is_full() {
+        for (id, name) in grammar.symbols() {
+            if id != grammar.root() {
+                buckets.entry(name.to_owned()).or_default();
+            }
+        }
+    } else {
+        for n in spec.plain_names() {
+            buckets.entry(n.to_owned()).or_default();
+        }
+    }
+    for (scope, name) in spec.scoped_names() {
+        buckets.entry(IndexSpec::scoped_key(scope, name)).or_default();
+    }
+
+    // Stack of active scope names for selective entries.
+    fn walk(
+        node: &ParseNode,
+        grammar: &Grammar,
+        spec: &IndexSpec,
+        scopes: &mut Vec<String>,
+        buckets: &mut std::collections::BTreeMap<String, Vec<Region>>,
+    ) {
+        let name = grammar.name(node.symbol);
+        let is_root = node.symbol == grammar.root();
+        if !is_root {
+            if spec.covers(name) {
+                buckets
+                    .get_mut(name)
+                    .expect("bucket pre-created")
+                    .push(Region::new(node.span.start, node.span.end));
+            }
+            for (scope, scoped_name) in spec.scoped_names() {
+                if scoped_name == name && scopes.iter().any(|s| s == scope) {
+                    buckets
+                        .get_mut(&IndexSpec::scoped_key(scope, scoped_name))
+                        .expect("bucket pre-created")
+                        .push(Region::new(node.span.start, node.span.end));
+                }
+            }
+        }
+        scopes.push(name.to_owned());
+        for c in &node.children {
+            walk(c, grammar, spec, scopes, buckets);
+        }
+        scopes.pop();
+    }
+    let mut scopes = Vec::new();
+    walk(tree, grammar, spec, &mut scopes, &mut buckets);
+
+    let mut instance = Instance::new();
+    for (name, regions) in buckets {
+        instance.insert(name, RegionSet::from_regions(regions));
+    }
+    instance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{lit, nt, TokenPattern, ValueBuilder};
+    use crate::Parser;
+
+    fn grammar() -> Grammar {
+        Grammar::builder("Set")
+            .repeat("Set", "Entry", None, ValueBuilder::Set)
+            .seq(
+                "Entry",
+                [lit("["), nt("Authors"), lit("|"), nt("Editors"), lit("]")],
+                ValueBuilder::TupleAuto,
+            )
+            .repeat("Authors", "AName", Some(","), ValueBuilder::Set)
+            .repeat("Editors", "EName", Some(","), ValueBuilder::Set)
+            .seq("AName", [nt("Name")], ValueBuilder::Child)
+            .seq("EName", [nt("Name")], ValueBuilder::Child)
+            .token("Name", TokenPattern::Word, ValueBuilder::Atom)
+            .build()
+            .unwrap()
+    }
+
+    fn parse(text: &str, g: &Grammar) -> ParseNode {
+        Parser::new(g, text).parse_root(0..text.len() as u32).unwrap()
+    }
+
+    #[test]
+    fn full_indexing_covers_all_but_root() {
+        let g = grammar();
+        let text = "[chang,corliss|griewank]";
+        let tree = parse(text, &g);
+        let inst = extract_regions(&tree, &g, &IndexSpec::full());
+        assert!(!inst.has("Set"), "root is never indexed");
+        assert_eq!(inst.get("Entry").unwrap().len(), 1);
+        assert_eq!(inst.get("Name").unwrap().len(), 3);
+        assert_eq!(inst.get("Authors").unwrap().len(), 1);
+        assert_eq!(inst.get("Editors").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn partial_indexing_selects_names() {
+        let g = grammar();
+        let text = "[chang|corliss][griewank|chang]";
+        let tree = parse(text, &g);
+        let inst = extract_regions(&tree, &g, &IndexSpec::names(["Entry", "Name"]));
+        assert!(inst.has("Entry"));
+        assert!(inst.has("Name"));
+        assert!(!inst.has("Authors"));
+        assert_eq!(inst.get("Entry").unwrap().len(), 2);
+        assert_eq!(inst.get("Name").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn scoped_indexing_restricts_to_ancestor() {
+        let g = grammar();
+        let text = "[chang,corliss|griewank]";
+        let tree = parse(text, &g);
+        let spec = IndexSpec::names(["Entry"]).with_scoped("Authors", "Name");
+        let inst = extract_regions(&tree, &g, &spec);
+        let scoped = inst.get("Authors.Name").unwrap();
+        assert_eq!(scoped.len(), 2, "only the two author names are indexed");
+        // The editor name griewank is not in the scoped index.
+        let text_of = |r: &qof_pat::Region| &text[r.start as usize..r.end as usize];
+        let mut names: Vec<&str> = scoped.iter().map(text_of).collect();
+        names.sort();
+        assert_eq!(names, ["chang", "corliss"]);
+    }
+
+    #[test]
+    fn requested_names_present_even_when_empty() {
+        let g = grammar();
+        let tree = parse("", &g);
+        let inst = extract_regions(&tree, &g, &IndexSpec::names(["Entry"]));
+        assert!(inst.has("Entry"));
+        assert_eq!(inst.get("Entry").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn instance_is_properly_nested() {
+        let g = grammar();
+        let text = "[chang,corliss|griewank][a|b]";
+        let tree = parse(text, &g);
+        let inst = extract_regions(&tree, &g, &IndexSpec::full());
+        assert!(inst.build_forest().is_properly_nested());
+    }
+}

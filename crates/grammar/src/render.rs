@@ -1,0 +1,90 @@
+//! Parse-tree rendering, reproducing the shape of the paper's Figure 2 (the
+//! parse tree for BibTeX files under full indexing) and Figure 3 (partial
+//! indexing) as indented ASCII.
+
+use crate::{Grammar, ParseNode};
+use std::fmt::Write as _;
+
+/// Renders a parse tree as an indented outline. `highlight` names are
+/// marked with `*` (Figures 2/3 highlight the indexed regions); `max_depth`
+/// truncates deep trees (0 = unlimited).
+pub fn render_tree(
+    tree: &ParseNode,
+    grammar: &Grammar,
+    text: &str,
+    highlight: &[&str],
+    max_depth: usize,
+) -> String {
+    let mut out = String::new();
+    render(tree, grammar, text, highlight, max_depth, 0, &mut out);
+    out
+}
+
+fn render(
+    node: &ParseNode,
+    grammar: &Grammar,
+    text: &str,
+    highlight: &[&str],
+    max_depth: usize,
+    depth: usize,
+    out: &mut String,
+) {
+    if max_depth != 0 && depth >= max_depth {
+        return;
+    }
+    let name = grammar.name(node.symbol);
+    let mark = if highlight.contains(&name) { "*" } else { "" };
+    let _ = write!(out, "{}{name}{mark}", "  ".repeat(depth));
+    if node.children.is_empty() {
+        let t = &text[node.span.start as usize..node.span.end as usize];
+        let short: String = if t.len() > 32 {
+            format!("{}…", &t[..31.min(t.len())])
+        } else {
+            t.to_owned()
+        };
+        let _ = writeln!(out, " = {short:?}");
+    } else {
+        let _ = writeln!(out, " [{}, {})", node.span.start, node.span.end);
+        for c in &node.children {
+            render(c, grammar, text, highlight, max_depth, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{lit, nt, TokenPattern, ValueBuilder};
+    use crate::Parser;
+
+    #[test]
+    fn renders_outline_with_highlights() {
+        let g = crate::Grammar::builder("S")
+            .repeat("S", "Item", None, ValueBuilder::Set)
+            .seq("Item", [lit("("), nt("Word"), lit(")")], ValueBuilder::TupleAuto)
+            .token("Word", TokenPattern::Word, ValueBuilder::Atom)
+            .build()
+            .unwrap();
+        let text = "(alpha) (beta)";
+        let tree = Parser::new(&g, text).parse_root(0..text.len() as u32).unwrap();
+        let s = render_tree(&tree, &g, text, &["Word"], 0);
+        assert!(s.contains("S [0, 14)"));
+        assert!(s.contains("  Item [0, 7)"));
+        assert!(s.contains("    Word* = \"alpha\""));
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let g = crate::Grammar::builder("S")
+            .repeat("S", "Item", None, ValueBuilder::Set)
+            .seq("Item", [lit("("), nt("Word"), lit(")")], ValueBuilder::TupleAuto)
+            .token("Word", TokenPattern::Word, ValueBuilder::Atom)
+            .build()
+            .unwrap();
+        let text = "(alpha)";
+        let tree = Parser::new(&g, text).parse_root(0..text.len() as u32).unwrap();
+        let s = render_tree(&tree, &g, text, &[], 2);
+        assert!(s.contains("Item"));
+        assert!(!s.contains("Word"));
+    }
+}

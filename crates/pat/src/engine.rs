@@ -1,0 +1,714 @@
+//! The evaluation engine: evaluates [`RegionExpr`]s against a corpus, its
+//! word index and a region-index instance — the role the PAT engine plays in
+//! the paper ("evaluate these expressions efficiently using the engine of an
+//! indexing system").
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use qof_text::{Corpus, Pos, SuffixArray, WordIndex};
+
+use crate::{
+    direct_included_in, direct_including, EvalStats, Instance, Region, RegionExpr, RegionSet,
+    UniverseForest,
+};
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The expression references a region name that is not indexed.
+    UnknownName(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownName(n) => write!(f, "region name `{n}` is not indexed"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluator over one corpus + word index + region-index instance.
+///
+/// Evaluation is *set-at-a-time*: every operator maps whole region sets, and
+/// identical subexpressions within one `eval` call are computed once (the
+/// common-subexpression sharing suggested in §5.2). All work is counted into
+/// [`EvalStats`], which higher layers read to report scan-volume tradeoffs.
+pub struct Engine<'a> {
+    corpus: &'a Corpus,
+    words: &'a WordIndex,
+    suffix: Option<&'a SuffixArray>,
+    instance: &'a Instance,
+    universe: RegionSet,
+    forest: UniverseForest,
+    stats: RefCell<EvalStats>,
+    share: std::cell::Cell<bool>,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine; the universe nesting forest is constructed once.
+    pub fn new(corpus: &'a Corpus, words: &'a WordIndex, instance: &'a Instance) -> Self {
+        let universe = instance.universe();
+        let forest = UniverseForest::build(&universe);
+        Self {
+            corpus,
+            words,
+            suffix: None,
+            instance,
+            universe,
+            forest,
+            stats: RefCell::new(EvalStats::new()),
+            share: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Attaches a PAT suffix array, enabling fast prefix match points.
+    pub fn with_suffix_array(mut self, sa: &'a SuffixArray) -> Self {
+        self.suffix = Some(sa);
+        self
+    }
+
+    /// The corpus under evaluation.
+    pub fn corpus(&self) -> &Corpus {
+        self.corpus
+    }
+
+    /// The region-index instance.
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// The set of all indexed regions.
+    pub fn universe(&self) -> &RegionSet {
+        &self.universe
+    }
+
+    /// The universe nesting forest.
+    pub fn forest(&self) -> &UniverseForest {
+        &self.forest
+    }
+
+    /// Accumulated statistics since construction or the last reset.
+    pub fn stats(&self) -> EvalStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Clears the statistics counters.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = EvalStats::new();
+    }
+
+    /// Evaluates `expr`, sharing identical subexpressions.
+    pub fn eval(&self, expr: &RegionExpr) -> Result<RegionSet, EvalError> {
+        let mut cache = HashMap::new();
+        self.eval_memo(expr, &mut cache)
+    }
+
+    /// Evaluates several expressions with a shared subexpression cache
+    /// (§5.2: "find common subexpressions … and evaluate them once").
+    pub fn eval_all(&self, exprs: &[RegionExpr]) -> Result<Vec<RegionSet>, EvalError> {
+        let mut cache = HashMap::new();
+        exprs.iter().map(|e| self.eval_memo(e, &mut cache)).collect()
+    }
+
+    /// Evaluates `expr` *without* common-subexpression sharing — the
+    /// ablation partner of [`Engine::eval`] for measuring what §5.2's
+    /// sharing buys.
+    pub fn eval_unshared(&self, expr: &RegionExpr) -> Result<RegionSet, EvalError> {
+        self.share.set(false);
+        let result = self.eval(expr);
+        self.share.set(true);
+        result
+    }
+
+    fn eval_memo(
+        &self,
+        expr: &RegionExpr,
+        cache: &mut HashMap<RegionExpr, RegionSet>,
+    ) -> Result<RegionSet, EvalError> {
+        if self.share.get() {
+            if let Some(hit) = cache.get(expr) {
+                return Ok(hit.clone());
+            }
+        }
+        let result = self.eval_uncached(expr, cache)?;
+        if self.share.get() {
+            cache.insert(expr.clone(), result.clone());
+        }
+        Ok(result)
+    }
+
+    /// Occurrence spans of a constant, computed index-only. A constant that
+    /// is a single indexed word is one probe; anything else — a phrase
+    /// ("point algorithm"), a date ("1994-05-12"), an address
+    /// ("milo@example.org") — is decomposed into its word runs, and the
+    /// word-index positions must line up at the offsets the constant
+    /// dictates (the alignment PAT's proximity search would verify).
+    fn word_spans(&self, w: &str) -> RegionSet {
+        // Word runs of the constant with their offsets.
+        let mut runs: Vec<(Pos, &str)> = Vec::new();
+        let bytes = w.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if bytes[i].is_ascii_alphanumeric() {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                runs.push((start as Pos, &w[start..i]));
+            } else {
+                i += 1;
+            }
+        }
+        let Some(&(first_off, first)) = runs.first() else {
+            return RegionSet::new();
+        };
+        if runs.len() == 1 && first_off == 0 && first.len() == w.len() {
+            let positions = self.words.positions(w);
+            self.stats.borrow_mut().record_word_probe(positions.len());
+            let len = w.len() as Pos;
+            return RegionSet::from_sorted(
+                positions.iter().map(|&p| Region::new(p, p + len)).collect(),
+            );
+        }
+        let firsts = self.words.positions(first);
+        let mut probes = firsts.len();
+        let mut verify_bytes = 0u64;
+        let text = self.corpus.text();
+        let hits: Vec<Region> = firsts
+            .iter()
+            .filter_map(|&p| p.checked_sub(first_off))
+            .filter(|&base| {
+                runs[1..].iter().all(|&(off, word)| {
+                    probes += 1;
+                    self.words.positions(word).binary_search(&(base + off)).is_ok()
+                })
+            })
+            .filter(|&base| {
+                // Alignment fixes the word runs but not the separator
+                // characters; verify the aligned span (PAT would compare the
+                // sistring at `base`). Counted as scanned bytes.
+                verify_bytes += w.len() as u64;
+                text[base as usize..].starts_with(w)
+            })
+            .map(|base| Region::new(base, base + w.len() as Pos))
+            .collect();
+        let mut stats = self.stats.borrow_mut();
+        stats.record_word_probe(probes);
+        stats.record_scan(verify_bytes);
+        RegionSet::from_regions(hits)
+    }
+
+    fn prefix_spans(&self, prefix: &str) -> RegionSet {
+        // With a suffix array, prefix search is a binary search; the span of
+        // each hit extends to the end of the word starting there. Without
+        // one, fall back to scanning the word-index vocabulary.
+        if let Some(sa) = self.suffix {
+            let hits = sa.prefix_positions(self.corpus, prefix);
+            self.stats.borrow_mut().record_word_probe(hits.len());
+            let text = self.corpus.text().as_bytes();
+            let spans = hits
+                .into_iter()
+                .map(|p| {
+                    let mut e = p as usize;
+                    while e < text.len() && (text[e] as char).is_ascii_alphanumeric() {
+                        e += 1;
+                    }
+                    Region::new(p, e as Pos)
+                })
+                .collect();
+            RegionSet::from_regions(spans)
+        } else {
+            let mut spans = Vec::new();
+            let mut probes = 0usize;
+            for (word, positions) in self.words.iter() {
+                if word.starts_with(prefix) {
+                    probes += positions.len();
+                    let len = word.len() as Pos;
+                    spans.extend(positions.iter().map(|&p| Region::new(p, p + len)));
+                }
+            }
+            self.stats.borrow_mut().record_word_probe(probes);
+            RegionSet::from_regions(spans)
+        }
+    }
+
+    fn name_set(&self, n: &str) -> Result<RegionSet, EvalError> {
+        self.instance
+            .get(n)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownName(n.to_owned()))
+    }
+
+    fn eval_uncached(
+        &self,
+        expr: &RegionExpr,
+        cache: &mut HashMap<RegionExpr, RegionSet>,
+    ) -> Result<RegionSet, EvalError> {
+        use RegionExpr::*;
+        let record = |op: &'static str, consumed: usize, out: &RegionSet| {
+            self.stats.borrow_mut().record_op(op, consumed, out.len());
+        };
+        Ok(match expr {
+            Name(n) => {
+                let s = self.name_set(n)?;
+                record("name", 0, &s);
+                s
+            }
+            Word(w) => {
+                let s = self.word_spans(w);
+                record("word", 0, &s);
+                s
+            }
+            Prefix(p) => {
+                let s = self.prefix_spans(p);
+                record("prefix", 0, &s);
+                s
+            }
+            Union(a, b) => {
+                let (x, y) = (self.eval_memo(a, cache)?, self.eval_memo(b, cache)?);
+                let out = x.union(&y);
+                record("∪", x.len() + y.len(), &out);
+                out
+            }
+            Intersect(a, b) => {
+                let (x, y) = (self.eval_memo(a, cache)?, self.eval_memo(b, cache)?);
+                let out = x.intersect(&y);
+                record("∩", x.len() + y.len(), &out);
+                out
+            }
+            Difference(a, b) => {
+                let (x, y) = (self.eval_memo(a, cache)?, self.eval_memo(b, cache)?);
+                let out = x.difference(&y);
+                record("−", x.len() + y.len(), &out);
+                out
+            }
+            SelectEq(e, w) => {
+                let x = self.eval_memo(e, cache)?;
+                let occ = self.word_spans(w);
+                let out = x.intersect(&occ);
+                record("σ", x.len() + occ.len(), &out);
+                out
+            }
+            SelectContains(e, w) => {
+                let x = self.eval_memo(e, cache)?;
+                let occ = self.word_spans(w);
+                let out = x.including(&occ);
+                record("σ∋", x.len() + occ.len(), &out);
+                out
+            }
+            Innermost(e) => {
+                let x = self.eval_memo(e, cache)?;
+                let out = x.innermost();
+                record("ι", x.len(), &out);
+                out
+            }
+            Outermost(e) => {
+                let x = self.eval_memo(e, cache)?;
+                let out = x.outermost();
+                record("ω", x.len(), &out);
+                out
+            }
+            Including(a, b) => {
+                let (x, y) = (self.eval_memo(a, cache)?, self.eval_memo(b, cache)?);
+                let out = x.including(&y);
+                record("⊃", x.len() + y.len(), &out);
+                out
+            }
+            IncludedIn(a, b) => {
+                let (x, y) = (self.eval_memo(a, cache)?, self.eval_memo(b, cache)?);
+                let out = x.included_in(&y);
+                record("⊂", x.len() + y.len(), &out);
+                out
+            }
+            DirectIncluding(a, b) => {
+                let (x, y) = (self.eval_memo(a, cache)?, self.eval_memo(b, cache)?);
+                let out = direct_including(&x, &y, &self.forest);
+                // ⊃d consults the whole universe, which is what makes it
+                // "significantly more expensive than the simple inclusion".
+                record("⊃d", x.len() + y.len() + self.universe.len(), &out);
+                out
+            }
+            DirectIncludedIn(a, b) => {
+                let (x, y) = (self.eval_memo(a, cache)?, self.eval_memo(b, cache)?);
+                let out = direct_included_in(&x, &y, &self.forest);
+                record("⊂d", x.len() + y.len() + self.universe.len(), &out);
+                out
+            }
+            NestedExactly { outer, inner, depth } => {
+                let (x, y) = (self.eval_memo(outer, cache)?, self.eval_memo(inner, cache)?);
+                let out = self.nested_exactly(&x, &y, *depth);
+                record("⊃^n", x.len() + y.len(), &out);
+                out
+            }
+            Near { left, right, gap } => {
+                let (x, y) = (self.eval_memo(left, cache)?, self.eval_memo(right, cache)?);
+                let out = near(&x, &y, *gap);
+                record("near", x.len() + y.len(), &out);
+                out
+            }
+            SelectCountAtLeast(e, w, n) => {
+                let x = self.eval_memo(e, cache)?;
+                let occ = self.word_spans(w);
+                let out = count_at_least(&x, &occ, *n);
+                record("σ≥n", x.len() + occ.len(), &out);
+                out
+            }
+        })
+    }
+
+    /// Members of `outer` that include a member of `inner` with exactly
+    /// `depth` indexed regions strictly in between. Exact when `outer`'s
+    /// extents are indexed (always true for translated queries).
+    fn nested_exactly(&self, outer: &RegionSet, inner: &RegionSet, depth: u32) -> RegionSet {
+        let enclosures = self.forest.strict_enclosures(inner);
+        let mut candidates: Vec<Region> = Vec::new();
+        for p in enclosures.into_iter().flatten() {
+            // Walk `depth` more strict enclosures up from the first one.
+            if let Some(pi) = self.forest.find(&p) {
+                if let Some(anc) = self.forest.ancestor_at(pi, depth) {
+                    candidates.push(self.forest.regions()[anc]);
+                }
+            }
+        }
+        outer.intersect(&RegionSet::from_regions(candidates))
+    }
+}
+
+/// PAT's proximity search: combined spans of left regions followed within
+/// `gap` bytes by right regions.
+fn near(left: &RegionSet, right: &RegionSet, gap: u32) -> RegionSet {
+    let rights = right.as_slice();
+    let starts: Vec<Pos> = rights.iter().map(|r| r.start).collect();
+    let mut out = Vec::new();
+    for l in left.iter() {
+        // Right regions starting in [l.end, l.end + gap].
+        let lo = starts.partition_point(|&s| s < l.end);
+        for r in &rights[lo..] {
+            if r.start > l.end.saturating_add(gap) {
+                break;
+            }
+            out.push(Region::new(l.start, r.end.max(l.end)));
+        }
+    }
+    RegionSet::from_regions(out)
+}
+
+/// PAT's frequency search: members of `set` containing at least `n`
+/// occurrence spans.
+fn count_at_least(set: &RegionSet, occurrences: &RegionSet, n: u32) -> RegionSet {
+    if n == 0 {
+        return set.clone();
+    }
+    let occs = occurrences.as_slice();
+    let starts: Vec<Pos> = occs.iter().map(|o| o.start).collect();
+    let out = set
+        .iter()
+        .filter(|r| {
+            let lo = starts.partition_point(|&s| s < r.start);
+            let mut count = 0u32;
+            for o in &occs[lo..] {
+                if o.start >= r.end {
+                    break;
+                }
+                if o.end <= r.end {
+                    count += 1;
+                    if count >= n {
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+        .copied()
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qof_text::Tokenizer;
+
+    /// A miniature BibTeX-like corpus with a hand-built instance:
+    ///
+    /// ```text
+    /// AUTHOR = Chang . EDITOR = Corliss . AUTHOR = Corliss .
+    /// ```
+    /// Reference1 = [0, 34), Reference2 = [35, 53) (second "reference")
+    fn fixture() -> (Corpus, WordIndex, Instance) {
+        //          0         1         2         3         4         5
+        //          0123456789012345678901234567890123456789012345678901
+        let text = "AUTHOR = Chang . EDITOR = Corliss AUTHOR = Corliss .";
+        let corpus = Corpus::from_text(text);
+        let words = WordIndex::build(&corpus, &Tokenizer::new());
+        let mut inst = Instance::new();
+        // Two "references": one holding an author+editor, one an author.
+        inst.insert(
+            "Reference",
+            RegionSet::from_regions(vec![Region::new(0, 33), Region::new(34, 52)]),
+        );
+        inst.insert(
+            "Authors",
+            RegionSet::from_regions(vec![Region::new(0, 15), Region::new(34, 51)]),
+        );
+        inst.insert(
+            "Editors",
+            RegionSet::from_regions(vec![Region::new(17, 33)]),
+        );
+        inst.insert(
+            "Last_Name",
+            RegionSet::from_regions(vec![
+                Region::new(9, 14),  // Chang
+                Region::new(26, 33), // Corliss (editor)
+                Region::new(43, 50), // Corliss (author)
+            ]),
+        );
+        (corpus, words, inst)
+    }
+
+    #[test]
+    fn word_spans_have_word_length() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let s = eng.eval(&RegionExpr::word("Chang")).unwrap();
+        assert_eq!(s.as_slice(), &[Region::new(9, 14)]);
+        let s = eng.eval(&RegionExpr::word("Corliss")).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn select_eq_matches_exact_regions() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let e = RegionExpr::name("Last_Name").select_eq("Chang");
+        let s = eng.eval(&e).unwrap();
+        assert_eq!(s.as_slice(), &[Region::new(9, 14)]);
+    }
+
+    #[test]
+    fn paper_query_authors_chang() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        // Reference ⊃ Authors ⊃ σ_"Chang"(Last_Name)
+        let e = RegionExpr::name("Reference").including(
+            RegionExpr::name("Authors")
+                .including(RegionExpr::name("Last_Name").select_eq("Chang")),
+        );
+        let s = eng.eval(&e).unwrap();
+        assert_eq!(s.as_slice(), &[Region::new(0, 33)]);
+        // Corliss as *author* matches only the second reference.
+        let e2 = RegionExpr::name("Reference").including(
+            RegionExpr::name("Authors")
+                .including(RegionExpr::name("Last_Name").select_eq("Corliss")),
+        );
+        let s2 = eng.eval(&e2).unwrap();
+        assert_eq!(s2.as_slice(), &[Region::new(34, 52)]);
+    }
+
+    #[test]
+    fn without_authors_test_both_references_match() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        // Dropping the Authors test (partial indexing): Corliss matches both.
+        let e = RegionExpr::name("Reference")
+            .including(RegionExpr::name("Last_Name").select_eq("Corliss"));
+        let s = eng.eval(&e).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn select_contains_vs_eq() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let eq = eng.eval(&RegionExpr::name("Authors").select_eq("Chang")).unwrap();
+        assert!(eq.is_empty(), "no Authors region IS the word Chang");
+        let contains =
+            eng.eval(&RegionExpr::name("Authors").select_contains("Chang")).unwrap();
+        assert_eq!(contains.as_slice(), &[Region::new(0, 15)]);
+    }
+
+    #[test]
+    fn direct_including_through_engine() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        // Reference ⊃d Last_Name fails where Authors/Editors intervene.
+        let e = RegionExpr::name("Reference")
+            .direct_including(RegionExpr::name("Last_Name"));
+        let s = eng.eval(&e).unwrap();
+        assert!(s.is_empty());
+        let e2 = RegionExpr::name("Authors").direct_including(RegionExpr::name("Last_Name"));
+        let s2 = eng.eval(&e2).unwrap();
+        assert_eq!(s2.len(), 2);
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let err = eng.eval(&RegionExpr::name("Nope")).unwrap_err();
+        assert_eq!(err, EvalError::UnknownName("Nope".into()));
+        assert!(err.to_string().contains("Nope"));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let e = RegionExpr::name("Reference")
+            .including(RegionExpr::name("Last_Name").select_eq("Chang"));
+        eng.eval(&e).unwrap();
+        let s = eng.stats();
+        assert_eq!(s.ops("⊃"), 1);
+        assert_eq!(s.ops("σ"), 1);
+        assert_eq!(s.word_probes, 1);
+        eng.reset_stats();
+        assert_eq!(eng.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn unshared_evaluation_repeats_work() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let sub = RegionExpr::name("Last_Name").select_eq("Corliss");
+        let e = RegionExpr::name("Authors")
+            .including(sub.clone())
+            .union(RegionExpr::name("Editors").including(sub));
+        let shared = eng.eval(&e).unwrap();
+        let ops_shared = eng.stats().ops("σ");
+        eng.reset_stats();
+        let unshared = eng.eval_unshared(&e).unwrap();
+        assert_eq!(shared, unshared, "sharing must not change results");
+        assert_eq!(ops_shared, 1);
+        assert_eq!(eng.stats().ops("σ"), 2, "without sharing, σ runs twice");
+    }
+
+    #[test]
+    fn common_subexpressions_evaluate_once() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let sub = RegionExpr::name("Last_Name").select_eq("Corliss");
+        let e = RegionExpr::name("Authors")
+            .including(sub.clone())
+            .union(RegionExpr::name("Editors").including(sub));
+        eng.eval(&e).unwrap();
+        // σ evaluated once despite two occurrences.
+        assert_eq!(eng.stats().ops("σ"), 1);
+    }
+
+    #[test]
+    fn union_intersect_difference_through_engine() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let a = RegionExpr::name("Authors");
+        let b = RegionExpr::name("Editors");
+        assert_eq!(eng.eval(&a.clone().union(b.clone())).unwrap().len(), 3);
+        assert_eq!(eng.eval(&a.clone().intersect(b.clone())).unwrap().len(), 0);
+        assert_eq!(eng.eval(&a.clone().difference(b)).unwrap().len(), 2);
+        assert_eq!(eng.eval(&a.clone().difference(a)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn innermost_outermost_through_engine() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let all = RegionExpr::name("Reference").union(RegionExpr::name("Last_Name"));
+        let inner = eng.eval(&all.clone().innermost()).unwrap();
+        assert_eq!(inner.len(), 3); // the three last names
+        let outer = eng.eval(&all.outermost()).unwrap();
+        assert_eq!(outer.len(), 2); // the two references
+    }
+
+    #[test]
+    fn prefix_without_suffix_array_scans_vocabulary() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        let s = eng.eval(&RegionExpr::prefix("Cor")).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn prefix_with_suffix_array() {
+        let (c, w, i) = fixture();
+        let sa = SuffixArray::build(&c, &Tokenizer::new());
+        let eng = Engine::new(&c, &w, &i).with_suffix_array(&sa);
+        let s = eng.eval(&RegionExpr::prefix("Cor")).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_slice()[0], Region::new(26, 33));
+    }
+
+    #[test]
+    fn phrase_select_is_index_only() {
+        let text = "KEYWORDS = point algorithm; Taylor series";
+        let corpus = Corpus::from_text(text);
+        let words = WordIndex::build(&corpus, &Tokenizer::new());
+        let mut inst = Instance::new();
+        // The Keyword regions: "point algorithm" and "Taylor series".
+        inst.insert(
+            "Keyword",
+            RegionSet::from_regions(vec![Region::new(11, 26), Region::new(28, 41)]),
+        );
+        let eng = Engine::new(&corpus, &words, &inst);
+        let hit = eng
+            .eval(&RegionExpr::name("Keyword").select_eq("point algorithm"))
+            .unwrap();
+        assert_eq!(hit.as_slice(), &[Region::new(11, 26)]);
+        let miss = eng
+            .eval(&RegionExpr::name("Keyword").select_eq("point series"))
+            .unwrap();
+        assert!(miss.is_empty());
+        // Alignment resolves through the word index; only the final
+        // separator verification touches text (one constant-length check
+        // per aligned candidate).
+        assert!(eng.stats().bytes_scanned <= 2 * "point algorithm".len() as u64);
+    }
+
+    #[test]
+    fn near_combines_spans() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        // "Chang" followed within 3 bytes by ".": use words instead —
+        // AUTHOR then "=" then name: word("AUTHOR") near word("Chang")?
+        // AUTHOR at 0..6, Chang at 9..14: gap 3.
+        let e = RegionExpr::word("AUTHOR").near(RegionExpr::word("Chang"), 3);
+        let s = eng.eval(&e).unwrap();
+        assert_eq!(s.as_slice(), &[Region::new(0, 14)]);
+        // Gap too small: no match.
+        let e2 = RegionExpr::word("AUTHOR").near(RegionExpr::word("Chang"), 2);
+        assert!(eng.eval(&e2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn frequency_select() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        // References containing at least one "Corliss": both references
+        // contain exactly one each... the first has the editor Corliss, the
+        // second the author Corliss.
+        let e1 = RegionExpr::name("Reference").select_count_at_least("Corliss", 1);
+        assert_eq!(eng.eval(&e1).unwrap().len(), 2);
+        let e2 = RegionExpr::name("Reference").select_count_at_least("Corliss", 2);
+        assert!(eng.eval(&e2).unwrap().is_empty());
+        // n = 0 keeps everything.
+        let e0 = RegionExpr::name("Reference").select_count_at_least("Corliss", 0);
+        assert_eq!(eng.eval(&e0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn nested_exactly_counts_levels() {
+        let (c, w, i) = fixture();
+        let eng = Engine::new(&c, &w, &i);
+        // Reference ⊃^1 Last_Name: exactly one indexed region (Authors or
+        // Editors) between — true for both references.
+        let e = RegionExpr::name("Reference").nested_exactly(RegionExpr::name("Last_Name"), 1);
+        assert_eq!(eng.eval(&e).unwrap().len(), 2);
+        // Depth 0: Reference directly above Last_Name — never.
+        let e0 = RegionExpr::name("Reference").nested_exactly(RegionExpr::name("Last_Name"), 0);
+        assert!(eng.eval(&e0).unwrap().is_empty());
+        // Authors ⊃^0 Last_Name — direct, both author groups.
+        let ea = RegionExpr::name("Authors").nested_exactly(RegionExpr::name("Last_Name"), 0);
+        assert_eq!(eng.eval(&ea).unwrap().len(), 2);
+    }
+}

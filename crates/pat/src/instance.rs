@@ -1,0 +1,158 @@
+//! Instances of a region index (Definition 3.1's domain): a mapping from
+//! region names to region sets.
+
+use crate::{RegionSet, UniverseForest};
+use std::collections::BTreeMap;
+
+/// An instance `I` of a region index: `I(Rᵢ)` is a set of regions for each
+/// region name `Rᵢ`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Instance {
+    names: BTreeMap<String, RegionSet>,
+}
+
+impl Instance {
+    /// An instance with no region names.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the instance of a region name.
+    pub fn insert(&mut self, name: impl Into<String>, regions: RegionSet) {
+        self.names.insert(name.into(), regions);
+    }
+
+    /// Merges regions into an existing name (union), creating it if absent.
+    pub fn merge(&mut self, name: &str, regions: RegionSet) {
+        match self.names.get_mut(name) {
+            Some(existing) => *existing = existing.union(&regions),
+            None => {
+                self.names.insert(name.to_owned(), regions);
+            }
+        }
+    }
+
+    /// The instance of `name`, if indexed.
+    pub fn get(&self, name: &str) -> Option<&RegionSet> {
+        self.names.get(name)
+    }
+
+    /// Whether `name` is indexed (possibly with an empty instance).
+    pub fn has(&self, name: &str) -> bool {
+        self.names.contains_key(name)
+    }
+
+    /// The indexed region names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.keys().map(String::as_str)
+    }
+
+    /// Iterates `(name, regions)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &RegionSet)> {
+        self.names.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of indexed names.
+    pub fn name_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Total number of indexed regions across all names.
+    pub fn region_count(&self) -> usize {
+        self.names.values().map(RegionSet::len).sum()
+    }
+
+    /// Approximate resident bytes of the region index (for the E9
+    /// index-size/performance tradeoff).
+    pub fn approx_bytes(&self) -> usize {
+        let name_bytes: usize = self.names.keys().map(String::len).sum();
+        name_bytes + self.region_count() * std::mem::size_of::<crate::Region>()
+    }
+
+    /// The union of all instances — the set of all indexed regions, which
+    /// the `⊃d` betweenness test quantifies over.
+    pub fn universe(&self) -> RegionSet {
+        let mut all = Vec::with_capacity(self.region_count());
+        for set in self.names.values() {
+            all.extend_from_slice(set.as_slice());
+        }
+        RegionSet::from_regions(all)
+    }
+
+    /// Builds the nesting forest of [`Instance::universe`].
+    pub fn build_forest(&self) -> UniverseForest {
+        UniverseForest::build(&self.universe())
+    }
+
+    /// Restricts the instance to the given names (partial indexing, §6).
+    pub fn restrict_to<'a>(&self, keep: impl IntoIterator<Item = &'a str>) -> Instance {
+        let keep: std::collections::BTreeSet<&str> = keep.into_iter().collect();
+        Instance {
+            names: self
+                .names
+                .iter()
+                .filter(|(k, _)| keep.contains(k.as_str()))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Region;
+
+    fn rs(pairs: &[(u32, u32)]) -> RegionSet {
+        RegionSet::from_regions(pairs.iter().map(|&(a, b)| Region::new(a, b)).collect())
+    }
+
+    #[test]
+    fn insert_get_names() {
+        let mut i = Instance::new();
+        i.insert("Reference", rs(&[(0, 100)]));
+        i.insert("Authors", rs(&[(10, 40)]));
+        assert!(i.has("Reference"));
+        assert!(!i.has("Editors"));
+        assert_eq!(i.get("Authors").unwrap().len(), 1);
+        assert_eq!(i.names().collect::<Vec<_>>(), ["Authors", "Reference"]);
+        assert_eq!(i.name_count(), 2);
+        assert_eq!(i.region_count(), 2);
+    }
+
+    #[test]
+    fn universe_unions_and_dedups() {
+        let mut i = Instance::new();
+        i.insert("A", rs(&[(0, 10), (20, 30)]));
+        i.insert("B", rs(&[(20, 30), (40, 50)]));
+        let u = i.universe();
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut i = Instance::new();
+        i.insert("A", rs(&[(0, 10)]));
+        i.merge("A", rs(&[(20, 30)]));
+        i.merge("B", rs(&[(5, 6)]));
+        assert_eq!(i.get("A").unwrap().len(), 2);
+        assert_eq!(i.get("B").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn restrict_keeps_subset() {
+        let mut i = Instance::new();
+        i.insert("A", rs(&[(0, 10)]));
+        i.insert("B", rs(&[(1, 2)]));
+        i.insert("C", rs(&[(3, 4)]));
+        let p = i.restrict_to(["A", "C"]);
+        assert!(p.has("A") && p.has("C") && !p.has("B"));
+    }
+
+    #[test]
+    fn approx_bytes_positive() {
+        let mut i = Instance::new();
+        i.insert("A", rs(&[(0, 10)]));
+        assert!(i.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The region: a substring of the indexed text, identified by the pair of
+//! positions where it begins and ends (§3.1 of the paper).
+
+use qof_text::{Pos, Span};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A region of text: the half-open byte span `start..end`.
+///
+/// The paper writes `r ⊇ s` ("r includes s") when the endpoints of `s` are
+/// within those of `r`; see [`Region::includes`].
+///
+/// # Ordering
+///
+/// Regions order by **canonical sweep order**: ascending `start`, and for
+/// equal starts *descending* `end`, so that an enclosing region always sorts
+/// before the regions nested inside it. All `RegionSet` algorithms rely on
+/// this order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// First byte of the region.
+    pub start: Pos,
+    /// One past the last byte of the region.
+    pub end: Pos,
+}
+
+impl Region {
+    /// Creates a region; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        assert!(start <= end, "region start {start} exceeds end {end}");
+        Self { start, end }
+    }
+
+    /// The region's span as a range.
+    pub fn span(&self) -> Span {
+        self.start..self.end
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> Pos {
+        self.end - self.start
+    }
+
+    /// True for zero-length regions (pure match points).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Inclusion: the endpoints of `other` are within those of `self`
+    /// (non-strict — every region includes itself).
+    pub fn includes(&self, other: &Region) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Strict inclusion: `self` includes `other` and they differ.
+    pub fn strictly_includes(&self, other: &Region) -> bool {
+        self.includes(other) && self != other
+    }
+
+    /// True when the two regions share at least one byte position
+    /// (or one is an empty region lying inside the other).
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.start < other.end && other.start < self.end
+            || self.includes(other)
+            || other.includes(self)
+    }
+}
+
+impl Ord for Region {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.start.cmp(&other.start).then(other.end.cmp(&self.end))
+    }
+}
+
+impl PartialOrd for Region {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<Span> for Region {
+    fn from(s: Span) -> Self {
+        Region::new(s.start, s.end)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusion_is_reflexive_and_endpoint_based() {
+        let r = Region::new(10, 20);
+        assert!(r.includes(&r));
+        assert!(r.includes(&Region::new(10, 20)));
+        assert!(r.includes(&Region::new(12, 18)));
+        assert!(r.includes(&Region::new(10, 15)));
+        assert!(r.includes(&Region::new(15, 20)));
+        assert!(!r.includes(&Region::new(9, 15)));
+        assert!(!r.includes(&Region::new(15, 21)));
+    }
+
+    #[test]
+    fn strict_inclusion_excludes_self() {
+        let r = Region::new(10, 20);
+        assert!(!r.strictly_includes(&r));
+        assert!(r.strictly_includes(&Region::new(11, 20)));
+    }
+
+    #[test]
+    fn canonical_order_puts_enclosing_first() {
+        let outer = Region::new(5, 30);
+        let inner = Region::new(5, 10);
+        assert!(outer < inner, "equal start: larger end sorts first");
+        assert!(Region::new(1, 2) < outer);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Region::new(0, 10);
+        assert!(a.overlaps(&Region::new(5, 15)));
+        assert!(a.overlaps(&Region::new(2, 8)));
+        assert!(!a.overlaps(&Region::new(10, 20)), "half-open spans touching do not overlap");
+        // An empty region inside a is considered overlapping (it is included).
+        assert!(a.overlaps(&Region::new(4, 4)));
+        assert!(a.includes(&Region::new(4, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn inverted_region_panics() {
+        let _ = Region::new(5, 4);
+    }
+
+    #[test]
+    fn display_and_span() {
+        let r = Region::new(3, 9);
+        assert_eq!(r.to_string(), "[3, 9)");
+        assert_eq!(r.span(), 3..9);
+        assert_eq!(r.len(), 6);
+        assert!(!r.is_empty());
+        assert!(Region::new(7, 7).is_empty());
+    }
+}

@@ -1,0 +1,451 @@
+//! Sorted, duplicate-free sets of regions and the set-level operators of the
+//! region algebra: `∪ ∩ −`, `ι` (innermost), `ω` (outermost), `⊃` / `⊂`
+//! (inclusion) and their strict variants.
+//!
+//! The representation is a `Vec<Region>` in canonical sweep order (ascending
+//! start, descending end at equal starts). Every operator runs in
+//! `O(n + m)` or `O((n + m) log n)` over sorted inputs, mirroring the
+//! set-at-a-time evaluation style of the PAT engine.
+
+use crate::Region;
+use qof_text::Pos;
+use std::fmt;
+
+/// A set of regions, ordered canonically, with no duplicates. Overlapping
+/// and nested members are allowed ("no restrictions on overlaps", §3.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct RegionSet {
+    regions: Vec<Region>,
+}
+
+impl RegionSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from arbitrary regions: sorts canonically and dedups.
+    pub fn from_regions(mut regions: Vec<Region>) -> Self {
+        regions.sort_unstable();
+        regions.dedup();
+        Self { regions }
+    }
+
+    /// Builds a set from regions already in canonical order (debug-checked).
+    pub fn from_sorted(regions: Vec<Region>) -> Self {
+        debug_assert!(regions.windows(2).all(|w| w[0] < w[1]), "input not in canonical order");
+        Self { regions }
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when the set has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions in canonical order.
+    pub fn as_slice(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Iterates in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Region> {
+        self.regions.iter()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, r: &Region) -> bool {
+        self.regions.binary_search(r).is_ok()
+    }
+
+    /// Total bytes covered, counting overlaps once (used by scan accounting).
+    pub fn covered_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        let mut covered_to: Pos = 0;
+        for r in &self.regions {
+            let from = r.start.max(covered_to);
+            if r.end > from {
+                total += u64::from(r.end - from);
+                covered_to = r.end;
+            }
+        }
+        total
+    }
+
+    /// Sum of region lengths (overlaps counted multiply).
+    pub fn total_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| u64::from(r.len())).sum()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &RegionSet) -> RegionSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() && j < other.len() {
+            match self.regions[i].cmp(&other.regions[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.regions[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.regions[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.regions[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.regions[i..]);
+        out.extend_from_slice(&other.regions[j..]);
+        RegionSet { regions: out }
+    }
+
+    /// Set intersection (regions equal as begin/end pairs).
+    pub fn intersect(&self, other: &RegionSet) -> RegionSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() && j < other.len() {
+            match self.regions[i].cmp(&other.regions[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.regions[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        RegionSet { regions: out }
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &RegionSet) -> RegionSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.len() {
+            if j >= other.len() {
+                out.extend_from_slice(&self.regions[i..]);
+                break;
+            }
+            match self.regions[i].cmp(&other.regions[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.regions[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        RegionSet { regions: out }
+    }
+
+    /// The paper's `R ⊃ S`: members of `self` that include at least one
+    /// region of `other` (non-strict inclusion).
+    pub fn including(&self, other: &RegionSet) -> RegionSet {
+        self.including_impl(other, false)
+    }
+
+    /// `R ⊃ S` with *strict* inclusion (the included region must differ).
+    pub fn strictly_including(&self, other: &RegionSet) -> RegionSet {
+        self.including_impl(other, true)
+    }
+
+    fn including_impl(&self, other: &RegionSet, strict: bool) -> RegionSet {
+        if other.is_empty() {
+            return RegionSet::new();
+        }
+        // suffix_min_end[k] = min end among other.regions[k..].
+        let n = other.len();
+        let mut suffix_min_end = vec![Pos::MAX; n + 1];
+        for k in (0..n).rev() {
+            suffix_min_end[k] = suffix_min_end[k + 1].min(other.regions[k].end);
+        }
+        let starts: Vec<Pos> = other.regions.iter().map(|r| r.start).collect();
+        let out = self
+            .regions
+            .iter()
+            .filter(|r| {
+                let lo = starts.partition_point(|&s| s < r.start);
+                if suffix_min_end[lo] > r.end {
+                    return false;
+                }
+                if !strict {
+                    return true;
+                }
+                // Strict: some included region must differ from r. The only
+                // region equal to r that `other` can hold is r itself.
+                if !other.contains(r) {
+                    return true;
+                }
+                // Check for an included region other than r: either a second
+                // region with min end <= r.end in the suffix, or r's own
+                // slot is not the unique witness. Fall back to a local scan.
+                other.regions[lo..]
+                    .iter()
+                    .take_while(|s| s.start <= r.end)
+                    .any(|s| s.end <= r.end && *s != **r)
+            })
+            .copied()
+            .collect();
+        RegionSet { regions: out }
+    }
+
+    /// The paper's `R ⊂ S`: members of `self` that are included in at least
+    /// one region of `other` (non-strict).
+    pub fn included_in(&self, other: &RegionSet) -> RegionSet {
+        self.included_in_impl(other, false)
+    }
+
+    /// `R ⊂ S` with *strict* inclusion.
+    pub fn strictly_included_in(&self, other: &RegionSet) -> RegionSet {
+        self.included_in_impl(other, true)
+    }
+
+    fn included_in_impl(&self, other: &RegionSet, strict: bool) -> RegionSet {
+        if other.is_empty() {
+            return RegionSet::new();
+        }
+        // prefix_max_end[k] = max end among other.regions[..k].
+        let n = other.len();
+        let mut prefix_max_end = vec![0 as Pos; n + 1];
+        for k in 0..n {
+            prefix_max_end[k + 1] = prefix_max_end[k].max(other.regions[k].end);
+        }
+        let starts: Vec<Pos> = other.regions.iter().map(|r| r.start).collect();
+        let out = self
+            .regions
+            .iter()
+            .filter(|r| {
+                let hi = starts.partition_point(|&s| s <= r.start);
+                if prefix_max_end[hi] < r.end {
+                    return false;
+                }
+                if !strict {
+                    return true;
+                }
+                if !other.contains(r) {
+                    return true;
+                }
+                other.regions[..hi].iter().any(|s| s.end >= r.end && *s != **r)
+            })
+            .copied()
+            .collect();
+        RegionSet { regions: out }
+    }
+
+    /// The paper's `ι(R)` (innermost): members containing no *other* member.
+    pub fn innermost(&self) -> RegionSet {
+        let n = self.len();
+        // In canonical order, r[i] contains r[j] for j > i iff r[j].end <= r[i].end.
+        let mut suffix_min_end = vec![Pos::MAX; n + 1];
+        for k in (0..n).rev() {
+            suffix_min_end[k] = suffix_min_end[k + 1].min(self.regions[k].end);
+        }
+        let out = (0..n)
+            .filter(|&i| suffix_min_end[i + 1] > self.regions[i].end)
+            .map(|i| self.regions[i])
+            .collect();
+        RegionSet { regions: out }
+    }
+
+    /// The paper's `ω(R)` (outermost): members included in no *other* member.
+    pub fn outermost(&self) -> RegionSet {
+        let n = self.len();
+        // In canonical order, r[j] contains r[i] for j < i iff r[j].end >= r[i].end.
+        let mut best: Pos = 0;
+        let mut out = Vec::new();
+        for i in 0..n {
+            if i == 0 || best < self.regions[i].end {
+                out.push(self.regions[i]);
+            }
+            best = best.max(self.regions[i].end);
+        }
+        RegionSet { regions: out }
+    }
+
+    /// Keeps the members whose span lies inside `span` (helper for scoped
+    /// indexing and file-restricted queries).
+    pub fn within_span(&self, span: &qof_text::Span) -> RegionSet {
+        let out = self
+            .regions
+            .iter()
+            .filter(|r| span.start <= r.start && r.end <= span.end)
+            .copied()
+            .collect();
+        RegionSet { regions: out }
+    }
+}
+
+impl FromIterator<Region> for RegionSet {
+    fn from_iter<T: IntoIterator<Item = Region>>(iter: T) -> Self {
+        Self::from_regions(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a RegionSet {
+    type Item = &'a Region;
+    type IntoIter = std::slice::Iter<'a, Region>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regions.iter()
+    }
+}
+
+impl fmt::Display for RegionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.regions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(pairs: &[(Pos, Pos)]) -> RegionSet {
+        RegionSet::from_regions(pairs.iter().map(|&(a, b)| Region::new(a, b)).collect())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = rs(&[(5, 10), (0, 3), (5, 10), (5, 20)]);
+        assert_eq!(s.len(), 3);
+        let v: Vec<_> = s.iter().map(|r| (r.start, r.end)).collect();
+        assert_eq!(v, [(0, 3), (5, 20), (5, 10)]); // enclosing-first at equal start
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = rs(&[(0, 1), (2, 3), (4, 5)]);
+        let b = rs(&[(2, 3), (6, 7)]);
+        assert_eq!(a.union(&b), rs(&[(0, 1), (2, 3), (4, 5), (6, 7)]));
+        assert_eq!(a.intersect(&b), rs(&[(2, 3)]));
+        assert_eq!(a.difference(&b), rs(&[(0, 1), (4, 5)]));
+        assert_eq!(b.difference(&a), rs(&[(6, 7)]));
+    }
+
+    #[test]
+    fn including_basic() {
+        let refs = rs(&[(0, 100), (100, 200), (200, 300)]);
+        let names = rs(&[(10, 20), (110, 120)]);
+        assert_eq!(refs.including(&names), rs(&[(0, 100), (100, 200)]));
+    }
+
+    #[test]
+    fn including_is_nonstrict() {
+        let a = rs(&[(5, 10)]);
+        let b = rs(&[(5, 10)]);
+        assert_eq!(a.including(&b), rs(&[(5, 10)]));
+        assert!(a.strictly_including(&b).is_empty());
+    }
+
+    #[test]
+    fn strictly_including_finds_distinct_witness() {
+        let a = rs(&[(5, 10)]);
+        let b = rs(&[(5, 10), (6, 8)]);
+        assert_eq!(a.strictly_including(&b), rs(&[(5, 10)]));
+    }
+
+    #[test]
+    fn included_in_basic() {
+        let names = rs(&[(10, 20), (110, 120), (500, 510)]);
+        let refs = rs(&[(0, 100), (100, 200)]);
+        assert_eq!(names.included_in(&refs), rs(&[(10, 20), (110, 120)]));
+        assert!(rs(&[(5, 10)]).strictly_included_in(&rs(&[(5, 10)])).is_empty());
+        assert_eq!(
+            rs(&[(5, 10)]).strictly_included_in(&rs(&[(5, 10), (0, 50)])),
+            rs(&[(5, 10)])
+        );
+    }
+
+    #[test]
+    fn included_in_boundary_touch() {
+        // s ends exactly where r ends: still included.
+        let a = rs(&[(5, 10)]);
+        let b = rs(&[(0, 10)]);
+        assert_eq!(a.included_in(&b), a);
+        // s starts exactly at r.start: included.
+        let c = rs(&[(0, 4)]);
+        assert_eq!(c.included_in(&b), c);
+    }
+
+    #[test]
+    fn innermost_outermost() {
+        // Nesting: (0,100) ⊃ (10,50) ⊃ (20,30); plus a disjoint (200, 210).
+        let s = rs(&[(0, 100), (10, 50), (20, 30), (200, 210)]);
+        assert_eq!(s.innermost(), rs(&[(20, 30), (200, 210)]));
+        assert_eq!(s.outermost(), rs(&[(0, 100), (200, 210)]));
+    }
+
+    #[test]
+    fn innermost_with_overlaps() {
+        // (0,10) and (5,15) overlap but neither contains the other.
+        let s = rs(&[(0, 10), (5, 15)]);
+        assert_eq!(s.innermost(), s);
+        assert_eq!(s.outermost(), s);
+    }
+
+    #[test]
+    fn innermost_equal_start() {
+        let s = rs(&[(5, 20), (5, 10)]);
+        assert_eq!(s.innermost(), rs(&[(5, 10)]));
+        assert_eq!(s.outermost(), rs(&[(5, 20)]));
+    }
+
+    #[test]
+    fn innermost_equal_end() {
+        let s = rs(&[(0, 20), (10, 20)]);
+        assert_eq!(s.innermost(), rs(&[(10, 20)]));
+        assert_eq!(s.outermost(), rs(&[(0, 20)]));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = RegionSet::new();
+        let s = rs(&[(0, 5)]);
+        assert!(e.union(&e).is_empty());
+        assert_eq!(e.union(&s), s);
+        assert!(s.including(&e).is_empty());
+        assert!(s.included_in(&e).is_empty());
+        assert!(e.innermost().is_empty());
+        assert!(e.outermost().is_empty());
+    }
+
+    #[test]
+    fn covered_bytes_counts_overlaps_once() {
+        let s = rs(&[(0, 10), (5, 15), (20, 25)]);
+        assert_eq!(s.covered_bytes(), 20);
+        assert_eq!(s.total_bytes(), 25);
+        // Nested regions: outer already covers inner.
+        let t = rs(&[(0, 100), (10, 20)]);
+        assert_eq!(t.covered_bytes(), 100);
+    }
+
+    #[test]
+    fn within_span_filters() {
+        let s = rs(&[(0, 5), (10, 20), (15, 18), (25, 40)]);
+        assert_eq!(s.within_span(&(10..20)), rs(&[(10, 20), (15, 18)]));
+    }
+
+    #[test]
+    fn contains_uses_exact_extents() {
+        let s = rs(&[(3, 9)]);
+        assert!(s.contains(&Region::new(3, 9)));
+        assert!(!s.contains(&Region::new(3, 8)));
+    }
+}

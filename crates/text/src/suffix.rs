@@ -1,0 +1,121 @@
+//! A PAT array: the suffix array over *word-start* positions that the PAT
+//! system ([Gon87]) uses as its index structure. Each entry denotes the
+//! semi-infinite string ("sistring") starting at a word boundary; entries are
+//! sorted lexicographically, so any prefix query resolves to a contiguous
+//! range found by binary search.
+
+use crate::{Corpus, Pos, Tokenizer};
+
+/// Suffix array over the word-start positions of a corpus.
+#[derive(Debug, Clone)]
+pub struct SuffixArray {
+    /// Word-start positions sorted by the sistring beginning there.
+    sorted: Vec<Pos>,
+}
+
+impl SuffixArray {
+    /// Builds the PAT array for `corpus`, considering only positions where a
+    /// word starts (per `tokenizer`).
+    pub fn build(corpus: &Corpus, tokenizer: &Tokenizer) -> Self {
+        let text = corpus.text();
+        let mut sorted: Vec<Pos> =
+            tokenizer.tokenize(text, 0).map(|t| t.span.start).collect();
+        sorted.sort_unstable_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        Self { sorted }
+    }
+
+    /// Number of indexed sistrings (== number of word occurrences).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the corpus had no words.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// All word-start positions whose sistring begins with `prefix`,
+    /// in ascending position order. This is PAT's prefix ("lexical") search.
+    pub fn prefix_positions(&self, corpus: &Corpus, prefix: &str) -> Vec<Pos> {
+        let text = corpus.text();
+        let lo = self.sorted.partition_point(|&p| &text[p as usize..] < prefix);
+        let hi = self.sorted[lo..].partition_point(|&p| text[p as usize..].starts_with(prefix)) + lo;
+        let mut out: Vec<Pos> = self.sorted[lo..hi].to_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of sistrings starting with `prefix` (frequency search without
+    /// materializing positions).
+    pub fn prefix_count(&self, corpus: &Corpus, prefix: &str) -> usize {
+        let text = corpus.text();
+        let lo = self.sorted.partition_point(|&p| &text[p as usize..] < prefix);
+        self.sorted[lo..].partition_point(|&p| text[p as usize..].starts_with(prefix))
+    }
+
+    /// All positions whose sistring is lexicographically within
+    /// `[low, high)` — PAT's range search.
+    pub fn range_positions(&self, corpus: &Corpus, low: &str, high: &str) -> Vec<Pos> {
+        let text = corpus.text();
+        let lo = self.sorted.partition_point(|&p| &text[p as usize..] < low);
+        let hi = self.sorted.partition_point(|&p| &text[p as usize..] < high);
+        let mut out: Vec<Pos> = self.sorted[lo..hi.max(lo)].to_vec();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa(text: &str) -> (Corpus, SuffixArray) {
+        let c = Corpus::from_text(text);
+        let t = Tokenizer::new();
+        let s = SuffixArray::build(&c, &t);
+        (c, s)
+    }
+
+    #[test]
+    fn prefix_search_finds_all_words() {
+        let (c, s) = sa("car cart cat dog carp");
+        assert_eq!(s.prefix_positions(&c, "car"), vec![0, 4, 17]);
+        assert_eq!(s.prefix_positions(&c, "cat"), vec![9]);
+        assert!(s.prefix_positions(&c, "zebra").is_empty());
+    }
+
+    #[test]
+    fn prefix_count_matches_positions() {
+        let (c, s) = sa("ab abc abd xyz");
+        assert_eq!(s.prefix_count(&c, "ab"), 3);
+        assert_eq!(s.prefix_count(&c, "ab"), s.prefix_positions(&c, "ab").len());
+    }
+
+    #[test]
+    fn whole_word_prefix_includes_longer_context() {
+        // The sistring at "cat" is "cat dog"; prefix "cat d" matches it.
+        let (c, s) = sa("cat dog");
+        assert_eq!(s.prefix_positions(&c, "cat d"), vec![0]);
+    }
+
+    #[test]
+    fn range_search() {
+        let (c, s) = sa("apple banana cherry date");
+        // Everything >= "b" and < "d": banana, cherry.
+        assert_eq!(s.range_positions(&c, "b", "d"), vec![6, 13]);
+    }
+
+    #[test]
+    fn empty_corpus_is_empty() {
+        let (_, s) = sa("");
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn positions_are_word_starts_only() {
+        let (c, s) = sa("scatter cat");
+        // "cat" inside "scatter" does not start a word; only position 8 matches.
+        assert_eq!(s.prefix_positions(&c, "cat"), vec![8]);
+    }
+}

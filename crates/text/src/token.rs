@@ -1,0 +1,155 @@
+//! Word tokenization. The word index and the PAT array both index *word
+//! start* positions, as PAT does: a word is a maximal run of word characters.
+
+use crate::{Pos, Span};
+
+/// A single word occurrence: its span in the global text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The word text (a slice of the corpus).
+    pub text: &'a str,
+    /// Where the word occurs.
+    pub span: Span,
+}
+
+/// Splits corpus text into word tokens.
+///
+/// A word character is ASCII alphanumeric by default; additional characters
+/// (e.g. `-` or `_`) can be admitted. Matching can be case-folded, in which
+/// case the index stores lowercase keys while spans always refer to the
+/// original text.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct Tokenizer {
+    extra: Vec<char>,
+    case_fold: bool,
+}
+
+
+impl Tokenizer {
+    /// Case-sensitive ASCII-alphanumeric tokenizer (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits additional word characters such as `-` or `'`.
+    pub fn with_extra_chars(mut self, chars: &[char]) -> Self {
+        self.extra.extend_from_slice(chars);
+        self
+    }
+
+    /// Enables case folding: index keys are lowercased.
+    pub fn case_insensitive(mut self) -> Self {
+        self.case_fold = true;
+        self
+    }
+
+    /// Whether this tokenizer folds case.
+    pub fn folds_case(&self) -> bool {
+        self.case_fold
+    }
+
+    /// Normalizes a query word the same way indexed words are normalized.
+    pub fn normalize(&self, word: &str) -> String {
+        if self.case_fold {
+            word.to_lowercase()
+        } else {
+            word.to_owned()
+        }
+    }
+
+    fn is_word_char(&self, c: char) -> bool {
+        c.is_ascii_alphanumeric() || self.extra.contains(&c)
+    }
+
+    /// Iterates over the tokens of `text`, with spans offset by `base`
+    /// (the position of `text` within the global corpus).
+    pub fn tokenize<'a>(&'a self, text: &'a str, base: Pos) -> impl Iterator<Item = Token<'a>> + 'a {
+        TokenIter { tok: self, text, base, at: 0 }
+    }
+}
+
+struct TokenIter<'a> {
+    tok: &'a Tokenizer,
+    text: &'a str,
+    base: Pos,
+    at: usize,
+}
+
+impl<'a> Iterator for TokenIter<'a> {
+    type Item = Token<'a>;
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        let bytes = self.text.as_bytes();
+        // Skip non-word bytes. Word chars are ASCII, so byte-wise advance is
+        // safe: multi-byte UTF-8 sequences contain no ASCII bytes.
+        while self.at < bytes.len() && !self.tok.is_word_char(bytes[self.at] as char) {
+            self.at += 1;
+        }
+        if self.at >= bytes.len() {
+            return None;
+        }
+        let start = self.at;
+        while self.at < bytes.len() && self.tok.is_word_char(bytes[self.at] as char) {
+            self.at += 1;
+        }
+        let span = (self.base + start as Pos)..(self.base + self.at as Pos);
+        Some(Token { text: &self.text[start..self.at], span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(t: &Tokenizer, s: &str) -> Vec<String> {
+        t.tokenize(s, 0).map(|t| t.text.to_owned()).collect()
+    }
+
+    #[test]
+    fn basic_words() {
+        let t = Tokenizer::new();
+        assert_eq!(words(&t, "G. F. Corliss and Y. F. Chang"), ["G", "F", "Corliss", "and", "Y", "F", "Chang"]);
+    }
+
+    #[test]
+    fn spans_are_offset_by_base() {
+        let t = Tokenizer::new();
+        let toks: Vec<_> = t.tokenize("ab cd", 100).collect();
+        assert_eq!(toks[0].span, 100..102);
+        assert_eq!(toks[1].span, 103..105);
+    }
+
+    #[test]
+    fn extra_chars_join_words() {
+        let t = Tokenizer::new().with_extra_chars(&['-']);
+        assert_eq!(words(&t, "pre-processor runs"), ["pre-processor", "runs"]);
+    }
+
+    #[test]
+    fn digits_are_words() {
+        let t = Tokenizer::new();
+        assert_eq!(words(&t, "pages 114--144, 1982"), ["pages", "114", "144", "1982"]);
+    }
+
+    #[test]
+    fn unicode_is_skipped_without_panic() {
+        let t = Tokenizer::new();
+        assert_eq!(words(&t, "naïve café x"), ["na", "ve", "caf", "x"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        let t = Tokenizer::new();
+        assert!(words(&t, "").is_empty());
+        assert!(words(&t, "!@# $%").is_empty());
+    }
+
+    #[test]
+    fn normalize_respects_case_mode() {
+        let cs = Tokenizer::new();
+        let ci = Tokenizer::new().case_insensitive();
+        assert_eq!(cs.normalize("Chang"), "Chang");
+        assert_eq!(ci.normalize("Chang"), "chang");
+    }
+}

@@ -1,0 +1,231 @@
+//! The word index: for every indexed word, the sorted list of its occurrence
+//! positions. This is the paper's "word index, recording the location(s) of
+//! all the words in the file" (§2), with optional *selective word indexing*
+//! (§7): only occurrences inside given spans are indexed.
+
+use std::collections::HashMap;
+
+use crate::{Corpus, Pos, Span, Tokenizer};
+
+
+/// Aggregate statistics about a built [`WordIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WordStats {
+    /// Number of distinct words.
+    pub distinct_words: usize,
+    /// Total number of indexed occurrences (postings).
+    pub postings: usize,
+    /// Approximate resident size of the index in bytes.
+    pub approx_bytes: usize,
+}
+
+/// Inverted index mapping each word to the sorted positions where it starts.
+#[derive(Debug, Clone, Default)]
+pub struct WordIndex {
+    map: HashMap<String, Vec<Pos>>,
+    postings: usize,
+    case_fold: bool,
+}
+
+/// Builder configuring word-index construction.
+pub struct WordIndexBuilder<'a> {
+    tokenizer: &'a Tokenizer,
+    /// When set, only occurrences whose span is inside one of these spans
+    /// are indexed (selective indexing). Spans must be sorted by start.
+    scope: Option<Vec<Span>>,
+}
+
+impl<'a> WordIndexBuilder<'a> {
+    /// A builder indexing every word occurrence.
+    pub fn new(tokenizer: &'a Tokenizer) -> Self {
+        Self { tokenizer, scope: None }
+    }
+
+    /// Restricts indexing to occurrences inside the given spans
+    /// (must be sorted by start; overlaps allowed).
+    pub fn scoped_to(mut self, mut spans: Vec<Span>) -> Self {
+        spans.sort_by_key(|s| (s.start, std::cmp::Reverse(s.end)));
+        self.scope = Some(spans);
+        self
+    }
+
+    /// Tokenizes the corpus and builds the index.
+    pub fn build(self, corpus: &Corpus) -> WordIndex {
+        let mut map: HashMap<String, Vec<Pos>> = HashMap::new();
+        let mut postings = 0usize;
+        // Running maximum of span ends among scope spans whose start <= token
+        // start; a token is in scope iff that max covers its end.
+        let scope = self.scope.as_deref();
+        let mut scope_idx = 0usize;
+        let mut max_end: Pos = 0;
+        for tok in self.tokenizer.tokenize(corpus.text(), 0) {
+            if let Some(spans) = scope {
+                while scope_idx < spans.len() && spans[scope_idx].start <= tok.span.start {
+                    max_end = max_end.max(spans[scope_idx].end);
+                    scope_idx += 1;
+                }
+                if tok.span.end > max_end {
+                    continue;
+                }
+            }
+            let key = self.tokenizer.normalize(tok.text);
+            map.entry(key).or_default().push(tok.span.start);
+            postings += 1;
+        }
+        WordIndex { map, postings, case_fold: self.tokenizer.folds_case() }
+    }
+}
+
+impl WordIndex {
+    /// Convenience: index every word of `corpus` with `tokenizer`.
+    pub fn build(corpus: &Corpus, tokenizer: &Tokenizer) -> Self {
+        WordIndexBuilder::new(tokenizer).build(corpus)
+    }
+
+    /// Sorted start positions of `word` (normalized per the build tokenizer).
+    /// Returns an empty slice for unindexed words.
+    pub fn positions(&self, word: &str) -> &[Pos] {
+        let key: std::borrow::Cow<'_, str> =
+            if self.case_fold { word.to_lowercase().into() } else { word.into() };
+        self.map.get(key.as_ref()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the index has at least one posting for `word`.
+    pub fn contains(&self, word: &str) -> bool {
+        !self.positions(word).is_empty()
+    }
+
+    /// Number of occurrences of `word` (PAT's frequency search primitive).
+    pub fn frequency(&self, word: &str) -> usize {
+        self.positions(word).len()
+    }
+
+    /// Index statistics, used by the index-size/performance tradeoff
+    /// experiments (E9).
+    pub fn stats(&self) -> WordStats {
+        let key_bytes: usize = self.map.keys().map(|k| k.len()).sum();
+        WordStats {
+            distinct_words: self.map.len(),
+            postings: self.postings,
+            approx_bytes: key_bytes + self.postings * std::mem::size_of::<Pos>(),
+        }
+    }
+
+    /// Iterates over `(word, positions)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[Pos])> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Indexes the words of a newly appended span (incremental indexing).
+    /// The span must lie past every previously indexed position, so the
+    /// per-word position lists stay sorted.
+    ///
+    /// # Panics
+    /// Panics in debug builds if an out-of-order position is appended.
+    pub fn append_span(&mut self, corpus: &Corpus, tokenizer: &Tokenizer, span: Span) {
+        debug_assert_eq!(self.case_fold, tokenizer.folds_case(), "tokenizer mode must match");
+        let text = corpus.slice(span.clone());
+        for tok in tokenizer.tokenize(text, span.start) {
+            let key = tokenizer.normalize(tok.text);
+            let list = self.map.entry(key).or_default();
+            debug_assert!(list.last().is_none_or(|&p| p < tok.span.start));
+            list.push(tok.span.start);
+            self.postings += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(text: &str) -> (Corpus, WordIndex) {
+        let c = Corpus::from_text(text);
+        let t = Tokenizer::new();
+        let i = WordIndex::build(&c, &t);
+        (c, i)
+    }
+
+    #[test]
+    fn positions_are_sorted_starts() {
+        let (_, i) = idx("a b a c a");
+        assert_eq!(i.positions("a"), &[0, 4, 8]);
+        assert_eq!(i.positions("b"), &[2]);
+        assert!(i.positions("z").is_empty());
+    }
+
+    #[test]
+    fn frequency_counts() {
+        let (_, i) = idx("Chang and Chang and Corliss");
+        assert_eq!(i.frequency("Chang"), 2);
+        assert_eq!(i.frequency("Corliss"), 1);
+        assert_eq!(i.frequency("chang"), 0); // case-sensitive by default
+    }
+
+    #[test]
+    fn case_insensitive_index_folds_queries() {
+        let c = Corpus::from_text("Chang CHANG chang");
+        let t = Tokenizer::new().case_insensitive();
+        let i = WordIndex::build(&c, &t);
+        assert_eq!(i.frequency("Chang"), 3);
+        assert_eq!(i.frequency("chAnG"), 3);
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn scoped_index_only_covers_given_spans() {
+        let c = Corpus::from_text("aaa bbb ccc ddd");
+        let t = Tokenizer::new();
+        // Scope covers "bbb ccc" only.
+        let i = WordIndexBuilder::new(&t).scoped_to(Vec::from([4..11])).build(&c);
+        assert!(i.positions("aaa").is_empty());
+        assert_eq!(i.positions("bbb"), &[4]);
+        assert_eq!(i.positions("ccc"), &[8]);
+        assert!(i.positions("ddd").is_empty());
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn scoped_index_requires_full_containment() {
+        let c = Corpus::from_text("abcdef");
+        let t = Tokenizer::new();
+        // Token 0..6; scope 0..3 cuts it in half: not indexed.
+        let i = WordIndexBuilder::new(&t).scoped_to(Vec::from([0..3])).build(&c);
+        assert!(i.positions("abcdef").is_empty());
+    }
+
+    #[test]
+    fn stats_reflect_content() {
+        let (_, i) = idx("x y x");
+        let s = i.stats();
+        assert_eq!(s.distinct_words, 2);
+        assert_eq!(s.postings, 3);
+        assert!(s.approx_bytes > 0);
+    }
+
+    #[test]
+    fn multiple_files_share_one_index() {
+        let mut b = CorpusBuilder::new();
+        b.add_file("a", "alpha beta");
+        b.add_file("b", "beta gamma");
+        let c = b.build();
+        let i = WordIndex::build(&c, &Tokenizer::new());
+        assert_eq!(i.frequency("beta"), 2);
+        assert_eq!(i.positions("beta"), &[6, 11]);
+    }
+
+    use crate::CorpusBuilder;
+
+    #[test]
+    fn append_span_extends_postings() {
+        let mut c = Corpus::from_text("alpha beta");
+        let t = Tokenizer::new();
+        let mut i = WordIndex::build(&c, &t);
+        let id = c.push_file("more", "beta gamma");
+        let span = c.file(id).unwrap().span.clone();
+        i.append_span(&c, &t, span);
+        assert_eq!(i.frequency("beta"), 2);
+        assert_eq!(i.frequency("gamma"), 1);
+        assert_eq!(i.positions("beta"), &[6, 11]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Self-nested documents: sections inside sections give the RIG a cycle
+//! (§3: "the RIG may contain cycles, e.g. self-nested regions"), and path
+//! variables shine — `s.*X.Head` finds ancestors of any depth with a single
+//! plain-inclusion operation, the §5.3 transitive-closure claim.
+//!
+//! ```sh
+//! cargo run --example document_sections
+//! ```
+
+use qof::corpus::sgml::{self, SgmlConfig};
+use qof::grammar::{render_tree, IndexSpec, Parser};
+use qof::text::Corpus;
+use qof::FileDatabase;
+
+fn main() {
+    let cfg = SgmlConfig {
+        top_sections: 3,
+        max_depth: 4,
+        subsections: (1, 2),
+        paragraphs: (1, 2),
+        para_words: 6,
+        seed: 12,
+    };
+    let (text, truth) = sgml::generate(&cfg);
+    let schema = sgml::schema();
+
+    // The parse tree (Figures 2/3 style), truncated.
+    let parser = Parser::new(&schema.grammar, &text);
+    let tree = parser.parse_root(0..text.len() as u32).unwrap();
+    println!("--- parse tree (depth ≤ 4, Section/Head highlighted) ---");
+    print!("{}", render_tree(&tree, &schema.grammar, &text, &["Section", "Head"], 4));
+
+    let fdb =
+        FileDatabase::build(Corpus::from_text(&text), schema, IndexSpec::full()).unwrap();
+    println!("\n--- the cyclic RIG ---");
+    print!("{}", fdb.full_rig());
+
+    // A deep head, then the *X ancestor query.
+    let deep = truth
+        .sections
+        .iter()
+        .find(|s| s.depth >= 2)
+        .expect("config produces nesting");
+    println!("\ndeep section: {:?} at depth {}", deep.head, deep.depth);
+
+    let q = format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{}\"", deep.head);
+    let res = fdb.query(&q).unwrap();
+    println!("plan:\n{}", res.explain);
+    println!(
+        "sections containing that head at ANY depth: {} (the section + its {} ancestors)",
+        res.values.len(),
+        deep.depth
+    );
+    println!("region-algebra work: {}", res.stats.eval);
+
+    // Fixed-depth variables: heads exactly two levels down.
+    let two_down = fdb
+        .query("SELECT s.Subsections.Section.Head FROM Sections s")
+        .unwrap();
+    println!("\ndistinct child-section heads: {}", two_down.values.len());
+    println!(
+        "sections total {} across depths 0..{}",
+        truth.sections.len(),
+        cfg.max_depth
+    );
+}

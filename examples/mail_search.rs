@@ -1,0 +1,61 @@
+//! Searching a mailbox — e-mail is one of the paper's motivating
+//! semi-structured sources. Shows constant selection on multi-word values
+//! (addresses, dates) resolved index-only via word-position alignment.
+//!
+//! ```sh
+//! cargo run --example mail_search
+//! ```
+
+use qof::corpus::mail::{self, MailConfig};
+use qof::grammar::IndexSpec;
+use qof::text::Corpus;
+use qof::FileDatabase;
+
+fn main() {
+    let cfg = MailConfig { n_messages: 200, n_users: 10, ..Default::default() };
+    let (text, truth) = mail::generate(&cfg);
+    println!("--- one message ---");
+    for line in text.lines().take(6) {
+        println!("{line}");
+    }
+
+    let fdb = FileDatabase::build(Corpus::from_text(&text), mail::schema(), IndexSpec::full())
+        .unwrap();
+
+    // Messages from a sender: the address "x@example.org" is not a single
+    // word; the engine aligns its word runs through the index.
+    let sender = &truth.messages[0].sender;
+    let res = fdb
+        .query(&format!("SELECT m FROM Messages m WHERE m.Sender = \"{sender}\""))
+        .unwrap();
+    println!(
+        "\nmessages from {sender}: {} (truth: {})",
+        res.values.len(),
+        truth.from_sender(sender).len()
+    );
+
+    // Messages to a recipient.
+    let rcpt = &truth.messages[0].to[0];
+    let res = fdb
+        .query(&format!("SELECT m FROM Messages m WHERE m.Recipients.Addr = \"{rcpt}\""))
+        .unwrap();
+    println!(
+        "messages to {rcpt}: {} (truth: {})",
+        res.values.len(),
+        truth.to_recipient(rcpt).len()
+    );
+
+    // Subjects on a given day — a projection with a date constant.
+    let date = &truth.messages[0].date;
+    let res = fdb
+        .query(&format!("SELECT m.Subject FROM Messages m WHERE m.Date = \"{date}\""))
+        .unwrap();
+    println!("\nsubjects on {date}:");
+    for v in res.values.iter().take(5) {
+        println!("  {}", v.as_str().unwrap_or("?"));
+    }
+    println!(
+        "(index-only selection: {} word probes, {} bytes of text verified)",
+        res.stats.eval.word_probes, res.stats.eval.bytes_scanned
+    );
+}

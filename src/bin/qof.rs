@@ -1,0 +1,178 @@
+//! `qof` — a command-line front end to the file-query engine.
+//!
+//! ```sh
+//! qof generate bibtex 100 > refs.bib
+//! qof query bibtex refs.bib 'SELECT r FROM References r WHERE r.Year = "1982"'
+//! qof explain bibtex refs.bib 'SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"'
+//! qof rig bibtex
+//! qof advise bibtex 'SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"'
+//! ```
+//!
+//! Built-in structuring schemas: `bibtex`, `mail`, `logs`, `sgml`, `code`
+//! (see `qof::corpus` for the formats). Pass `--index A,B,C` before the
+//! query to use a partial region index instead of full indexing.
+
+use std::process::ExitCode;
+
+use qof::corpus::{bibtex, code, logs, mail, sgml};
+use qof::grammar::{IndexSpec, StructuringSchema};
+use qof::text::{Corpus, CorpusBuilder};
+use qof::{advise, parse_query, FileDatabase, Rig};
+
+fn schema_by_name(name: &str) -> Option<StructuringSchema> {
+    Some(match name {
+        "bibtex" => bibtex::schema(),
+        "mail" => mail::schema(),
+        "logs" => logs::schema(),
+        "sgml" => sgml::schema(),
+        "code" => code::schema(),
+        _ => return None,
+    })
+}
+
+fn generate_by_name(name: &str, count: usize) -> Option<String> {
+    Some(match name {
+        "bibtex" => bibtex::generate(&bibtex::BibtexConfig::with_refs(count)).0,
+        "mail" => mail::generate(&mail::MailConfig { n_messages: count, ..Default::default() }).0,
+        "logs" => logs::generate(&logs::LogConfig { n_sessions: count, ..Default::default() }).0,
+        "sgml" => {
+            sgml::generate(&sgml::SgmlConfig { top_sections: count, ..Default::default() }).0
+        }
+        "code" => code::generate(&code::CodeConfig { n_functions: count, ..Default::default() }).0,
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         qof generate <schema> <count>\n  \
+         qof rig <schema> [indexed,names]\n  \
+         qof query   <schema> [--index A,B,C] <file>... <query>\n  \
+         qof explain <schema> [--index A,B,C] <file>... <query>\n  \
+         qof advise  <schema> <query>...\n\
+         schemas: bibtex mail logs sgml code"
+    );
+    ExitCode::from(2)
+}
+
+fn load_corpus(files: &[String]) -> Result<Corpus, String> {
+    let mut b = CorpusBuilder::new();
+    for f in files {
+        let contents =
+            std::fs::read_to_string(f).map_err(|e| format!("cannot read `{f}`: {e}"))?;
+        b.add_file(f.clone(), &contents);
+    }
+    Ok(b.build())
+}
+
+fn build_db(
+    schema: StructuringSchema,
+    files: &[String],
+    index: Option<&str>,
+) -> Result<FileDatabase, String> {
+    let corpus = load_corpus(files)?;
+    let spec = match index {
+        None => IndexSpec::full(),
+        Some(names) => IndexSpec::names(names.split(',').map(str::trim)),
+    };
+    FileDatabase::build(corpus, schema, spec).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return Ok(usage());
+    };
+    match cmd {
+        "generate" => {
+            let (Some(schema), Some(count)) = (args.get(1), args.get(2)) else {
+                return Ok(usage());
+            };
+            let count: usize = count.parse().map_err(|_| "count must be a number".to_owned())?;
+            let text = generate_by_name(schema, count)
+                .ok_or_else(|| format!("unknown schema `{schema}`"))?;
+            print!("{text}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "rig" => {
+            let Some(name) = args.get(1) else { return Ok(usage()) };
+            let schema =
+                schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
+            let full = Rig::from_grammar(&schema.grammar);
+            match args.get(2) {
+                None => print!("{full}"),
+                Some(names) => {
+                    let indexed = names.split(',').map(|s| s.trim().to_owned()).collect();
+                    print!("{}", full.partial(&indexed));
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "query" | "explain" => {
+            let Some(name) = args.get(1) else { return Ok(usage()) };
+            let schema =
+                schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let mut index: Option<String> = None;
+            if rest.first().map(String::as_str) == Some("--index") {
+                if rest.len() < 2 {
+                    return Ok(usage());
+                }
+                index = Some(rest[1].clone());
+                rest.drain(..2);
+            }
+            let Some((query, files)) = rest.split_last() else { return Ok(usage()) };
+            if files.is_empty() {
+                return Ok(usage());
+            }
+            let db = build_db(schema, files, index.as_deref())?;
+            if cmd == "explain" {
+                print!("{}", db.explain(query).map_err(|e| e.to_string())?);
+            } else {
+                let res = db.query(query).map_err(|e| e.to_string())?;
+                for v in &res.values {
+                    println!("{v}");
+                }
+                eprintln!(
+                    "-- {} results; exact index: {}; {}; parsed {} bytes",
+                    res.values.len(),
+                    res.stats.exact_index,
+                    res.stats.eval,
+                    res.stats.parse.bytes_scanned
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "advise" => {
+            let Some(name) = args.get(1) else { return Ok(usage()) };
+            let schema =
+                schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
+            let queries: Vec<_> = args[2..]
+                .iter()
+                .map(|q| parse_query(q).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            if queries.is_empty() {
+                return Ok(usage());
+            }
+            let rig = Rig::from_grammar(&schema.grammar);
+            let advice = advise(&schema, &rig, &queries);
+            println!("index set: {}", advice.index_set.into_iter().collect::<Vec<_>>().join(","));
+            for note in &advice.notes {
+                println!("note: {note}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end tests over the program-source corpus: call-graph queries
+//! with direct (`⊃d`) vs any-depth (closure) semantics, checked against the
+//! generator's ground truth and the database baseline.
+
+use qof::baseline::{run_baseline, BaselineMode};
+use qof::corpus::code::{self, CodeConfig};
+use qof::grammar::IndexSpec;
+use qof::text::Corpus;
+use qof::FileDatabase;
+
+fn names_of(values: &[qof::db::Value]) -> Vec<String> {
+    let mut out: Vec<String> = values
+        .iter()
+        .filter_map(|v| v.field("FnName").and_then(|x| x.as_str()).map(str::to_owned))
+        .collect();
+    out.sort();
+    out
+}
+
+fn sorted(mut v: Vec<&str>) -> Vec<String> {
+    v.sort();
+    v.dedup();
+    v.into_iter().map(str::to_owned).collect()
+}
+
+fn setup(cfg: &CodeConfig) -> (FileDatabase, code::CodeTruth, Corpus) {
+    let (text, truth) = code::generate(cfg);
+    let corpus = Corpus::from_text(&text);
+    let db = FileDatabase::build(corpus.clone(), code::schema(), IndexSpec::full()).unwrap();
+    (db, truth, corpus)
+}
+
+/// A callee that is called both directly and only-nested somewhere.
+fn interesting_callee(truth: &code::CodeTruth) -> String {
+    for f in &truth.functions {
+        for c in &f.all_calls {
+            if truth.all_callers(c).len() > truth.direct_callers(c).len() {
+                return c.clone();
+            }
+        }
+    }
+    truth.functions[0].all_calls.first().expect("calls exist").clone()
+}
+
+#[test]
+fn direct_callers_use_direct_inclusion() {
+    let cfg = CodeConfig { n_functions: 50, if_percent: 40, ..Default::default() };
+    let (db, truth, _) = setup(&cfg);
+    let callee = interesting_callee(&truth);
+    let q = format!("SELECT f FROM Functions f WHERE f.Body.Stmt.Callee = \"{callee}\"");
+    // The plan keeps ⊃d between Body and Stmt: the statement cycle
+    // (Stmt → If → Nested → Stmt) means plain inclusion would also match
+    // nested statements.
+    let explain = db.explain(&q).unwrap();
+    assert!(explain.contains("⊃d"), "direct-call query must keep ⊃d:\n{explain}");
+    let res = db.query(&q).unwrap();
+    assert_eq!(names_of(&res.values), sorted(truth.direct_callers(&callee)));
+}
+
+#[test]
+fn any_depth_callers_via_closure_and_star() {
+    let cfg = CodeConfig { n_functions: 50, if_percent: 40, ..Default::default() };
+    let (db, truth, corpus) = setup(&cfg);
+    let callee = interesting_callee(&truth);
+    let q_star = format!("SELECT f FROM Functions f WHERE f.*X.Callee = \"{callee}\"");
+    let q_plus = format!("SELECT f FROM Functions f WHERE f.Stmt+.Callee = \"{callee}\"");
+    let star = db.query(&q_star).unwrap();
+    let plus = db.query(&q_plus).unwrap();
+    assert_eq!(names_of(&star.values), sorted(truth.all_callers(&callee)));
+    assert_eq!(names_of(&plus.values), names_of(&star.values));
+    assert!(
+        star.values.len() > db.query(&format!(
+            "SELECT f FROM Functions f WHERE f.Body.Stmt.Callee = \"{callee}\""
+        ))
+        .unwrap()
+        .values
+        .len(),
+        "the chosen callee must have nested-only callers"
+    );
+    let b = run_baseline(&corpus, &code::schema(), &q_star, BaselineMode::FullLoad).unwrap();
+    assert_eq!(star.values.len(), b.values.len());
+}
+
+#[test]
+fn transitive_call_graph_join() {
+    // "functions directly calling something that (transitively) calls X".
+    let cfg = CodeConfig { n_functions: 30, if_percent: 30, seed: 11, ..Default::default() };
+    let (db, truth, corpus) = setup(&cfg);
+    let callee = interesting_callee(&truth);
+    let q = format!(
+        "SELECT f FROM Functions f, Functions g \
+         WHERE f.Body.Stmt.Callee = g.FnName AND g.*X.Callee = \"{callee}\""
+    );
+    let res = db.query(&q).unwrap();
+    // Oracle: compute from the truth.
+    let targets: Vec<&str> = truth.all_callers(&callee);
+    let expected: Vec<&str> = truth
+        .functions
+        .iter()
+        .filter(|f| f.direct_calls.iter().any(|c| targets.contains(&c.as_str())))
+        .map(|f| f.name.as_str())
+        .collect();
+    assert_eq!(names_of(&res.values), sorted(expected));
+    let b = run_baseline(&corpus, &code::schema(), &q, BaselineMode::FullLoad).unwrap();
+    assert_eq!(res.values.len(), b.values.len());
+}
+
+#[test]
+fn partial_index_on_calls() {
+    // Index only Function and Callee: every route Function → Callee passes
+    // through collapse-capable names (Body/Stmt/Call and the If cycle), so
+    // the planner must refuse to certify exactness and re-check by parsing.
+    let cfg = CodeConfig { n_functions: 40, if_percent: 40, ..Default::default() };
+    let (text, truth) = code::generate(&cfg);
+    let db = FileDatabase::build(
+        Corpus::from_text(&text),
+        code::schema(),
+        IndexSpec::names(["Function", "Callee"]),
+    )
+    .unwrap();
+    let callee = interesting_callee(&truth);
+    let q = format!("SELECT f FROM Functions f WHERE f.Body.Stmt.Callee = \"{callee}\"");
+    let res = db.query(&q).unwrap();
+    assert_eq!(names_of(&res.values), sorted(truth.direct_callers(&callee)));
+}

@@ -1,0 +1,261 @@
+//! End-to-end tests over the non-BibTeX corpora: server logs, mailboxes and
+//! self-nested SGML documents (cyclic RIGs). Each is checked against the
+//! generator's ground truth and the standard-database baseline.
+
+use qof::baseline::{run_baseline, BaselineMode};
+use qof::corpus::{logs, mail, sgml};
+use qof::grammar::IndexSpec;
+use qof::text::Corpus;
+use qof::FileDatabase;
+
+#[test]
+fn log_sessions_by_user() {
+    let cfg = logs::LogConfig { n_sessions: 80, n_users: 5, ..Default::default() };
+    let (text, truth) = logs::generate(&cfg);
+    let db =
+        FileDatabase::build(Corpus::from_text(&text), logs::schema(), IndexSpec::full()).unwrap();
+    let user = truth.sessions[0].user.clone();
+    let res = db
+        .query(&format!("SELECT s FROM Sessions s WHERE s.User = \"{user}\""))
+        .unwrap();
+    assert!(res.stats.exact_index);
+    assert_eq!(res.values.len(), truth.sessions_of(&user).len());
+}
+
+#[test]
+fn log_sessions_with_errors() {
+    let cfg = logs::LogConfig { n_sessions: 120, error_percent: 15, ..Default::default() };
+    let (text, truth) = logs::generate(&cfg);
+    let db =
+        FileDatabase::build(Corpus::from_text(&text), logs::schema(), IndexSpec::full()).unwrap();
+    let res = db
+        .query("SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"")
+        .unwrap();
+    let expected = truth.sessions_with_status("500");
+    assert_eq!(res.values.len(), expected.len());
+    assert!(res.stats.exact_index);
+    // Ids match.
+    let mut got: Vec<String> = res
+        .values
+        .iter()
+        .filter_map(|v| v.field("SessionId").and_then(|x| x.as_str()).map(str::to_owned))
+        .collect();
+    got.sort();
+    let mut want: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn log_partial_index_on_status_only() {
+    // Index only Session and Status: the query is exact because every route
+    // Session → Status passes through the single chain Requests→Request.
+    let cfg = logs::LogConfig { n_sessions: 60, ..Default::default() };
+    let (text, truth) = logs::generate(&cfg);
+    let spec = IndexSpec::names(["Session", "Status"]);
+    let db = FileDatabase::build(Corpus::from_text(&text), logs::schema(), spec).unwrap();
+    let (cands, exact, _) = db
+        .query_regions("SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"")
+        .unwrap();
+    assert!(exact, "unique route makes the tiny index sufficient (§6.3)");
+    assert_eq!(cands.len(), truth.sessions_with_status("500").len());
+}
+
+#[test]
+fn log_baseline_agrees() {
+    let cfg = logs::LogConfig { n_sessions: 50, ..Default::default() };
+    let (text, _) = logs::generate(&cfg);
+    let corpus = Corpus::from_text(&text);
+    let db = FileDatabase::build(corpus.clone(), logs::schema(), IndexSpec::full()).unwrap();
+    for q in [
+        "SELECT s FROM Sessions s WHERE s.Requests.Request.Method = \"DELETE\"",
+        "SELECT s.User FROM Sessions s WHERE s.Requests.Request.Status = \"500\"",
+        "SELECT s FROM Sessions s WHERE s.Requests.Request.Path = s.Requests.Request.Path",
+    ] {
+        let a = db.query(q).unwrap();
+        let b = run_baseline(&corpus, &logs::schema(), q, BaselineMode::FullLoad).unwrap();
+        let (mut av, mut bv) = (a.values.clone(), b.values.clone());
+        av.sort();
+        bv.sort();
+        assert_eq!(av, bv, "disagreement on {q}");
+    }
+}
+
+#[test]
+fn mail_queries() {
+    let cfg = mail::MailConfig { n_messages: 90, n_users: 6, ..Default::default() };
+    let (text, truth) = mail::generate(&cfg);
+    let db =
+        FileDatabase::build(Corpus::from_text(&text), mail::schema(), IndexSpec::full()).unwrap();
+    let sender = truth.messages[0].sender.clone();
+    // Addresses tokenize into several words; the region-is-word selector
+    // cannot apply, so match by recipient address via content compare with
+    // the sender path... keep it simple: select by subject word instead.
+    let subject_word = truth.messages[0].subject.split(' ').next().unwrap();
+    let res = db
+        .query(&format!(
+            "SELECT m FROM Messages m WHERE m.Subject = \"{}\"",
+            truth.messages[0].subject
+        ))
+        .unwrap();
+    assert!(!res.values.is_empty());
+    // Every result's subject matches.
+    for v in &res.values {
+        assert_eq!(v.field("Subject").unwrap().as_str().unwrap(), truth.messages[0].subject);
+    }
+    let _ = (sender, subject_word);
+}
+
+#[test]
+fn mail_baseline_agrees() {
+    let cfg = mail::MailConfig { n_messages: 40, ..Default::default() };
+    let (text, truth) = mail::generate(&cfg);
+    let corpus = Corpus::from_text(&text);
+    let db = FileDatabase::build(corpus.clone(), mail::schema(), IndexSpec::full()).unwrap();
+    let date = truth.messages[0].date.clone();
+    let q = format!("SELECT m.Sender FROM Messages m WHERE m.Date = \"{date}\"");
+    let a = db.query(&q).unwrap();
+    let b = run_baseline(&corpus, &mail::schema(), &q, BaselineMode::FullLoad).unwrap();
+    let (mut av, mut bv) = (a.values.clone(), b.values.clone());
+    av.sort();
+    bv.sort();
+    assert_eq!(av, bv);
+    assert!(!av.is_empty());
+}
+
+#[test]
+fn sgml_cyclic_rig_is_derived() {
+    let s = sgml::schema();
+    let rig = qof::Rig::from_grammar(&s.grammar);
+    assert!(rig.has_edge("Section", "Subsections"));
+    assert!(rig.has_edge("Subsections", "Section"));
+    assert!(rig.has_path("Section", "Section"), "the RIG has a cycle (§3)");
+}
+
+#[test]
+fn sgml_sections_by_head_word() {
+    let cfg = sgml::SgmlConfig { top_sections: 8, max_depth: 3, subsections: (1, 2), ..Default::default() };
+    let (text, truth) = sgml::generate(&cfg);
+    let db =
+        FileDatabase::build(Corpus::from_text(&text), sgml::schema(), IndexSpec::full()).unwrap();
+    // Pick a head that exists; query whole-head equality.
+    let head = truth.sections.iter().find(|s| s.depth > 0).expect("nested section").head.clone();
+    let res = db
+        .query(&format!("SELECT s FROM Sections s WHERE s.Head = \"{head}\""))
+        .unwrap();
+    let expected =
+        truth.sections.iter().filter(|s| s.head == head).count();
+    assert_eq!(res.values.len(), expected);
+    assert!(res.stats.exact_index);
+}
+
+#[test]
+fn sgml_star_query_spans_all_depths() {
+    // *X over the cycle: sections having ANY descendant section with a given
+    // head — plain inclusion does this in one index operation (§5.3's
+    // transitive-closure claim).
+    let cfg = sgml::SgmlConfig {
+        top_sections: 5,
+        max_depth: 4,
+        subsections: (1, 2),
+        seed: 12,
+        ..Default::default()
+    };
+    let (text, truth) = sgml::generate(&cfg);
+    let db =
+        FileDatabase::build(Corpus::from_text(&text), sgml::schema(), IndexSpec::full()).unwrap();
+    let deep = truth.sections.iter().find(|s| s.depth >= 2).expect("deep section");
+    let head = deep.head.clone();
+    let res = db
+        .query(&format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{head}\""))
+        .unwrap();
+    // At least the section itself plus its ancestors contain that head.
+    assert!(res.values.len() > deep.depth, "ancestors must match too");
+    // Compare against the baseline's *X traversal.
+    let corpus = Corpus::from_text(&text);
+    let b = run_baseline(
+        &corpus,
+        &sgml::schema(),
+        &format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{head}\""),
+        BaselineMode::FullLoad,
+    )
+    .unwrap();
+    assert_eq!(res.values.len(), b.values.len());
+}
+
+#[test]
+fn sgml_fixed_depth_variables() {
+    // Sections whose grandchild-level structure carries a head: the region
+    // count via X1.X2 corresponds to Subsections + Section hops.
+    let cfg = sgml::SgmlConfig {
+        top_sections: 4,
+        max_depth: 3,
+        subsections: (1, 2),
+        seed: 5,
+        ..Default::default()
+    };
+    let (text, _) = sgml::generate(&cfg);
+    let corpus = Corpus::from_text(&text);
+    let db = FileDatabase::build(corpus.clone(), sgml::schema(), IndexSpec::full()).unwrap();
+    // s.Subsections.Section.Head == s.X1.X2.Head (two hops: Subsections,
+    // Section). Verify the two agree, and against the baseline.
+    let q_explicit = "SELECT s FROM Sections s WHERE s.Subsections.Section.Head = s.Subsections.Section.Head";
+    let _ = q_explicit; // identity sanity (content compare with itself)
+    let heads: Vec<String> = {
+        let res = db.query("SELECT s.Subsections.Section.Head FROM Sections s").unwrap();
+        res.values.iter().filter_map(|v| v.as_str().map(str::to_owned)).collect()
+    };
+    let Some(head) = heads.first() else { panic!("need nested heads") };
+    let q1 = format!("SELECT s FROM Sections s WHERE s.Subsections.Section.Head = \"{head}\"");
+    let q2 = format!("SELECT s FROM Sections s WHERE s.X1.X2.Head = \"{head}\"");
+    let r1 = db.query(&q1).unwrap();
+    let r2 = db.query(&q2).unwrap();
+    assert_eq!(r1.values.len(), r2.values.len(), "explicit path ≡ depth-2 variables");
+    let b2 = run_baseline(&corpus, &sgml::schema(), &q2, BaselineMode::FullLoad).unwrap();
+    assert_eq!(r2.values.len(), b2.values.len());
+}
+
+#[test]
+fn sgml_closure_path() {
+    // §5.3's path regular expressions: `Section+` descends through nested
+    // sections with a single inclusion operation (reflexive-transitive:
+    // a section is its own closure witness).
+    let cfg = sgml::SgmlConfig {
+        top_sections: 5,
+        max_depth: 4,
+        subsections: (1, 2),
+        seed: 12,
+        ..Default::default()
+    };
+    let (text, truth) = sgml::generate(&cfg);
+    let corpus = Corpus::from_text(&text);
+    let db = FileDatabase::build(corpus.clone(), sgml::schema(), IndexSpec::full()).unwrap();
+    let deep = truth.sections.iter().find(|s| s.depth >= 2).expect("deep section");
+    let q = format!("SELECT s FROM Sections s WHERE s.Section+.Head = \"{}\"", deep.head);
+    let res = db.query(&q).unwrap();
+    assert!(res.values.len() > deep.depth, "section + its ancestors");
+    // The closure agrees with the *X formulation and with the baseline.
+    let star = db
+        .query(&format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{}\"", deep.head))
+        .unwrap();
+    assert_eq!(res.values.len(), star.values.len());
+    let b = run_baseline(&corpus, &sgml::schema(), &q, BaselineMode::FullLoad).unwrap();
+    assert_eq!(res.values.len(), b.values.len());
+}
+
+#[test]
+fn sgml_instance_satisfies_its_rig() {
+    let (text, _) = sgml::generate(&sgml::SgmlConfig::default());
+    let db =
+        FileDatabase::build(Corpus::from_text(&text), sgml::schema(), IndexSpec::full()).unwrap();
+    db.full_rig().check_instance(db.instance()).expect("instance must satisfy the derived RIG");
+}
+
+#[test]
+fn bibtex_instance_satisfies_its_rig() {
+    use qof::corpus::bibtex;
+    let (text, _) = bibtex::generate(&bibtex::BibtexConfig::with_refs(20));
+    let db =
+        FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), IndexSpec::full()).unwrap();
+    db.full_rig().check_instance(db.instance()).expect("instance must satisfy the derived RIG");
+}
