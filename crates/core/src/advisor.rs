@@ -199,10 +199,9 @@ mod tests {
     #[test]
     fn author_query_needs_authors_and_no_separator() {
         let (schema, rig) = bib_schema();
-        let q = parse_query(
-            "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"")
+                .unwrap();
         let advice = advise(&schema, &rig, &[q]);
         // Optimized expression: Reference ⊃ Authors ⊃ σ(Last_Name) — all
         // hops weakened to ⊃, so no separators are required.
@@ -218,12 +217,11 @@ mod tests {
     #[test]
     fn star_query_needs_even_less() {
         let (schema, rig) = bib_schema();
-        let q =
-            parse_query("SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"").unwrap();
+        let q = parse_query("SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"").unwrap();
         let advice = advise(&schema, &rig, &[q]);
         assert_eq!(
             advice.index_set,
-            ["Reference", "Last_Name"].iter().map(|s| s.to_string()).collect()
+            ["Reference", "Last_Name"].iter().map(ToString::to_string).collect()
         );
     }
 
@@ -237,16 +235,15 @@ mod tests {
         rig.add_edge("C", "B");
         rig.add_edge("B", "D");
         let seps = separators_for(&rig, "A", "B");
-        assert_eq!(seps, ["C"].iter().map(|s| s.to_string()).collect());
+        assert_eq!(seps, ["C"].iter().map(ToString::to_string).collect());
     }
 
     #[test]
     fn workload_unions_requirements() {
         let (schema, rig) = bib_schema();
-        let q1 = parse_query(
-            "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"")
+                .unwrap();
         let q2 = parse_query("SELECT r FROM References r WHERE r.Key = \"Key1\"").unwrap();
         let advice = advise(&schema, &rig, &[q1, q2]);
         assert!(advice.index_set.contains("Key"));

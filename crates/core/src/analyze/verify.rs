@@ -1,0 +1,279 @@
+//! Plan self-verification (`QOF030`, `QOF031`).
+//!
+//! The optimizer's output is *checked, not trusted*: every [`Rewrite`] it
+//! emits is replayed against the side conditions of Proposition 3.5, and
+//! the confluence claim of Theorem 3.6 is probed by reducing the same
+//! expression under the opposite application order.
+//!
+//! On confluence the implementation deliberately deviates from the paper:
+//! property testing found RIGs where the normal form is order-dependent
+//! (see the `optimizer` module docs). All observed divergent normal forms
+//! are cost-identical, so a *syntactic* divergence with equal cost is a
+//! `QOF031` **warning** (documenting the Theorem 3.6 counterexample),
+//! while a cost divergence would be a `QOF031` **error** — and trips the
+//! `debug_assertions`/`self-verify` assertion inside
+//! [`optimize`](crate::optimize) itself.
+
+use super::{Code, Diagnostic, Severity};
+use crate::optimizer::{is_trivially_empty, Optimized, RewriteKind};
+use crate::{ChainOp, Direction, InclusionExpr, Rig};
+
+/// Replays every rewrite in `out.trace` from `original`, re-checking the
+/// Proposition 3.5 side condition each one claims, and confirms the replay
+/// lands exactly on `out.expr`. Any violation is a `QOF030` error.
+pub fn verify_rewrites(original: &InclusionExpr, rig: &Rig, out: &Optimized) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let empty = is_trivially_empty(original, rig);
+    if out.trivially_empty != empty {
+        diags.push(Diagnostic::new(
+            Code::Qof030,
+            Severity::Error,
+            format!(
+                "optimizer marked `{original}` trivially_empty={}, but Proposition 3.3 says {}",
+                out.trivially_empty, empty
+            ),
+        ));
+        return diags;
+    }
+    if empty {
+        if !out.trace.is_empty() {
+            diags.push(Diagnostic::new(
+                Code::Qof030,
+                Severity::Error,
+                "a trivially empty expression must not be rewritten".to_string(),
+            ));
+        }
+        return diags;
+    }
+
+    let mut names: Vec<String> = original.names().to_vec();
+    let mut ops: Vec<ChainOp> = original.ops().to_vec();
+    for rw in &out.trace {
+        match &rw.kind {
+            RewriteKind::Weaken { a, b } => {
+                let Some(i) = (0..ops.len())
+                    .find(|&i| names[i] == *a && names[i + 1] == *b && ops[i] == ChainOp::Direct)
+                else {
+                    diags.push(Diagnostic::new(
+                        Code::Qof030,
+                        Severity::Error,
+                        format!("rewrite `weaken {a} ⊃d {b}` does not apply to the current chain"),
+                    ));
+                    return diags;
+                };
+                if !weaken_licensed(rig, original.direction(), &names, i) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::Qof030,
+                            Severity::Error,
+                            format!("rewrite `weaken {a} ⊃d {b}` violates Proposition 3.5(a)"),
+                        )
+                        .with_note(
+                            "the edge is not the only path and the hop is not a licensed \
+                             endpoint hop",
+                        ),
+                    );
+                }
+                ops[i] = ChainOp::Incl;
+            }
+            RewriteKind::Shorten { a, via, b } => {
+                let Some(i) = (0..names.len().saturating_sub(2)).find(|&i| {
+                    names[i] == *a
+                        && names[i + 1] == *via
+                        && names[i + 2] == *b
+                        && ops[i] == ChainOp::Incl
+                        && ops[i + 1] == ChainOp::Incl
+                }) else {
+                    diags.push(Diagnostic::new(
+                        Code::Qof030,
+                        Severity::Error,
+                        format!(
+                            "rewrite `drop {via} from {a} ⊃ {via} ⊃ {b}` does not apply to \
+                             the current chain"
+                        ),
+                    ));
+                    return diags;
+                };
+                if !rig.all_paths_pass_through(a, b, via) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::Qof030,
+                            Severity::Error,
+                            format!(
+                                "rewrite `drop {via} from {a} ⊃ {via} ⊃ {b}` violates \
+                                 Proposition 3.5(b)"
+                            ),
+                        )
+                        .with_note(format!(
+                            "some path from `{a}` to `{b}` avoids `{via}`, so dropping the \
+                             `{via}` test admits extra results"
+                        )),
+                    );
+                }
+                names.remove(i + 1);
+                ops.remove(i);
+            }
+        }
+    }
+    if names != out.expr.names() || ops != out.expr.ops() {
+        diags.push(
+            Diagnostic::new(
+                Code::Qof030,
+                Severity::Error,
+                format!("the trace does not reproduce the optimized expression `{}`", out.expr),
+            )
+            .with_note(format!("replay landed on `{}`", original.with_chain(names, ops))),
+        );
+    }
+    diags
+}
+
+/// Whether Proposition 3.5(a) licenses weakening the hop at `i`:
+/// the edge is the only path, or the hop touches the chain's existential
+/// endpoint and every path runs through the edge at that end.
+fn weaken_licensed(rig: &Rig, dir: Direction, names: &[String], i: usize) -> bool {
+    let (a, b) = (&names[i], &names[i + 1]);
+    if rig.only_path_edge(a, b) {
+        return true;
+    }
+    match dir {
+        Direction::Including => i + 1 == names.len() - 1 && rig.all_paths_start_with_edge(a, b),
+        Direction::IncludedIn => i == 0 && rig.all_paths_end_with_edge(a, b),
+    }
+}
+
+/// Probes Theorem 3.6: reduces `expr` applying shortenings leftmost-first
+/// and rightmost-first. Divergent normal forms of equal cost are a
+/// `QOF031` warning (the documented counterexample class); a cost
+/// divergence is a `QOF031` error.
+pub fn check_confluence(expr: &InclusionExpr, rig: &Rig) -> Vec<Diagnostic> {
+    if is_trivially_empty(expr, rig) {
+        return Vec::new();
+    }
+    let (ln, lo) = reduce(expr, rig, false);
+    let (rn, ro) = reduce(expr, rig, true);
+    if ln == rn && lo == ro {
+        return Vec::new();
+    }
+    let cost = |ops: &[ChainOp]| (ops.len(), ops.iter().filter(|o| **o == ChainOp::Direct).count());
+    let left = expr.with_chain(ln, lo.clone());
+    let right = expr.with_chain(rn, ro.clone());
+    if cost(&lo) == cost(&ro) {
+        vec![Diagnostic::new(
+            Code::Qof031,
+            Severity::Warning,
+            format!("normal form is order-dependent: leftmost gives `{left}`, rightmost `{right}`"),
+        )
+        .with_note(
+            "a known counterexample class to Theorem 3.6; the forms are cost-identical \
+             and semantically equivalent, and the implementation picks leftmost-first \
+             deterministically",
+        )]
+    } else {
+        vec![Diagnostic::new(
+            Code::Qof031,
+            Severity::Error,
+            format!("normal forms diverge in cost: leftmost gives `{left}`, rightmost `{right}`"),
+        )]
+    }
+}
+
+/// The §3.2 reduction with a controllable shortening order. Weakening
+/// (step 1) is position-independent; only step 2's scan order varies.
+fn reduce(expr: &InclusionExpr, rig: &Rig, rightmost: bool) -> (Vec<String>, Vec<ChainOp>) {
+    let mut names: Vec<String> = expr.names().to_vec();
+    let mut ops: Vec<ChainOp> = expr.ops().to_vec();
+    for (i, op) in ops.iter_mut().enumerate() {
+        if *op == ChainOp::Direct && weaken_licensed(rig, expr.direction(), &names, i) {
+            *op = ChainOp::Incl;
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let idx: Vec<usize> = if rightmost {
+            (0..names.len().saturating_sub(2)).rev().collect()
+        } else {
+            (0..names.len().saturating_sub(2)).collect()
+        };
+        for i in idx {
+            if ops[i] != ChainOp::Incl || ops[i + 1] != ChainOp::Incl {
+                continue;
+            }
+            if rig.all_paths_pass_through(&names[i], &names[i + 2], &names[i + 1]) {
+                names.remove(i + 1);
+                ops.remove(i);
+                changed = true;
+                break;
+            }
+        }
+    }
+    (names, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn clean_optimization_verifies() {
+        let mut g = Rig::new();
+        g.add_edge("Reference", "Authors");
+        g.add_edge("Authors", "Name");
+        g.add_edge("Name", "Last_Name");
+        let e = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            None,
+        );
+        let out = optimize(&e, &g);
+        assert!(verify_rewrites(&e, &g, &out).is_empty());
+        assert!(check_confluence(&e, &g).is_empty());
+    }
+
+    #[test]
+    fn forged_shorten_is_rejected() {
+        // A trace claiming a drop that Prop 3.5(b) does not license.
+        let mut g = Rig::new();
+        g.add_edge("A", "B");
+        g.add_edge("B", "C");
+        g.add_edge("A", "C"); // second path: dropping B is unsound
+        let e = InclusionExpr::including(
+            names(&["A", "B", "C"]),
+            vec![ChainOp::Incl, ChainOp::Incl],
+            None,
+        );
+        let forged = Optimized {
+            expr: e.with_chain(names(&["A", "C"]), vec![ChainOp::Incl]),
+            trivially_empty: false,
+            trace: vec![crate::Rewrite {
+                kind: RewriteKind::Shorten { a: "A".into(), via: "B".into(), b: "C".into() },
+                description: String::new(),
+                result: String::new(),
+            }],
+        };
+        let diags = verify_rewrites(&e, &g, &forged);
+        assert!(diags.iter().any(|d| d.code == Code::Qof030 && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn thm36_counterexample_is_cost_confluent() {
+        // The documented counterexample: normal forms differ syntactically
+        // but match in cost — QOF031 warning, not error.
+        let mut g = Rig::new();
+        g.add_edge("A", "B");
+        g.add_edge("A", "F");
+        g.add_edge("B", "E");
+        g.add_edge("E", "F");
+        let e = InclusionExpr::all_direct(Direction::Including, names(&["A", "B", "E", "F"]), None);
+        let diags = check_confluence(&e, &g);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::Qof031);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+}

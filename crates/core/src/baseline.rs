@@ -16,7 +16,9 @@ use qof_grammar::{build_value_filtered, ParseStats, Parser, PathFilter, Structur
 use qof_text::Corpus;
 
 use crate::plan::PlanError;
-use crate::residual::{compile_cond, compile_steps, eval_pair, eval_single, path_values, CompiledCond, CompiledPath};
+use crate::residual::{
+    compile_cond, compile_steps, eval_pair, eval_single, path_values, CompiledCond, CompiledPath,
+};
 use crate::translate::{filter_paths, resolve_path};
 use crate::{parse_query, Cond, Projection, Query, QueryError, RightHand};
 
@@ -95,9 +97,7 @@ pub fn run_baseline_ast(
         extents.push((view.clone(), Vec::new()));
     }
     for file in corpus.files() {
-        let tree = parser
-            .parse_root(file.span.clone())
-            .map_err(QueryError::CandidateParse)?;
+        let tree = parser.parse_root(file.span.clone()).map_err(QueryError::CandidateParse)?;
         // Collect per-view occurrence nodes.
         for (view, values) in &mut extents {
             let sym = schema
@@ -135,9 +135,7 @@ pub fn run_baseline_ast(
 
     // Compile the condition and projection paths grammar-aware.
     let view_symbol_of = |var: &str| -> Option<String> {
-        q.view_of(var)
-            .and_then(|view| schema.view_symbol_name(view))
-            .map(str::to_owned)
+        q.view_of(var).and_then(|view| schema.view_symbol_name(view)).map(str::to_owned)
     };
     let compiled_where: Option<CompiledCond> = match &q.where_ {
         None => None,
@@ -240,16 +238,15 @@ fn project(
     }
 }
 
-/// Builds the ReducedLoad filter from every path in the query.
+/// Builds the `ReducedLoad` filter from every path in the query.
 fn reduced_filter(schema: &StructuringSchema, q: &Query) -> Result<PathFilter, PlanError> {
     let mut paths: Vec<Vec<String>> = Vec::new();
     let mut add_path = |var: &str, steps: &[crate::QStep]| -> Result<(), PlanError> {
         let view = q
             .view_of(var)
             .ok_or_else(|| PlanError::Unsupported(format!("unknown variable `{var}`")))?;
-        let sym = schema
-            .view_symbol_name(view)
-            .ok_or_else(|| PlanError::UnknownView(view.to_owned()))?;
+        let sym =
+            schema.view_symbol_name(view).ok_or_else(|| PlanError::UnknownView(view.to_owned()))?;
         let spec = resolve_path(&schema.grammar, sym, steps)?;
         paths.extend(filter_paths(&spec));
         Ok(())
@@ -291,10 +288,7 @@ mod tests {
     #[test]
     fn reduced_filter_keeps_query_paths() {
         let schema = test_schema();
-        let q = parse_query(
-            "SELECT r.Key FROM Entries r WHERE r.Names.Name = \"chang\"",
-        )
-        .unwrap();
+        let q = parse_query("SELECT r.Key FROM Entries r WHERE r.Names.Name = \"chang\"").unwrap();
         let f = reduced_filter(&schema, &q).unwrap();
         assert!(f.keeps("Names"));
         assert!(f.keeps("Key"));

@@ -52,6 +52,10 @@ pub enum QueryError {
     Eval(EvalError),
     /// A candidate region failed to parse (index/file out of sync).
     CandidateParse(ParseError),
+    /// An internal invariant broke between planning and execution. Always
+    /// a bug in the engine, never in the query — reported as an error
+    /// instead of panicking so a bad query can never take the process down.
+    Internal(String),
 }
 
 impl std::fmt::Display for QueryError {
@@ -61,6 +65,7 @@ impl std::fmt::Display for QueryError {
             QueryError::Plan(e) => write!(f, "{e}"),
             QueryError::Eval(e) => write!(f, "{e}"),
             QueryError::CandidateParse(e) => write!(f, "candidate region: {e}"),
+            QueryError::Internal(e) => write!(f, "internal error: {e}"),
         }
     }
 }
@@ -152,9 +157,9 @@ impl FileDatabase {
         {
             let parser = Parser::new(&schema.grammar, corpus.text());
             for file in corpus.files() {
-                let tree = parser.parse_root(file.span.clone()).map_err(|error| {
-                    BuildError::Parse { file: file.name.clone(), error }
-                })?;
+                let tree = parser
+                    .parse_root(file.span.clone())
+                    .map_err(|error| BuildError::Parse { file: file.name.clone(), error })?;
                 let file_instance = extract_regions(&tree, &schema.grammar, &spec);
                 for (name, set) in file_instance.iter() {
                     instance.merge(name, set.clone());
@@ -168,17 +173,14 @@ impl FileDatabase {
                 // scoped regions are indexed.
                 let spans = instance
                     .get(scope)
-                    .map(|set| set.iter().map(|r| r.span()).collect())
+                    .map(|set| set.iter().map(qof_pat::Region::span).collect())
                     .unwrap_or_default();
                 qof_text::WordIndexBuilder::new(&tokenizer).scoped_to(spans).build(&corpus)
             }
         };
         let full_rig = Rig::from_grammar(&schema.grammar);
-        let indexed: std::collections::BTreeSet<String> = instance
-            .names()
-            .filter(|n| !n.contains('.'))
-            .map(str::to_owned)
-            .collect();
+        let indexed: std::collections::BTreeSet<String> =
+            instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
         let partial_rig = full_rig.partial(&indexed);
         Ok(Self {
             corpus,
@@ -226,9 +228,9 @@ impl FileDatabase {
                         let parser = Parser::new(&schema.grammar, corpus.text());
                         let mut partial = Instance::new();
                         for (name, span) in chunk {
-                            let tree = parser.parse_root(span.clone()).map_err(|error| {
-                                BuildError::Parse { file: name.clone(), error }
-                            })?;
+                            let tree = parser
+                                .parse_root(span.clone())
+                                .map_err(|error| BuildError::Parse { file: name.clone(), error })?;
                             let fi = extract_regions(&tree, &schema.grammar, spec);
                             for (rname, set) in fi.iter() {
                                 partial.merge(rname, set.clone());
@@ -249,11 +251,8 @@ impl FileDatabase {
         let tokenizer = Tokenizer::new();
         let words = WordIndex::build(&corpus, &tokenizer);
         let full_rig = Rig::from_grammar(&schema.grammar);
-        let indexed: std::collections::BTreeSet<String> = instance
-            .names()
-            .filter(|n| !n.contains('.'))
-            .map(str::to_owned)
-            .collect();
+        let indexed: std::collections::BTreeSet<String> =
+            instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
         let partial_rig = full_rig.partial(&indexed);
         Ok(Self {
             corpus,
@@ -280,11 +279,7 @@ impl FileDatabase {
     /// stay valid (the new file's span lies past all previous text). The
     /// RIGs depend only on the grammar and are unchanged; a suffix array,
     /// if present, is rebuilt.
-    pub fn add_file(
-        &mut self,
-        name: impl Into<String>,
-        contents: &str,
-    ) -> Result<(), BuildError> {
+    pub fn add_file(&mut self, name: impl Into<String>, contents: &str) -> Result<(), BuildError> {
         let name = name.into();
         // Parse into a scratch copy first so a malformed file leaves the
         // database untouched.
@@ -354,6 +349,17 @@ impl FileDatabase {
         }
     }
 
+    /// Statically checks a query against this database's schema, RIG and
+    /// index spec — **without executing anything**. Returns the structured
+    /// diagnostics of the [`analyze`](crate::analyze) subsystem: syntax
+    /// errors, unknown views/attributes with suggestions, type mismatches,
+    /// Proposition 3.3 trivially-empty paths with the witnessing RIG
+    /// evidence, §5.3 star-path suggestions, and §6.3 exactness losses of
+    /// the partial index with the ambiguous edge named.
+    pub fn check(&self, src: &str) -> Vec<crate::analyze::Diagnostic> {
+        crate::analyze::check_query(&self.schema, &self.full_rig, Some(&self.planner()), src)
+    }
+
     /// Plans a query without running it.
     pub fn plan(&self, src: &str) -> Result<Plan, QueryError> {
         let q = parse_query(src)?;
@@ -389,11 +395,7 @@ impl FileDatabase {
         for vp in &plan.vars {
             states.push(self.var_candidates(&engine, vp)?);
         }
-        let idx = plan
-            .vars
-            .iter()
-            .position(|vp| vp.var == q.projected_var())
-            .unwrap_or(0);
+        let idx = plan.vars.iter().position(|vp| vp.var == q.projected_var()).unwrap_or(0);
         let (regions, exact) = states.swap_remove(idx);
         let stats = RunStats {
             eval: engine.stats(),
@@ -491,7 +493,7 @@ impl FileDatabase {
             None => Ok((view, true)),
             Some(c) => {
                 let mut content_bytes = 0;
-                
+
                 self.eval_cond(engine, c, &view, &mut content_bytes)
             }
         }
@@ -520,8 +522,8 @@ impl FileDatabase {
         let mut join_pairs: Option<Vec<(Region, Region)>> = None;
         let mut join_exact = true;
         if let Some(j) = &plan.join {
-            let li = plan.vars.iter().position(|v| v.var == j.left_var).expect("planned var");
-            let ri = plan.vars.iter().position(|v| v.var == j.right_var).expect("planned var");
+            let li = join_var_index(plan, &j.left_var)?;
+            let ri = join_var_index(plan, &j.right_var)?;
             let l_deep = engine.eval(&j.left)?;
             let r_deep = engine.eval(&j.right)?;
             let lg = group_by_container(&states[li].regions, &l_deep);
@@ -544,10 +546,8 @@ impl FileDatabase {
             pairs.dedup();
             let lr = states[li].regions.clone();
             let rr = states[ri].regions.clone();
-            let region_pairs: Vec<(Region, Region)> = pairs
-                .iter()
-                .map(|&(a, b)| (lr.as_slice()[a], rr.as_slice()[b]))
-                .collect();
+            let region_pairs: Vec<(Region, Region)> =
+                pairs.iter().map(|&(a, b)| (lr.as_slice()[a], rr.as_slice()[b])).collect();
             states[li].regions =
                 RegionSet::from_regions(region_pairs.iter().map(|p| p.0).collect());
             states[ri].regions =
@@ -557,8 +557,9 @@ impl FileDatabase {
         }
 
         stats.candidates = states.iter().map(|s| s.regions.len()).sum();
-        stats.exact_index =
-            states.iter().all(|s| s.exact) && join_exact && plan.join.is_none() == join_pairs.is_none();
+        stats.exact_index = states.iter().all(|s| s.exact)
+            && join_exact
+            && plan.join.is_none() == join_pairs.is_none();
 
         // Phase 3: decide what must be parsed.
         let mut db = Database::new();
@@ -568,10 +569,8 @@ impl FileDatabase {
 
         let proj_var = q.projected_var();
         let proj_idx = plan.vars.iter().position(|v| v.var == proj_var).unwrap_or(0);
-        let index_only_projection = matches!(
-            &plan.projection,
-            ProjPlan::Values { chain: Some((_, _, true)), .. }
-        );
+        let index_only_projection =
+            matches!(&plan.projection, ProjPlan::Values { chain: Some((_, _, true)), .. });
 
         for (i, vp) in plan.vars.iter().enumerate() {
             let must_filter = !states[i].exact;
@@ -580,23 +579,20 @@ impl FileDatabase {
             if !(must_filter || join_residual || materialize) {
                 continue;
             }
-            let sym = self
-                .schema
-                .grammar
-                .symbol(&vp.symbol)
-                .expect("view symbol exists");
+            let sym = self.schema.grammar.symbol(&vp.symbol).ok_or_else(|| {
+                QueryError::Internal(format!(
+                    "view symbol `{}` vanished from the grammar",
+                    vp.symbol
+                ))
+            })?;
             // When only materializing, parse with a full filter; when
             // filtering candidates, parse with the push-down filter first.
-            let filter = if must_filter || join_residual {
-                vp.filter.clone()
-            } else {
-                PathFilter::all()
-            };
+            let filter =
+                if must_filter || join_residual { vp.filter.clone() } else { PathFilter::all() };
             let mut survivors: Vec<Region> = Vec::new();
-            for region in states[i].regions.iter() {
-                let tree = parser
-                    .parse_symbol(sym, region.span())
-                    .map_err(QueryError::CandidateParse)?;
+            for region in &states[i].regions {
+                let tree =
+                    parser.parse_symbol(sym, region.span()).map_err(QueryError::CandidateParse)?;
                 let value = build_value_filtered(
                     &tree,
                     &self.schema.grammar,
@@ -623,8 +619,8 @@ impl FileDatabase {
         // Phase 3b: join residual on parsed pairs.
         if let (Some(pairs), false) = (&join_pairs, join_exact) {
             if let Some(j) = &plan.join {
-                let li = plan.vars.iter().position(|v| v.var == j.left_var).expect("var");
-                let ri = plan.vars.iter().position(|v| v.var == j.right_var).expect("var");
+                let li = join_var_index(plan, &j.left_var)?;
+                let ri = join_var_index(plan, &j.right_var)?;
                 let mut keep: Vec<(Region, Region)> = Vec::new();
                 for (lr, rr) in pairs {
                     let (Some(lv), Some(rv)) = (objects[li].get(lr), objects[ri].get(rr)) else {
@@ -637,10 +633,8 @@ impl FileDatabase {
                         keep.push((*lr, *rr));
                     }
                 }
-                states[li].regions =
-                    RegionSet::from_regions(keep.iter().map(|p| p.0).collect());
-                states[ri].regions =
-                    RegionSet::from_regions(keep.iter().map(|p| p.1).collect());
+                states[li].regions = RegionSet::from_regions(keep.iter().map(|p| p.0).collect());
+                states[ri].regions = RegionSet::from_regions(keep.iter().map(|p| p.1).collect());
                 join_pairs = Some(keep);
             }
         }
@@ -651,7 +645,7 @@ impl FileDatabase {
         let mut values: Vec<Value> = Vec::new();
         match &plan.projection {
             ProjPlan::Objects { .. } => {
-                for region in result_regions.iter() {
+                for region in &result_regions {
                     if let Some(v) = objects[proj_idx].get(region) {
                         values.push(deref_top(&db, v));
                     }
@@ -660,7 +654,9 @@ impl FileDatabase {
             ProjPlan::Values { steps, chain, .. } => {
                 if index_only_projection {
                     // Read the projected attribute regions directly.
-                    let (expr, _, _) = chain.as_ref().expect("index-only projection has a chain");
+                    let (expr, _, _) = chain.as_ref().ok_or_else(|| {
+                        QueryError::Internal("index-only projection lost its chain".into())
+                    })?;
                     let deep = engine.eval(expr)?;
                     for (_, item) in group_by_container(&result_regions, &deep) {
                         stats.content_bytes += u64::from(item.len());
@@ -670,7 +666,7 @@ impl FileDatabase {
                     values.dedup();
                 } else {
                     let mut cost = PathCost::default();
-                    for region in result_regions.iter() {
+                    for region in &result_regions {
                         if let Some(v) = objects[proj_idx].get(region) {
                             for hit in path_values(&db, v, steps, &mut cost) {
                                 values.push(hit.clone());
@@ -687,14 +683,16 @@ impl FileDatabase {
         stats.parse = parser.stats();
         stats.db = db.stats();
         stats.results = result_regions.len();
-        Ok(QueryResult {
-            regions: result_regions,
-            values,
-            db,
-            explain: plan.describe(),
-            stats,
-        })
+        Ok(QueryResult { regions: result_regions, values, db, explain: plan.describe(), stats })
     }
+}
+
+/// Position of a join variable among the plan's range variables.
+fn join_var_index(plan: &Plan, var: &str) -> Result<usize, QueryError> {
+    plan.vars
+        .iter()
+        .position(|v| v.var == var)
+        .ok_or_else(|| QueryError::Internal(format!("join variable `{var}` missing from the plan")))
 }
 
 /// Dereferences a top-level object reference into its stored value.
@@ -713,7 +711,7 @@ fn group_by_container(containers: &RegionSet, items: &RegionSet) -> Vec<(usize, 
     let cs = containers.as_slice();
     let mut stack: Vec<usize> = Vec::new();
     let mut ci = 0usize;
-    for item in items.iter() {
+    for item in items {
         while ci < cs.len() && cs[ci] <= *item {
             while let Some(&top) = stack.last() {
                 if cs[top].end <= cs[ci].start {

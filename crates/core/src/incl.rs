@@ -3,7 +3,7 @@
 //! each `oi` is `⊃` or `⊃d` (selection queries, §5.1) or `⊂`/`⊂d`
 //! (projections, §5.2), with an optional `σ_w` on the deepest element.
 
-use crate::{SelectKind as SK};
+use crate::SelectKind as SK;
 use qof_pat::RegionExpr;
 use std::fmt;
 
@@ -190,12 +190,8 @@ impl fmt::Display for InclusionExpr {
             if i == self.names.len() - 1 {
                 match &self.selector {
                     Some((SK::Eq, w)) => return write!(f, "σ_\"{w}\"({})", self.names[i]),
-                    Some((SK::Contains, w)) => {
-                        return write!(f, "σ∋\"{w}\"({})", self.names[i])
-                    }
-                    Some((SK::Prefix, w)) => {
-                        return write!(f, "σ_\"{w}*\"({})", self.names[i])
-                    }
+                    Some((SK::Contains, w)) => return write!(f, "σ∋\"{w}\"({})", self.names[i]),
+                    Some((SK::Prefix, w)) => return write!(f, "σ_\"{w}*\"({})", self.names[i]),
                     None => {}
                 }
             }
@@ -229,7 +225,7 @@ mod tests {
     use super::*;
 
     fn names(v: &[&str]) -> Vec<String> {
-        v.iter().map(|s| s.to_string()).collect()
+        v.iter().map(ToString::to_string).collect()
     }
 
     #[test]

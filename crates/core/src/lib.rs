@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # qof-core
@@ -32,6 +33,7 @@
 //! index-selection guidelines are implemented by [`advise`].
 
 mod advisor;
+pub mod analyze;
 pub mod baseline;
 mod exec;
 mod incl;
@@ -43,10 +45,13 @@ mod rig;
 mod translate;
 
 pub use advisor::{advise, Advice};
+pub use analyze::{
+    check_index, check_query, check_schema, render_all, Code, Diagnostic, Severity, Span,
+};
 pub use exec::{BuildError, FileDatabase, QueryError, QueryResult, RunStats};
 pub use incl::{ChainOp, Direction, InclusionExpr, SelectKind};
-pub use optimizer::{is_trivially_empty, optimize, Optimized, Rewrite};
-pub use plan::{Exactness, Plan};
+pub use optimizer::{is_trivially_empty, optimize, Optimized, Rewrite, RewriteKind};
+pub use plan::{Exactness, InexactHop, InexactReason, Plan, PlanError, Planner};
 pub use query::{parse_query, Cond, Projection, QPath, QStep, Query, QueryParseError, RightHand};
 pub use residual::{
     compile_cond, compile_steps, db_steps_for, eval_pair, eval_single, path_values, CompiledCond,

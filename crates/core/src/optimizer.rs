@@ -20,9 +20,35 @@
 
 use crate::{ChainOp, Direction, InclusionExpr, Rig};
 
-/// One applied rewrite, for EXPLAIN output and the examples.
+/// The structural identity of a rewrite, machine-checkable against the
+/// Proposition 3.5 side conditions (the self-verification pass of
+/// [`crate::analyze::verify`] replays these against the RIG).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteKind {
+    /// Proposition 3.5(a): `a ⊃d b` weakened to `a ⊃ b`.
+    Weaken {
+        /// Containing name of the weakened hop.
+        a: String,
+        /// Contained name of the weakened hop.
+        b: String,
+    },
+    /// Proposition 3.5(b): `a ⊃ via ⊃ b` shortened to `a ⊃ b`.
+    Shorten {
+        /// Containing end of the shortened sub-chain.
+        a: String,
+        /// The dropped middle name.
+        via: String,
+        /// Contained end of the shortened sub-chain.
+        b: String,
+    },
+}
+
+/// One applied rewrite, for EXPLAIN output, the examples, and the
+/// self-verification pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rewrite {
+    /// What was rewritten, structurally.
+    pub kind: RewriteKind,
     /// Human-readable description of the rewrite and its justification.
     pub description: String,
     /// The expression after this rewrite.
@@ -64,7 +90,9 @@ pub fn is_trivially_empty(expr: &InclusionExpr, rig: &Rig) -> bool {
 pub fn optimize(expr: &InclusionExpr, rig: &Rig) -> Optimized {
     let mut trace = Vec::new();
     if is_trivially_empty(expr, rig) {
-        return Optimized { expr: expr.clone(), trivially_empty: true, trace };
+        let out = Optimized { expr: expr.clone(), trivially_empty: true, trace };
+        self_verify(expr, rig, &out);
+        return out;
     }
 
     let mut names: Vec<String> = expr.names().to_vec();
@@ -107,6 +135,7 @@ pub fn optimize(expr: &InclusionExpr, rig: &Rig) -> Optimized {
             ops[i] = ChainOp::Incl;
             let cur = expr.with_chain(names.clone(), ops.clone());
             trace.push(Rewrite {
+                kind: RewriteKind::Weaken { a: a.clone(), b: b.clone() },
                 description: format!("weaken direct inclusion {a} → {b}: {why}"),
                 result: cur.to_string(),
             });
@@ -128,9 +157,8 @@ pub fn optimize(expr: &InclusionExpr, rig: &Rig) -> Optimized {
                 ops.remove(i);
                 let cur = expr.with_chain(names.clone(), ops.clone());
                 trace.push(Rewrite {
-                    description: format!(
-                        "drop {m}: every path from {a} to {b} passes through {m}"
-                    ),
+                    kind: RewriteKind::Shorten { a: a.clone(), via: m.clone(), b: b.clone() },
+                    description: format!("drop {m}: every path from {a} to {b} passes through {m}"),
                     result: cur.to_string(),
                 });
                 changed = true;
@@ -139,8 +167,31 @@ pub fn optimize(expr: &InclusionExpr, rig: &Rig) -> Optimized {
         }
     }
 
-    Optimized { expr: expr.with_chain(names, ops), trivially_empty: false, trace }
+    let out = Optimized { expr: expr.with_chain(names, ops), trivially_empty: false, trace };
+    self_verify(expr, rig, &out);
+    out
 }
+
+/// The plan self-verification pass: replays every emitted [`Rewrite`]
+/// against Proposition 3.5's side conditions and checks the confluence
+/// claim of Theorem 3.6 (see [`crate::analyze::verify`]). Active in debug
+/// builds — so every `optimize` call in the test suite is verified — and
+/// in release builds with the `self-verify` feature.
+#[cfg(any(debug_assertions, feature = "self-verify"))]
+fn self_verify(original: &InclusionExpr, rig: &Rig, out: &Optimized) {
+    use crate::analyze::Severity;
+    let mut diags = crate::analyze::verify::verify_rewrites(original, rig, out);
+    diags.extend(crate::analyze::verify::check_confluence(original, rig));
+    diags.retain(|d| d.severity == Severity::Error);
+    assert!(
+        diags.is_empty(),
+        "optimizer self-verification failed for `{original}`:\n{}",
+        diags.iter().map(|d| d.render(None)).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[cfg(not(any(debug_assertions, feature = "self-verify")))]
+fn self_verify(_original: &InclusionExpr, _rig: &Rig, _out: &Optimized) {}
 
 #[cfg(test)]
 mod tests {
@@ -161,7 +212,7 @@ mod tests {
     }
 
     fn names(v: &[&str]) -> Vec<String> {
-        v.iter().map(|s| s.to_string()).collect()
+        v.iter().map(ToString::to_string).collect()
     }
 
     #[test]
@@ -175,10 +226,7 @@ mod tests {
         );
         let opt = optimize(&e1, &bib_rig());
         assert!(!opt.trivially_empty);
-        assert_eq!(
-            opt.expr.to_string(),
-            "Reference ⊃ Authors ⊃ σ_\"Chang\"(Last_Name)"
-        );
+        assert_eq!(opt.expr.to_string(), "Reference ⊃ Authors ⊃ σ_\"Chang\"(Last_Name)");
         // Three weakenings + one shortening.
         assert_eq!(opt.trace.len(), 4);
     }
@@ -230,11 +278,8 @@ mod tests {
     #[test]
     fn trivially_empty_direct_without_edge() {
         // Reference ⊃d Name: path exists but no edge.
-        let e = InclusionExpr::all_direct(
-            Direction::Including,
-            names(&["Reference", "Name"]),
-            None,
-        );
+        let e =
+            InclusionExpr::all_direct(Direction::Including, names(&["Reference", "Name"]), None);
         assert!(is_trivially_empty(&e, &bib_rig()));
     }
 
@@ -248,11 +293,7 @@ mod tests {
         g.add_edge("A", "C");
         g.add_edge("C", "B");
         g.add_edge("B", "D");
-        let e = InclusionExpr::all_direct(
-            Direction::Including,
-            names(&["A", "B", "D"]),
-            None,
-        );
+        let e = InclusionExpr::all_direct(Direction::Including, names(&["A", "B", "D"]), None);
         let opt = optimize(&e, &g);
         assert_eq!(opt.expr.to_string(), "A ⊃d B ⊃ D");
     }
@@ -309,11 +350,7 @@ mod tests {
         // But Section ⊃d Head cannot be weakened even though Head is
         // rightmost: a path Section → Subsections → Section → Head does not
         // start with the edge.
-        let e2 = InclusionExpr::all_direct(
-            Direction::Including,
-            names(&["Section", "Head"]),
-            None,
-        );
+        let e2 = InclusionExpr::all_direct(Direction::Including, names(&["Section", "Head"]), None);
         let opt2 = optimize(&e2, &g);
         assert_eq!(opt2.expr.to_string(), "Section ⊃d Head");
     }
@@ -336,11 +373,7 @@ mod tests {
     fn two_name_chain_weakens_or_keeps() {
         let g = bib_rig();
         // Reference ⊃d Key: edge is the only path — weakened.
-        let e = InclusionExpr::all_direct(
-            Direction::Including,
-            names(&["Reference", "Key"]),
-            None,
-        );
+        let e = InclusionExpr::all_direct(Direction::Including, names(&["Reference", "Key"]), None);
         assert_eq!(optimize(&e, &g).expr.to_string(), "Reference ⊃ Key");
     }
 

@@ -137,6 +137,9 @@ pub enum PlanError {
     ViewNotIndexed(String),
     /// A query shape outside the supported fragment.
     Unsupported(String),
+    /// An internal invariant broke during planning. Always a bug in the
+    /// engine, never in the query.
+    Internal(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -148,6 +151,7 @@ impl std::fmt::Display for PlanError {
                 write!(f, "view symbol `{s}` is not indexed; no candidate regions can be located")
             }
             PlanError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            PlanError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -175,12 +179,44 @@ pub struct Planner<'a> {
     pub full_indexing: bool,
 }
 
+/// Why a projected hop lost §6.3 exactness (surfaced by `qof check` as
+/// diagnostic `QOF011`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InexactReason {
+    /// More than one viable walk realizes the `⊃d` hop in the partial
+    /// universe (§6.3's uniqueness condition fails).
+    AmbiguousRoute,
+    /// A `⊃^n` nesting count crosses a collapsible link, so forest levels
+    /// do not correspond to grammar hops.
+    CollapsibleDepth,
+    /// A `⊃^n` hop with non-indexed intermediates: the nesting count
+    /// cannot be taken on the partial forest.
+    PartialIndexGap,
+    /// The target attribute itself is not indexed; the deepest indexed
+    /// name only approximates it.
+    TargetNotIndexed,
+}
+
+/// One hop of a query path that the index cannot answer exactly, with the
+/// ambiguous edge named (§6.3's "decide exactness from the RIG alone").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InexactHop {
+    /// The containing end of the hop.
+    pub from: String,
+    /// The contained end of the hop.
+    pub to: String,
+    /// Why exactness is lost.
+    pub reason: InexactReason,
+}
+
 /// One projected chain: names/ops over indexed names only.
 #[derive(Debug, Clone)]
 struct ProjectedChain {
     names: Vec<String>,
     ops: Vec<EOp>,
     exact: bool,
+    /// The hops that cost exactness, for diagnostics.
+    hops: Vec<InexactHop>,
     /// Selector on the deepest element.
     selector: Option<(SelectKind, String)>,
 }
@@ -228,10 +264,8 @@ impl<'a> Planner<'a> {
                 match used.len() {
                     1 => {
                         let v = used.into_iter().next().expect("one var");
-                        let slot = local
-                            .iter_mut()
-                            .find(|(name, _)| *name == v)
-                            .ok_or_else(|| {
+                        let slot =
+                            local.iter_mut().find(|(name, _)| *name == v).ok_or_else(|| {
                                 PlanError::Unsupported(format!("unknown variable `{v}`"))
                             })?;
                         slot.1.push(conjunct);
@@ -245,9 +279,7 @@ impl<'a> Planner<'a> {
                         }
                     },
                     n => {
-                        return Err(PlanError::Unsupported(format!(
-                            "condition uses {n} variables"
-                        )))
+                        return Err(PlanError::Unsupported(format!("condition uses {n} variables")))
                     }
                 }
             }
@@ -268,17 +300,20 @@ impl<'a> Planner<'a> {
 
         // Plan per-var conditions, collecting push-down filter paths.
         for vp in &mut vars {
-            let conds = &local.iter().find(|(n, _)| *n == vp.var).expect("slot").1;
+            let conds = &local
+                .iter()
+                .find(|(n, _)| *n == vp.var)
+                .ok_or_else(|| {
+                    PlanError::Internal(format!("no condition slot for variable `{}`", vp.var))
+                })?
+                .1;
             let mut filter_specs: Vec<Vec<String>> = Vec::new();
             let planned = conds
                 .iter()
                 .map(|c| self.plan_cond(c, &vp.symbol, &mut filter_specs))
                 .collect::<Result<Vec<_>, _>>()?;
             vp.cond = planned.into_iter().reduce(|a, b| CondNode::And(Box::new(a), Box::new(b)));
-            let folded = conds
-                .iter()
-                .cloned()
-                .reduce(|a, b| Cond::And(Box::new(a), Box::new(b)));
+            let folded = conds.iter().cloned().reduce(|a, b| Cond::And(Box::new(a), Box::new(b)));
             vp.residual = match folded {
                 None => None,
                 Some(c) => {
@@ -315,7 +350,13 @@ impl<'a> Planner<'a> {
                 let (re, rd, rex) = self.deep_expr(&rspec)?;
                 // Extend the push-down filters with the join paths.
                 for vp in &mut vars {
-                    let spec = if vp.var == lv { &lspec } else if vp.var == rv { &rspec } else { continue };
+                    let spec = if vp.var == lv {
+                        &lspec
+                    } else if vp.var == rv {
+                        &rspec
+                    } else {
+                        continue;
+                    };
                     let mut f = PathFilter::from_paths(&filter_paths(spec));
                     f.merge(&vp.filter);
                     vp.filter = f;
@@ -343,21 +384,16 @@ impl<'a> Planner<'a> {
                 ProjPlan::Objects { var: v.clone() }
             }
             Projection::Path(p) => {
-                let vp = vars
-                    .iter_mut()
-                    .find(|vp| vp.var == p.var)
-                    .ok_or_else(|| PlanError::Unsupported(format!("unknown variable `{}`", p.var)))?;
+                let vp = vars.iter_mut().find(|vp| vp.var == p.var).ok_or_else(|| {
+                    PlanError::Unsupported(format!("unknown variable `{}`", p.var))
+                })?;
                 let spec = resolve_path(&self.schema.grammar, &vp.symbol, &p.steps)?;
                 let mut f = PathFilter::from_paths(&filter_paths(&spec));
                 f.merge(&vp.filter);
                 vp.filter = f;
                 let chain = self.deep_expr(&spec).ok();
                 let steps = compile_steps(&self.schema.grammar, &vp.symbol, &p.steps)?;
-                ProjPlan::Values {
-                    var: p.var.clone(),
-                    steps,
-                    chain,
-                }
+                ProjPlan::Values { var: p.var.clone(), steps, chain }
             }
         };
 
@@ -420,10 +456,10 @@ impl<'a> Planner<'a> {
         let mut exprs: Vec<(RegionExpr, String, bool)> = Vec::new();
         for alt in &spec.alternatives {
             let chain = self.project_chain(alt, Some(selector.clone()));
-            let (expr, display, exact) = self.lower_chain(chain, Direction::Including);
+            let (expr, display, exact) = self.lower_chain(&chain, Direction::Including);
             exprs.push((expr, display, exact));
         }
-        Ok(combine_union(exprs))
+        combine_union(exprs)
     }
 
     /// Builds the expression producing the **deep attribute regions** of a
@@ -432,10 +468,10 @@ impl<'a> Planner<'a> {
         let mut exprs: Vec<(RegionExpr, String, bool)> = Vec::new();
         for alt in &spec.alternatives {
             let chain = self.project_chain(alt, None);
-            let (expr, display, exact) = self.lower_chain(chain, Direction::IncludedIn);
+            let (expr, display, exact) = self.lower_chain(&chain, Direction::IncludedIn);
             exprs.push((expr, display, exact));
         }
-        Ok(combine_union(exprs))
+        combine_union(exprs)
     }
 
     /// §6.1: projects a skeleton onto the indexed names, computing the
@@ -449,6 +485,7 @@ impl<'a> Planner<'a> {
         let mut names: Vec<String> = vec![alt.names[0].clone()];
         let mut ops: Vec<EOp> = Vec::new();
         let mut exact = true;
+        let mut hops: Vec<InexactHop> = Vec::new();
 
         // Pending relation accumulated while dropping non-indexed names.
         let mut pending: Option<EOp> = None;
@@ -486,17 +523,41 @@ impl<'a> Planner<'a> {
                         let route_from = strip_scope(prev);
                         if !self.unique_route(route_from, next_name, &indexed) {
                             exact = false;
+                            hops.push(InexactHop {
+                                from: route_from.to_owned(),
+                                to: next_name.clone(),
+                                reason: InexactReason::AmbiguousRoute,
+                            });
                         }
                         ops.push(EOp::Direct);
                     }
                     EOp::Incl => ops.push(EOp::Incl),
                     EOp::Exact(n) => {
-                        if self.full_indexing && !dropped_since_last {
+                        // The region forest counts *extents*, so a
+                        // collapsible link anywhere on a viable walk can
+                        // erase a level and skew the `⊃^n` count even under
+                        // full indexing.
+                        let prev = names.last().expect("chain starts with the view symbol");
+                        let route_from = strip_scope(prev).to_owned();
+                        if self.full_indexing
+                            && !dropped_since_last
+                            && self.exact_depth_reliable(&route_from, next_name, n)
+                        {
                             ops.push(EOp::Exact(n));
                         } else {
                             // Degraded: the nesting count would be off.
                             ops.push(EOp::Incl);
                             exact = false;
+                            let reason = if self.full_indexing && !dropped_since_last {
+                                InexactReason::CollapsibleDepth
+                            } else {
+                                InexactReason::PartialIndexGap
+                            };
+                            hops.push(InexactHop {
+                                from: route_from,
+                                to: next_name.clone(),
+                                reason,
+                            });
                         }
                     }
                 }
@@ -510,19 +571,40 @@ impl<'a> Planner<'a> {
             // The target attribute itself is not indexed: the deepest kept
             // name approximates it; a word selector weakens to "contains".
             exact = false;
+            hops.push(InexactHop {
+                from: strip_scope(names.last().expect("chain is non-empty")).to_owned(),
+                to: alt.names.last().expect("chain is non-empty").clone(),
+                reason: InexactReason::TargetNotIndexed,
+            });
             let selector = selector.map(|(_, w)| (SelectKind::Contains, w));
-            return ProjectedChain { names, ops, exact, selector };
+            return ProjectedChain { names, ops, exact, hops, selector };
         }
-        ProjectedChain { names, ops, exact, selector }
+        ProjectedChain { names, ops, exact, hops, selector }
+    }
+
+    /// Inexactness analysis of one query path, for `qof check` (QOF011):
+    /// the hops that cost §6.3 exactness, across all derivation
+    /// alternatives, with the ambiguous edge named.
+    pub(crate) fn path_inexact_hops(
+        &self,
+        view_symbol: &str,
+        steps: &[crate::QStep],
+    ) -> Result<Vec<InexactHop>, TranslateError> {
+        let spec = resolve_path(&self.schema.grammar, view_symbol, steps)?;
+        let mut hops: Vec<InexactHop> = Vec::new();
+        for alt in &spec.alternatives {
+            for hop in self.project_chain(alt, None).hops {
+                if !hops.contains(&hop) {
+                    hops.push(hop);
+                }
+            }
+        }
+        Ok(hops)
     }
 
     /// Optimizes the Direct/Incl runs of a projected chain against the
     /// partial RIG and lowers it to a region expression.
-    fn lower_chain(
-        &self,
-        chain: ProjectedChain,
-        dir: Direction,
-    ) -> (RegionExpr, String, bool) {
+    fn lower_chain(&self, chain: &ProjectedChain, dir: Direction) -> (RegionExpr, String, bool) {
         // Split at Exact ops; optimize each run as an InclusionExpr.
         let mut runs: Vec<(Vec<String>, Vec<ChainOp>)> = Vec::new();
         let mut links: Vec<u32> = Vec::new();
@@ -580,20 +662,24 @@ impl<'a> Planner<'a> {
         if empty {
             display.push_str("  [provably empty]");
         }
-        let expr = if empty {
-            // ∅ as name − name on the head (always empty, cheap).
-            let head = RegionExpr::name(&chain.names[0]);
-            head.clone().difference(head)
-        } else {
-            let mut iter = optimized_runs.into_iter().rev();
-            let mut expr = iter.next().expect("at least one run").to_region_expr();
-            for run in iter {
-                // run ⊃^n expr: nest under the run's deepest name.
-                let n = links.pop().unwrap_or(0);
-                let run_expr = run.to_region_expr();
-                expr = graft_nested(run_expr, expr, n);
+        let mut iter = optimized_runs.into_iter().rev();
+        let expr = match iter.next() {
+            Some(first) if !empty => {
+                let mut expr = first.to_region_expr();
+                for run in iter {
+                    // run ⊃^n expr: nest under the run's deepest name.
+                    let n = links.pop().unwrap_or(0);
+                    let run_expr = run.to_region_expr();
+                    expr = graft_nested(run_expr, expr, n);
+                }
+                expr
             }
-            expr
+            // Provably empty (or a degenerate run-less chain):
+            // ∅ as name − name on the head (always empty, cheap).
+            _ => {
+                let head = RegionExpr::name(&chain.names[0]);
+                head.clone().difference(head)
+            }
         };
         (expr, display, chain.exact)
     }
@@ -615,6 +701,35 @@ impl<'a> Planner<'a> {
     /// one-to-one to accepting paths in the RIG × phase product graph.
     /// The test counts those paths (capped at 2); a product cycle that can
     /// still reach acceptance means unboundedly many viable walks.
+    /// Nesting-count reliability for a `⊃^n` link (variable paths like
+    /// `s.X1.X2.Attr`). `NestedExactly` counts forest *levels* between the
+    /// endpoints, and the forest stores extents: a region whose parent can
+    /// collapse ([`Grammar::can_collapse`](qof_grammar::Grammar::can_collapse))
+    /// may share its parent's extent and occupy the same forest node,
+    /// erasing a level. The count is reliable only if no `a → … → b` walk
+    /// with exactly `n` intermediates contains such a link.
+    fn exact_depth_reliable(&self, a: &str, b: &str, n: u32) -> bool {
+        let grammar = &self.schema.grammar;
+        let collapsible = |p: &str| grammar.symbol(p).is_some_and(|sym| grammar.can_collapse(sym));
+        // Bounded DFS for a *bad* walk: exactly n+1 edges ending at `b`
+        // with at least one collapsible parent along the way.
+        fn bad_walk(
+            g: &Rig,
+            cur: &str,
+            b: &str,
+            edges_left: u32,
+            tainted: bool,
+            collapsible: &dyn Fn(&str) -> bool,
+        ) -> bool {
+            if edges_left == 0 {
+                return cur == b && tainted;
+            }
+            let t = tainted || collapsible(cur);
+            g.successors(cur).iter().any(|&m| bad_walk(g, m, b, edges_left - 1, t, collapsible))
+        }
+        !bad_walk(self.full_rig, a, b, n + 1, false, &collapsible)
+    }
+
     fn unique_route(&self, a: &str, b: &str, indexed: &BTreeSet<&str>) -> bool {
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         enum Phase {
@@ -624,8 +739,7 @@ impl<'a> Planner<'a> {
         }
         let g = self.full_rig;
         let grammar = &self.schema.grammar;
-        let collapsible =
-            |p: &str| grammar.symbol(p).is_some_and(|sym| grammar.can_collapse(sym));
+        let collapsible = |p: &str| grammar.symbol(p).is_some_and(|sym| grammar.can_collapse(sym));
         let is_indexed = |n: &str| indexed.contains(n);
         let step = |phase: Phase, n: &str| -> Option<Phase> {
             match phase {
@@ -694,8 +808,7 @@ impl<'a> Planner<'a> {
             accept: &std::collections::HashMap<(&'x str, Phase), bool>,
             on_path: &mut Vec<(&'x str, Phase)>,
             count: &mut u32,
-        ) where
-        {
+        ) {
             if *count >= 2 {
                 return;
             }
@@ -773,19 +886,17 @@ fn strip_scope(name: &str) -> &str {
     name.rsplit('.').next().unwrap_or(name)
 }
 
-fn combine_union(exprs: Vec<(RegionExpr, String, bool)>) -> (RegionExpr, String, bool) {
+fn combine_union(
+    exprs: Vec<(RegionExpr, String, bool)>,
+) -> Result<(RegionExpr, String, bool), PlanError> {
     let exact = exprs.iter().all(|(_, _, x)| *x);
-    let display = exprs
-        .iter()
-        .map(|(_, d, _)| d.clone())
-        .collect::<Vec<_>>()
-        .join("  ∪  ");
+    let display = exprs.iter().map(|(_, d, _)| d.clone()).collect::<Vec<_>>().join("  ∪  ");
     let expr = exprs
         .into_iter()
         .map(|(e, _, _)| e)
-        .reduce(|a, b| a.union(b))
-        .expect("at least one alternative");
-    (expr, display, exact)
+        .reduce(qof_pat::RegionExpr::union)
+        .ok_or_else(|| PlanError::Internal("path resolved to no alternatives".into()))?;
+    Ok((expr, display, exact))
 }
 
 /// Flattens top-level conjunctions.
@@ -829,8 +940,9 @@ impl Plan {
     pub fn exactness(&self) -> Exactness {
         fn cond_exact(c: &CondNode) -> bool {
             match c {
-                CondNode::IndexOnly { exact, .. }
-                | CondNode::ContentCompare { exact, .. } => *exact,
+                CondNode::IndexOnly { exact, .. } | CondNode::ContentCompare { exact, .. } => {
+                    *exact
+                }
                 CondNode::And(a, b) | CondNode::Or(a, b) => cond_exact(a) && cond_exact(b),
                 CondNode::Not(a) => cond_exact(a),
             }
@@ -897,11 +1009,8 @@ fn describe_cond(c: &CondNode, depth: usize, out: &mut String) {
             );
         }
         CondNode::ContentCompare { display, exact, .. } => {
-            let _ = writeln!(
-                out,
-                "{pad}{display} [{}]",
-                if *exact { "exact" } else { "candidates" }
-            );
+            let _ =
+                writeln!(out, "{pad}{display} [{}]", if *exact { "exact" } else { "candidates" });
         }
         CondNode::And(a, b) => {
             let _ = writeln!(out, "{pad}AND");

@@ -378,7 +378,9 @@ impl<'a> Parser<'a> {
                 }
                 RightHand::Path(QPath { var: v, steps })
             }
-            other => return Err(self.lx.err(format!("expected constant or path, found {other:?}"))),
+            other => {
+                return Err(self.lx.err(format!("expected constant or path, found {other:?}")))
+            }
         };
         Ok(Cond::Eq(left, right))
     }
@@ -447,10 +449,9 @@ mod tests {
 
     #[test]
     fn parses_the_paper_query() {
-        let q = parse_query(
-            "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"")
+                .unwrap();
         assert_eq!(q.select, Projection::Var("r".into()));
         assert_eq!(q.ranges, vec![("References".into(), "r".into())]);
         let Some(Cond::Eq(p, RightHand::Const(c))) = q.where_ else {
@@ -470,8 +471,7 @@ mod tests {
 
     #[test]
     fn star_variable() {
-        let q = parse_query("SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"")
-            .unwrap();
+        let q = parse_query("SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"").unwrap();
         let Some(Cond::Eq(p, _)) = q.where_ else { panic!() };
         assert_eq!(p.steps[0], QStep::Star("X".into()));
         assert_eq!(p.steps[1], QStep::Attr("Last_Name".into()));
@@ -479,8 +479,8 @@ mod tests {
 
     #[test]
     fn fixed_length_variables_collapse() {
-        let q = parse_query("SELECT r FROM References r WHERE r.X1.X2.Last_Name = \"Chang\"")
-            .unwrap();
+        let q =
+            parse_query("SELECT r FROM References r WHERE r.X1.X2.Last_Name = \"Chang\"").unwrap();
         let Some(Cond::Eq(p, _)) = q.where_ else { panic!() };
         assert_eq!(p.steps, vec![QStep::Vars(2), QStep::Attr("Last_Name".into())]);
     }
@@ -509,10 +509,9 @@ mod tests {
 
     #[test]
     fn join_across_variables() {
-        let q = parse_query(
-            "SELECT r FROM References r, References s WHERE r.Referred.RefKey = s.Key",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT r FROM References r, References s WHERE r.Referred.RefKey = s.Key")
+                .unwrap();
         assert_eq!(q.ranges.len(), 2);
         assert_eq!(q.view_of("s"), Some("References"));
         let Some(Cond::Eq(p, RightHand::Path(rhs))) = q.where_ else { panic!() };
@@ -549,10 +548,7 @@ mod tests {
 
     #[test]
     fn plus_closure_step() {
-        let q = parse_query(
-            "SELECT s FROM Sections s WHERE s.Section+.Head = \"intro\"",
-        )
-        .unwrap();
+        let q = parse_query("SELECT s FROM Sections s WHERE s.Section+.Head = \"intro\"").unwrap();
         let Some(Cond::Eq(p, _)) = q.where_ else { panic!() };
         assert_eq!(p.steps[0], QStep::Plus("Section".into()));
         assert_eq!(p.steps[1], QStep::Attr("Head".into()));

@@ -11,7 +11,7 @@
 use qof_db::{eval_path_counted, Database, DbStep, PathCost, Value};
 use qof_grammar::{Grammar, RuleBody};
 
-use crate::translate::{resolve_path, Skeleton, SkOp, TranslateError};
+use crate::translate::{resolve_path, SkOp, Skeleton, TranslateError};
 use crate::{Cond, QStep, RightHand};
 
 /// A compiled path: one step list per derivation alternative.
@@ -231,10 +231,8 @@ mod tests {
     #[test]
     fn repeat_items_compile_to_elements() {
         let g = grammar();
-        let steps: Vec<QStep> = ["Authors", "Name", "Last_Name"]
-            .iter()
-            .map(|s| QStep::Attr(s.to_string()))
-            .collect();
+        let steps: Vec<QStep> =
+            ["Authors", "Name", "Last_Name"].iter().map(|s| QStep::Attr(s.to_string())).collect();
         let compiled = compile_steps(&g, "Entry", &steps).unwrap();
         assert_eq!(
             compiled,
@@ -251,22 +249,16 @@ mod tests {
         let g = grammar();
         let q = parse_query("SELECT r FROM Entries r WHERE r.Authors.Name.Last_Name = \"Chang\"")
             .unwrap();
-        let cc = compile_cond(&g, &|_| Some("Entry".to_owned()), q.where_.as_ref().unwrap())
-            .unwrap();
+        let cc =
+            compile_cond(&g, &|_| Some("Entry".to_owned()), q.where_.as_ref().unwrap()).unwrap();
         let db = Database::new();
         let hit = Value::tuple([
             ("Key", Value::str("k1")),
-            (
-                "Authors",
-                Value::set([Value::tuple([("Last_Name", Value::str("Chang"))])]),
-            ),
+            ("Authors", Value::set([Value::tuple([("Last_Name", Value::str("Chang"))])])),
         ]);
         let miss = Value::tuple([
             ("Key", Value::str("k2")),
-            (
-                "Authors",
-                Value::set([Value::tuple([("Last_Name", Value::str("Milo"))])]),
-            ),
+            ("Authors", Value::set([Value::tuple([("Last_Name", Value::str("Milo"))])])),
         ]);
         let mut cost = PathCost::default();
         assert!(eval_single(&db, "r", &hit, &cc, &mut cost));

@@ -29,7 +29,11 @@ pub struct RigViolation {
 
 impl fmt::Display for RigViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "instance violates RIG: {} directly includes {} but the edge is absent", self.outer, self.inner)
+        write!(
+            f,
+            "instance violates RIG: {} directly includes {} but the edge is absent",
+            self.outer, self.inner
+        )
     }
 }
 
@@ -214,10 +218,7 @@ impl Rig {
         if !self.out[f as usize].contains(&t) {
             return false;
         }
-        self.out[f as usize]
-            .iter()
-            .filter(|&&c| c != t)
-            .all(|&c| !self.reach(c, t, None))
+        self.out[f as usize].iter().filter(|&&c| c != t).all(|&c| !self.reach(c, t, None))
     }
 
     /// The dual of [`Rig::all_paths_start_with_edge`] for projection
@@ -236,11 +237,8 @@ impl Rig {
         // Predecessors of `to` other than `from` must be unreachable from
         // `from` (reachable one would yield a walk ending with a different
         // edge into `to`).
-        (0..self.nodes.len() as u32).all(|c| {
-            c == f
-                || !self.out[c as usize].contains(&t)
-                || !self.reach(f, c, None)
-        })
+        (0..self.nodes.len() as u32)
+            .all(|c| c == f || !self.out[c as usize].contains(&t) || !self.reach(f, c, None))
     }
 
     /// Proposition 3.5(b): every path from `from` to `to` passes through
@@ -268,7 +266,7 @@ impl Rig {
         // Map extents -> names carrying them.
         let mut names_of: BTreeMap<qof_pat::Region, Vec<&str>> = BTreeMap::new();
         for (name, set) in instance.iter() {
-            for r in set.iter() {
+            for r in set {
                 names_of.entry(*r).or_default().push(name);
             }
         }
@@ -304,10 +302,7 @@ impl Rig {
                 out.push_str(&format!("  \"{name}\" [style=filled, fillcolor=lightgrey];\n"));
             }
             for &t in &self.out[i] {
-                out.push_str(&format!(
-                    "  \"{name}\" -> \"{}\";\n",
-                    self.nodes[t as usize]
-                ));
+                out.push_str(&format!("  \"{name}\" -> \"{}\";\n", self.nodes[t as usize]));
             }
         }
         out.push_str("}\n");
@@ -333,7 +328,7 @@ mod tests {
 
     /// The paper's §3.2 BibTeX RIG fragment:
     /// Reference → {Key, Authors, Title, Editors};
-    /// Authors → Name; Editors → Name; Name → {First_Name, Last_Name}.
+    /// Authors → Name; Editors → Name; Name → {`First_Name`, `Last_Name`}.
     fn bib_rig() -> Rig {
         let mut g = Rig::new();
         g.add_edge("Reference", "Key");
@@ -440,7 +435,7 @@ mod tests {
         let g = bib_rig();
         // Zp = {Reference, Key, Last_Name} — §6.1's example.
         let indexed: BTreeSet<String> =
-            ["Reference", "Key", "Last_Name"].iter().map(|s| s.to_string()).collect();
+            ["Reference", "Key", "Last_Name"].iter().map(ToString::to_string).collect();
         let p = g.partial(&indexed);
         assert_eq!(p.node_count(), 3);
         assert!(p.has_edge("Reference", "Key"));
@@ -452,7 +447,7 @@ mod tests {
     fn partial_rig_stops_at_indexed_nodes() {
         let g = bib_rig();
         let indexed: BTreeSet<String> =
-            ["Reference", "Authors", "Last_Name"].iter().map(|s| s.to_string()).collect();
+            ["Reference", "Authors", "Last_Name"].iter().map(ToString::to_string).collect();
         let p = g.partial(&indexed);
         // Reference reaches Last_Name through Editors (not indexed) without
         // passing an indexed node, so the edge exists...

@@ -149,9 +149,8 @@ fn walk(
             let Some(QStep::Attr(a)) = rest.first() else {
                 return Err(TranslateError::VariableAtEnd);
             };
-            let target = grammar
-                .symbol(a)
-                .ok_or_else(|| TranslateError::UnknownSymbol(a.clone()))?;
+            let target =
+                grammar.symbol(a).ok_or_else(|| TranslateError::UnknownSymbol(a.clone()))?;
             let mut next = acc;
             next.names.push(a.clone());
             next.ops.push(match step {
@@ -167,9 +166,8 @@ fn walk(
             // continue from it. Region-wise this is plain inclusion — the
             // nested repetitions of A collapse into one ⊃ (§5.3's
             // transitive-closure claim).
-            let target = grammar
-                .symbol(a)
-                .ok_or_else(|| TranslateError::UnknownSymbol(a.clone()))?;
+            let target =
+                grammar.symbol(a).ok_or_else(|| TranslateError::UnknownSymbol(a.clone()))?;
             let mut next = acc;
             next.names.push(a.clone());
             next.ops.push(SkOp::Closure);
@@ -299,12 +297,9 @@ mod tests {
     #[test]
     fn vars_path_produces_exact_op() {
         let g = bib_grammar();
-        let spec = resolve_path(
-            &g,
-            "Reference",
-            &[QStep::Vars(2), QStep::Attr("Last_Name".into())],
-        )
-        .unwrap();
+        let spec =
+            resolve_path(&g, "Reference", &[QStep::Vars(2), QStep::Attr("Last_Name".into())])
+                .unwrap();
         assert_eq!(spec.alternatives[0].ops, [SkOp::Exact(2)]);
     }
 
@@ -355,11 +350,10 @@ mod tests {
         let g = bib_grammar();
         let full =
             resolve_path(&g, "Reference", &attrs(&["Authors", "Name", "Last_Name"])).unwrap();
-        assert_eq!(filter_paths(&full), vec![vec![
-            "Authors".to_string(),
-            "Name".to_string(),
-            "Last_Name".to_string()
-        ]]);
+        assert_eq!(
+            filter_paths(&full),
+            vec![vec!["Authors".to_string(), "Name".to_string(), "Last_Name".to_string()]]
+        );
         let star = resolve_path(
             &g,
             "Reference",
@@ -384,20 +378,13 @@ mod tests {
             .build()
             .unwrap();
         // Section.Subsections.Section.Head resolves through the cycle.
-        let spec = resolve_path(
-            &g,
-            "Section",
-            &attrs(&["Subsections", "Section", "Head"]),
-        )
-        .unwrap();
+        let spec =
+            resolve_path(&g, "Section", &attrs(&["Subsections", "Section", "Head"])).unwrap();
         assert_eq!(spec.alternatives[0].names, ["Section", "Subsections", "Section", "Head"]);
         // Star over the cycle.
-        let star = resolve_path(
-            &g,
-            "Section",
-            &[QStep::Star("X".into()), QStep::Attr("Head".into())],
-        )
-        .unwrap();
+        let star =
+            resolve_path(&g, "Section", &[QStep::Star("X".into()), QStep::Attr("Head".into())])
+                .unwrap();
         assert_eq!(star.alternatives[0].names, ["Section", "Head"]);
     }
 }

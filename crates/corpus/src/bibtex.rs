@@ -2,10 +2,9 @@
 //! the exact field set of the `Corl82a` entry: AUTHOR, TITLE, BOOKTITLE,
 //! YEAR, EDITOR, PUBLISHER, ADDRESS, PAGES, REFERRED, KEYWORDS, ABSTRACT.
 
+use crate::rng::{Rng, StdRng};
 use qof_db::{ClassDef, TypeDef};
 use qof_grammar::{lit, nt, Grammar, StructuringSchema, TokenPattern, ValueBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 use crate::vocab::{lorem, INITIALS, KEYWORDS, LAST_NAMES};
@@ -104,8 +103,7 @@ impl BibtexTruth {
         self.refs
             .iter()
             .filter(|r| {
-                r.authors.iter().any(|(_, l)| l == name)
-                    || r.editors.iter().any(|(_, l)| l == name)
+                r.authors.iter().any(|(_, l)| l == name) || r.editors.iter().any(|(_, l)| l == name)
             })
             .map(|r| r.key.as_str())
             .collect()
@@ -133,11 +131,7 @@ fn gen_name(rng: &mut StdRng, pool: usize) -> (String, String) {
 }
 
 fn join_names(names: &[(String, String)]) -> String {
-    names
-        .iter()
-        .map(|(f, l)| format!("{f} {l}"))
-        .collect::<Vec<_>>()
-        .join(" and ")
+    names.iter().map(|(f, l)| format!("{f} {l}")).collect::<Vec<_>>().join(" and ")
 }
 
 /// Generates a BibTeX file and its ground truth.
@@ -254,11 +248,25 @@ pub fn schema() -> StructuringSchema {
             ValueBuilder::ObjectAuto("Reference".into()),
         )
         .token("Key", TokenPattern::Word, ValueBuilder::Atom)
-        .repeat_delimited("Authors", "Name", Some(" and "), Some("\""), Some("\""), ValueBuilder::Set)
+        .repeat_delimited(
+            "Authors",
+            "Name",
+            Some(" and "),
+            Some("\""),
+            Some("\""),
+            ValueBuilder::Set,
+        )
         // Editors share the Name non-terminal with Authors — the diamond in
         // the RIG (§3.2) that makes the `⊃ Authors` test necessary and
         // partial indexing approximate.
-        .repeat_delimited("Editors", "Name", Some(" and "), Some("\""), Some("\""), ValueBuilder::Set)
+        .repeat_delimited(
+            "Editors",
+            "Name",
+            Some(" and "),
+            Some("\""),
+            Some("\""),
+            ValueBuilder::Set,
+        )
         .seq("Name", [nt("First_Name"), nt("Last_Name")], ValueBuilder::TupleAuto)
         .token("First_Name", TokenPattern::Initials, ValueBuilder::Atom)
         .token("Last_Name", TokenPattern::Word, ValueBuilder::Atom)
@@ -268,34 +276,46 @@ pub fn schema() -> StructuringSchema {
         .token("Publisher", TokenPattern::Until("\"".into()), ValueBuilder::Atom)
         .token("Address", TokenPattern::Until("\"".into()), ValueBuilder::Atom)
         .token("Pages", TokenPattern::Until("\"".into()), ValueBuilder::Atom)
-        .repeat_delimited("Referred", "RefKey", Some("; "), Some("\""), Some("\""), ValueBuilder::Set)
+        .repeat_delimited(
+            "Referred",
+            "RefKey",
+            Some("; "),
+            Some("\""),
+            Some("\""),
+            ValueBuilder::Set,
+        )
         .token("RefKey", TokenPattern::Word, ValueBuilder::Atom)
-        .repeat_delimited("Keywords", "Keyword", Some("; "), Some("\""), Some("\""), ValueBuilder::Set)
+        .repeat_delimited(
+            "Keywords",
+            "Keyword",
+            Some("; "),
+            Some("\""),
+            Some("\""),
+            ValueBuilder::Set,
+        )
         .token("Keyword", TokenPattern::Until(";\"".into()), ValueBuilder::Atom)
         .token("Abstract", TokenPattern::Until("\"".into()), ValueBuilder::Atom)
         .build()
         .expect("the BibTeX grammar is well-formed");
 
     let name_ty = TypeDef::tuple([("First_Name", TypeDef::Str), ("Last_Name", TypeDef::Str)]);
-    StructuringSchema::new(grammar)
-        .with_view("References", "Reference")
-        .with_class(ClassDef {
-            name: "Reference".into(),
-            ty: TypeDef::tuple([
-                ("Key", TypeDef::Str),
-                ("Authors", TypeDef::set(name_ty.clone())),
-                ("Title", TypeDef::Str),
-                ("Booktitle", TypeDef::Str),
-                ("Year", TypeDef::Str),
-                ("Editors", TypeDef::set(name_ty.clone())),
-                ("Publisher", TypeDef::Str),
-                ("Address", TypeDef::Str),
-                ("Pages", TypeDef::Str),
-                ("Referred", TypeDef::set(TypeDef::Str)),
-                ("Keywords", TypeDef::set(TypeDef::Str)),
-                ("Abstract", TypeDef::Str),
-            ]),
-        })
+    StructuringSchema::new(grammar).with_view("References", "Reference").with_class(ClassDef {
+        name: "Reference".into(),
+        ty: TypeDef::tuple([
+            ("Key", TypeDef::Str),
+            ("Authors", TypeDef::set(name_ty.clone())),
+            ("Title", TypeDef::Str),
+            ("Booktitle", TypeDef::Str),
+            ("Year", TypeDef::Str),
+            ("Editors", TypeDef::set(name_ty.clone())),
+            ("Publisher", TypeDef::Str),
+            ("Address", TypeDef::Str),
+            ("Pages", TypeDef::Str),
+            ("Referred", TypeDef::set(TypeDef::Str)),
+            ("Keywords", TypeDef::set(TypeDef::Str)),
+            ("Abstract", TypeDef::Str),
+        ]),
+    })
 }
 
 #[cfg(test)]

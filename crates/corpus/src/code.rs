@@ -12,10 +12,9 @@
 //! }
 //! ```
 
+use crate::rng::{Rng, StdRng};
 use qof_db::{ClassDef, TypeDef};
 use qof_grammar::{lit, nt, Grammar, StructuringSchema, TokenPattern, ValueBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 use crate::vocab::WORDS;
@@ -93,7 +92,7 @@ fn gen_block(
 ) {
     let n = rng.random_range(cfg.stmts.0..=cfg.stmts.1.max(cfg.stmts.0));
     for _ in 0..n {
-        let nested = depth < cfg.max_depth && rng.random_range(0..100) < cfg.if_percent;
+        let nested = depth < cfg.max_depth && rng.random_range(0..100) < cfg.if_percent as usize;
         if nested {
             out.push_str("if {\n");
             gen_block(rng, cfg, depth + 1, out, &mut Vec::new(), all);

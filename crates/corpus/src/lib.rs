@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # qof-corpus
@@ -19,7 +20,9 @@ pub mod bibtex;
 pub mod code;
 pub mod logs;
 pub mod mail;
+pub mod rng;
 pub mod sgml;
 mod vocab;
 
+pub use rng::{Rng, StdRng};
 pub use vocab::{keyword, last_name, lorem, INITIALS, KEYWORDS, LAST_NAMES, WORDS};

@@ -8,10 +8,9 @@
 //! END
 //! ```
 
+use crate::rng::{Rng, StdRng};
 use qof_db::{ClassDef, TypeDef};
 use qof_grammar::{lit, nt, Grammar, StructuringSchema, TokenPattern, ValueBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 use crate::vocab::{LAST_NAMES, WORDS};
@@ -58,11 +57,7 @@ pub struct LogTruth {
 impl LogTruth {
     /// Ids of sessions belonging to `user`.
     pub fn sessions_of(&self, user: &str) -> Vec<&str> {
-        self.sessions
-            .iter()
-            .filter(|s| s.user == user)
-            .map(|s| s.id.as_str())
-            .collect()
+        self.sessions.iter().filter(|s| s.user == user).map(|s| s.id.as_str()).collect()
     }
 
     /// Ids of sessions containing a request with the given status.
@@ -83,8 +78,8 @@ pub fn generate(cfg: &LogConfig) -> (String, LogTruth) {
     let mut truth = LogTruth::default();
     for i in 0..cfg.n_sessions {
         let id = format!("s{i:06}");
-        let user = LAST_NAMES[rng.random_range(0..cfg.n_users.clamp(1, LAST_NAMES.len()))]
-            .to_lowercase();
+        let user =
+            LAST_NAMES[rng.random_range(0..cfg.n_users.clamp(1, LAST_NAMES.len()))].to_lowercase();
         let _ = writeln!(out, "BEGIN {id} user {user}");
         let n_req = rng.random_range(cfg.requests.0..=cfg.requests.1.max(cfg.requests.0));
         let mut requests = Vec::new();
@@ -95,12 +90,9 @@ pub fn generate(cfg: &LogConfig) -> (String, LogTruth) {
                 WORDS[rng.random_range(0..WORDS.len())],
                 WORDS[rng.random_range(0..WORDS.len())]
             );
-            let status = if rng.random_range(0..100) < cfg.error_percent {
-                "500"
-            } else {
-                "200"
-            }
-            .to_owned();
+            let status =
+                if rng.random_range(0..100) < cfg.error_percent as usize { "500" } else { "200" }
+                    .to_owned();
             let _ = writeln!(out, "{m} {path} {status}");
             requests.push((m, path, status));
         }
@@ -116,24 +108,13 @@ pub fn schema() -> StructuringSchema {
         .repeat("Log", "Session", None, ValueBuilder::Set)
         .seq(
             "Session",
-            [
-                lit("BEGIN"),
-                nt("SessionId"),
-                lit("user"),
-                nt("User"),
-                nt("Requests"),
-                lit("END"),
-            ],
+            [lit("BEGIN"), nt("SessionId"), lit("user"), nt("User"), nt("Requests"), lit("END")],
             ValueBuilder::ObjectAuto("Session".into()),
         )
         .token("SessionId", TokenPattern::Word, ValueBuilder::Atom)
         .token("User", TokenPattern::Word, ValueBuilder::Atom)
         .repeat("Requests", "Request", None, ValueBuilder::Set)
-        .seq(
-            "Request",
-            [nt("Method"), nt("Path"), nt("Status")],
-            ValueBuilder::TupleAuto,
-        )
+        .seq("Request", [nt("Method"), nt("Path"), nt("Status")], ValueBuilder::TupleAuto)
         .token("Method", TokenPattern::Word, ValueBuilder::Atom)
         .token("Path", TokenPattern::Until(" \n".into()), ValueBuilder::Atom)
         .token("Status", TokenPattern::Number, ValueBuilder::Atom)

@@ -2,10 +2,9 @@
 //! introduction lists. A simple mbox-like format: header fields followed by
 //! a body terminated by a lone `.`.
 
+use crate::rng::{Rng, StdRng};
 use qof_db::{ClassDef, TypeDef};
 use qof_grammar::{lit, nt, Grammar, StructuringSchema, TokenPattern, ValueBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 use crate::vocab::{lorem, LAST_NAMES};
@@ -54,12 +53,7 @@ pub struct MailTruth {
 impl MailTruth {
     /// Indices of messages sent by `addr`.
     pub fn from_sender(&self, addr: &str) -> Vec<usize> {
-        self.messages
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.sender == addr)
-            .map(|(i, _)| i)
-            .collect()
+        self.messages.iter().enumerate().filter(|(_, m)| m.sender == addr).map(|(i, _)| i).collect()
     }
 
     /// Indices of messages addressed to `addr`.
@@ -98,11 +92,7 @@ pub fn generate(cfg: &MailConfig) -> (String, MailTruth) {
         }
         let subj_len = 2 + rng.random_range(0..4);
         let subject = lorem(&mut rng, subj_len);
-        let date = format!(
-            "1994-{:02}-{:02}",
-            rng.random_range(1..=12),
-            rng.random_range(1..=28)
-        );
+        let date = format!("1994-{:02}-{:02}", rng.random_range(1..=12), rng.random_range(1..=28));
         let body = lorem(&mut rng, cfg.body_words);
         let _ = write!(
             out,
@@ -171,11 +161,8 @@ mod tests {
     #[test]
     fn truth_indices_match_text_order() {
         let (text, truth) = generate(&MailConfig { n_messages: 10, ..Default::default() });
-        let froms: Vec<&str> = text
-            .lines()
-            .filter(|l| l.starts_with("From "))
-            .map(|l| &l[5..])
-            .collect();
+        let froms: Vec<&str> =
+            text.lines().filter(|l| l.starts_with("From ")).map(|l| &l[5..]).collect();
         assert_eq!(froms.len(), 10);
         for (i, m) in truth.messages.iter().enumerate() {
             assert_eq!(froms[i], m.sender);

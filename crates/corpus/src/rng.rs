@@ -1,0 +1,113 @@
+//! A minimal seeded pseudo-random number generator.
+//!
+//! The corpus generators only need reproducible streams of small integers;
+//! this `SplitMix64` implementation provides them without an external
+//! dependency, keeping the workspace buildable with no network access. The
+//! API mirrors the subset of `rand` the generators used (`StdRng`,
+//! `seed_from_u64`, `random_range`), so generator code reads identically.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Sources of pseudo-random `u64`s, with a derived bounded-integer sampler.
+pub trait Rng {
+    /// The next raw 64-bit value of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed `usize` within `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty, matching `rand`'s contract.
+    fn random_range<R: RangeBounds<usize>>(&mut self, range: R) -> usize {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => {
+                assert!(n > 0, "cannot sample empty range");
+                n - 1
+            }
+            Bound::Unbounded => usize::MAX,
+        };
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = (hi - lo) as u64 + 1;
+        // Modulo bias is negligible for the tiny spans the generators use
+        // (span == 0 encodes the full u64 range).
+        let r = if span == 0 { self.next_u64() } else { self.next_u64() % span };
+        lo + r as usize
+    }
+}
+
+/// The default deterministic generator (`SplitMix64`).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seeds the generator; equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn values_spread_over_the_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.random_range(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5..5);
+    }
+}

@@ -8,10 +8,9 @@
 //! <doc><sec><head>alpha beta</head><p>text…</p><sec>…</sec></sec></doc>
 //! ```
 
+use crate::rng::{Rng, StdRng};
 use qof_db::{ClassDef, TypeDef};
 use qof_grammar::{lit, nt, Grammar, StructuringSchema, TokenPattern, ValueBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::vocab::lorem;
 
@@ -186,12 +185,8 @@ mod tests {
 
     #[test]
     fn nesting_reaches_configured_depth() {
-        let cfg = SgmlConfig {
-            top_sections: 6,
-            max_depth: 4,
-            subsections: (1, 2),
-            ..Default::default()
-        };
+        let cfg =
+            SgmlConfig { top_sections: 6, max_depth: 4, subsections: (1, 2), ..Default::default() };
         let (_, truth) = generate(&cfg);
         assert!(truth.count_at_depth(0) == 6);
         assert!(truth.count_at_depth(3) > 0, "depth 4 config must produce depth-3 sections");

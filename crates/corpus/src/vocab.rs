@@ -1,43 +1,158 @@
 //! Shared word pools: names (including the paper's running examples Chang,
 //! Corliss and Griewank), keywords and a filler vocabulary.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Last names; the first three are the paper's running examples.
 pub const LAST_NAMES: &[&str] = &[
-    "Chang", "Corliss", "Griewank", "Consens", "Milo", "Tompa", "Gonnet", "Abiteboul", "Cluet",
-    "Salminen", "Kilpelainen", "Mannila", "Mendelzon", "Hadzilacos", "Kifer", "Sagiv", "Lamport",
-    "Bancilhon", "Delobel", "Bertino", "Barbara", "Mehrota", "Burkowski", "Schwartz", "Paepcke",
-    "Goldberg", "Nichols", "Terry", "Sethi", "Aho", "Johnson", "Salton", "McGill", "Stamos",
-    "Thomas", "Luniewski", "Bowen", "Gopal", "Herman", "Hickey", "Mansfield", "Raitz", "Weinrib",
-    "Mylopoulos", "Bernstein", "Wong", "Baker", "Rivera", "Okafor", "Nakamura", "Silva", "Kumar",
-    "Novak", "Haddad", "Larsen", "Moreau", "Petrov", "Svensson", "Walsh", "Zhang",
+    "Chang",
+    "Corliss",
+    "Griewank",
+    "Consens",
+    "Milo",
+    "Tompa",
+    "Gonnet",
+    "Abiteboul",
+    "Cluet",
+    "Salminen",
+    "Kilpelainen",
+    "Mannila",
+    "Mendelzon",
+    "Hadzilacos",
+    "Kifer",
+    "Sagiv",
+    "Lamport",
+    "Bancilhon",
+    "Delobel",
+    "Bertino",
+    "Barbara",
+    "Mehrota",
+    "Burkowski",
+    "Schwartz",
+    "Paepcke",
+    "Goldberg",
+    "Nichols",
+    "Terry",
+    "Sethi",
+    "Aho",
+    "Johnson",
+    "Salton",
+    "McGill",
+    "Stamos",
+    "Thomas",
+    "Luniewski",
+    "Bowen",
+    "Gopal",
+    "Herman",
+    "Hickey",
+    "Mansfield",
+    "Raitz",
+    "Weinrib",
+    "Mylopoulos",
+    "Bernstein",
+    "Wong",
+    "Baker",
+    "Rivera",
+    "Okafor",
+    "Nakamura",
+    "Silva",
+    "Kumar",
+    "Novak",
+    "Haddad",
+    "Larsen",
+    "Moreau",
+    "Petrov",
+    "Svensson",
+    "Walsh",
+    "Zhang",
 ];
 
 /// Dotted first-name initials in the style of Figure 1 ("G. F.").
 pub const INITIALS: &[&str] = &[
-    "G. F.", "Y. F.", "A.", "J. R.", "M. P.", "T.", "S.", "F. W.", "P. A.", "H. K.", "D.",
-    "K. C.", "W. H.", "B. M.", "E.", "L.", "R. V.", "C. J.", "N. O.", "V.",
+    "G. F.", "Y. F.", "A.", "J. R.", "M. P.", "T.", "S.", "F. W.", "P. A.", "H. K.", "D.", "K. C.",
+    "W. H.", "B. M.", "E.", "L.", "R. V.", "C. J.", "N. O.", "V.",
 ];
 
 /// Keyword-phrase pool for KEYWORDS fields.
 pub const KEYWORDS: &[&str] = &[
-    "point algorithm", "Taylor series", "radius of convergence", "automatic differentiation",
-    "query optimization", "text indexing", "region algebra", "structuring schema",
-    "object database", "path expression", "inclusion graph", "semi-structured data",
-    "suffix array", "information retrieval", "deductive database", "visual language",
-    "file system", "parser generator", "transitive closure", "partial indexing",
+    "point algorithm",
+    "Taylor series",
+    "radius of convergence",
+    "automatic differentiation",
+    "query optimization",
+    "text indexing",
+    "region algebra",
+    "structuring schema",
+    "object database",
+    "path expression",
+    "inclusion graph",
+    "semi-structured data",
+    "suffix array",
+    "information retrieval",
+    "deductive database",
+    "visual language",
+    "file system",
+    "parser generator",
+    "transitive closure",
+    "partial indexing",
 ];
 
 /// Filler vocabulary for titles, abstracts and message bodies.
 pub const WORDS: &[&str] = &[
-    "solving", "ordinary", "differential", "equations", "using", "series", "automatic",
-    "algorithms", "fortran", "program", "system", "database", "query", "index", "region",
-    "text", "file", "structure", "optimization", "evaluation", "expression", "schema",
-    "grammar", "parse", "tree", "graph", "path", "inclusion", "performance", "analysis",
-    "retrieval", "document", "update", "language", "object", "model", "relation", "engine",
-    "search", "word", "partial", "selective", "candidate", "answer", "scan", "storage",
-    "budget", "review", "meeting", "report", "draft", "deadline", "project", "release",
+    "solving",
+    "ordinary",
+    "differential",
+    "equations",
+    "using",
+    "series",
+    "automatic",
+    "algorithms",
+    "fortran",
+    "program",
+    "system",
+    "database",
+    "query",
+    "index",
+    "region",
+    "text",
+    "file",
+    "structure",
+    "optimization",
+    "evaluation",
+    "expression",
+    "schema",
+    "grammar",
+    "parse",
+    "tree",
+    "graph",
+    "path",
+    "inclusion",
+    "performance",
+    "analysis",
+    "retrieval",
+    "document",
+    "update",
+    "language",
+    "object",
+    "model",
+    "relation",
+    "engine",
+    "search",
+    "word",
+    "partial",
+    "selective",
+    "candidate",
+    "answer",
+    "scan",
+    "storage",
+    "budget",
+    "review",
+    "meeting",
+    "report",
+    "draft",
+    "deadline",
+    "project",
+    "release",
 ];
 
 /// A random last name.
@@ -65,8 +180,7 @@ pub fn lorem<R: Rng>(rng: &mut R, n: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn pools_contain_paper_names() {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # qof-db
@@ -85,14 +86,8 @@ mod join_tests {
     fn hash_join_dedups_multivalued_keys() {
         let db = Database::new();
         // One left row with a set of keys that contains duplicates via join.
-        let l = Value::tuple([(
-            "Ks",
-            Value::Set(vec![Value::str("x"), Value::str("y")]),
-        )]);
-        let r = Value::tuple([(
-            "Ks",
-            Value::Set(vec![Value::str("x"), Value::str("y")]),
-        )]);
+        let l = Value::tuple([("Ks", Value::Set(vec![Value::str("x"), Value::str("y")]))]);
+        let r = Value::tuple([("Ks", Value::Set(vec![Value::str("x"), Value::str("y")]))]);
         let key = vec![DbStep::Field("Ks".into()), DbStep::Elements];
         let mut cost = PathCost::default();
         // Both key sets intersect twice, but the pair must appear once.

@@ -198,7 +198,7 @@ mod tests {
         ])
     }
 
-    fn strs(vs: Vec<&Value>) -> Vec<&str> {
+    fn strs<'a>(vs: &[&'a Value]) -> Vec<&'a str> {
         let mut out: Vec<&str> = vs.iter().filter_map(|v| v.as_str()).collect();
         out.sort();
         out
@@ -211,13 +211,9 @@ mod tests {
         let got = eval_path(
             &db,
             &r,
-            &[
-                DbStep::Field("Authors".into()),
-                DbStep::Elements,
-                DbStep::Field("Last_Name".into()),
-            ],
+            &[DbStep::Field("Authors".into()), DbStep::Elements, DbStep::Field("Last_Name".into())],
         );
-        assert_eq!(strs(got), ["Chang", "Corliss"]);
+        assert_eq!(strs(&got), ["Chang", "Corliss"]);
     }
 
     #[test]
@@ -248,7 +244,7 @@ mod tests {
         let r = reference();
         // r.*X.Last_Name — authors AND editors.
         let got = eval_path(&db, &r, &[DbStep::AnyPath, DbStep::Field("Last_Name".into())]);
-        assert_eq!(strs(got), ["Chang", "Corliss", "Griewank"]);
+        assert_eq!(strs(&got), ["Chang", "Corliss", "Griewank"]);
     }
 
     #[test]
@@ -267,13 +263,13 @@ mod tests {
         // Name tuples sit two hops away (field Authors/Editors, then element
         // entry), exactly like the two regions between Reference and Name.
         let got = eval_path(&db, &r, &[DbStep::Exactly(2), DbStep::Field("Last_Name".into())]);
-        assert_eq!(strs(got), ["Chang", "Corliss", "Griewank"]);
+        assert_eq!(strs(&got), ["Chang", "Corliss", "Griewank"]);
         // One hop lands on the field values (sets/atoms): no Last_Name there.
         let got1 = eval_path(&db, &r, &[DbStep::Exactly(1), DbStep::Field("Last_Name".into())]);
         assert!(got1.is_empty());
         // Three hops are the name atoms themselves.
         let got3 = eval_path(&db, &r, &[DbStep::Exactly(3)]);
-        assert!(strs(got3).contains(&"Chang"));
+        assert!(strs(&got3).contains(&"Chang"));
     }
 
     #[test]
@@ -286,7 +282,7 @@ mod tests {
             &outer,
             &[DbStep::Field("Author".into()), DbStep::Field("Last_Name".into())],
         );
-        assert_eq!(strs(got), ["Milo"]);
+        assert_eq!(strs(&got), ["Milo"]);
     }
 
     #[test]

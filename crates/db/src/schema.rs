@@ -84,9 +84,7 @@ fn validate_at(db: &Database, value: &Value, ty: &TypeDef, at: &str) -> Result<(
         }
         (TypeDef::Tuple(fields), Value::Tuple(m)) => {
             for (k, ft) in fields {
-                let v = m
-                    .get(k)
-                    .ok_or_else(|| err(at, format!("missing field `{k}`")))?;
+                let v = m.get(k).ok_or_else(|| err(at, format!("missing field `{k}`")))?;
                 validate_at(db, v, ft, &format!("{at}.{k}"))?;
             }
             Ok(())
@@ -119,10 +117,7 @@ mod tests {
     #[test]
     fn validates_the_paper_reference_type() {
         let db = Database::new();
-        let ty = TypeDef::tuple([
-            ("Key", TypeDef::Str),
-            ("Authors", TypeDef::set(name_type())),
-        ]);
+        let ty = TypeDef::tuple([("Key", TypeDef::Str), ("Authors", TypeDef::set(name_type()))]);
         let good = Value::tuple([
             ("Key", Value::str("Corl82a")),
             (

@@ -62,7 +62,7 @@ impl Database {
 
     /// All objects of a class, in creation order.
     pub fn extent(&self, class: &str) -> &[Oid] {
-        self.extents.get(class).map(Vec::as_slice).unwrap_or(&[])
+        self.extents.get(class).map_or(&[], Vec::as_slice)
     }
 
     /// Class names with a non-empty extent.
@@ -104,10 +104,7 @@ mod tests {
     #[test]
     fn stats_count_nodes() {
         let mut db = Database::new();
-        db.new_object(
-            "R",
-            Value::tuple([("A", Value::set([Value::str("x"), Value::str("y")]))]),
-        );
+        db.new_object("R", Value::tuple([("A", Value::set([Value::str("x"), Value::str("y")]))]));
         let s = db.stats();
         assert_eq!(s.objects_created, 1);
         assert_eq!(s.value_nodes, 4);

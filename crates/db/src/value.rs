@@ -130,10 +130,7 @@ mod tests {
 
     #[test]
     fn constructors_and_accessors() {
-        let v = Value::tuple([
-            ("Year", Value::str("1982")),
-            ("Pages", Value::Int(30)),
-        ]);
+        let v = Value::tuple([("Year", Value::str("1982")), ("Pages", Value::Int(30))]);
         assert_eq!(v.field("Year").unwrap().as_str(), Some("1982"));
         assert_eq!(v.field("Pages").unwrap().as_int(), Some(30));
         assert!(v.field("Nope").is_none());

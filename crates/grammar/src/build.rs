@@ -129,8 +129,10 @@ fn build_inner(
             for c in &node.children {
                 let name = grammar.name(c.symbol);
                 if filter.keep_all {
-                    fields
-                        .insert(name.to_owned(), build_inner(c, grammar, text, db, &PathFilter::all()));
+                    fields.insert(
+                        name.to_owned(),
+                        build_inner(c, grammar, text, db, &PathFilter::all()),
+                    );
                 } else if let Some(sub) = filter.child(name) {
                     fields.insert(name.to_owned(), build_inner(c, grammar, text, db, sub));
                 }
@@ -221,7 +223,10 @@ mod tests {
         let filter = PathFilter::from_paths(&[vec!["Entry", "Key"]]);
         build_value_filtered(&tree, &g, text, &mut lean_db, &filter);
         let lean_nodes = lean_db.stats().value_nodes;
-        assert!(lean_nodes < full_nodes, "push-down must build fewer nodes: {lean_nodes} vs {full_nodes}");
+        assert!(
+            lean_nodes < full_nodes,
+            "push-down must build fewer nodes: {lean_nodes} vs {full_nodes}"
+        );
 
         let oid = lean_db.extent("Entry")[0];
         let obj = lean_db.deref(oid).unwrap();

@@ -29,11 +29,7 @@ impl IndexSpec {
 
     /// Index only the given non-terminals (partial indexing, §6).
     pub fn names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
-        Self {
-            all: false,
-            names: names.into_iter().map(Into::into).collect(),
-            ..Self::default()
-        }
+        Self { all: false, names: names.into_iter().map(Into::into).collect(), ..Self::default() }
     }
 
     /// Additionally index `name`, but only where it occurs inside a `scope`

@@ -215,6 +215,58 @@ impl Grammar {
             RuleBody::Token(_) => Vec::new(),
         }
     }
+
+    /// The symbols reachable from the root by following rule right-hand
+    /// sides. A symbol outside this set can never occur in a derivation, so
+    /// its regions never appear in any file — static analysis flags it.
+    pub fn reachable_symbols(&self) -> std::collections::BTreeSet<SymbolId> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![self.root()];
+        while let Some(s) = stack.pop() {
+            if seen.insert(s) {
+                stack.extend(self.children_of(s));
+            }
+        }
+        seen
+    }
+
+    /// The symbols that can match the **empty string**. Zero-width regions
+    /// cannot be ordered in the region forest, so nullable non-terminals
+    /// break the nesting analysis the optimizer relies on:
+    ///
+    /// * a `Repeat` with no opening/closing literal is nullable (zero
+    ///   items produce nothing);
+    /// * a `Seq` is nullable iff it has no literals and every child is;
+    /// * a `Choice` is nullable iff some alternative is;
+    /// * tokens always consume at least one character.
+    pub fn nullable_symbols(&self) -> std::collections::BTreeSet<SymbolId> {
+        let mut nullable = std::collections::BTreeSet::new();
+        // Fixpoint: nullability only ever grows, the lattice is finite.
+        loop {
+            let mut changed = false;
+            for (id, _) in self.symbols() {
+                if nullable.contains(&id) {
+                    continue;
+                }
+                let is_null = match &self.rule(id).body {
+                    RuleBody::Repeat { open, close, .. } => open.is_none() && close.is_none(),
+                    RuleBody::Seq(terms) => terms.iter().all(|t| match t {
+                        Term::Lit(_) => false,
+                        Term::NonTerm(s) => nullable.contains(s),
+                    }),
+                    RuleBody::Choice(alts) => alts.iter().any(|s| nullable.contains(s)),
+                    RuleBody::Token(_) => false,
+                };
+                if is_null {
+                    nullable.insert(id);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return nullable;
+            }
+        }
+    }
 }
 
 /// Builder accumulating rules by name; `build()` interns and validates.
@@ -277,13 +329,7 @@ impl GrammarBuilder {
     }
 
     /// `head → item*` (optionally `sep`-separated) with the annotation.
-    pub fn repeat(
-        self,
-        head: &str,
-        item: &str,
-        sep: Option<&str>,
-        builder: ValueBuilder,
-    ) -> Self {
+    pub fn repeat(self, head: &str, item: &str, sep: Option<&str>, builder: ValueBuilder) -> Self {
         self.repeat_delimited(head, item, sep, None, None, builder)
     }
 
@@ -470,10 +516,8 @@ mod tests {
 
     #[test]
     fn missing_rule_detected() {
-        let e = Grammar::builder("S")
-            .seq("S", [nt("Ghost")], ValueBuilder::Child)
-            .build()
-            .unwrap_err();
+        let e =
+            Grammar::builder("S").seq("S", [nt("Ghost")], ValueBuilder::Child).build().unwrap_err();
         assert_eq!(e, GrammarError::MissingRule("Ghost".into()));
     }
 

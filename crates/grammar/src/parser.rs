@@ -263,7 +263,9 @@ impl<'a> Parser<'a> {
                 loop {
                     if e + 1 < lim && bytes[e].is_ascii_uppercase() && bytes[e + 1] == b'.' {
                         e += 2;
-                        if e < lim && bytes[e] == b' ' && e + 2 < lim
+                        if e < lim
+                            && bytes[e] == b' '
+                            && e + 2 < lim
                             && bytes[e + 1].is_ascii_uppercase()
                             && bytes[e + 2] == b'.'
                         {
@@ -301,10 +303,7 @@ impl<'a> Parser<'a> {
                 expected: format!("{} token ({pattern:?})", self.grammar.name(symbol)),
             });
         }
-        Ok((
-            ParseNode { symbol, span: start..end as Pos, children: Vec::new() },
-            end as Pos,
-        ))
+        Ok((ParseNode { symbol, span: start..end as Pos, children: Vec::new() }, end as Pos))
     }
 }
 
@@ -389,10 +388,7 @@ mod tests {
         let p = Parser::new(&g, text);
         let tree = p.parse_root(0..text.len() as Pos).unwrap();
         let body = &tree.children[0];
-        assert_eq!(
-            &text[body.span.start as usize..body.span.end as usize],
-            "Solving Equations"
-        );
+        assert_eq!(&text[body.span.start as usize..body.span.end as usize], "Solving Equations");
     }
 
     #[test]

@@ -37,11 +37,8 @@ fn render(
     let _ = write!(out, "{}{name}{mark}", "  ".repeat(depth));
     if node.children.is_empty() {
         let t = &text[node.span.start as usize..node.span.end as usize];
-        let short: String = if t.len() > 32 {
-            format!("{}…", &t[..31.min(t.len())])
-        } else {
-            t.to_owned()
-        };
+        let short: String =
+            if t.len() > 32 { format!("{}…", &t[..31.min(t.len())]) } else { t.to_owned() };
         let _ = writeln!(out, " = {short:?}");
     } else {
         let _ = writeln!(out, " [{}, {})", node.span.start, node.span.end);

@@ -94,11 +94,7 @@ pub fn direct_included_in(r: &RegionSet, s: &RegionSet, forest: &UniverseForest)
 ///
 /// where `T` ranges over the indexed regions and the two inner inclusion
 /// tests are strict (the formal betweenness condition `r ⊐ t ⊐ s`).
-pub fn direct_including_layered(
-    r: &RegionSet,
-    s: &RegionSet,
-    universe: &RegionSet,
-) -> RegionSet {
+pub fn direct_including_layered(r: &RegionSet, s: &RegionSet, universe: &RegionSet) -> RegionSet {
     let mut layer = r.outermost();
     let mut rest = r.difference(&layer);
     let mut result = RegionSet::new();
@@ -114,11 +110,7 @@ pub fn direct_including_layered(
 
 /// Layered program for `R ⊂d S`, the dual of [`direct_including_layered`]:
 /// peels `S` layer by layer and collects the `R` regions directly included.
-pub fn direct_included_in_layered(
-    r: &RegionSet,
-    s: &RegionSet,
-    universe: &RegionSet,
-) -> RegionSet {
+pub fn direct_included_in_layered(r: &RegionSet, s: &RegionSet, universe: &RegionSet) -> RegionSet {
     let mut layer = s.outermost();
     let mut rest = s.difference(&layer);
     let mut result = RegionSet::new();
@@ -138,9 +130,7 @@ pub fn direct_including_naive(r: &RegionSet, s: &RegionSet, universe: &RegionSet
         .filter(|x| {
             s.iter().any(|y| {
                 x.includes(y)
-                    && !universe
-                        .iter()
-                        .any(|t| x.strictly_includes(t) && t.strictly_includes(y))
+                    && !universe.iter().any(|t| x.strictly_includes(t) && t.strictly_includes(y))
             })
         })
         .copied()
@@ -153,9 +143,7 @@ pub fn direct_included_in_naive(r: &RegionSet, s: &RegionSet, universe: &RegionS
         .filter(|x| {
             s.iter().any(|y| {
                 y.includes(x)
-                    && !universe
-                        .iter()
-                        .any(|t| y.strictly_includes(t) && t.strictly_includes(x))
+                    && !universe.iter().any(|t| y.strictly_includes(t) && t.strictly_includes(x))
             })
         })
         .copied()
@@ -175,15 +163,7 @@ mod tests {
     /// Reference [0,100) ⊃ Authors [10,40) ⊃ Name [12,30) ⊃ Last [20,28)
     ///                   ⊃ Editors [50,80) ⊃ Name [52,70) ⊃ Last [60,68)
     fn bib() -> (RegionSet, UniverseForest) {
-        let u = rs(&[
-            (0, 100),
-            (10, 40),
-            (12, 30),
-            (20, 28),
-            (50, 80),
-            (52, 70),
-            (60, 68),
-        ]);
+        let u = rs(&[(0, 100), (10, 40), (12, 30), (20, 28), (50, 80), (52, 70), (60, 68)]);
         let f = UniverseForest::build(&u);
         (u, f)
     }

@@ -236,10 +236,7 @@ impl<'a> Engine<'a> {
     }
 
     fn name_set(&self, n: &str) -> Result<RegionSet, EvalError> {
-        self.instance
-            .get(n)
-            .cloned()
-            .ok_or_else(|| EvalError::UnknownName(n.to_owned()))
+        self.instance.get(n).cloned().ok_or_else(|| EvalError::UnknownName(n.to_owned()))
     }
 
     fn eval_uncached(
@@ -383,7 +380,7 @@ fn near(left: &RegionSet, right: &RegionSet, gap: u32) -> RegionSet {
     let rights = right.as_slice();
     let starts: Vec<Pos> = rights.iter().map(|r| r.start).collect();
     let mut out = Vec::new();
-    for l in left.iter() {
+    for l in left {
         // Right regions starting in [l.end, l.end + gap].
         let lo = starts.partition_point(|&s| s < l.end);
         for r in &rights[lo..] {
@@ -454,10 +451,7 @@ mod tests {
             "Authors",
             RegionSet::from_regions(vec![Region::new(0, 15), Region::new(34, 51)]),
         );
-        inst.insert(
-            "Editors",
-            RegionSet::from_regions(vec![Region::new(17, 33)]),
-        );
+        inst.insert("Editors", RegionSet::from_regions(vec![Region::new(17, 33)]));
         inst.insert(
             "Last_Name",
             RegionSet::from_regions(vec![
@@ -494,8 +488,7 @@ mod tests {
         let eng = Engine::new(&c, &w, &i);
         // Reference ⊃ Authors ⊃ σ_"Chang"(Last_Name)
         let e = RegionExpr::name("Reference").including(
-            RegionExpr::name("Authors")
-                .including(RegionExpr::name("Last_Name").select_eq("Chang")),
+            RegionExpr::name("Authors").including(RegionExpr::name("Last_Name").select_eq("Chang")),
         );
         let s = eng.eval(&e).unwrap();
         assert_eq!(s.as_slice(), &[Region::new(0, 33)]);
@@ -525,8 +518,7 @@ mod tests {
         let eng = Engine::new(&c, &w, &i);
         let eq = eng.eval(&RegionExpr::name("Authors").select_eq("Chang")).unwrap();
         assert!(eq.is_empty(), "no Authors region IS the word Chang");
-        let contains =
-            eng.eval(&RegionExpr::name("Authors").select_contains("Chang")).unwrap();
+        let contains = eng.eval(&RegionExpr::name("Authors").select_contains("Chang")).unwrap();
         assert_eq!(contains.as_slice(), &[Region::new(0, 15)]);
     }
 
@@ -535,8 +527,7 @@ mod tests {
         let (c, w, i) = fixture();
         let eng = Engine::new(&c, &w, &i);
         // Reference ⊃d Last_Name fails where Authors/Editors intervene.
-        let e = RegionExpr::name("Reference")
-            .direct_including(RegionExpr::name("Last_Name"));
+        let e = RegionExpr::name("Reference").direct_including(RegionExpr::name("Last_Name"));
         let s = eng.eval(&e).unwrap();
         assert!(s.is_empty());
         let e2 = RegionExpr::name("Authors").direct_including(RegionExpr::name("Last_Name"));
@@ -651,13 +642,9 @@ mod tests {
             RegionSet::from_regions(vec![Region::new(11, 26), Region::new(28, 41)]),
         );
         let eng = Engine::new(&corpus, &words, &inst);
-        let hit = eng
-            .eval(&RegionExpr::name("Keyword").select_eq("point algorithm"))
-            .unwrap();
+        let hit = eng.eval(&RegionExpr::name("Keyword").select_eq("point algorithm")).unwrap();
         assert_eq!(hit.as_slice(), &[Region::new(11, 26)]);
-        let miss = eng
-            .eval(&RegionExpr::name("Keyword").select_eq("point series"))
-            .unwrap();
+        let miss = eng.eval(&RegionExpr::name("Keyword").select_eq("point series")).unwrap();
         assert!(miss.is_empty());
         // Alignment resolves through the word index; only the final
         // separator verification touches text (one constant-length check

@@ -35,7 +35,7 @@ pub enum RegionExpr {
     Intersect(Box<RegionExpr>, Box<RegionExpr>),
     /// `e − e`.
     Difference(Box<RegionExpr>, Box<RegionExpr>),
-    /// `σ_w(e)`: regions that are exactly the word `w` ("a Last_Name region
+    /// `σ_w(e)`: regions that are exactly the word `w` ("a `Last_Name` region
     /// that *is* the word Chang").
     SelectEq(Box<RegionExpr>, String),
     /// Regions containing at least one occurrence of the word.
@@ -212,8 +212,7 @@ impl RegionExpr {
                     walk(a, out);
                     walk(b, out);
                 }
-                NestedExactly { outer, inner, .. }
-                | Near { left: outer, right: inner, .. } => {
+                NestedExactly { outer, inner, .. } | Near { left: outer, right: inner, .. } => {
                     walk(outer, out);
                     walk(inner, out);
                 }
@@ -262,7 +261,10 @@ impl fmt::Display for Chain<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use RegionExpr::*;
         match self.0 {
-            Including(..) | IncludedIn(..) | DirectIncluding(..) | DirectIncludedIn(..)
+            Including(..)
+            | IncludedIn(..)
+            | DirectIncluding(..)
+            | DirectIncludedIn(..)
             | NestedExactly { .. } => write!(f, "({})", self.0),
             other => write!(f, "{other}"),
         }
@@ -277,8 +279,7 @@ mod tests {
     fn paper_example_displays_like_the_paper() {
         // e2 = Reference ⊃ Authors ⊃ σ_"Chang"(Last_Name)
         let e = RegionExpr::name("Reference").including(
-            RegionExpr::name("Authors")
-                .including(RegionExpr::name("Last_Name").select_eq("Chang")),
+            RegionExpr::name("Authors").including(RegionExpr::name("Last_Name").select_eq("Chang")),
         );
         assert_eq!(e.to_string(), "Reference ⊃ Authors ⊃ σ_\"Chang\"(Last_Name)");
     }
@@ -291,18 +292,14 @@ mod tests {
                     .direct_including(RegionExpr::name("Last_Name").select_eq("Chang")),
             ),
         );
-        assert_eq!(
-            e.to_string(),
-            "Reference ⊃d Authors ⊃d Name ⊃d σ_\"Chang\"(Last_Name)"
-        );
+        assert_eq!(e.to_string(), "Reference ⊃d Authors ⊃d Name ⊃d σ_\"Chang\"(Last_Name)");
         assert_eq!(e.size(), 8);
     }
 
     #[test]
     fn left_nested_chain_gets_parens() {
-        let e = RegionExpr::name("A")
-            .including(RegionExpr::name("B"))
-            .including(RegionExpr::name("C"));
+        let e =
+            RegionExpr::name("A").including(RegionExpr::name("B")).including(RegionExpr::name("C"));
         assert_eq!(e.to_string(), "(A ⊃ B) ⊃ C");
     }
 
@@ -311,8 +308,7 @@ mod tests {
         // (Reference ⊃ Authors ⊃ σ_"Chang"(Last_Name)) ∪
         // (Reference ⊃ Editors ⊃ σ_"Corliss"(Last_Name))
         let chang = RegionExpr::name("Reference").including(
-            RegionExpr::name("Authors")
-                .including(RegionExpr::name("Last_Name").select_eq("Chang")),
+            RegionExpr::name("Authors").including(RegionExpr::name("Last_Name").select_eq("Chang")),
         );
         let corliss = RegionExpr::name("Reference").including(
             RegionExpr::name("Editors")

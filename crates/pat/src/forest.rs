@@ -120,7 +120,7 @@ impl UniverseForest {
         // stack; each query is answered from the stack.
         let mut stack: Vec<Region> = Vec::new();
         let mut ui = 0usize;
-        for q in query.iter() {
+        for q in query {
             // Push universe regions that come before q in canonical order
             // (ties: universe first, since an equal-extents universe region
             // must be on the stack when q is answered).

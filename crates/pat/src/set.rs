@@ -367,10 +367,7 @@ mod tests {
         let refs = rs(&[(0, 100), (100, 200)]);
         assert_eq!(names.included_in(&refs), rs(&[(10, 20), (110, 120)]));
         assert!(rs(&[(5, 10)]).strictly_included_in(&rs(&[(5, 10)])).is_empty());
-        assert_eq!(
-            rs(&[(5, 10)]).strictly_included_in(&rs(&[(5, 10), (0, 50)])),
-            rs(&[(5, 10)])
-        );
+        assert_eq!(rs(&[(5, 10)]).strictly_included_in(&rs(&[(5, 10), (0, 50)])), rs(&[(5, 10)]));
     }
 
     #[test]

@@ -1,0 +1,2 @@
+//! Empty library target; the crate exists for its `tests/` directory.
+//! See `Cargo.toml` for why it sits outside the workspace.

@@ -18,8 +18,7 @@ impl SuffixArray {
     /// word starts (per `tokenizer`).
     pub fn build(corpus: &Corpus, tokenizer: &Tokenizer) -> Self {
         let text = corpus.text();
-        let mut sorted: Vec<Pos> =
-            tokenizer.tokenize(text, 0).map(|t| t.span.start).collect();
+        let mut sorted: Vec<Pos> = tokenizer.tokenize(text, 0).map(|t| t.span.start).collect();
         sorted.sort_unstable_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
         Self { sorted }
     }
@@ -39,7 +38,8 @@ impl SuffixArray {
     pub fn prefix_positions(&self, corpus: &Corpus, prefix: &str) -> Vec<Pos> {
         let text = corpus.text();
         let lo = self.sorted.partition_point(|&p| &text[p as usize..] < prefix);
-        let hi = self.sorted[lo..].partition_point(|&p| text[p as usize..].starts_with(prefix)) + lo;
+        let hi =
+            self.sorted[lo..].partition_point(|&p| text[p as usize..].starts_with(prefix)) + lo;
         let mut out: Vec<Pos> = self.sorted[lo..hi].to_vec();
         out.sort_unstable();
         out

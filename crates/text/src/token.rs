@@ -18,13 +18,11 @@ pub struct Token<'a> {
 /// (e.g. `-` or `_`) can be admitted. Matching can be case-folded, in which
 /// case the index stores lowercase keys while spans always refer to the
 /// original text.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Tokenizer {
     extra: Vec<char>,
     case_fold: bool,
 }
-
 
 impl Tokenizer {
     /// Case-sensitive ASCII-alphanumeric tokenizer (the default).
@@ -64,7 +62,11 @@ impl Tokenizer {
 
     /// Iterates over the tokens of `text`, with spans offset by `base`
     /// (the position of `text` within the global corpus).
-    pub fn tokenize<'a>(&'a self, text: &'a str, base: Pos) -> impl Iterator<Item = Token<'a>> + 'a {
+    pub fn tokenize<'a>(
+        &'a self,
+        text: &'a str,
+        base: Pos,
+    ) -> impl Iterator<Item = Token<'a>> + 'a {
         TokenIter { tok: self, text, base, at: 0 }
     }
 }
@@ -109,7 +111,10 @@ mod tests {
     #[test]
     fn basic_words() {
         let t = Tokenizer::new();
-        assert_eq!(words(&t, "G. F. Corliss and Y. F. Chang"), ["G", "F", "Corliss", "and", "Y", "F", "Chang"]);
+        assert_eq!(
+            words(&t, "G. F. Corliss and Y. F. Chang"),
+            ["G", "F", "Corliss", "and", "Y", "F", "Chang"]
+        );
     }
 
     #[test]

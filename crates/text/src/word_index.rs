@@ -7,7 +7,6 @@ use std::collections::HashMap;
 
 use crate::{Corpus, Pos, Span, Tokenizer};
 
-
 /// Aggregate statistics about a built [`WordIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WordStats {
@@ -87,7 +86,7 @@ impl WordIndex {
     pub fn positions(&self, word: &str) -> &[Pos] {
         let key: std::borrow::Cow<'_, str> =
             if self.case_fold { word.to_lowercase().into() } else { word.into() };
-        self.map.get(key.as_ref()).map(Vec::as_slice).unwrap_or(&[])
+        self.map.get(key.as_ref()).map_or(&[], Vec::as_slice)
     }
 
     /// Whether the index has at least one posting for `word`.
@@ -103,7 +102,7 @@ impl WordIndex {
     /// Index statistics, used by the index-size/performance tradeoff
     /// experiments (E9).
     pub fn stats(&self) -> WordStats {
-        let key_bytes: usize = self.map.keys().map(|k| k.len()).sum();
+        let key_bytes: usize = self.map.keys().map(std::string::String::len).sum();
         WordStats {
             distinct_words: self.map.len(),
             postings: self.postings,

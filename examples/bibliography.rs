@@ -45,7 +45,11 @@ fn main() {
     let q = "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"";
     let exact = full.query(q).unwrap();
     println!("\n=== full indexing ===");
-    println!("answers: {} (exact through the index: {})", exact.values.len(), exact.stats.exact_index);
+    println!(
+        "answers: {} (exact through the index: {})",
+        exact.values.len(),
+        exact.stats.exact_index
+    );
     println!("bytes parsed: {} of {}", exact.stats.parse.bytes_scanned, corpus.len());
 
     // --- §6: partial indexing Zp = {Reference, Key, Last_Name}. ---

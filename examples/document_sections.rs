@@ -30,17 +30,12 @@ fn main() {
     println!("--- parse tree (depth ≤ 4, Section/Head highlighted) ---");
     print!("{}", render_tree(&tree, &schema.grammar, &text, &["Section", "Head"], 4));
 
-    let fdb =
-        FileDatabase::build(Corpus::from_text(&text), schema, IndexSpec::full()).unwrap();
+    let fdb = FileDatabase::build(Corpus::from_text(&text), schema, IndexSpec::full()).unwrap();
     println!("\n--- the cyclic RIG ---");
     print!("{}", fdb.full_rig());
 
     // A deep head, then the *X ancestor query.
-    let deep = truth
-        .sections
-        .iter()
-        .find(|s| s.depth >= 2)
-        .expect("config produces nesting");
+    let deep = truth.sections.iter().find(|s| s.depth >= 2).expect("config produces nesting");
     println!("\ndeep section: {:?} at depth {}", deep.head, deep.depth);
 
     let q = format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{}\"", deep.head);
@@ -54,13 +49,7 @@ fn main() {
     println!("region-algebra work: {}", res.stats.eval);
 
     // Fixed-depth variables: heads exactly two levels down.
-    let two_down = fdb
-        .query("SELECT s.Subsections.Section.Head FROM Sections s")
-        .unwrap();
+    let two_down = fdb.query("SELECT s.Subsections.Section.Head FROM Sections s").unwrap();
     println!("\ndistinct child-section heads: {}", two_down.values.len());
-    println!(
-        "sections total {} across depths 0..{}",
-        truth.sections.len(),
-        cfg.max_depth
-    );
+    println!("sections total {} across depths 0..{}", truth.sections.len(), cfg.max_depth);
 }

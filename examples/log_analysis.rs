@@ -55,7 +55,8 @@ fn main() {
 
     // Per-user activity via projection.
     let user = &truth.sessions[0].user;
-    let q_user = format!("SELECT s.Requests.Request.Path FROM Sessions s WHERE s.User = \"{user}\"");
+    let q_user =
+        format!("SELECT s.Requests.Request.Path FROM Sessions s WHERE s.User = \"{user}\"");
     let paths = full.query(&q_user).unwrap();
     println!("\npaths requested by {user}: {} distinct", paths.values.len());
     for v in paths.values.iter().take(5) {

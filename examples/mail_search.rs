@@ -19,15 +19,14 @@ fn main() {
         println!("{line}");
     }
 
-    let fdb = FileDatabase::build(Corpus::from_text(&text), mail::schema(), IndexSpec::full())
-        .unwrap();
+    let fdb =
+        FileDatabase::build(Corpus::from_text(&text), mail::schema(), IndexSpec::full()).unwrap();
 
     // Messages from a sender: the address "x@example.org" is not a single
     // word; the engine aligns its word runs through the index.
     let sender = &truth.messages[0].sender;
-    let res = fdb
-        .query(&format!("SELECT m FROM Messages m WHERE m.Sender = \"{sender}\""))
-        .unwrap();
+    let res =
+        fdb.query(&format!("SELECT m FROM Messages m WHERE m.Sender = \"{sender}\"")).unwrap();
     println!(
         "\nmessages from {sender}: {} (truth: {})",
         res.values.len(),
@@ -47,9 +46,8 @@ fn main() {
 
     // Subjects on a given day — a projection with a date constant.
     let date = &truth.messages[0].date;
-    let res = fdb
-        .query(&format!("SELECT m.Subject FROM Messages m WHERE m.Date = \"{date}\""))
-        .unwrap();
+    let res =
+        fdb.query(&format!("SELECT m.Subject FROM Messages m WHERE m.Date = \"{date}\"")).unwrap();
     println!("\nsubjects on {date}:");
     for v in res.values.iter().take(5) {
         println!("  {}", v.as_str().unwrap_or("?"));

@@ -17,7 +17,7 @@ use std::process::ExitCode;
 use qof::corpus::{bibtex, code, logs, mail, sgml};
 use qof::grammar::{IndexSpec, StructuringSchema};
 use qof::text::{Corpus, CorpusBuilder};
-use qof::{advise, parse_query, FileDatabase, Rig};
+use qof::{advise, parse_query, FileDatabase, Rig, Severity};
 
 fn schema_by_name(name: &str) -> Option<StructuringSchema> {
     Some(match name {
@@ -35,9 +35,7 @@ fn generate_by_name(name: &str, count: usize) -> Option<String> {
         "bibtex" => bibtex::generate(&bibtex::BibtexConfig::with_refs(count)).0,
         "mail" => mail::generate(&mail::MailConfig { n_messages: count, ..Default::default() }).0,
         "logs" => logs::generate(&logs::LogConfig { n_sessions: count, ..Default::default() }).0,
-        "sgml" => {
-            sgml::generate(&sgml::SgmlConfig { top_sections: count, ..Default::default() }).0
-        }
+        "sgml" => sgml::generate(&sgml::SgmlConfig { top_sections: count, ..Default::default() }).0,
         "code" => code::generate(&code::CodeConfig { n_functions: count, ..Default::default() }).0,
         _ => return None,
     })
@@ -50,7 +48,8 @@ fn usage() -> ExitCode {
          qof rig <schema> [indexed,names]\n  \
          qof query   <schema> [--index A,B,C] <file>... <query>\n  \
          qof explain <schema> [--index A,B,C] <file>... <query>\n  \
-         qof advise  <schema> <query>...\n\
+         qof advise  <schema> <query>...\n  \
+         qof check   <schema> [--index A,B,C] [<query>...]\n\
          schemas: bibtex mail logs sgml code"
     );
     ExitCode::from(2)
@@ -59,8 +58,7 @@ fn usage() -> ExitCode {
 fn load_corpus(files: &[String]) -> Result<Corpus, String> {
     let mut b = CorpusBuilder::new();
     for f in files {
-        let contents =
-            std::fs::read_to_string(f).map_err(|e| format!("cannot read `{f}`: {e}"))?;
+        let contents = std::fs::read_to_string(f).map_err(|e| format!("cannot read `{f}`: {e}"))?;
         b.add_file(f.clone(), &contents);
     }
     Ok(b.build())
@@ -97,8 +95,7 @@ fn run() -> Result<ExitCode, String> {
         }
         "rig" => {
             let Some(name) = args.get(1) else { return Ok(usage()) };
-            let schema =
-                schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
+            let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
             let full = Rig::from_grammar(&schema.grammar);
             match args.get(2) {
                 None => print!("{full}"),
@@ -111,8 +108,7 @@ fn run() -> Result<ExitCode, String> {
         }
         "query" | "explain" => {
             let Some(name) = args.get(1) else { return Ok(usage()) };
-            let schema =
-                schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
+            let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
             let mut rest: Vec<String> = args[2..].to_vec();
             let mut index: Option<String> = None;
             if rest.first().map(String::as_str) == Some("--index") {
@@ -144,10 +140,52 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        "check" => {
+            let Some(name) = args.get(1) else { return Ok(usage()) };
+            let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let mut index: Option<String> = None;
+            if rest.first().map(String::as_str) == Some("--index") {
+                if rest.len() < 2 {
+                    return Ok(usage());
+                }
+                index = Some(rest[1].clone());
+                rest.drain(..2);
+            }
+            let spec = match index.as_deref() {
+                None => IndexSpec::full(),
+                Some(names) => IndexSpec::names(names.split(',').map(str::trim)),
+            };
+            // Schema- and index-level lints need no file at all.
+            let mut diags = qof::check_schema(&schema);
+            diags.extend(qof::check_index(&schema, &spec));
+            for d in &diags {
+                print!("{}", d.render(None));
+            }
+            let mut has_error = diags.iter().any(|d| d.severity == Severity::Error);
+            // Query lints run against a tiny generated corpus: the planner
+            // needs an index instance, but never reads file content.
+            if !rest.is_empty() {
+                let text = generate_by_name(name, 3).expect("known schema");
+                let db = FileDatabase::build(Corpus::from_text(&text), schema, spec)
+                    .map_err(|e| e.to_string())?;
+                for query in &rest {
+                    let qd = db.check(query);
+                    println!("-- {query}");
+                    for d in &qd {
+                        print!("{}", d.render(Some(query)));
+                    }
+                    if qd.is_empty() {
+                        println!("clean");
+                    }
+                    has_error |= qd.iter().any(|d| d.severity == Severity::Error);
+                }
+            }
+            Ok(if has_error { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+        }
         "advise" => {
             let Some(name) = args.get(1) else { return Ok(usage()) };
-            let schema =
-                schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
+            let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
             let queries: Vec<_> = args[2..]
                 .iter()
                 .map(|q| parse_query(q).map_err(|e| e.to_string()))

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bibtex_end_to_end-bed6739bd3736d0d.d: tests/bibtex_end_to_end.rs
+
+/root/repo/target/debug/deps/bibtex_end_to_end-bed6739bd3736d0d: tests/bibtex_end_to_end.rs
+
+tests/bibtex_end_to_end.rs:

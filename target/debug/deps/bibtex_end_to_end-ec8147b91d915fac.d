@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bibtex_end_to_end-ec8147b91d915fac.d: tests/bibtex_end_to_end.rs
+
+/root/repo/target/debug/deps/bibtex_end_to_end-ec8147b91d915fac: tests/bibtex_end_to_end.rs
+
+tests/bibtex_end_to_end.rs:

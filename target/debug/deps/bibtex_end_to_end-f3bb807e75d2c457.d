@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bibtex_end_to_end-f3bb807e75d2c457.d: tests/bibtex_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbibtex_end_to_end-f3bb807e75d2c457.rmeta: tests/bibtex_end_to_end.rs Cargo.toml
+
+tests/bibtex_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/code_corpus-44dfff6c12fda7b4.d: tests/code_corpus.rs
+
+/root/repo/target/debug/deps/code_corpus-44dfff6c12fda7b4: tests/code_corpus.rs
+
+tests/code_corpus.rs:

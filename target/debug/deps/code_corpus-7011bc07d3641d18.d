@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/code_corpus-7011bc07d3641d18.d: tests/code_corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcode_corpus-7011bc07d3641d18.rmeta: tests/code_corpus.rs Cargo.toml
+
+tests/code_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/code_corpus-b783d10795d7c231.d: tests/code_corpus.rs
+
+/root/repo/target/debug/deps/code_corpus-b783d10795d7c231: tests/code_corpus.rs
+
+tests/code_corpus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnostics-058db59688a3f04b.d: tests/diagnostics.rs
+
+/root/repo/target/debug/deps/diagnostics-058db59688a3f04b: tests/diagnostics.rs
+
+tests/diagnostics.rs:

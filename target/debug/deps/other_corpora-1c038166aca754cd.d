@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/other_corpora-1c038166aca754cd.d: tests/other_corpora.rs
+
+/root/repo/target/debug/deps/other_corpora-1c038166aca754cd: tests/other_corpora.rs
+
+tests/other_corpora.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/other_corpora-88d94353a3614c0c.d: tests/other_corpora.rs Cargo.toml
+
+/root/repo/target/debug/deps/libother_corpora-88d94353a3614c0c.rmeta: tests/other_corpora.rs Cargo.toml
+
+tests/other_corpora.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/other_corpora-a90a53faab4c93e6.d: tests/other_corpora.rs
+
+/root/repo/target/debug/deps/other_corpora-a90a53faab4c93e6: tests/other_corpora.rs
+
+tests/other_corpora.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qof-178a32ec8c1abe45.d: src/bin/qof.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof-178a32ec8c1abe45.rmeta: src/bin/qof.rs Cargo.toml
+
+src/bin/qof.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qof-264b70a448e6361f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqof-264b70a448e6361f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqof-264b70a448e6361f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qof-2f93daca74f39ea7.d: src/bin/qof.rs
+
+/root/repo/target/debug/deps/qof-2f93daca74f39ea7: src/bin/qof.rs
+
+src/bin/qof.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qof-37ae0012e39e7d5d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqof-37ae0012e39e7d5d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqof-37ae0012e39e7d5d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qof-384e7989ac18331c.d: src/bin/qof.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof-384e7989ac18331c.rmeta: src/bin/qof.rs Cargo.toml
+
+src/bin/qof.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

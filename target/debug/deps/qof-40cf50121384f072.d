@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qof-40cf50121384f072.d: src/lib.rs
+
+/root/repo/target/debug/deps/qof-40cf50121384f072: src/lib.rs
+
+src/lib.rs:

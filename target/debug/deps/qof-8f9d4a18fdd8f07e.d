@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qof-8f9d4a18fdd8f07e.d: src/bin/qof.rs
+
+/root/repo/target/debug/deps/qof-8f9d4a18fdd8f07e: src/bin/qof.rs
+
+src/bin/qof.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qof-9f918667d1085c1c.d: src/bin/qof.rs
+
+/root/repo/target/debug/deps/qof-9f918667d1085c1c: src/bin/qof.rs
+
+src/bin/qof.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qof-a5d32833df6fd5f7.d: src/lib.rs
+
+/root/repo/target/debug/deps/qof-a5d32833df6fd5f7: src/lib.rs
+
+src/lib.rs:

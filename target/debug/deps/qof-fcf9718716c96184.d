@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qof-fcf9718716c96184.d: src/bin/qof.rs
+
+/root/repo/target/debug/deps/qof-fcf9718716c96184: src/bin/qof.rs
+
+src/bin/qof.rs:

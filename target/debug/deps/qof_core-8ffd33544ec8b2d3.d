@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/qof_core-8ffd33544ec8b2d3.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/analyze/mod.rs crates/core/src/analyze/query.rs crates/core/src/analyze/schema.rs crates/core/src/analyze/verify.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof_core-8ffd33544ec8b2d3.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/analyze/mod.rs crates/core/src/analyze/query.rs crates/core/src/analyze/schema.rs crates/core/src/analyze/verify.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/analyze/mod.rs:
+crates/core/src/analyze/query.rs:
+crates/core/src/analyze/schema.rs:
+crates/core/src/analyze/verify.rs:
+crates/core/src/baseline.rs:
+crates/core/src/exec.rs:
+crates/core/src/incl.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/plan.rs:
+crates/core/src/query.rs:
+crates/core/src/residual.rs:
+crates/core/src/rig.rs:
+crates/core/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

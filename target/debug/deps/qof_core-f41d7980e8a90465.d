@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qof_core-f41d7980e8a90465.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs
+
+/root/repo/target/debug/deps/libqof_core-f41d7980e8a90465.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs
+
+/root/repo/target/debug/deps/libqof_core-f41d7980e8a90465.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/baseline.rs:
+crates/core/src/exec.rs:
+crates/core/src/incl.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/plan.rs:
+crates/core/src/query.rs:
+crates/core/src/residual.rs:
+crates/core/src/rig.rs:
+crates/core/src/translate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qof_corpus-11ecbb34b499c9b2.d: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs
+
+/root/repo/target/debug/deps/libqof_corpus-11ecbb34b499c9b2.rlib: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs
+
+/root/repo/target/debug/deps/libqof_corpus-11ecbb34b499c9b2.rmeta: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/bibtex.rs:
+crates/corpus/src/code.rs:
+crates/corpus/src/logs.rs:
+crates/corpus/src/mail.rs:
+crates/corpus/src/rng.rs:
+crates/corpus/src/sgml.rs:
+crates/corpus/src/vocab.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qof_corpus-5a26cefa6ac48cd4.d: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof_corpus-5a26cefa6ac48cd4.rmeta: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/bibtex.rs:
+crates/corpus/src/code.rs:
+crates/corpus/src/logs.rs:
+crates/corpus/src/mail.rs:
+crates/corpus/src/rng.rs:
+crates/corpus/src/sgml.rs:
+crates/corpus/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

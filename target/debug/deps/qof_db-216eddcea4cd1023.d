@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qof_db-216eddcea4cd1023.d: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof_db-216eddcea4cd1023.rmeta: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs Cargo.toml
+
+crates/db/src/lib.rs:
+crates/db/src/path.rs:
+crates/db/src/schema.rs:
+crates/db/src/store.rs:
+crates/db/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qof_db-245d110e458d7b25.d: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+/root/repo/target/debug/deps/qof_db-245d110e458d7b25: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+crates/db/src/lib.rs:
+crates/db/src/path.rs:
+crates/db/src/schema.rs:
+crates/db/src/store.rs:
+crates/db/src/value.rs:

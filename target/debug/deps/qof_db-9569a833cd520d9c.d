@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qof_db-9569a833cd520d9c.d: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+/root/repo/target/debug/deps/libqof_db-9569a833cd520d9c.rlib: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+/root/repo/target/debug/deps/libqof_db-9569a833cd520d9c.rmeta: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+crates/db/src/lib.rs:
+crates/db/src/path.rs:
+crates/db/src/schema.rs:
+crates/db/src/store.rs:
+crates/db/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qof_grammar-c1c4a67cdf3ad24e.d: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs
+
+/root/repo/target/debug/deps/libqof_grammar-c1c4a67cdf3ad24e.rlib: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs
+
+/root/repo/target/debug/deps/libqof_grammar-c1c4a67cdf3ad24e.rmeta: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/build.rs:
+crates/grammar/src/extract.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/parser.rs:
+crates/grammar/src/render.rs:
+crates/grammar/src/schema.rs:

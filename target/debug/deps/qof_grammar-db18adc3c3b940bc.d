@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qof_grammar-db18adc3c3b940bc.d: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof_grammar-db18adc3c3b940bc.rmeta: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs Cargo.toml
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/build.rs:
+crates/grammar/src/extract.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/parser.rs:
+crates/grammar/src/render.rs:
+crates/grammar/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

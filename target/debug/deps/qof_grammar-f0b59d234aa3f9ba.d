@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qof_grammar-f0b59d234aa3f9ba.d: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof_grammar-f0b59d234aa3f9ba.rmeta: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs Cargo.toml
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/build.rs:
+crates/grammar/src/extract.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/parser.rs:
+crates/grammar/src/render.rs:
+crates/grammar/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qof_text-4800ef3fe4bfa571.d: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof_text-4800ef3fe4bfa571.rmeta: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs Cargo.toml
+
+crates/text/src/lib.rs:
+crates/text/src/corpus.rs:
+crates/text/src/suffix.rs:
+crates/text/src/token.rs:
+crates/text/src/word_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qof_text-7395a2b33c5ea6b3.d: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+/root/repo/target/debug/deps/qof_text-7395a2b33c5ea6b3: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+crates/text/src/lib.rs:
+crates/text/src/corpus.rs:
+crates/text/src/suffix.rs:
+crates/text/src/token.rs:
+crates/text/src/word_index.rs:

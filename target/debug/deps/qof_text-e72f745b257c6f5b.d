@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qof_text-e72f745b257c6f5b.d: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+/root/repo/target/debug/deps/libqof_text-e72f745b257c6f5b.rlib: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+/root/repo/target/debug/deps/libqof_text-e72f745b257c6f5b.rmeta: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+crates/text/src/lib.rs:
+crates/text/src/corpus.rs:
+crates/text/src/suffix.rs:
+crates/text/src/token.rs:
+crates/text/src/word_index.rs:

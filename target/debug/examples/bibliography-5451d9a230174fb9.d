@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bibliography-5451d9a230174fb9.d: examples/bibliography.rs
+
+/root/repo/target/debug/examples/bibliography-5451d9a230174fb9: examples/bibliography.rs
+
+examples/bibliography.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bibliography-8eae58cd5a50e321.d: examples/bibliography.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbibliography-8eae58cd5a50e321.rmeta: examples/bibliography.rs Cargo.toml
+
+examples/bibliography.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bibliography-f7ef5380997bbdf3.d: examples/bibliography.rs
+
+/root/repo/target/debug/examples/bibliography-f7ef5380997bbdf3: examples/bibliography.rs
+
+examples/bibliography.rs:

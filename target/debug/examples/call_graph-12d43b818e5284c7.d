@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/call_graph-12d43b818e5284c7.d: examples/call_graph.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcall_graph-12d43b818e5284c7.rmeta: examples/call_graph.rs Cargo.toml
+
+examples/call_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/call_graph-c376a60806270029.d: examples/call_graph.rs
+
+/root/repo/target/debug/examples/call_graph-c376a60806270029: examples/call_graph.rs
+
+examples/call_graph.rs:

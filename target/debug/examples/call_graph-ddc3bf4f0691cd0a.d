@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/call_graph-ddc3bf4f0691cd0a.d: examples/call_graph.rs
+
+/root/repo/target/debug/examples/call_graph-ddc3bf4f0691cd0a: examples/call_graph.rs
+
+examples/call_graph.rs:

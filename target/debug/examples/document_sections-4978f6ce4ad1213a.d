@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/document_sections-4978f6ce4ad1213a.d: examples/document_sections.rs
+
+/root/repo/target/debug/examples/document_sections-4978f6ce4ad1213a: examples/document_sections.rs
+
+examples/document_sections.rs:

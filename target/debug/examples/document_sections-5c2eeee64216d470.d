@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/document_sections-5c2eeee64216d470.d: examples/document_sections.rs
+
+/root/repo/target/debug/examples/document_sections-5c2eeee64216d470: examples/document_sections.rs
+
+examples/document_sections.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/document_sections-81a9ca7bc4781875.d: examples/document_sections.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdocument_sections-81a9ca7bc4781875.rmeta: examples/document_sections.rs Cargo.toml
+
+examples/document_sections.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

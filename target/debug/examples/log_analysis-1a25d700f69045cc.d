@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_analysis-1a25d700f69045cc.d: examples/log_analysis.rs
+
+/root/repo/target/debug/examples/log_analysis-1a25d700f69045cc: examples/log_analysis.rs
+
+examples/log_analysis.rs:

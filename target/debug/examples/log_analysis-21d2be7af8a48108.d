@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/log_analysis-21d2be7af8a48108.d: examples/log_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblog_analysis-21d2be7af8a48108.rmeta: examples/log_analysis.rs Cargo.toml
+
+examples/log_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_analysis-65ff6e3a920ac11b.d: examples/log_analysis.rs
+
+/root/repo/target/debug/examples/log_analysis-65ff6e3a920ac11b: examples/log_analysis.rs
+
+examples/log_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mail_search-73efd869f9f319c0.d: examples/mail_search.rs
+
+/root/repo/target/debug/examples/mail_search-73efd869f9f319c0: examples/mail_search.rs
+
+examples/mail_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mail_search-90513617667d06c6.d: examples/mail_search.rs
+
+/root/repo/target/debug/examples/mail_search-90513617667d06c6: examples/mail_search.rs
+
+examples/mail_search.rs:

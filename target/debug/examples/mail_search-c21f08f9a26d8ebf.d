@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mail_search-c21f08f9a26d8ebf.d: examples/mail_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmail_search-c21f08f9a26d8ebf.rmeta: examples/mail_search.rs Cargo.toml
+
+examples/mail_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

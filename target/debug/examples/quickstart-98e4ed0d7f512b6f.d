@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-98e4ed0d7f512b6f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-98e4ed0d7f512b6f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b52fb3d7d34565ba.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b52fb3d7d34565ba: examples/quickstart.rs
+
+examples/quickstart.rs:

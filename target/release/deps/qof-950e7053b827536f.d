@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qof-950e7053b827536f.d: src/lib.rs
+
+/root/repo/target/release/deps/libqof-950e7053b827536f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqof-950e7053b827536f.rmeta: src/lib.rs
+
+src/lib.rs:

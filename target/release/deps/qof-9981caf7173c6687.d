@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qof-9981caf7173c6687.d: src/bin/qof.rs
+
+/root/repo/target/release/deps/qof-9981caf7173c6687: src/bin/qof.rs
+
+src/bin/qof.rs:

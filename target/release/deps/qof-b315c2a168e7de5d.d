@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qof-b315c2a168e7de5d.d: src/bin/qof.rs
+
+/root/repo/target/release/deps/qof-b315c2a168e7de5d: src/bin/qof.rs
+
+src/bin/qof.rs:

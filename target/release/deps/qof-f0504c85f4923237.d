@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qof-f0504c85f4923237.d: src/lib.rs
+
+/root/repo/target/release/deps/libqof-f0504c85f4923237.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqof-f0504c85f4923237.rmeta: src/lib.rs
+
+src/lib.rs:

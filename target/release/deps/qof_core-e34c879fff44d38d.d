@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/qof_core-e34c879fff44d38d.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs
+
+/root/repo/target/release/deps/libqof_core-e34c879fff44d38d.rlib: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs
+
+/root/repo/target/release/deps/libqof_core-e34c879fff44d38d.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/baseline.rs:
+crates/core/src/exec.rs:
+crates/core/src/incl.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/plan.rs:
+crates/core/src/query.rs:
+crates/core/src/residual.rs:
+crates/core/src/rig.rs:
+crates/core/src/translate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qof_corpus-3b7f7dfae2b19261.d: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs
+
+/root/repo/target/release/deps/libqof_corpus-3b7f7dfae2b19261.rlib: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs
+
+/root/repo/target/release/deps/libqof_corpus-3b7f7dfae2b19261.rmeta: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/bibtex.rs:
+crates/corpus/src/code.rs:
+crates/corpus/src/logs.rs:
+crates/corpus/src/mail.rs:
+crates/corpus/src/rng.rs:
+crates/corpus/src/sgml.rs:
+crates/corpus/src/vocab.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qof_db-60bd0560c295841f.d: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+/root/repo/target/release/deps/libqof_db-60bd0560c295841f.rlib: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+/root/repo/target/release/deps/libqof_db-60bd0560c295841f.rmeta: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+crates/db/src/lib.rs:
+crates/db/src/path.rs:
+crates/db/src/schema.rs:
+crates/db/src/store.rs:
+crates/db/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qof_grammar-0c9c0e4fcb7f870b.d: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs
+
+/root/repo/target/release/deps/libqof_grammar-0c9c0e4fcb7f870b.rlib: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs
+
+/root/repo/target/release/deps/libqof_grammar-0c9c0e4fcb7f870b.rmeta: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/build.rs:
+crates/grammar/src/extract.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/parser.rs:
+crates/grammar/src/render.rs:
+crates/grammar/src/schema.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qof_text-2605c42f8a89208f.d: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+/root/repo/target/release/deps/libqof_text-2605c42f8a89208f.rlib: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+/root/repo/target/release/deps/libqof_text-2605c42f8a89208f.rmeta: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+crates/text/src/lib.rs:
+crates/text/src/corpus.rs:
+crates/text/src/suffix.rs:
+crates/text/src/token.rs:
+crates/text/src/word_index.rs:

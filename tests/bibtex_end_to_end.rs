@@ -29,8 +29,7 @@ fn sorted(mut v: Vec<&str>) -> Vec<String> {
     v.into_iter().map(str::to_owned).collect()
 }
 
-const CHANG_AUTHOR: &str =
-    "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"";
+const CHANG_AUTHOR: &str = "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"";
 
 #[test]
 fn full_indexing_is_exact_and_matches_truth() {
@@ -109,9 +108,7 @@ fn partial_exact_case_needs_no_parsing() {
 fn star_path_matches_authors_and_editors() {
     let cfg = BibtexConfig { n_refs: 120, name_pool: 10, ..Default::default() };
     let (db, truth) = fdb(&cfg, IndexSpec::full());
-    let res = db
-        .query("SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"")
-        .unwrap();
+    let res = db.query("SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"").unwrap();
     assert!(res.stats.exact_index, "star queries are exact through plain inclusion");
     assert_eq!(result_keys(&res.values), sorted(truth.refs_with_any_last("Chang")));
 }
@@ -170,12 +167,8 @@ fn reduced_load_baseline_builds_fewer_nodes() {
 #[test]
 fn same_var_content_join() {
     // "references where some editor is also an author".
-    let cfg = BibtexConfig {
-        n_refs: 150,
-        name_pool: 6,
-        editors_per_ref: (1, 2),
-        ..Default::default()
-    };
+    let cfg =
+        BibtexConfig { n_refs: 150, name_pool: 6, editors_per_ref: (1, 2), ..Default::default() };
     let (text, truth) = bibtex::generate(&cfg);
     let corpus = Corpus::from_text(&text);
     let db = FileDatabase::build(corpus.clone(), bibtex::schema(), IndexSpec::full()).unwrap();
@@ -184,9 +177,7 @@ fn same_var_content_join() {
     let expected: Vec<&str> = truth
         .refs
         .iter()
-        .filter(|r| {
-            r.editors.iter().any(|(_, el)| r.authors.iter().any(|(_, al)| al == el))
-        })
+        .filter(|r| r.editors.iter().any(|(_, el)| r.authors.iter().any(|(_, al)| al == el)))
         .map(|r| r.key.as_str())
         .collect();
     assert!(!expected.is_empty(), "config must produce author-editor overlaps");
@@ -198,12 +189,8 @@ fn same_var_content_join() {
 
 #[test]
 fn cross_var_join_on_referred_keys() {
-    let cfg = BibtexConfig {
-        n_refs: 50,
-        referred_per_ref: (1, 2),
-        name_pool: 8,
-        ..Default::default()
-    };
+    let cfg =
+        BibtexConfig { n_refs: 50, referred_per_ref: (1, 2), name_pool: 8, ..Default::default() };
     let (text, truth) = bibtex::generate(&cfg);
     let corpus = Corpus::from_text(&text);
     let db = FileDatabase::build(corpus.clone(), bibtex::schema(), IndexSpec::full()).unwrap();
@@ -277,8 +264,10 @@ fn prefix_selection() {
 
 #[test]
 fn incremental_add_file() {
-    let (t1, truth1) = bibtex::generate(&BibtexConfig { n_refs: 15, seed: 1, ..Default::default() });
-    let (t2, truth2) = bibtex::generate(&BibtexConfig { n_refs: 15, seed: 2, ..Default::default() });
+    let (t1, truth1) =
+        bibtex::generate(&BibtexConfig { n_refs: 15, seed: 1, ..Default::default() });
+    let (t2, truth2) =
+        bibtex::generate(&BibtexConfig { n_refs: 15, seed: 2, ..Default::default() });
     let mut db =
         FileDatabase::build(Corpus::from_text(&t1), bibtex::schema(), IndexSpec::full()).unwrap();
     let before = db.query("SELECT r FROM References r").unwrap().values.len();
@@ -303,9 +292,8 @@ fn trivially_empty_path_gives_empty_result() {
     let (db, _) = fdb(&cfg, IndexSpec::full());
     // Titles never contain Last_Name regions: Title has no such attribute,
     // so translation fails with a helpful error.
-    let err = db
-        .query("SELECT r FROM References r WHERE r.Title.Last_Name = \"Chang\"")
-        .unwrap_err();
+    let err =
+        db.query("SELECT r FROM References r WHERE r.Title.Last_Name = \"Chang\"").unwrap_err();
     assert!(matches!(err, QueryError::Plan(_)));
 }
 
@@ -337,8 +325,7 @@ fn selective_word_indexing() {
     let cfg = BibtexConfig { n_refs: 100, name_pool: 10, ..Default::default() };
     let (text, truth) = bibtex::generate(&cfg);
     let full =
-        FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), IndexSpec::full())
-            .unwrap();
+        FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), IndexSpec::full()).unwrap();
     let scoped_spec = IndexSpec::full().with_word_scope("Last_Name");
     let scoped =
         FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), scoped_spec).unwrap();

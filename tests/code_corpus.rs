@@ -69,12 +69,13 @@ fn any_depth_callers_via_closure_and_star() {
     assert_eq!(names_of(&star.values), sorted(truth.all_callers(&callee)));
     assert_eq!(names_of(&plus.values), names_of(&star.values));
     assert!(
-        star.values.len() > db.query(&format!(
-            "SELECT f FROM Functions f WHERE f.Body.Stmt.Callee = \"{callee}\""
-        ))
-        .unwrap()
-        .values
-        .len(),
+        star.values.len()
+            > db.query(&format!(
+                "SELECT f FROM Functions f WHERE f.Body.Stmt.Callee = \"{callee}\""
+            ))
+            .unwrap()
+            .values
+            .len(),
         "the chosen callee must have nested-only callers"
     );
     let b = run_baseline(&corpus, &code::schema(), &q_star, BaselineMode::FullLoad).unwrap();

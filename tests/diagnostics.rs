@@ -1,0 +1,343 @@
+//! Integration tests for the static analyzer behind `qof check`: one test
+//! per `QOF0xx` code, a golden render test, and the robustness guarantee
+//! that malformed queries produce errors — never panics.
+
+use qof::corpus::{bibtex, logs};
+use qof::db::{ClassDef, TypeDef};
+use qof::grammar::{lit, nt, Grammar, IndexSpec, StructuringSchema, TokenPattern, ValueBuilder};
+use qof::text::Corpus;
+use qof::{
+    check_index, check_query, check_schema, render_all, Code, Direction, FileDatabase,
+    InclusionExpr, Optimized, Rewrite, RewriteKind, Rig, Severity,
+};
+
+fn bibtex_db(spec: IndexSpec) -> FileDatabase {
+    let (text, _) = bibtex::generate(&bibtex::BibtexConfig::with_refs(5));
+    FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), spec).unwrap()
+}
+
+fn codes(diags: &[qof::Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+fn find(diags: &[qof::Diagnostic], code: Code) -> &qof::Diagnostic {
+    diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("no {code} in {:?}", codes(diags)))
+}
+
+/// A tiny grammar with a dead rule: `Orphan` has a rule but no derivation
+/// from `Root` reaches it.
+fn orphan_schema() -> StructuringSchema {
+    let g = Grammar::builder("Root")
+        .seq("Root", [lit("("), nt("Leaf"), lit(")")], ValueBuilder::TupleAuto)
+        .token("Leaf", TokenPattern::Word, ValueBuilder::Atom)
+        .token("Orphan", TokenPattern::Word, ValueBuilder::Atom)
+        .build()
+        .unwrap();
+    StructuringSchema::new(g).with_view("Roots", "Root")
+}
+
+#[test]
+fn qof001_unreachable_nonterminal() {
+    let diags = check_schema(&orphan_schema());
+    let d = find(&diags, Code::Qof001);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("`Orphan`"), "{}", d.message);
+}
+
+#[test]
+fn qof002_nullable_rule() {
+    // BibTeX's `Ref_Set` is an undelimited repetition: it can match the
+    // empty string, which is exactly what QOF002 warns about.
+    let diags = check_schema(&bibtex::schema());
+    let d = find(&diags, Code::Qof002);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("`Ref_Set`"), "{}", d.message);
+}
+
+#[test]
+fn qof003_bad_class_field() {
+    let schema = orphan_schema()
+        .with_class(ClassDef { name: "Root".into(), ty: TypeDef::tuple([("Laef", TypeDef::Str)]) });
+    let diags = check_schema(&schema);
+    let d = find(&diags, Code::Qof003);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("`Laef`"), "{}", d.message);
+    assert!(d.notes.iter().any(|n| n.contains("`Leaf`")), "wants a did-you-mean: {:?}", d.notes);
+}
+
+#[test]
+fn qof004_view_over_missing_symbol() {
+    let schema = orphan_schema().with_view("Leaves", "Laef");
+    let diags = check_schema(&schema);
+    let d = find(&diags, Code::Qof004);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.notes.iter().any(|n| n.contains("`Leaf`")), "wants a did-you-mean: {:?}", d.notes);
+}
+
+#[test]
+fn qof010_dead_indexed_name() {
+    // Not a grammar symbol at all: an error, with a suggestion.
+    let schema = bibtex::schema();
+    let diags = check_index(&schema, &IndexSpec::names(["Reference", "Lst_Name"]));
+    let d = find(&diags, Code::Qof010);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.notes.iter().any(|n| n.contains("`Last_Name`")), "{:?}", d.notes);
+
+    // A real symbol that no derivation reaches: a warning.
+    let diags = check_index(&orphan_schema(), &IndexSpec::names(["Root", "Orphan"]));
+    let d = find(&diags, Code::Qof010);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("`Orphan`"), "{}", d.message);
+
+    // A full index never warns.
+    assert!(check_index(&schema, &IndexSpec::full()).is_empty());
+}
+
+#[test]
+fn qof011_inexact_partial_index_path() {
+    // Indexing only {Reference, Last_Name} leaves both Authors.Name and
+    // Editors.Name routes in the partial universe, so `Reference ⊃d
+    // Last_Name` admits false positives — §6.3 names the ambiguous edge.
+    let db = bibtex_db(IndexSpec::names(["Reference", "Last_Name"]));
+    let diags = db.check("SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"");
+    let d = find(&diags, Code::Qof011);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("Reference → Last_Name"), "{}", d.message);
+
+    // Under full indexing the same query is exact: no QOF011.
+    let db = bibtex_db(IndexSpec::full());
+    let diags = db.check("SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"");
+    assert!(!codes(&diags).contains(&Code::Qof011), "{:?}", codes(&diags));
+}
+
+#[test]
+fn qof020_syntax_error() {
+    let db = bibtex_db(IndexSpec::full());
+    let diags = db.check("SELEC r FROM References r");
+    let d = find(&diags, Code::Qof020);
+    assert_eq!(d.severity, Severity::Error);
+    // Syntax errors suppress all later checks.
+    assert_eq!(diags.len(), 1);
+}
+
+#[test]
+fn qof021_unknown_view_with_suggestion() {
+    let db = bibtex_db(IndexSpec::full());
+    let diags = db.check("SELECT r FROM Refrences r");
+    let d = find(&diags, Code::Qof021);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.notes.iter().any(|n| n.contains("`References`")), "{:?}", d.notes);
+}
+
+#[test]
+fn qof022_unknown_attribute_with_suggestion() {
+    let db = bibtex_db(IndexSpec::full());
+    let diags = db.check("SELECT r FROM References r WHERE r.Authors.Name.Lst_Name = \"x\"");
+    let d = find(&diags, Code::Qof022);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("`Lst_Name`"), "{}", d.message);
+    assert!(d.notes.iter().any(|n| n.contains("`Last_Name`")), "{:?}", d.notes);
+}
+
+#[test]
+fn qof023_type_mismatch() {
+    // A schema whose class annotation declares an integer field.
+    let g = Grammar::builder("Entry")
+        .seq("Entry", [lit("["), nt("Pid"), lit("]")], ValueBuilder::TupleAuto)
+        .token("Pid", TokenPattern::Number, ValueBuilder::AtomInt)
+        .build()
+        .unwrap();
+    let rig = Rig::from_grammar(&g);
+    let schema = StructuringSchema::new(g)
+        .with_view("Entries", "Entry")
+        .with_class(ClassDef { name: "Entry".into(), ty: TypeDef::tuple([("Pid", TypeDef::Int)]) });
+
+    let diags = check_query(&schema, &rig, None, "SELECT e FROM Entries e WHERE e.Pid = \"abc\"");
+    let d = find(&diags, Code::Qof023);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("`e.Pid`"), "{}", d.message);
+
+    // Numeric constants (and prefixes) are fine.
+    let diags = check_query(&schema, &rig, None, "SELECT e FROM Entries e WHERE e.Pid = \"1234\"");
+    assert!(!codes(&diags).contains(&Code::Qof023), "{:?}", codes(&diags));
+}
+
+#[test]
+fn qof024_trivially_empty() {
+    let db = bibtex_db(IndexSpec::full());
+
+    // No RIG path Reference → Ref_Set (the set contains references, not
+    // the other way round): Proposition 3.3 empties the star path.
+    let diags = db.check("SELECT r FROM References r WHERE r.*X.Ref_Set = \"x\"");
+    let d = find(&diags, Code::Qof024);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(
+        d.notes.iter().any(|n| n.contains("no path from `Reference` to `Ref_Set`")),
+        "wants the witnessing RIG evidence: {:?}",
+        d.notes
+    );
+    // Exactness of an empty result is moot: no QOF011 alongside.
+    assert!(!codes(&diags).contains(&Code::Qof011), "{:?}", codes(&diags));
+
+    // Fixed-depth variables: no walk of exactly 5 edges reaches Year.
+    let diags = db.check("SELECT r FROM References r WHERE r.X1.X2.X3.X4.Year = \"1982\"");
+    let d = find(&diags, Code::Qof024);
+    assert!(d.notes.iter().any(|n| n.contains("exactly 5 edges")), "{:?}", d.notes);
+
+    // The engine agrees: the query runs and returns nothing.
+    let res = db.query("SELECT r FROM References r WHERE r.*X.Ref_Set = \"x\"").unwrap();
+    assert!(res.values.is_empty());
+}
+
+#[test]
+fn qof025_star_suggestion() {
+    // Every Status under Session lies on Requests → Request → Status, so
+    // `s.*X.Status` selects the same regions with one inclusion (§5.3).
+    let (text, _) = logs::generate(&logs::LogConfig { n_sessions: 3, ..Default::default() });
+    let db =
+        FileDatabase::build(Corpus::from_text(&text), logs::schema(), IndexSpec::full()).unwrap();
+    let diags = db.check("SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"");
+    let d = find(&diags, Code::Qof025);
+    assert_eq!(d.severity, Severity::Help);
+    assert!(d.message.contains("s.*X.Status"), "{}", d.message);
+}
+
+#[test]
+fn qof026_view_not_indexed() {
+    let db = bibtex_db(IndexSpec::names(["Year"]));
+    let diags = db.check("SELECT r FROM References r WHERE r.Year = \"1982\"");
+    let d = find(&diags, Code::Qof026);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("`Reference`"), "{}", d.message);
+}
+
+#[test]
+fn qof030_forged_rewrite_rejected() {
+    // RIG where A→C exists directly, so chain shortening through B is NOT
+    // licensed (Prop 3.5(b) needs every path A→C to pass through B).
+    let mut rig = Rig::new();
+    rig.add_edge("A", "B");
+    rig.add_edge("B", "C");
+    rig.add_edge("A", "C");
+    let original = InclusionExpr::all_direct(
+        Direction::Including,
+        vec!["A".into(), "B".into(), "C".into()],
+        None,
+    );
+    let forged = Optimized {
+        expr: InclusionExpr::all_direct(Direction::Including, vec!["A".into(), "C".into()], None),
+        trivially_empty: false,
+        trace: vec![Rewrite {
+            kind: RewriteKind::Shorten { a: "A".into(), via: "B".into(), b: "C".into() },
+            description: "forged".into(),
+            result: "A ⊃d C".into(),
+        }],
+    };
+    let diags = qof::analyze::verify::verify_rewrites(&original, &rig, &forged);
+    let d = find(&diags, Code::Qof030);
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn qof031_confluence() {
+    // Theorem 3.6's counterexample class: leftmost- and rightmost-first
+    // reduction of A ⊃ B ⊃ E ⊃ F diverge syntactically but land on
+    // cost-identical normal forms — a warning, not an error.
+    let mut rig = Rig::new();
+    rig.add_edge("A", "B");
+    rig.add_edge("A", "F");
+    rig.add_edge("B", "E");
+    rig.add_edge("E", "F");
+    let expr = InclusionExpr::all_direct(
+        Direction::Including,
+        vec!["A".into(), "B".into(), "E".into(), "F".into()],
+        None,
+    );
+    let diags = qof::analyze::verify::check_confluence(&expr, &rig);
+    assert_eq!(codes(&diags), [Code::Qof031], "{diags:?}");
+    assert_eq!(diags[0].severity, Severity::Warning);
+
+    // A linear chain reduces confluently: no diagnostic at all.
+    let mut rig = Rig::new();
+    rig.add_edge("A", "B");
+    rig.add_edge("B", "C");
+    let expr = InclusionExpr::all_direct(
+        Direction::Including,
+        vec!["A".into(), "B".into(), "C".into()],
+        None,
+    );
+    assert!(qof::analyze::verify::check_confluence(&expr, &rig).is_empty());
+}
+
+#[test]
+fn golden_render_for_bibtex_schema() {
+    let text = render_all(&check_schema(&bibtex::schema()), None);
+    let expected = "\
+warning[QOF002]: non-terminal `Ref_Set` can match the empty string
+  = note: zero-width regions cannot be ordered in the region forest, so nesting tests on them are unreliable; delimit the rule (e.g. bracket the repetition)
+
+0 error(s), 1 warning(s)
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn golden_render_with_source_span() {
+    let db = bibtex_db(IndexSpec::full());
+    let src = "SELECT r FROM Refrences r";
+    let diags = db.check(src);
+    let expected = "\
+error[QOF021]: unknown view `Refrences`
+ --> query:1:15
+  |
+1 | SELECT r FROM Refrences r
+  |               ^^^^^^^^^
+  = note: did you mean `References`?
+";
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].render(Some(src)), expected);
+}
+
+#[test]
+fn malformed_queries_error_never_panic() {
+    let db = bibtex_db(IndexSpec::full());
+    let must_err = [
+        "",
+        " ",
+        "SELECT",
+        "SELECT r",
+        "SELECT r FROM",
+        "SELECT FROM WHERE",
+        "SELECT r FROM References",
+        "SELECT r FROM References r WHERE",
+        "SELECT r FROM References r WHERE r.",
+        "SELECT r FROM References r WHERE r.Year =",
+        "SELECT r FROM References r WHERE r.Year = \"",
+        "SELECT r FROM Nope r",
+        "SELECT x FROM References r WHERE y.Z = \"w\"",
+        "SELECT r FROM References r WHERE r.*X = \"w\"",
+        "SELECT r FROM References r WHERE r.Title.Last_Name = \"Chang\"",
+        "SELECT r FROM References r, References s",
+        "ΣΕΛΕΚΤ ρ",
+    ];
+    for q in must_err {
+        assert!(db.query(q).is_err(), "`{q}` should fail");
+    }
+    // Stranger shapes may or may not plan; they must simply never panic,
+    // in the engine or in the analyzer.
+    let odd = [
+        "SELECT r FROM References r WHERE NOT NOT NOT r.Year = \"1\"",
+        "SELECT r.Year.Key FROM References r",
+        "SELECT r FROM References r WHERE r.X1.X2.X3.X4.X5.X6.Key = \"k\"",
+        "SELECT r FROM References r, References s WHERE r.Year = s.Year",
+        "SELECT r FROM References r WHERE r.Key = \"k*\"",
+    ];
+    for q in must_err.iter().chain(odd.iter()) {
+        let _ = db.query(q);
+        let _ = db.explain(q);
+        let _ = db.check(q); // diagnostics never panic either
+    }
+}

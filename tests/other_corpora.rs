@@ -15,9 +15,7 @@ fn log_sessions_by_user() {
     let db =
         FileDatabase::build(Corpus::from_text(&text), logs::schema(), IndexSpec::full()).unwrap();
     let user = truth.sessions[0].user.clone();
-    let res = db
-        .query(&format!("SELECT s FROM Sessions s WHERE s.User = \"{user}\""))
-        .unwrap();
+    let res = db.query(&format!("SELECT s FROM Sessions s WHERE s.User = \"{user}\"")).unwrap();
     assert!(res.stats.exact_index);
     assert_eq!(res.values.len(), truth.sessions_of(&user).len());
 }
@@ -28,9 +26,8 @@ fn log_sessions_with_errors() {
     let (text, truth) = logs::generate(&cfg);
     let db =
         FileDatabase::build(Corpus::from_text(&text), logs::schema(), IndexSpec::full()).unwrap();
-    let res = db
-        .query("SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"")
-        .unwrap();
+    let res =
+        db.query("SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"").unwrap();
     let expected = truth.sessions_with_status("500");
     assert_eq!(res.values.len(), expected.len());
     assert!(res.stats.exact_index);
@@ -41,7 +38,7 @@ fn log_sessions_with_errors() {
         .filter_map(|v| v.field("SessionId").and_then(|x| x.as_str()).map(str::to_owned))
         .collect();
     got.sort();
-    let mut want: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+    let mut want: Vec<String> = expected.iter().map(ToString::to_string).collect();
     want.sort();
     assert_eq!(got, want);
 }
@@ -134,17 +131,19 @@ fn sgml_cyclic_rig_is_derived() {
 
 #[test]
 fn sgml_sections_by_head_word() {
-    let cfg = sgml::SgmlConfig { top_sections: 8, max_depth: 3, subsections: (1, 2), ..Default::default() };
+    let cfg = sgml::SgmlConfig {
+        top_sections: 8,
+        max_depth: 3,
+        subsections: (1, 2),
+        ..Default::default()
+    };
     let (text, truth) = sgml::generate(&cfg);
     let db =
         FileDatabase::build(Corpus::from_text(&text), sgml::schema(), IndexSpec::full()).unwrap();
     // Pick a head that exists; query whole-head equality.
     let head = truth.sections.iter().find(|s| s.depth > 0).expect("nested section").head.clone();
-    let res = db
-        .query(&format!("SELECT s FROM Sections s WHERE s.Head = \"{head}\""))
-        .unwrap();
-    let expected =
-        truth.sections.iter().filter(|s| s.head == head).count();
+    let res = db.query(&format!("SELECT s FROM Sections s WHERE s.Head = \"{head}\"")).unwrap();
+    let expected = truth.sections.iter().filter(|s| s.head == head).count();
     assert_eq!(res.values.len(), expected);
     assert!(res.stats.exact_index);
 }
@@ -166,9 +165,7 @@ fn sgml_star_query_spans_all_depths() {
         FileDatabase::build(Corpus::from_text(&text), sgml::schema(), IndexSpec::full()).unwrap();
     let deep = truth.sections.iter().find(|s| s.depth >= 2).expect("deep section");
     let head = deep.head.clone();
-    let res = db
-        .query(&format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{head}\""))
-        .unwrap();
+    let res = db.query(&format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{head}\"")).unwrap();
     // At least the section itself plus its ancestors contain that head.
     assert!(res.values.len() > deep.depth, "ancestors must match too");
     // Compare against the baseline's *X traversal.
@@ -199,7 +196,8 @@ fn sgml_fixed_depth_variables() {
     let db = FileDatabase::build(corpus.clone(), sgml::schema(), IndexSpec::full()).unwrap();
     // s.Subsections.Section.Head == s.X1.X2.Head (two hops: Subsections,
     // Section). Verify the two agree, and against the baseline.
-    let q_explicit = "SELECT s FROM Sections s WHERE s.Subsections.Section.Head = s.Subsections.Section.Head";
+    let q_explicit =
+        "SELECT s FROM Sections s WHERE s.Subsections.Section.Head = s.Subsections.Section.Head";
     let _ = q_explicit; // identity sanity (content compare with itself)
     let heads: Vec<String> = {
         let res = db.query("SELECT s.Subsections.Section.Head FROM Sections s").unwrap();
@@ -235,9 +233,8 @@ fn sgml_closure_path() {
     let res = db.query(&q).unwrap();
     assert!(res.values.len() > deep.depth, "section + its ancestors");
     // The closure agrees with the *X formulation and with the baseline.
-    let star = db
-        .query(&format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{}\"", deep.head))
-        .unwrap();
+    let star =
+        db.query(&format!("SELECT s FROM Sections s WHERE s.*X.Head = \"{}\"", deep.head)).unwrap();
     assert_eq!(res.values.len(), star.values.len());
     let b = run_baseline(&corpus, &sgml::schema(), &q, BaselineMode::FullLoad).unwrap();
     assert_eq!(res.values.len(), b.values.len());
