@@ -1,30 +1,10 @@
-//! E10 — §6.3: a partial index whose candidate set is provably exact skips
-//! the parse phase; an equally sized but wrongly chosen one cannot.
+//! E10 — provably exact partial indexes skip parsing (§6.3)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_core::FileDatabase;
-use qof_corpus::logs;
-use qof_grammar::IndexSpec;
-use qof_text::Corpus;
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e10_exact_partial");
-    group.sample_size(20);
-    let cfg = logs::LogConfig { n_sessions: 2000, error_percent: 5, ..Default::default() };
-    let corpus = Corpus::from_text(&logs::generate(&cfg).0);
-    let q = "SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"";
-    for (label, spec) in [
-        ("full", IndexSpec::full()),
-        ("session_status", IndexSpec::names(["Session", "Status"])),
-        ("session_request", IndexSpec::names(["Session", "Request"])),
-    ] {
-        let fdb = FileDatabase::build(corpus.clone(), logs::schema(), spec).unwrap();
-        group.bench_function(BenchmarkId::new("query", label), |b| {
-            b.iter(|| fdb.query(q).unwrap())
-        });
-    }
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e10", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,10 @@
-//! E1 — optimized vs unoptimized inclusion expression (§3.2's e1 vs e2).
-//! The paper's headline: the rewritten expression "can be evaluated more
-//! efficiently" because it has fewer operations and replaces `⊃d` by `⊃`.
+//! E1 — optimized vs unoptimized inclusion expression (§3.2's e1 vs e2)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_bench::{bibtex_full, core::optimize, core::Direction, core::InclusionExpr, core::SelectKind};
-use qof_pat::Engine;
-use qof_text::{Tokenizer, WordIndex};
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_optimizer_effect");
-    for n in [200usize, 800, 3200] {
-        let fdb = bibtex_full(n);
-        let words = WordIndex::build(fdb.corpus(), &Tokenizer::new());
-        let e1 = InclusionExpr::all_direct(
-            Direction::Including,
-            vec!["Reference".into(), "Authors".into(), "Name".into(), "Last_Name".into()],
-            Some((SelectKind::Eq, "Chang".into())),
-        );
-        let e2 = optimize(&e1, fdb.full_rig()).expr;
-        let (x1, x2) = (e1.to_region_expr(), e2.to_region_expr());
-        group.bench_with_input(BenchmarkId::new("e1_all_direct", n), &n, |b, _| {
-            let engine = Engine::new(fdb.corpus(), &words, fdb.instance());
-            b.iter(|| engine.eval(&x1).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("e2_optimized", n), &n, |b, _| {
-            let engine = Engine::new(fdb.corpus(), &words, fdb.instance());
-            b.iter(|| engine.eval(&x2).unwrap())
-        });
-    }
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e1", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,33 +1,10 @@
-//! E2 — index evaluation vs the standard-database pipeline (§1's headline
-//! claim: "some queries can be evaluated significantly faster than in
-//! standard database implementations").
+//! E2 — index evaluation vs the standard-database pipeline (§1's headline claim)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_bench::{bibtex_corpus, bibtex_full, CHANG_AUTHOR};
-use qof_core::baseline::{run_baseline, BaselineMode};
-use qof_corpus::bibtex;
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_vs_database");
-    group.sample_size(20);
-    for n in [200usize, 800, 3200] {
-        let corpus = bibtex_corpus(n);
-        let schema = bibtex::schema();
-        let fdb = bibtex_full(n);
-        group.bench_with_input(BenchmarkId::new("index", n), &n, |b, _| {
-            b.iter(|| fdb.query(CHANG_AUTHOR).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("db_full_load", n), &n, |b, _| {
-            b.iter(|| run_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::FullLoad).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("db_reduced_load", n), &n, |b, _| {
-            b.iter(|| {
-                run_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::ReducedLoad).unwrap()
-            })
-        });
-    }
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e2", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

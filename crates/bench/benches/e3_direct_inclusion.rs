@@ -1,30 +1,10 @@
-//! E3 — the cost of direct inclusion: `⊃` vs the forest-based `⊃d` vs the
-//! paper's layered while-program (§3.1), over increasingly nested documents.
+//! E3 — ⊃ vs ⊃d as nesting deepens (§3.1's layered program)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_bench::sgml_full;
-use qof_pat::{direct_including, direct_including_layered};
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_direct_inclusion");
-    for depth in [2usize, 4, 6, 8] {
-        let fdb = sgml_full(depth, 4);
-        let sections = fdb.instance().get("Section").unwrap().clone();
-        let heads = fdb.instance().get("Head").unwrap().clone();
-        let universe = fdb.instance().universe();
-        let forest = fdb.instance().build_forest();
-        group.bench_with_input(BenchmarkId::new("plain_inclusion", depth), &depth, |b, _| {
-            b.iter(|| sections.including(&heads))
-        });
-        group.bench_with_input(BenchmarkId::new("direct_forest", depth), &depth, |b, _| {
-            b.iter(|| direct_including(&sections, &heads, &forest))
-        });
-        group.bench_with_input(BenchmarkId::new("direct_layered", depth), &depth, |b, _| {
-            b.iter(|| direct_including_layered(&sections, &heads, &universe))
-        });
-    }
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e3", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,29 +1,10 @@
-//! E4 — partial indexing (§6): end-to-end query cost under shrinking region
-//! indexes; candidates grow, answers stay identical.
+//! E4 — partial indexing: candidate supersets and end-to-end cost (§6)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_bench::{bibtex_full, bibtex_partial, CHANG_AUTHOR};
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_partial_indexing");
-    group.sample_size(20);
-    let n = 3200;
-    let full = bibtex_full(n);
-    group.bench_function(BenchmarkId::new("index", "full"), |b| {
-        b.iter(|| full.query(CHANG_AUTHOR).unwrap())
-    });
-    for (label, names) in [
-        ("ref_auth_last", vec!["Reference", "Authors", "Last_Name"]),
-        ("ref_last", vec!["Reference", "Last_Name"]),
-        ("ref_only", vec!["Reference"]),
-    ] {
-        let fdb = bibtex_partial(n, &names);
-        group.bench_function(BenchmarkId::new("index", label), |b| {
-            b.iter(|| fdb.query(CHANG_AUTHOR).unwrap())
-        });
-    }
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e4", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

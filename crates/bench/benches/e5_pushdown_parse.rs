@@ -1,49 +1,10 @@
-//! E5 — §6.2: pushing the query into the parsing of candidate regions vs
-//! building full objects.
+//! E5 — push-down parsing of candidates vs full object construction (§6.2)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use qof_bench::bibtex_partial;
-use qof_corpus::bibtex;
-use qof_db::Database;
-use qof_grammar::{build_value, build_value_filtered, Parser, PathFilter};
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_pushdown_parse");
-    group.sample_size(20);
-    let fdb = bibtex_partial(1600, &["Reference", "Last_Name"]);
-    let refs = fdb.instance().get("Reference").unwrap().clone();
-    let schema = bibtex::schema();
-    let sym = schema.grammar.symbol("Reference").unwrap();
-    let filter = PathFilter::from_paths(&[vec![
-        "Authors".to_string(),
-        "Name".to_string(),
-        "Last_Name".to_string(),
-    ]]);
-    let text = fdb.corpus().text().to_owned();
-    group.bench_function("full_build", |b| {
-        b.iter(|| {
-            let mut db = Database::new();
-            let parser = Parser::new(&schema.grammar, &text);
-            for region in refs.iter() {
-                let tree = parser.parse_symbol(sym, region.span()).unwrap();
-                build_value(&tree, &schema.grammar, &text, &mut db);
-            }
-            db.stats().value_nodes
-        })
-    });
-    group.bench_function("pushdown_build", |b| {
-        b.iter(|| {
-            let mut db = Database::new();
-            let parser = Parser::new(&schema.grammar, &text);
-            for region in refs.iter() {
-                let tree = parser.parse_symbol(sym, region.span()).unwrap();
-                build_value_filtered(&tree, &schema.grammar, &text, &mut db, &filter);
-            }
-            db.stats().value_nodes
-        })
-    });
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e5", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

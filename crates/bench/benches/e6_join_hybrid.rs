@@ -1,29 +1,10 @@
-//! E6 — §5.2: attribute comparisons. The index locates the operand regions
-//! and only their contents are joined; the baseline loads everything.
+//! E6 — the select–project–join hybrid vs the pure database pipeline (§5.2)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_bench::{bibtex_corpus, bibtex_full, EDITOR_IS_AUTHOR};
-use qof_core::baseline::{run_baseline, BaselineMode};
-use qof_corpus::bibtex;
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_join_hybrid");
-    group.sample_size(20);
-    for n in [200usize, 800, 3200] {
-        let corpus = bibtex_corpus(n);
-        let schema = bibtex::schema();
-        let fdb = bibtex_full(n);
-        group.bench_with_input(BenchmarkId::new("hybrid", n), &n, |b, _| {
-            b.iter(|| fdb.query(EDITOR_IS_AUTHOR).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("database", n), &n, |b, _| {
-            b.iter(|| {
-                run_baseline(&corpus, &schema, EDITOR_IS_AUTHOR, BaselineMode::FullLoad).unwrap()
-            })
-        });
-    }
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e6", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,32 +1,10 @@
-//! E7 — §5.3: path expressions with variables. On text, `*X` costs no more
-//! than the fixed path; in the OODB it forces full traversal.
+//! E7 — path variables *X: cheap on text, expensive in the OODB (§5.3)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_bench::{bibtex_corpus, bibtex_full, CHANG_AUTHOR, CHANG_STAR};
-use qof_core::baseline::{run_baseline, BaselineMode};
-use qof_corpus::bibtex;
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_path_variables");
-    group.sample_size(20);
-    let n = 1600;
-    let corpus = bibtex_corpus(n);
-    let schema = bibtex::schema();
-    let fdb = bibtex_full(n);
-    group.bench_function(BenchmarkId::new("index", "fixed_path"), |b| {
-        b.iter(|| fdb.query(CHANG_AUTHOR).unwrap())
-    });
-    group.bench_function(BenchmarkId::new("index", "star_path"), |b| {
-        b.iter(|| fdb.query(CHANG_STAR).unwrap())
-    });
-    group.bench_function(BenchmarkId::new("database", "fixed_path"), |b| {
-        b.iter(|| run_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::FullLoad).unwrap())
-    });
-    group.bench_function(BenchmarkId::new("database", "star_path"), |b| {
-        b.iter(|| run_baseline(&corpus, &schema, CHANG_STAR, BaselineMode::FullLoad).unwrap())
-    });
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e7", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

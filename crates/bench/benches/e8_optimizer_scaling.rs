@@ -1,27 +1,10 @@
-//! E8 — Theorem 3.6: the optimization algorithm is polynomial in the
-//! expression size.
+//! E8 — optimizer scaling with expression length (Theorem 3.6)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_core::{optimize, Direction, InclusionExpr, Rig};
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_optimizer_scaling");
-    for n in [4usize, 8, 16, 32, 64] {
-        let mut rig = Rig::new();
-        let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
-        for w in names.windows(2) {
-            rig.add_edge(&w[0], &w[1]);
-        }
-        for i in (0..n.saturating_sub(3)).step_by(3) {
-            rig.add_edge(&names[i], &names[i + 3]);
-        }
-        let e = InclusionExpr::all_direct(Direction::Including, names, None);
-        group.bench_with_input(BenchmarkId::new("optimize", n), &n, |b, _| {
-            b.iter(|| optimize(&e, &rig))
-        });
-    }
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e8", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

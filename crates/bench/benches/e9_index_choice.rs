@@ -1,31 +1,10 @@
-//! E9 — §7: index size vs query time across the full / advised / scoped /
-//! minimal index configurations.
+//! E9 — index selection: size vs query-time tradeoff (§7)
+//!
+//! Thin `cargo bench` wrapper over the shared experiment suite — the
+//! `harness` binary runs the same code and adds JSON reporting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qof_bench::{bibtex_corpus, bibtex_full, bibtex_partial, CHANG_AUTHOR};
-use qof_core::FileDatabase;
-use qof_corpus::bibtex;
-use qof_grammar::IndexSpec;
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_index_choice");
-    group.sample_size(20);
-    let n = 1600;
-    let full = bibtex_full(n);
-    let advised = bibtex_partial(n, &["Reference", "Authors", "Last_Name"]);
-    let scoped = FileDatabase::build(
-        bibtex_corpus(n),
-        bibtex::schema(),
-        IndexSpec::names(["Reference"]).with_scoped("Authors", "Last_Name"),
-    )
-    .unwrap();
-    for (label, fdb) in [("full", &full), ("advised", &advised), ("scoped", &scoped)] {
-        group.bench_function(BenchmarkId::new("query", label), |b| {
-            b.iter(|| fdb.query(CHANG_AUTHOR).unwrap())
-        });
-    }
-    group.finish();
+fn main() {
+    let report = qof_bench::experiments::run("e9", qof_bench::experiments::Scale::Full)
+        .expect("known experiment id");
+    eprintln!("[{}] finished in {:.3}s", report.id, report.wall_secs);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

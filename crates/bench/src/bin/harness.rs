@@ -1,499 +1,69 @@
-//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//! The experiment harness: regenerates every table of EXPERIMENTS.md and
+//! emits the machine-readable `BENCH_harness.json` report.
 //!
 //! ```sh
-//! cargo run -p qof-bench --release --bin harness          # all experiments
-//! cargo run -p qof-bench --release --bin harness -- e2 e4 # a subset
+//! cargo run -p qof-bench --release --bin harness            # all experiments
+//! cargo run -p qof-bench --release --bin harness -- e2 e4   # a subset
+//! cargo run -p qof-bench --release --bin harness -- --small e1 e3   # CI smoke
+//! cargo run -p qof-bench --release --bin harness -- --json out.json e11
 //! ```
 //!
-//! Experiment ids: f2 f3 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 (see DESIGN.md §4;
-//! a1 is the common-subexpression-sharing ablation of §5.2).
+//! Experiment ids: f2 f3 e1 … e11 a1 (see DESIGN.md §4; e11 is the
+//! shard-parallel + subexpression-cache experiment, a1 the §5.2 sharing
+//! ablation). `--small` shrinks every corpus to CI scale; `--json PATH`
+//! overrides the default report path of `BENCH_harness.json`.
 
-use std::time::Instant;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-use qof_bench::*;
-use qof_core::baseline::BaselineMode;
-use qof_core::{advise, optimize, parse_query, Direction, InclusionExpr, Rig, SelectKind};
-use qof_corpus::{bibtex, logs};
-use qof_grammar::{render_tree, IndexSpec, Parser};
-use qof_pat::{direct_including, direct_including_layered, Engine, RegionExpr};
-use qof_text::{Corpus, Tokenizer, WordIndex};
+use qof_bench::experiments::{all_ids, run, Scale};
+use qof_bench::report::write_json;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all =
-        ["f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1"];
-    let run: Vec<&str> = if args.is_empty() {
-        all.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
-    for id in run {
-        match id {
-            "f2" => f2(),
-            "f3" => f3(),
-            "e1" => e1(),
-            "e2" => e2(),
-            "e3" => e3(),
-            "e4" => e4(),
-            "e5" => e5(),
-            "e6" => e6(),
-            "e7" => e7(),
-            "e8" => e8(),
-            "e9" => e9(),
-            "e10" => e10(),
-            "a1" => a1(),
-            other => eprintln!("unknown experiment `{other}` (known: {})", all.join(" ")),
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut json_path = PathBuf::from("BENCH_harness.json");
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(arg) = args.first().cloned() {
+        match arg.as_str() {
+            "--small" => {
+                scale = Scale::Small;
+                args.remove(0);
+            }
+            "--json" => {
+                if args.len() < 2 {
+                    eprintln!("--json needs a path");
+                    return ExitCode::FAILURE;
+                }
+                json_path = PathBuf::from(args[1].clone());
+                args.drain(..2);
+            }
+            _ => ids.push(args.remove(0)),
         }
     }
-}
+    let all = all_ids();
+    let run_ids: Vec<&str> =
+        if ids.is_empty() { all.clone() } else { ids.iter().map(String::as_str).collect() };
 
-fn banner(id: &str, title: &str) {
-    println!("\n================================================================");
-    println!("{id}: {title}");
-    println!("================================================================");
-}
-
-/// Figure 2: the parse tree under full indexing, plus the derived RIG.
-fn f2() {
-    banner("F2", "parse tree (full indexing) and derived RIG — Figure 2 / §3.2");
-    let (text, _) = bibtex::generate(&bibtex::BibtexConfig::with_refs(1));
-    let schema = bibtex::schema();
-    let parser = Parser::new(&schema.grammar, &text);
-    let tree = parser.parse_root(0..text.len() as u32).unwrap();
-    println!(
-        "{}",
-        render_tree(&tree, &schema.grammar, &text, &["Reference", "Authors", "Name", "Last_Name"], 5)
-    );
-    println!("derived RIG (all non-terminals indexed):");
-    print!("{}", Rig::from_grammar(&schema.grammar));
-}
-
-/// Figure 3: the partial-indexing view — Zp = {Reference, Key, Last_Name}.
-fn f3() {
-    banner("F3", "partial indexing Zp = {Reference, Key, Last_Name} — Figure 3 / §6.1");
-    let (text, _) = bibtex::generate(&bibtex::BibtexConfig::with_refs(1));
-    let schema = bibtex::schema();
-    let full = Rig::from_grammar(&schema.grammar);
-    let indexed = ["Reference", "Key", "Last_Name"].iter().map(|s| s.to_string()).collect();
-    println!("partial RIG:");
-    print!("{}", full.partial(&indexed));
-    let parser = Parser::new(&schema.grammar, &text);
-    let tree = parser.parse_root(0..text.len() as u32).unwrap();
-    println!("parse tree with only the indexed names highlighted:");
-    println!(
-        "{}",
-        render_tree(&tree, &schema.grammar, &text, &["Reference", "Key", "Last_Name"], 5)
-    );
-}
-
-/// E1: optimized vs unoptimized inclusion expression (§3.2's e1 vs e2).
-fn e1() {
-    banner("E1", "optimized vs unoptimized inclusion expression (§3.2)");
-    println!(
-        "{:>8} | {:>10} {:>10} | {:>9} {:>9} | {:>7}",
-        "refs", "e1 (⊃d)", "e2 (opt)", "ops e1", "ops e2", "speedup"
-    );
-    for n in [200, 800, 3200] {
-        let fdb = bibtex_full(n);
-        let e1 = InclusionExpr::all_direct(
-            Direction::Including,
-            vec!["Reference".into(), "Authors".into(), "Name".into(), "Last_Name".into()],
-            Some((SelectKind::Eq, "Chang".into())),
-        );
-        let e2 = optimize(&e1, fdb.full_rig()).expr;
-        let (x1, x2) = (e1.to_region_expr(), e2.to_region_expr());
-        let words = WordIndex::build(fdb.corpus(), &Tokenizer::new());
-        let run = |x: &RegionExpr| {
-            let engine = Engine::new(fdb.corpus(), &words, fdb.instance());
-            let t = Instant::now();
-            let r = engine.eval(x).unwrap();
-            (t.elapsed().as_secs_f64(), engine.stats(), r.len())
-        };
-        let t1 = median_secs(5, || run(&x1).0);
-        let t2 = median_secs(5, || run(&x2).0);
-        let (_, s1, r1) = run(&x1);
-        let (_, s2, r2) = run(&x2);
-        assert_eq!(r1, r2, "optimization must preserve the answer");
-        println!(
-            "{:>8} | {} {} | {:>9} {:>9} | {:>6.2}x",
-            n,
-            fmt_secs(t1),
-            fmt_secs(t2),
-            s1.regions_consumed,
-            s2.regions_consumed,
-            t1 / t2.max(1e-12)
-        );
-    }
-    println!("(ops = regions consumed by operator applications; ⊃d consults the whole universe)");
-}
-
-/// E2: index evaluation vs the standard-database pipeline vs raw scan.
-fn e2() {
-    banner("E2", "index vs standard database vs grep-style scan (§1 headline)");
-    println!(
-        "{:>8} | {:>10} {:>10} {:>10} {:>10} | {:>12} {:>12}",
-        "refs", "index", "db full", "db reduced", "grep", "idx bytes", "db bytes"
-    );
-    for n in [200, 800, 3200, 12800] {
-        let corpus = bibtex_corpus(n);
-        let schema = bibtex::schema();
-        let fdb = bibtex_full(n);
-        let ti = median_secs(3, || time_query(&fdb, CHANG_AUTHOR).1);
-        let tf = median_secs(3, || {
-            time_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::FullLoad).1
-        });
-        let tr = median_secs(3, || {
-            time_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::ReducedLoad).1
-        });
-        let tg = median_secs(3, || grep_scan(&corpus, "Chang").1);
-        let (ri, _) = time_query(&fdb, CHANG_AUTHOR);
-        let (rb, _) = time_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::FullLoad);
-        assert_eq!(ri.values.len(), rb.values.len());
-        println!(
-            "{:>8} | {} {} {} {} | {:>12} {:>12}",
-            n,
-            fmt_secs(ti),
-            fmt_secs(tf),
-            fmt_secs(tr),
-            fmt_secs(tg),
-            ri.stats.bytes_touched(),
-            rb.stats.parse.bytes_scanned,
-        );
-    }
-    println!("(query work only; index construction is the text system's offline service)");
-}
-
-/// E3: the cost of ⊃d vs ⊃ as nesting deepens (§3.1's layered program).
-fn e3() {
-    banner("E3", "⊃ vs ⊃d (forest) vs ⊃d (paper's layered program) — §3.1");
-    println!(
-        "{:>6} {:>9} | {:>10} {:>10} {:>12} | {:>8}",
-        "depth", "regions", "⊃", "⊃d fast", "⊃d layered", "d/plain"
-    );
-    for depth in [2, 4, 6, 8] {
-        let fdb = sgml_full(depth, 4);
-        let sections = fdb.instance().get("Section").unwrap().clone();
-        let heads = fdb.instance().get("Head").unwrap().clone();
-        let universe = fdb.instance().universe();
-        let forest = fdb.instance().build_forest();
-        let t_plain = median_secs(9, || {
-            let t = Instant::now();
-            std::hint::black_box(sections.including(&heads));
-            t.elapsed().as_secs_f64()
-        });
-        let t_fast = median_secs(9, || {
-            let t = Instant::now();
-            std::hint::black_box(direct_including(&sections, &heads, &forest));
-            t.elapsed().as_secs_f64()
-        });
-        let t_layered = median_secs(9, || {
-            let t = Instant::now();
-            std::hint::black_box(direct_including_layered(&sections, &heads, &universe));
-            t.elapsed().as_secs_f64()
-        });
-        println!(
-            "{:>6} {:>9} | {} {} {} | {:>7.1}x",
-            depth,
-            universe.len(),
-            fmt_secs(t_plain),
-            fmt_secs(t_fast),
-            fmt_secs(t_layered),
-            t_layered / t_plain.max(1e-12)
-        );
-    }
-    println!("(the layered program is the paper's evidence that ⊃d is the expensive operator)");
-}
-
-/// E4: partial indexing — candidate superset factor and end-to-end cost.
-fn e4() {
-    banner("E4", "partial indexing: candidates, scan volume, time (§6)");
-    let n = 3200;
-    let specs: Vec<(&str, Vec<&str>)> = vec![
-        ("full", vec![]),
-        ("{Ref,Auth,Last}", vec!["Reference", "Authors", "Last_Name"]),
-        ("{Ref,Last}", vec!["Reference", "Last_Name"]),
-        ("{Ref}", vec!["Reference"]),
-    ];
-    println!(
-        "{:>16} | {:>8} {:>6} | {:>9} {:>12} {:>12} | {:>10}",
-        "index", "regions", "exact", "cands", "parsed B", "of corpus", "time"
-    );
-    for (label, names) in specs {
-        let fdb = if names.is_empty() { bibtex_full(n) } else { bibtex_partial(n, &names) };
-        let t = median_secs(3, || time_query(&fdb, CHANG_AUTHOR).1);
-        let (r, _) = time_query(&fdb, CHANG_AUTHOR);
-        println!(
-            "{:>16} | {:>8} {:>6} | {:>9} {:>12} {:>11.2}% | {}",
-            label,
-            fdb.instance().region_count(),
-            r.stats.exact_index,
-            r.stats.candidates,
-            r.stats.parse.bytes_scanned,
-            100.0 * r.stats.parse.bytes_scanned as f64 / fdb.corpus().len() as f64,
-            fmt_secs(t),
-        );
-    }
-    println!("(answers are identical in every row; smaller indexes parse more candidates)");
-}
-
-/// E5: pushing the query into candidate parsing (§6.2).
-fn e5() {
-    banner("E5", "push-down parsing of candidates vs full object construction (§6.2)");
-    use qof_grammar::{build_value, build_value_filtered, PathFilter};
-    let n = 3200;
-    let fdb = bibtex_partial(n, &["Reference", "Last_Name"]);
-    let refs = fdb.instance().get("Reference").unwrap().clone();
-    let schema = bibtex::schema();
-    let sym = schema.grammar.symbol("Reference").unwrap();
-    let filter = PathFilter::from_paths(&[vec!["Authors", "Name", "Last_Name"]]);
-    let text = fdb.corpus().text();
-    println!("{:>10} | {:>12} {:>12} | {:>12} {:>12}", "mode", "time", "nodes", "objects", "");
-    for (label, filtered) in [("full", false), ("push-down", true)] {
-        let t0 = Instant::now();
-        let mut db = qof_db::Database::new();
-        let parser = Parser::new(&schema.grammar, text);
-        for region in refs.iter() {
-            let tree = parser.parse_symbol(sym, region.span()).unwrap();
-            if filtered {
-                build_value_filtered(&tree, &schema.grammar, text, &mut db, &filter);
-            } else {
-                build_value(&tree, &schema.grammar, text, &mut db);
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for id in run_ids {
+        match run(id, scale) {
+            Some(report) => reports.push(report),
+            None => {
+                eprintln!("unknown experiment `{id}` (known: {})", all.join(" "));
+                failed = true;
             }
         }
-        let secs = t0.elapsed().as_secs_f64();
-        println!(
-            "{:>10} | {} {:>12} | {:>12}",
-            label,
-            fmt_secs(secs),
-            db.stats().value_nodes,
-            db.stats().objects_created
-        );
     }
-    println!("(same candidates parsed; the filter skips fields the query never reads)");
-}
-
-/// E6: the select–project–join hybrid (§5.2).
-fn e6() {
-    banner("E6", "content joins: index-located regions + DB join vs pure DB (§5.2)");
-    println!(
-        "{:>8} | {:>10} {:>10} | {:>9} | {:>12} {:>12}",
-        "refs", "hybrid", "database", "answers", "hyb bytes", "db bytes"
-    );
-    for n in [200, 800, 3200] {
-        let corpus = bibtex_corpus(n);
-        let schema = bibtex::schema();
-        let fdb = bibtex_full(n);
-        let th = median_secs(3, || time_query(&fdb, EDITOR_IS_AUTHOR).1);
-        let tb = median_secs(3, || {
-            time_baseline(&corpus, &schema, EDITOR_IS_AUTHOR, BaselineMode::FullLoad).1
-        });
-        let (rh, _) = time_query(&fdb, EDITOR_IS_AUTHOR);
-        let (rb, _) = time_baseline(&corpus, &schema, EDITOR_IS_AUTHOR, BaselineMode::FullLoad);
-        assert_eq!(rh.values.len(), rb.values.len());
-        println!(
-            "{:>8} | {} {} | {:>9} | {:>12} {:>12}",
-            n,
-            fmt_secs(th),
-            fmt_secs(tb),
-            rh.values.len(),
-            rh.stats.bytes_touched(),
-            rb.stats.parse.bytes_scanned
-        );
+    if let Err(e) = write_json(&json_path, scale.label(), &reports) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
     }
-}
-
-/// E7: path expressions with variables — cheap on text, expensive in the
-/// OODB (§5.3's inversion claim).
-fn e7() {
-    banner("E7", "path variables *X: text index vs OODB traversal (§5.3)");
-    println!(
-        "{:>8} | {:>10} {:>10} | {:>10} {:>10} | {:>14}",
-        "refs", "idx fixed", "idx *X", "db fixed", "db *X", "db *X nodes"
-    );
-    for n in [200, 800, 3200] {
-        let corpus = bibtex_corpus(n);
-        let schema = bibtex::schema();
-        let fdb = bibtex_full(n);
-        let t_if = median_secs(3, || time_query(&fdb, CHANG_AUTHOR).1);
-        let t_is = median_secs(3, || time_query(&fdb, CHANG_STAR).1);
-        let t_bf = median_secs(3, || {
-            time_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::FullLoad).1
-        });
-        let t_bs = median_secs(3, || {
-            time_baseline(&corpus, &schema, CHANG_STAR, BaselineMode::FullLoad).1
-        });
-        let (rb, _) = time_baseline(&corpus, &schema, CHANG_STAR, BaselineMode::FullLoad);
-        println!(
-            "{:>8} | {} {} | {} {} | {:>14}",
-            n,
-            fmt_secs(t_if),
-            fmt_secs(t_is),
-            fmt_secs(t_bf),
-            fmt_secs(t_bs),
-            rb.stats.path.nodes_visited
-        );
+    println!("\nwrote {} ({} experiments)", json_path.display(), reports.len());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
-    println!("(on text, *X is plain ⊃ — no more expensive than the fixed path)");
-}
-
-/// E8: the optimizer runs in time polynomial in expression length.
-fn e8() {
-    banner("E8", "optimizer scaling with expression length (Theorem 3.6)");
-    println!("{:>8} | {:>12} | {:>14}", "length", "time", "µs per name");
-    for n in [4usize, 8, 16, 32, 64, 128] {
-        // A long chain RIG A0 → A1 → … with shortcut edges every 3 nodes,
-        // so both rewrite kinds stay busy.
-        let mut rig = Rig::new();
-        let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
-        for w in names.windows(2) {
-            rig.add_edge(&w[0], &w[1]);
-        }
-        for i in (0..n.saturating_sub(3)).step_by(3) {
-            rig.add_edge(&names[i], &names[i + 3]);
-        }
-        let e = InclusionExpr::all_direct(Direction::Including, names.clone(), None);
-        let t = median_secs(9, || {
-            let t0 = Instant::now();
-            std::hint::black_box(optimize(&e, &rig));
-            t0.elapsed().as_secs_f64()
-        });
-        println!("{:>8} | {} | {:>13.2}", n, fmt_secs(t), t * 1e6 / n as f64);
-    }
-}
-
-/// E9: index selection — size vs query-time tradeoff (§7).
-fn e9() {
-    banner("E9", "choosing what to index: size vs time (§7)");
-    let n = 3200;
-    let schema = bibtex::schema();
-    let workload = [CHANG_AUTHOR, "SELECT r FROM References r WHERE r.Year = \"1982\""];
-    let full = bibtex_full(n);
-    let queries: Vec<_> = workload.iter().map(|q| parse_query(q).unwrap()).collect();
-    let advice = advise(&schema, full.full_rig(), &queries);
-    println!("advised set: {:?}", advice.index_set);
-    let advised_names: Vec<&str> = advice.index_set.iter().map(String::as_str).collect();
-    let scoped = IndexSpec::names(["Reference", "Year"])
-        .with_scoped("Authors", "Last_Name");
-    let corpus = bibtex_corpus(n);
-    let scoped_db =
-        qof_core::FileDatabase::build(corpus, schema.clone(), scoped).unwrap();
-    let setups: Vec<(&str, &qof_core::FileDatabase)> = vec![("full", &full)];
-    let advised_db = bibtex_partial(n, &advised_names);
-    let tiny_db = bibtex_partial(n, &["Reference", "Last_Name", "Year"]);
-    let mut rows: Vec<(&str, &qof_core::FileDatabase)> = setups;
-    rows.push(("advised", &advised_db));
-    rows.push(("scoped §7", &scoped_db));
-    rows.push(("tiny", &tiny_db));
-    println!(
-        "{:>10} | {:>9} {:>12} | {:>10} {:>8} {:>12}",
-        "index", "regions", "approx B", "avg time", "exact", "parsed B"
-    );
-    for (label, fdb) in rows {
-        let mut total = 0.0;
-        let mut exact = true;
-        let mut parsed = 0u64;
-        for q in workload {
-            let t = median_secs(3, || time_query(fdb, q).1);
-            let (r, _) = time_query(fdb, q);
-            total += t;
-            exact &= r.stats.exact_index;
-            parsed += r.stats.parse.bytes_scanned;
-        }
-        println!(
-            "{:>10} | {:>9} {:>12} | {} {:>8} {:>12}",
-            label,
-            fdb.instance().region_count(),
-            fdb.instance().approx_bytes(),
-            fmt_secs(total / workload.len() as f64),
-            exact,
-            parsed
-        );
-    }
-}
-
-/// A1 (ablation): common-subexpression sharing across OR branches (§5.2:
-/// "the goal is to find common subexpressions … and evaluate them once").
-fn a1() {
-    banner("A1", "ablation: common-subexpression sharing in boolean queries (§5.2)");
-    println!("{:>8} | {:>10} {:>10} | {:>8} {:>9} | {:>7}", "refs", "shared", "unshared", "σ∋ ops", "σ∋ ops u", "speedup");
-    for n in [800usize, 3200] {
-        let fdb = bibtex_full(n);
-        let words = WordIndex::build(fdb.corpus(), &Tokenizer::new());
-        // Both OR branches share an expensive subexpression: σ∋ over a
-        // frequent abstract word (large posting list) on the Reference set.
-        let shared = RegionExpr::name("Reference").select_contains("solving");
-        let e = shared
-            .clone()
-            .intersect(RegionExpr::name("Reference").including(
-                RegionExpr::name("Authors").including(RegionExpr::name("Last_Name").select_eq("Chang")),
-            ))
-            .union(shared.intersect(RegionExpr::name("Reference").including(
-                RegionExpr::name("Editors").including(RegionExpr::name("Last_Name").select_eq("Corliss")),
-            )));
-        let engine = Engine::new(fdb.corpus(), &words, fdb.instance());
-        let t_shared = median_secs(9, || {
-            let t = Instant::now();
-            std::hint::black_box(engine.eval(&e).unwrap());
-            t.elapsed().as_secs_f64()
-        });
-        let t_unshared = median_secs(9, || {
-            let t = Instant::now();
-            std::hint::black_box(engine.eval_unshared(&e).unwrap());
-            t.elapsed().as_secs_f64()
-        });
-        engine.reset_stats();
-        engine.eval(&e).unwrap();
-        let ops_s = engine.stats().ops("σ∋");
-        engine.reset_stats();
-        engine.eval_unshared(&e).unwrap();
-        let ops_u = engine.stats().ops("σ∋");
-        println!(
-            "{:>8} | {} {} | {:>8} {:>9} | {:>6.2}x",
-            n,
-            fmt_secs(t_shared),
-            fmt_secs(t_unshared),
-            ops_s,
-            ops_u,
-            t_unshared / t_shared.max(1e-12)
-        );
-    }
-}
-
-/// E10: §6.3 — partial indexes that are provably exact skip parsing.
-fn e10() {
-    banner("E10", "exact answers with partial indexing (§6.3)");
-    let cfg = logs::LogConfig { n_sessions: 4000, error_percent: 5, ..Default::default() };
-    let (text, _) = logs::generate(&cfg);
-    let corpus = Corpus::from_text(&text);
-    let q = "SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"";
-    println!(
-        "{:>22} | {:>8} {:>6} | {:>9} {:>12} | {:>10}",
-        "index", "regions", "exact", "cands", "parsed B", "time"
-    );
-    for (label, names) in [
-        ("full", vec![]),
-        ("{Session,Status}", vec!["Session", "Status"]),
-        ("{Session,Request}", vec!["Session", "Request"]),
-    ] {
-        let spec = if names.is_empty() {
-            IndexSpec::full()
-        } else {
-            IndexSpec::names(names)
-        };
-        let fdb =
-            qof_core::FileDatabase::build(corpus.clone(), logs::schema(), spec).unwrap();
-        let t = median_secs(3, || time_query(&fdb, q).1);
-        let (r, _) = time_query(&fdb, q);
-        println!(
-            "{:>22} | {:>8} {:>6} | {:>9} {:>12} | {}",
-            label,
-            fdb.instance().region_count(),
-            r.stats.exact_index,
-            r.stats.candidates,
-            r.stats.parse.bytes_scanned,
-            fmt_secs(t)
-        );
-    }
-    println!("({{Session,Status}} is exact: the route runs through unindexed names only; \
-              {{Session,Request}} cannot test the status and must parse)");
 }

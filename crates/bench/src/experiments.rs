@@ -1,0 +1,710 @@
+//! The experiment suite F2–F3, E1–E11, A1 (see DESIGN.md §4 for the
+//! experiment ↔ paper-claim mapping). Every experiment prints its
+//! human-readable table *and* records its key numbers into an
+//! [`ExperimentReport`], which the harness serializes to
+//! `BENCH_harness.json` (see [`crate::report`]).
+//!
+//! Experiments run at two scales: [`Scale::Full`] regenerates the
+//! EXPERIMENTS.md tables; [`Scale::Small`] is the CI smoke configuration —
+//! same code paths, corpora shrunk to finish in seconds.
+
+use std::time::Instant;
+
+use qof_core::baseline::BaselineMode;
+use qof_core::{
+    advise, optimize, parse_query, Direction, ExecOptions, FileDatabase, InclusionExpr, Rig,
+    SelectKind,
+};
+use qof_corpus::{bibtex, logs};
+use qof_grammar::{render_tree, IndexSpec, Parser};
+use qof_pat::{direct_including, direct_including_layered, Engine, RegionExpr};
+use qof_text::{Corpus, Tokenizer, WordIndex};
+
+use crate::report::{ExperimentReport, Measurement};
+use crate::{
+    bibtex_corpus, bibtex_full, bibtex_partial, fmt_secs, grep_scan, median_secs,
+    multi_file_bibtex, sgml_full, time_baseline, time_query, CHANG_AUTHOR, CHANG_STAR,
+    EDITOR_IS_AUTHOR, PARALLEL_WORKLOAD,
+};
+
+/// How big a corpus each experiment builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI smoke scale: seconds, not minutes.
+    Small,
+    /// The EXPERIMENTS.md scale.
+    Full,
+}
+
+impl Scale {
+    /// Chooses the scale-appropriate value.
+    fn pick<T>(self, small: T, full: T) -> T {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+
+    /// The label written into the JSON report.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Collects an experiment's measurements.
+#[derive(Debug, Default)]
+struct Recorder {
+    ms: Vec<Measurement>,
+}
+
+impl Recorder {
+    fn rec(&mut self, name: impl Into<String>, value: f64, unit: &'static str) {
+        self.ms.push(Measurement { name: name.into(), value, unit });
+    }
+}
+
+/// `(id, title)` of every experiment, in canonical run order.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("f2", "parse tree (full indexing) and derived RIG — Figure 2 / §3.2"),
+    ("f3", "partial indexing Zp = {Reference, Key, Last_Name} — Figure 3 / §6.1"),
+    ("e1", "optimized vs unoptimized inclusion expression (§3.2)"),
+    ("e2", "index vs standard database vs grep-style scan (§1 headline)"),
+    ("e3", "⊃ vs ⊃d (forest) vs ⊃d (paper's layered program) — §3.1"),
+    ("e4", "partial indexing: candidates, scan volume, time (§6)"),
+    ("e5", "push-down parsing of candidates vs full object construction (§6.2)"),
+    ("e6", "content joins: index-located regions + DB join vs pure DB (§5.2)"),
+    ("e7", "path variables *X: text index vs OODB traversal (§5.3)"),
+    ("e8", "optimizer scaling with expression length (Theorem 3.6)"),
+    ("e9", "choosing what to index: size vs time (§7)"),
+    ("e10", "exact answers with partial indexing (§6.3)"),
+    ("e11", "sharded parallel execution and the subexpression cache"),
+    ("a1", "ablation: common-subexpression sharing in boolean queries (§5.2)"),
+];
+
+/// All experiment ids, in canonical run order.
+pub fn all_ids() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|(id, _)| *id).collect()
+}
+
+/// Runs one experiment by id; `None` for an unknown id. The returned
+/// report carries the experiment's wall-clock time and key measurements.
+pub fn run(id: &str, scale: Scale) -> Option<ExperimentReport> {
+    let &(id, title) = EXPERIMENTS.iter().find(|(eid, _)| *eid == id)?;
+    let mut r = Recorder::default();
+    let t0 = Instant::now();
+    match id {
+        "f2" => f2(),
+        "f3" => f3(),
+        "e1" => e1(scale, &mut r),
+        "e2" => e2(scale, &mut r),
+        "e3" => e3(scale, &mut r),
+        "e4" => e4(scale, &mut r),
+        "e5" => e5(scale, &mut r),
+        "e6" => e6(scale, &mut r),
+        "e7" => e7(scale, &mut r),
+        "e8" => e8(scale, &mut r),
+        "e9" => e9(scale, &mut r),
+        "e10" => e10(scale, &mut r),
+        "e11" => e11(scale, &mut r),
+        "a1" => a1(scale, &mut r),
+        _ => unreachable!("id came from EXPERIMENTS"),
+    }
+    Some(ExperimentReport { id, title, wall_secs: t0.elapsed().as_secs_f64(), measurements: r.ms })
+}
+
+fn banner(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Figure 2: the parse tree under full indexing, plus the derived RIG.
+fn f2() {
+    banner("F2", "parse tree (full indexing) and derived RIG — Figure 2 / §3.2");
+    let (text, _) = bibtex::generate(&bibtex::BibtexConfig::with_refs(1));
+    let schema = bibtex::schema();
+    let parser = Parser::new(&schema.grammar, &text);
+    let tree = parser.parse_root(0..text.len() as u32).unwrap();
+    println!(
+        "{}",
+        render_tree(
+            &tree,
+            &schema.grammar,
+            &text,
+            &["Reference", "Authors", "Name", "Last_Name"],
+            5
+        )
+    );
+    println!("derived RIG (all non-terminals indexed):");
+    print!("{}", Rig::from_grammar(&schema.grammar));
+}
+
+/// Figure 3: the partial-indexing view — Zp = {Reference, Key, `Last_Name`}.
+fn f3() {
+    banner("F3", "partial indexing Zp = {Reference, Key, Last_Name} — Figure 3 / §6.1");
+    let (text, _) = bibtex::generate(&bibtex::BibtexConfig::with_refs(1));
+    let schema = bibtex::schema();
+    let full = Rig::from_grammar(&schema.grammar);
+    let indexed =
+        ["Reference", "Key", "Last_Name"].iter().map(std::string::ToString::to_string).collect();
+    println!("partial RIG:");
+    print!("{}", full.partial(&indexed));
+    let parser = Parser::new(&schema.grammar, &text);
+    let tree = parser.parse_root(0..text.len() as u32).unwrap();
+    println!("parse tree with only the indexed names highlighted:");
+    println!(
+        "{}",
+        render_tree(&tree, &schema.grammar, &text, &["Reference", "Key", "Last_Name"], 5)
+    );
+}
+
+/// E1: optimized vs unoptimized inclusion expression (§3.2's e1 vs e2).
+fn e1(scale: Scale, r: &mut Recorder) {
+    banner("E1", "optimized vs unoptimized inclusion expression (§3.2)");
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>9} {:>9} | {:>7}",
+        "refs", "e1 (⊃d)", "e2 (opt)", "ops e1", "ops e2", "speedup"
+    );
+    for n in scale.pick(vec![100, 400], vec![200, 800, 3200]) {
+        let fdb = bibtex_full(n);
+        let e1 = InclusionExpr::all_direct(
+            Direction::Including,
+            vec!["Reference".into(), "Authors".into(), "Name".into(), "Last_Name".into()],
+            Some((SelectKind::Eq, "Chang".into())),
+        );
+        let e2 = optimize(&e1, fdb.full_rig()).expr;
+        let (x1, x2) = (e1.to_region_expr(), e2.to_region_expr());
+        let words = WordIndex::build(fdb.corpus(), &Tokenizer::new());
+        let run = |x: &RegionExpr| {
+            let engine = Engine::new(fdb.corpus(), &words, fdb.instance());
+            let t = Instant::now();
+            let res = engine.eval(x).unwrap();
+            (t.elapsed().as_secs_f64(), engine.stats(), res.len())
+        };
+        let t1 = median_secs(5, || run(&x1).0);
+        let t2 = median_secs(5, || run(&x2).0);
+        let (_, s1, r1) = run(&x1);
+        let (_, s2, r2) = run(&x2);
+        assert_eq!(r1, r2, "optimization must preserve the answer");
+        r.rec(format!("unopt_secs_{n}"), t1, "s");
+        r.rec(format!("opt_secs_{n}"), t2, "s");
+        r.rec(format!("speedup_{n}"), t1 / t2.max(1e-12), "x");
+        println!(
+            "{:>8} | {} {} | {:>9} {:>9} | {:>6.2}x",
+            n,
+            fmt_secs(t1),
+            fmt_secs(t2),
+            s1.regions_consumed,
+            s2.regions_consumed,
+            t1 / t2.max(1e-12)
+        );
+    }
+    println!("(ops = regions consumed by operator applications; ⊃d consults the whole universe)");
+}
+
+/// E2: index evaluation vs the standard-database pipeline vs raw scan.
+fn e2(scale: Scale, r: &mut Recorder) {
+    banner("E2", "index vs standard database vs grep-style scan (§1 headline)");
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10} {:>10} | {:>12} {:>12}",
+        "refs", "index", "db full", "db reduced", "grep", "idx bytes", "db bytes"
+    );
+    for n in scale.pick(vec![100, 400], vec![200, 800, 3200, 12800]) {
+        let corpus = bibtex_corpus(n);
+        let schema = bibtex::schema();
+        let fdb = bibtex_full(n);
+        let ti = median_secs(3, || time_query(&fdb, CHANG_AUTHOR).1);
+        let tf = median_secs(3, || {
+            time_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::FullLoad).1
+        });
+        let tr = median_secs(3, || {
+            time_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::ReducedLoad).1
+        });
+        let tg = median_secs(3, || grep_scan(&corpus, "Chang").1);
+        let (ri, _) = time_query(&fdb, CHANG_AUTHOR);
+        let (rb, _) = time_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::FullLoad);
+        assert_eq!(ri.values.len(), rb.values.len());
+        r.rec(format!("index_secs_{n}"), ti, "s");
+        r.rec(format!("db_full_secs_{n}"), tf, "s");
+        r.rec(format!("db_reduced_secs_{n}"), tr, "s");
+        r.rec(format!("grep_secs_{n}"), tg, "s");
+        println!(
+            "{:>8} | {} {} {} {} | {:>12} {:>12}",
+            n,
+            fmt_secs(ti),
+            fmt_secs(tf),
+            fmt_secs(tr),
+            fmt_secs(tg),
+            ri.stats.bytes_touched(),
+            rb.stats.parse.bytes_scanned,
+        );
+    }
+    println!("(query work only; index construction is the text system's offline service)");
+}
+
+/// E3: the cost of ⊃d vs ⊃ as nesting deepens (§3.1's layered program).
+fn e3(scale: Scale, r: &mut Recorder) {
+    banner("E3", "⊃ vs ⊃d (forest) vs ⊃d (paper's layered program) — §3.1");
+    println!(
+        "{:>6} {:>9} | {:>10} {:>10} {:>12} | {:>8}",
+        "depth", "regions", "⊃", "⊃d fast", "⊃d layered", "d/plain"
+    );
+    for depth in scale.pick(vec![2, 4], vec![2, 4, 6, 8]) {
+        let fdb = sgml_full(depth, 4);
+        let sections = fdb.instance().get("Section").unwrap().clone();
+        let heads = fdb.instance().get("Head").unwrap().clone();
+        let universe = fdb.instance().universe();
+        let forest = fdb.instance().build_forest();
+        let t_plain = median_secs(9, || {
+            let t = Instant::now();
+            std::hint::black_box(sections.including(&heads));
+            t.elapsed().as_secs_f64()
+        });
+        let t_fast = median_secs(9, || {
+            let t = Instant::now();
+            std::hint::black_box(direct_including(&sections, &heads, &forest));
+            t.elapsed().as_secs_f64()
+        });
+        let t_layered = median_secs(9, || {
+            let t = Instant::now();
+            std::hint::black_box(direct_including_layered(&sections, &heads, &universe));
+            t.elapsed().as_secs_f64()
+        });
+        r.rec(format!("plain_secs_depth{depth}"), t_plain, "s");
+        r.rec(format!("forest_secs_depth{depth}"), t_fast, "s");
+        r.rec(format!("layered_secs_depth{depth}"), t_layered, "s");
+        println!(
+            "{:>6} {:>9} | {} {} {} | {:>7.1}x",
+            depth,
+            universe.len(),
+            fmt_secs(t_plain),
+            fmt_secs(t_fast),
+            fmt_secs(t_layered),
+            t_layered / t_plain.max(1e-12)
+        );
+    }
+    println!("(the layered program is the paper's evidence that ⊃d is the expensive operator)");
+}
+
+/// E4: partial indexing — candidate superset factor and end-to-end cost.
+fn e4(scale: Scale, r: &mut Recorder) {
+    banner("E4", "partial indexing: candidates, scan volume, time (§6)");
+    let n = scale.pick(400, 3200);
+    let specs: Vec<(&str, Vec<&str>)> = vec![
+        ("full", vec![]),
+        ("{Ref,Auth,Last}", vec!["Reference", "Authors", "Last_Name"]),
+        ("{Ref,Last}", vec!["Reference", "Last_Name"]),
+        ("{Ref}", vec!["Reference"]),
+    ];
+    println!(
+        "{:>16} | {:>8} {:>6} | {:>9} {:>12} {:>12} | {:>10}",
+        "index", "regions", "exact", "cands", "parsed B", "of corpus", "time"
+    );
+    for (label, names) in specs {
+        let fdb = if names.is_empty() { bibtex_full(n) } else { bibtex_partial(n, &names) };
+        let t = median_secs(3, || time_query(&fdb, CHANG_AUTHOR).1);
+        let (res, _) = time_query(&fdb, CHANG_AUTHOR);
+        r.rec(format!("secs_{label}"), t, "s");
+        r.rec(format!("candidates_{label}"), res.stats.candidates as f64, "regions");
+        println!(
+            "{:>16} | {:>8} {:>6} | {:>9} {:>12} {:>11.2}% | {}",
+            label,
+            fdb.instance().region_count(),
+            res.stats.exact_index,
+            res.stats.candidates,
+            res.stats.parse.bytes_scanned,
+            100.0 * res.stats.parse.bytes_scanned as f64 / fdb.corpus().len() as f64,
+            fmt_secs(t),
+        );
+    }
+    println!("(answers are identical in every row; smaller indexes parse more candidates)");
+}
+
+/// E5: pushing the query into candidate parsing (§6.2).
+fn e5(scale: Scale, r: &mut Recorder) {
+    banner("E5", "push-down parsing of candidates vs full object construction (§6.2)");
+    use qof_grammar::{build_value, build_value_filtered, PathFilter};
+    let n = scale.pick(400, 3200);
+    let fdb = bibtex_partial(n, &["Reference", "Last_Name"]);
+    let refs = fdb.instance().get("Reference").unwrap().clone();
+    let schema = bibtex::schema();
+    let sym = schema.grammar.symbol("Reference").unwrap();
+    let filter = PathFilter::from_paths(&[vec!["Authors", "Name", "Last_Name"]]);
+    let text = fdb.corpus().text();
+    println!("{:>10} | {:>12} {:>12} | {:>12} {:>12}", "mode", "time", "nodes", "objects", "");
+    for (label, filtered) in [("full", false), ("push-down", true)] {
+        let t0 = Instant::now();
+        let mut db = qof_db::Database::new();
+        let parser = Parser::new(&schema.grammar, text);
+        for region in &refs {
+            let tree = parser.parse_symbol(sym, region.span()).unwrap();
+            if filtered {
+                build_value_filtered(&tree, &schema.grammar, text, &mut db, &filter);
+            } else {
+                build_value(&tree, &schema.grammar, text, &mut db);
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        r.rec(format!("secs_{label}"), secs, "s");
+        println!(
+            "{:>10} | {} {:>12} | {:>12}",
+            label,
+            fmt_secs(secs),
+            db.stats().value_nodes,
+            db.stats().objects_created
+        );
+    }
+    println!("(same candidates parsed; the filter skips fields the query never reads)");
+}
+
+/// E6: the select–project–join hybrid (§5.2).
+fn e6(scale: Scale, r: &mut Recorder) {
+    banner("E6", "content joins: index-located regions + DB join vs pure DB (§5.2)");
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>9} | {:>12} {:>12}",
+        "refs", "hybrid", "database", "answers", "hyb bytes", "db bytes"
+    );
+    for n in scale.pick(vec![100, 400], vec![200, 800, 3200]) {
+        let corpus = bibtex_corpus(n);
+        let schema = bibtex::schema();
+        let fdb = bibtex_full(n);
+        let th = median_secs(3, || time_query(&fdb, EDITOR_IS_AUTHOR).1);
+        let tb = median_secs(3, || {
+            time_baseline(&corpus, &schema, EDITOR_IS_AUTHOR, BaselineMode::FullLoad).1
+        });
+        let (rh, _) = time_query(&fdb, EDITOR_IS_AUTHOR);
+        let (rb, _) = time_baseline(&corpus, &schema, EDITOR_IS_AUTHOR, BaselineMode::FullLoad);
+        assert_eq!(rh.values.len(), rb.values.len());
+        r.rec(format!("hybrid_secs_{n}"), th, "s");
+        r.rec(format!("db_secs_{n}"), tb, "s");
+        println!(
+            "{:>8} | {} {} | {:>9} | {:>12} {:>12}",
+            n,
+            fmt_secs(th),
+            fmt_secs(tb),
+            rh.values.len(),
+            rh.stats.bytes_touched(),
+            rb.stats.parse.bytes_scanned
+        );
+    }
+}
+
+/// E7: path expressions with variables — cheap on text, expensive in the
+/// OODB (§5.3's inversion claim).
+fn e7(scale: Scale, r: &mut Recorder) {
+    banner("E7", "path variables *X: text index vs OODB traversal (§5.3)");
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>10} {:>10} | {:>14}",
+        "refs", "idx fixed", "idx *X", "db fixed", "db *X", "db *X nodes"
+    );
+    for n in scale.pick(vec![100, 400], vec![200, 800, 3200]) {
+        let corpus = bibtex_corpus(n);
+        let schema = bibtex::schema();
+        let fdb = bibtex_full(n);
+        let t_if = median_secs(3, || time_query(&fdb, CHANG_AUTHOR).1);
+        let t_is = median_secs(3, || time_query(&fdb, CHANG_STAR).1);
+        let t_bf = median_secs(3, || {
+            time_baseline(&corpus, &schema, CHANG_AUTHOR, BaselineMode::FullLoad).1
+        });
+        let t_bs = median_secs(3, || {
+            time_baseline(&corpus, &schema, CHANG_STAR, BaselineMode::FullLoad).1
+        });
+        let (rb, _) = time_baseline(&corpus, &schema, CHANG_STAR, BaselineMode::FullLoad);
+        r.rec(format!("idx_star_secs_{n}"), t_is, "s");
+        r.rec(format!("db_star_secs_{n}"), t_bs, "s");
+        println!(
+            "{:>8} | {} {} | {} {} | {:>14}",
+            n,
+            fmt_secs(t_if),
+            fmt_secs(t_is),
+            fmt_secs(t_bf),
+            fmt_secs(t_bs),
+            rb.stats.path.nodes_visited
+        );
+    }
+    println!("(on text, *X is plain ⊃ — no more expensive than the fixed path)");
+}
+
+/// E8: the optimizer runs in time polynomial in expression length.
+fn e8(scale: Scale, r: &mut Recorder) {
+    banner("E8", "optimizer scaling with expression length (Theorem 3.6)");
+    println!("{:>8} | {:>12} | {:>14}", "length", "time", "µs per name");
+    for n in scale.pick(vec![4usize, 8, 16], vec![4usize, 8, 16, 32, 64, 128]) {
+        // A long chain RIG A0 → A1 → … with shortcut edges every 3 nodes,
+        // so both rewrite kinds stay busy.
+        let mut rig = Rig::new();
+        let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
+        for w in names.windows(2) {
+            rig.add_edge(&w[0], &w[1]);
+        }
+        for i in (0..n.saturating_sub(3)).step_by(3) {
+            rig.add_edge(&names[i], &names[i + 3]);
+        }
+        let e = InclusionExpr::all_direct(Direction::Including, names.clone(), None);
+        let t = median_secs(9, || {
+            let t0 = Instant::now();
+            std::hint::black_box(optimize(&e, &rig));
+            t0.elapsed().as_secs_f64()
+        });
+        r.rec(format!("optimize_secs_len{n}"), t, "s");
+        println!("{:>8} | {} | {:>13.2}", n, fmt_secs(t), t * 1e6 / n as f64);
+    }
+}
+
+/// E9: index selection — size vs query-time tradeoff (§7).
+fn e9(scale: Scale, r: &mut Recorder) {
+    banner("E9", "choosing what to index: size vs time (§7)");
+    let n = scale.pick(400, 3200);
+    let schema = bibtex::schema();
+    let workload = [CHANG_AUTHOR, "SELECT r FROM References r WHERE r.Year = \"1982\""];
+    let full = bibtex_full(n);
+    let queries: Vec<_> = workload.iter().map(|q| parse_query(q).unwrap()).collect();
+    let advice = advise(&schema, full.full_rig(), &queries);
+    println!("advised set: {:?}", advice.index_set);
+    let advised_names: Vec<&str> = advice.index_set.iter().map(String::as_str).collect();
+    let scoped = IndexSpec::names(["Reference", "Year"]).with_scoped("Authors", "Last_Name");
+    let corpus = bibtex_corpus(n);
+    let scoped_db = FileDatabase::build(corpus, schema.clone(), scoped).unwrap();
+    let setups: Vec<(&str, &FileDatabase)> = vec![("full", &full)];
+    let advised_db = bibtex_partial(n, &advised_names);
+    let tiny_db = bibtex_partial(n, &["Reference", "Last_Name", "Year"]);
+    let mut rows: Vec<(&str, &FileDatabase)> = setups;
+    rows.push(("advised", &advised_db));
+    rows.push(("scoped §7", &scoped_db));
+    rows.push(("tiny", &tiny_db));
+    println!(
+        "{:>10} | {:>9} {:>12} | {:>10} {:>8} {:>12}",
+        "index", "regions", "approx B", "avg time", "exact", "parsed B"
+    );
+    for (label, fdb) in rows {
+        let mut total = 0.0;
+        let mut exact = true;
+        let mut parsed = 0u64;
+        for q in workload {
+            let t = median_secs(3, || time_query(fdb, q).1);
+            let (res, _) = time_query(fdb, q);
+            total += t;
+            exact &= res.stats.exact_index;
+            parsed += res.stats.parse.bytes_scanned;
+        }
+        let avg = total / workload.len() as f64;
+        r.rec(format!("avg_secs_{label}"), avg, "s");
+        println!(
+            "{:>10} | {:>9} {:>12} | {} {:>8} {:>12}",
+            label,
+            fdb.instance().region_count(),
+            fdb.instance().approx_bytes(),
+            fmt_secs(avg),
+            exact,
+            parsed
+        );
+    }
+}
+
+/// E10: §6.3 — partial indexes that are provably exact skip parsing.
+fn e10(scale: Scale, r: &mut Recorder) {
+    banner("E10", "exact answers with partial indexing (§6.3)");
+    let cfg = logs::LogConfig {
+        n_sessions: scale.pick(500, 4000),
+        error_percent: 5,
+        ..Default::default()
+    };
+    let (text, _) = logs::generate(&cfg);
+    let corpus = Corpus::from_text(&text);
+    let q = "SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"";
+    println!(
+        "{:>22} | {:>8} {:>6} | {:>9} {:>12} | {:>10}",
+        "index", "regions", "exact", "cands", "parsed B", "time"
+    );
+    for (label, names) in [
+        ("full", vec![]),
+        ("{Session,Status}", vec!["Session", "Status"]),
+        ("{Session,Request}", vec!["Session", "Request"]),
+    ] {
+        let spec = if names.is_empty() { IndexSpec::full() } else { IndexSpec::names(names) };
+        let fdb = FileDatabase::build(corpus.clone(), logs::schema(), spec).unwrap();
+        let t = median_secs(3, || time_query(&fdb, q).1);
+        let (res, _) = time_query(&fdb, q);
+        r.rec(format!("secs_{label}"), t, "s");
+        println!(
+            "{:>22} | {:>8} {:>6} | {:>9} {:>12} | {}",
+            label,
+            fdb.instance().region_count(),
+            res.stats.exact_index,
+            res.stats.candidates,
+            res.stats.parse.bytes_scanned,
+            fmt_secs(t)
+        );
+    }
+    println!(
+        "({{Session,Status}} is exact: the route runs through unindexed names only; \
+              {{Session,Request}} cannot test the status and must parse)"
+    );
+}
+
+/// E11: the sharded parallel execution layer and the engine-level
+/// subexpression cache, on the E2/E6 workload (`query_many` batches).
+///
+/// Reports, per thread count, the batched wall-clock and its speedup over
+/// one thread, plus the cache hit rate of a repeated batch. Results are
+/// asserted byte-identical to sequential evaluation at every setting.
+fn e11(scale: Scale, r: &mut Recorder) {
+    banner("E11", "sharded parallel execution and the subexpression cache");
+    let (files, refs) = scale.pick((6, 40), (12, 400));
+    let corpus = multi_file_bibtex(files, refs);
+    let mut fdb = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+    let batch: Vec<&str> = PARALLEL_WORKLOAD.to_vec();
+    println!("corpus: {files} files × {refs} refs; batch of {} queries", batch.len());
+
+    let run_batch = |fdb: &FileDatabase| {
+        let t = Instant::now();
+        let results = fdb.query_many(&batch);
+        (results, t.elapsed().as_secs_f64())
+    };
+    // Sequential, uncached baseline — also the correctness oracle.
+    fdb.set_exec_options(ExecOptions { threads: 1, cache: false });
+    let (baseline, _) = run_batch(&fdb);
+    let t1 = median_secs(3, || run_batch(&fdb).1);
+    r.rec("batch_secs_threads1", t1, "s");
+    println!("{:>9} | {:>10} | {:>7}", "threads", "batch", "speedup");
+    println!("{:>9} | {} | {:>6.2}x", 1, fmt_secs(t1), 1.0);
+
+    for threads in scale.pick(vec![2, 4], vec![2, 4, 8]) {
+        fdb.set_exec_options(ExecOptions { threads, cache: false });
+        let (results, _) = run_batch(&fdb);
+        for (a, b) in baseline.iter().zip(&results) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.regions, b.regions, "parallel execution changed a result");
+            assert_eq!(a.values, b.values, "parallel execution changed a value");
+        }
+        let tt = median_secs(3, || run_batch(&fdb).1);
+        r.rec(format!("batch_secs_threads{threads}"), tt, "s");
+        r.rec(format!("batch_speedup_threads{threads}"), t1 / tt.max(1e-12), "x");
+        println!("{:>9} | {} | {:>6.2}x", threads, fmt_secs(tt), t1 / tt.max(1e-12));
+    }
+
+    // Per-query sharding on the single heaviest query (E6's content join).
+    fdb.set_exec_options(ExecOptions { threads: 1, cache: false });
+    let tq1 = median_secs(3, || time_query(&fdb, EDITOR_IS_AUTHOR).1);
+    let seq = fdb.query(EDITOR_IS_AUTHOR).unwrap();
+    fdb.set_exec_options(ExecOptions { threads: 4, cache: false });
+    let par = fdb.query(EDITOR_IS_AUTHOR).unwrap();
+    assert_eq!(seq.regions, par.regions);
+    assert_eq!(seq.values, par.values);
+    let tq4 = median_secs(3, || time_query(&fdb, EDITOR_IS_AUTHOR).1);
+    r.rec("join_query_secs_threads1", tq1, "s");
+    r.rec("join_query_secs_threads4", tq4, "s");
+    r.rec("join_query_speedup_threads4", tq1 / tq4.max(1e-12), "x");
+    println!(
+        "single E6 join: {} (1 thread) vs {} (4 threads, sharded) = {:.2}x",
+        fmt_secs(tq1),
+        fmt_secs(tq4),
+        tq1 / tq4.max(1e-12)
+    );
+
+    // The §5.2 cache across a repeated batch: second pass is mostly hits.
+    fdb.set_exec_options(ExecOptions { threads: 1, cache: true });
+    fdb.clear_subexpr_cache();
+    let (warm, _) = run_batch(&fdb);
+    for (a, b) in baseline.iter().zip(&warm) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.regions, b.regions, "cached execution changed a result");
+        assert_eq!(a.values, b.values, "cached execution changed a value");
+    }
+    let tc = median_secs(3, || run_batch(&fdb).1);
+    let stats = fdb.cache_stats();
+    r.rec("cached_batch_secs", tc, "s");
+    r.rec("cache_speedup", t1 / tc.max(1e-12), "x");
+    r.rec("cache_hit_rate", stats.hit_rate(), "ratio");
+    println!(
+        "cached repeat batch: {} = {:.2}x vs uncached; hit rate {:.1}% ({} entries)",
+        fmt_secs(tc),
+        t1 / tc.max(1e-12),
+        100.0 * stats.hit_rate(),
+        stats.entries
+    );
+    println!("(speedups depend on available cores; results are asserted identical throughout)");
+}
+
+/// A1 (ablation): common-subexpression sharing across OR branches (§5.2:
+/// "the goal is to find common subexpressions … and evaluate them once").
+fn a1(scale: Scale, r: &mut Recorder) {
+    banner("A1", "ablation: common-subexpression sharing in boolean queries (§5.2)");
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>8} {:>9} | {:>7}",
+        "refs", "shared", "unshared", "σ∋ ops", "σ∋ ops u", "speedup"
+    );
+    for n in scale.pick(vec![200usize], vec![800usize, 3200]) {
+        let fdb = bibtex_full(n);
+        let words = WordIndex::build(fdb.corpus(), &Tokenizer::new());
+        // Both OR branches share an expensive subexpression: σ∋ over a
+        // frequent abstract word (large posting list) on the Reference set.
+        let shared = RegionExpr::name("Reference").select_contains("solving");
+        let e = shared
+            .clone()
+            .intersect(
+                RegionExpr::name("Reference").including(
+                    RegionExpr::name("Authors")
+                        .including(RegionExpr::name("Last_Name").select_eq("Chang")),
+                ),
+            )
+            .union(
+                shared.intersect(
+                    RegionExpr::name("Reference").including(
+                        RegionExpr::name("Editors")
+                            .including(RegionExpr::name("Last_Name").select_eq("Corliss")),
+                    ),
+                ),
+            );
+        let engine = Engine::new(fdb.corpus(), &words, fdb.instance());
+        let t_shared = median_secs(9, || {
+            let t = Instant::now();
+            std::hint::black_box(engine.eval(&e).unwrap());
+            t.elapsed().as_secs_f64()
+        });
+        let t_unshared = median_secs(9, || {
+            let t = Instant::now();
+            std::hint::black_box(engine.eval_unshared(&e).unwrap());
+            t.elapsed().as_secs_f64()
+        });
+        engine.reset_stats();
+        engine.eval(&e).unwrap();
+        let ops_s = engine.stats().ops("σ∋");
+        engine.reset_stats();
+        engine.eval_unshared(&e).unwrap();
+        let ops_u = engine.stats().ops("σ∋");
+        r.rec(format!("shared_secs_{n}"), t_shared, "s");
+        r.rec(format!("unshared_secs_{n}"), t_unshared, "s");
+        println!(
+            "{:>8} | {} {} | {:>8} {:>9} | {:>6.2}x",
+            n,
+            fmt_secs(t_shared),
+            fmt_secs(t_unshared),
+            ops_s,
+            ops_u,
+            t_unshared / t_shared.max(1e-12)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_rejected() {
+        assert!(run("e99", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let ids = all_ids();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup);
+        assert!(ids.contains(&"e11"));
+    }
+}

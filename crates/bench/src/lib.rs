@@ -1,7 +1,11 @@
-//! Shared setup and measurement helpers for the experiment suite E1–E10
+//! Shared setup and measurement helpers for the experiment suite E1–E11
 //! (see DESIGN.md §4 for the experiment ↔ paper-claim mapping). Both the
-//! Criterion benches and the `harness` binary build on these, so the
-//! numbers they report come from identical code paths.
+//! `cargo bench` wrappers and the `harness` binary run the experiments in
+//! [`experiments`], so the numbers they report come from identical code
+//! paths; [`report`] serializes them to `BENCH_harness.json`.
+
+pub mod experiments;
+pub mod report;
 
 use std::time::Instant;
 
@@ -29,10 +33,37 @@ pub const CHANG_STAR: &str = "SELECT r FROM References r WHERE r.*X.Last_Name = 
 pub const EDITOR_IS_AUTHOR: &str =
     "SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name";
 
+/// The E2/E6-style batch workload for the parallel-execution experiment:
+/// point lookups, a content join, and overlapping conditions so the
+/// subexpression cache has something to share.
+pub const PARALLEL_WORKLOAD: &[&str] = &[
+    CHANG_AUTHOR,
+    EDITOR_IS_AUTHOR,
+    "SELECT r FROM References r WHERE r.Year = \"1982\"",
+    "SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"",
+    "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\" \
+     AND r.Year = \"1982\"",
+    "SELECT r FROM References r WHERE r.Editors.Name.Last_Name = \"Chang\" \
+     OR r.Authors.Name.Last_Name = \"Tompa\"",
+];
+
 /// A BibTeX corpus of `n` references with the default experiment knobs.
 pub fn bibtex_corpus(n: usize) -> Corpus {
     let cfg = BibtexConfig { n_refs: n, name_pool: 12, seed: 42, ..Default::default() };
     Corpus::from_text(&bibtex::generate(&cfg).0)
+}
+
+/// A corpus of `files` BibTeX files (distinct seeds) with `refs` references
+/// each — the substrate of the shard-parallel experiment, where the corpus
+/// must be partitionable on file boundaries.
+pub fn multi_file_bibtex(files: usize, refs: usize) -> Corpus {
+    let mut b = qof_text::CorpusBuilder::new();
+    for i in 0..files {
+        let cfg =
+            BibtexConfig { n_refs: refs, seed: 42 + i as u64, name_pool: 12, ..Default::default() };
+        b.add_file(format!("f{i}.bib"), &bibtex::generate(&cfg).0);
+    }
+    b.build()
 }
 
 /// A fully indexed BibTeX file database over `n` references.

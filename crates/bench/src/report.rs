@@ -1,0 +1,150 @@
+//! Machine-readable experiment reporting: the `BENCH_harness.json` file
+//! that CI archives and validates. The format is hand-rolled (the crate is
+//! dependency-free so the workspace builds offline) and deliberately flat:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "scale": "small",
+//!   "total_wall_secs": 1.25,
+//!   "experiments": [
+//!     { "id": "e11", "title": "…", "wall_secs": 0.42,
+//!       "measurements": [
+//!         { "name": "batch_speedup_threads4", "value": 2.3, "unit": "x" }
+//!       ] }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One named scalar an experiment measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Measurement name, unique within its experiment (e.g. `index_secs_800`).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label: `s`, `x` (ratio), `B`, `regions`, …
+    pub unit: &'static str,
+}
+
+/// Everything one experiment run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment id (`f2`, `e1` … `e11`, `a1`).
+    pub id: &'static str,
+    /// Human title, matching the harness banner.
+    pub title: &'static str,
+    /// Wall-clock seconds of the whole experiment (setup included).
+    pub wall_secs: f64,
+    /// Key numbers the experiment printed.
+    pub measurements: Vec<Measurement>,
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number (or `null` for non-finite values, which JSON cannot hold).
+/// Negative zero (e.g. an empty `f64` sum) is normalized to plain `0`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        let v = if v == 0.0 { 0.0 } else { v };
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the full report document.
+pub fn render_json(scale: &str, reports: &[ExperimentReport]) -> String {
+    let total: f64 = reports.iter().map(|r| r.wall_secs).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"scale\": \"{}\",", esc(scale));
+    let _ = writeln!(out, "  \"total_wall_secs\": {},", num(total));
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"id\": \"{}\",", esc(r.id));
+        let _ = writeln!(out, "      \"title\": \"{}\",", esc(r.title));
+        let _ = writeln!(out, "      \"wall_secs\": {},", num(r.wall_secs));
+        out.push_str("      \"measurements\": [\n");
+        for (j, m) in r.measurements.iter().enumerate() {
+            let comma = if j + 1 == r.measurements.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "        {{ \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\" }}{comma}",
+                esc(&m.name),
+                num(m.value),
+                esc(m.unit),
+            );
+        }
+        out.push_str("      ]\n");
+        let comma = if i + 1 == reports.len() { "" } else { "," };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the report document to `path`.
+pub fn write_json(path: &Path, scale: &str, reports: &[ExperimentReport]) -> std::io::Result<()> {
+    std::fs::write(path, render_json(scale, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escaped_valid_json() {
+        let reports = vec![ExperimentReport {
+            id: "e11",
+            title: "quote \" and slash \\",
+            wall_secs: 0.5,
+            measurements: vec![
+                Measurement { name: "speedup".into(), value: 2.0, unit: "x" },
+                Measurement { name: "bad".into(), value: f64::INFINITY, unit: "s" },
+            ],
+        }];
+        let json = render_json("small", &reports);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("quote \\\" and slash \\\\"));
+        assert!(json.contains("\"value\": null"), "non-finite values become null");
+        assert!(json.contains("\"total_wall_secs\": 0.5"));
+        // Balanced braces/brackets is a cheap structural sanity check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let json = render_json("full", &[]);
+        assert!(json.contains("\"experiments\": [\n  ]"));
+        assert!(json.contains("\"total_wall_secs\": 0"));
+    }
+}

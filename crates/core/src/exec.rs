@@ -10,8 +10,10 @@ use qof_grammar::{
     build_value_filtered, extract_regions, IndexSpec, ParseError, ParseStats, Parser, PathFilter,
     StructuringSchema,
 };
-use qof_pat::{Engine, EvalError, EvalStats, Instance, Region, RegionSet};
-use qof_text::{Corpus, SuffixArray, Tokenizer, WordIndex};
+use qof_pat::{
+    CacheStats, Engine, EvalError, EvalStats, Instance, Region, RegionExpr, RegionSet, SubexprCache,
+};
+use qof_text::{Corpus, Span, SuffixArray, Tokenizer, WordIndex};
 
 use qof_db::PathCost;
 
@@ -116,6 +118,80 @@ impl RunStats {
     }
 }
 
+/// Execution knobs for the query path: shard-parallel evaluation and
+/// cross-query subexpression caching.
+///
+/// `threads > 1` evaluates the index phase shard-parallel (the corpus is
+/// partitioned on file boundaries, and per-shard results concatenate back
+/// losslessly); batched [`FileDatabase::query_many`] calls additionally
+/// spread whole queries over the same budget. `cache` shares evaluated
+/// subexpressions across queries, shards and batches (§5.2's sharing,
+/// engine-wide) until the database is mutated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker-thread budget for parallel evaluation (1 = sequential).
+    pub threads: usize,
+    /// Cache normalized subexpression results across queries.
+    pub cache: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self { threads: 1, cache: false }
+    }
+}
+
+/// Per-variable candidate state after the index phase.
+struct VarState {
+    regions: RegionSet,
+    exact: bool,
+}
+
+/// Whether a constant's occurrences stay within single files. Only a phrase
+/// containing the `\n` file separator can match across a boundary; every
+/// tokenized word is separator-free.
+fn constant_shardable(w: &str) -> bool {
+    !w.contains('\n')
+}
+
+/// Whether evaluating `e` per shard and concatenating reproduces the global
+/// result. Holds for the whole algebra except `near` (whose byte gap can
+/// bridge two files) and constants containing the file separator.
+fn expr_shardable(e: &RegionExpr) -> bool {
+    use RegionExpr::*;
+    match e {
+        Name(_) | Prefix(_) => true,
+        Word(w) => constant_shardable(w),
+        Union(a, b)
+        | Intersect(a, b)
+        | Difference(a, b)
+        | Including(a, b)
+        | IncludedIn(a, b)
+        | DirectIncluding(a, b)
+        | DirectIncludedIn(a, b) => expr_shardable(a) && expr_shardable(b),
+        SelectEq(e, w) | SelectContains(e, w) | SelectCountAtLeast(e, w, _) => {
+            expr_shardable(e) && constant_shardable(w)
+        }
+        Innermost(e) | Outermost(e) => expr_shardable(e),
+        NestedExactly { outer, inner, .. } => expr_shardable(outer) && expr_shardable(inner),
+        Near { .. } => false,
+    }
+}
+
+/// Shardability of a planned condition. Content comparisons group located
+/// regions by their containing view region, which never crosses a file, so
+/// they decompose too.
+fn cond_shardable(c: &CondNode) -> bool {
+    match c {
+        CondNode::IndexOnly { expr, .. } => expr_shardable(expr),
+        CondNode::ContentCompare { left, right, .. } => {
+            expr_shardable(left) && expr_shardable(right)
+        }
+        CondNode::And(a, b) | CondNode::Or(a, b) => cond_shardable(a) && cond_shardable(b),
+        CondNode::Not(a) => cond_shardable(a),
+    }
+}
+
 /// The result of a query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -142,6 +218,29 @@ pub struct FileDatabase {
     instance: Instance,
     full_rig: Rig,
     partial_rig: Rig,
+    options: ExecOptions,
+    cache: SubexprCache,
+}
+
+/// Builds the word index for `corpus`, honoring the spec's §7 selective
+/// word-indexing scope (only occurrences inside the scoped regions are
+/// indexed when a scope is set).
+fn build_word_index(
+    corpus: &Corpus,
+    tokenizer: &Tokenizer,
+    spec: &IndexSpec,
+    instance: &Instance,
+) -> WordIndex {
+    match spec.word_scope() {
+        None => WordIndex::build(corpus, tokenizer),
+        Some(scope) => {
+            let spans = instance
+                .get(scope)
+                .map(|set| set.iter().map(qof_pat::Region::span).collect())
+                .unwrap_or_default();
+            qof_text::WordIndexBuilder::new(tokenizer).scoped_to(spans).build(corpus)
+        }
+    }
 }
 
 impl FileDatabase {
@@ -166,18 +265,7 @@ impl FileDatabase {
                 }
             }
         }
-        let words = match spec.word_scope() {
-            None => WordIndex::build(&corpus, &tokenizer),
-            Some(scope) => {
-                // §7 selective word indexing: only occurrences inside the
-                // scoped regions are indexed.
-                let spans = instance
-                    .get(scope)
-                    .map(|set| set.iter().map(qof_pat::Region::span).collect())
-                    .unwrap_or_default();
-                qof_text::WordIndexBuilder::new(&tokenizer).scoped_to(spans).build(&corpus)
-            }
-        };
+        let words = build_word_index(&corpus, &tokenizer, &spec, &instance);
         let full_rig = Rig::from_grammar(&schema.grammar);
         let indexed: std::collections::BTreeSet<String> =
             instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
@@ -192,6 +280,8 @@ impl FileDatabase {
             instance,
             full_rig,
             partial_rig,
+            options: ExecOptions::default(),
+            cache: SubexprCache::new(),
         })
     }
 
@@ -249,7 +339,7 @@ impl FileDatabase {
             }
         }
         let tokenizer = Tokenizer::new();
-        let words = WordIndex::build(&corpus, &tokenizer);
+        let words = build_word_index(&corpus, &tokenizer, &spec, &instance);
         let full_rig = Rig::from_grammar(&schema.grammar);
         let indexed: std::collections::BTreeSet<String> =
             instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
@@ -264,6 +354,8 @@ impl FileDatabase {
             instance,
             full_rig,
             partial_rig,
+            options: ExecOptions::default(),
+            cache: SubexprCache::new(),
         })
     }
 
@@ -271,7 +363,38 @@ impl FileDatabase {
     /// construction is the most expensive part of indexing).
     pub fn with_suffix_array(mut self) -> Self {
         self.suffix = Some(SuffixArray::build(&self.corpus, &Tokenizer::new()));
+        self.cache.clear();
         self
+    }
+
+    /// Sets the execution options (builder style).
+    pub fn with_exec_options(mut self, options: ExecOptions) -> Self {
+        self.set_exec_options(options);
+        self
+    }
+
+    /// Sets the execution options in place. Disabling the cache drops any
+    /// held entries.
+    pub fn set_exec_options(&mut self, options: ExecOptions) {
+        self.options = options;
+        if !options.cache {
+            self.cache.clear();
+        }
+    }
+
+    /// The current execution options.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.options
+    }
+
+    /// Hit/miss/size counters of the shared subexpression cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops all cached subexpression results (counters included).
+    pub fn clear_subexpr_cache(&self) {
+        self.cache.clear();
     }
 
     /// Incrementally indexes another file: appends it to the corpus, parses
@@ -297,10 +420,20 @@ impl FileDatabase {
         for (rname, set) in file_instance.iter() {
             self.instance.merge(rname, set.clone());
         }
+        // A selectively-built word index (§7) must learn the new file's
+        // scoped regions before the append, or the scope filter would drop
+        // every new occurrence.
+        if let Some(scope_name) = self.spec.word_scope() {
+            if let Some(set) = file_instance.get(scope_name) {
+                self.words.extend_scope(set.iter().map(qof_pat::Region::span));
+            }
+        }
         self.words.append_span(&self.corpus, &self.tokenizer, span);
         if self.suffix.is_some() {
             self.suffix = Some(SuffixArray::build(&self.corpus, &Tokenizer::new()));
         }
+        // Cached results were computed against the smaller corpus.
+        self.cache.clear();
         Ok(())
     }
 
@@ -373,14 +506,58 @@ impl FileDatabase {
 
     /// Parses, plans and runs a query.
     pub fn query(&self, src: &str) -> Result<QueryResult, QueryError> {
-        let q = parse_query(src)?;
-        self.query_ast(&q)
+        self.query_with_threads(src, self.options.threads)
     }
 
     /// Runs an already-parsed query.
     pub fn query_ast(&self, q: &Query) -> Result<QueryResult, QueryError> {
         let plan = self.planner().plan(q)?;
-        self.execute(q, &plan)
+        self.execute(q, &plan, self.options.threads)
+    }
+
+    fn query_with_threads(&self, src: &str, threads: usize) -> Result<QueryResult, QueryError> {
+        let q = parse_query(src)?;
+        let plan = self.planner().plan(&q)?;
+        self.execute(&q, &plan, threads)
+    }
+
+    /// Runs a batch of queries, spreading them over the configured thread
+    /// budget (round-robin over up to `threads` workers; each worker
+    /// evaluates its queries sequentially). Results come back in input
+    /// order and are identical to running [`FileDatabase::query`] on each
+    /// source in turn. With the subexpression cache enabled, common
+    /// subexpressions are shared across the whole batch (§5.2).
+    pub fn query_many(&self, queries: &[&str]) -> Vec<Result<QueryResult, QueryError>> {
+        let threads = self.options.threads.max(1);
+        let workers = threads.min(queries.len());
+        if workers <= 1 {
+            return queries.iter().map(|q| self.query_with_threads(q, threads)).collect();
+        }
+        let mut out: Vec<Option<Result<QueryResult, QueryError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let chunk: Vec<(usize, &str)> = queries
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % workers == w)
+                    .map(|(i, q)| (i, *q))
+                    .collect();
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(i, q)| (i, self.query_with_threads(q, 1)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (i, r) in h.join().expect("query worker does not panic") {
+                    out[i] = Some(r);
+                }
+            }
+        });
+        out.into_iter().map(|r| r.expect("every query ran")).collect()
     }
 
     /// Runs only the index phase of a query: the candidate regions of the
@@ -391,27 +568,42 @@ impl FileDatabase {
         let q = parse_query(src)?;
         let plan = self.planner().plan(&q)?;
         let engine = self.engine();
-        let mut states = Vec::new();
-        for vp in &plan.vars {
-            states.push(self.var_candidates(&engine, vp)?);
-        }
+        let mut stats = RunStats::default();
+        let mut states = self.eval_phase1(&plan, &engine, self.options.threads, &mut stats)?;
         let idx = plan.vars.iter().position(|vp| vp.var == q.projected_var()).unwrap_or(0);
-        let (regions, exact) = states.swap_remove(idx);
-        let stats = RunStats {
-            eval: engine.stats(),
-            candidates: regions.len(),
-            results: regions.len(),
-            exact_index: exact,
-            ..RunStats::default()
-        };
+        let VarState { regions, exact } = states.swap_remove(idx);
+        stats.eval.absorb(&engine.stats());
+        stats.candidates = regions.len();
+        stats.results = regions.len();
+        stats.exact_index = exact;
         Ok((regions, exact, stats))
     }
 
     fn engine(&self) -> Engine<'_> {
         let e = Engine::new(&self.corpus, &self.words, &self.instance);
-        match &self.suffix {
+        let e = match &self.suffix {
             Some(sa) => e.with_suffix_array(sa),
             None => e,
+        };
+        if self.options.cache {
+            e.with_shared_cache(&self.cache)
+        } else {
+            e
+        }
+    }
+
+    /// An engine scoped to one shard's span, sharing the global suffix
+    /// array and (when enabled) the subexpression cache.
+    fn shard_engine(&self, span: Span) -> Engine<'_> {
+        let e = Engine::new_scoped(&self.corpus, &self.words, &self.instance, span);
+        let e = match &self.suffix {
+            Some(sa) => e.with_suffix_array(sa),
+            None => e,
+        };
+        if self.options.cache {
+            e.with_shared_cache(&self.cache)
+        } else {
+            e
         }
     }
 
@@ -483,40 +675,95 @@ impl FileDatabase {
         }
     }
 
-    fn var_candidates(
+    /// Phase 1 of execution: per-variable candidate regions through the
+    /// index. Runs shard-parallel when the thread budget allows it and
+    /// every condition is shardable; falls back to the sequential engine
+    /// otherwise. Both paths produce identical states.
+    fn eval_phase1(
         &self,
+        plan: &Plan,
         engine: &Engine<'_>,
-        vp: &crate::plan::VarPlan,
-    ) -> Result<(RegionSet, bool), QueryError> {
-        let view = self.view_regions(&vp.symbol);
-        match &vp.cond {
-            None => Ok((view, true)),
-            Some(c) => {
-                let mut content_bytes = 0;
-
-                self.eval_cond(engine, c, &view, &mut content_bytes)
+        threads: usize,
+        stats: &mut RunStats,
+    ) -> Result<Vec<VarState>, QueryError> {
+        if threads > 1
+            && self.corpus.files().len() > 1
+            && plan.vars.iter().all(|vp| vp.cond.as_ref().is_none_or(cond_shardable))
+        {
+            let spans = self.corpus.shard_spans(threads);
+            if spans.len() > 1 {
+                return self.eval_phase1_sharded(plan, &spans, stats);
             }
-        }
-    }
-
-    fn execute(&self, q: &Query, plan: &Plan) -> Result<QueryResult, QueryError> {
-        let engine = self.engine();
-        let mut stats = RunStats::default();
-
-        // Phase 1: per-variable candidates through the index.
-        struct VarState {
-            regions: RegionSet,
-            exact: bool,
         }
         let mut states: Vec<VarState> = Vec::new();
         for vp in &plan.vars {
             let view = self.view_regions(&vp.symbol);
             let (regions, exact) = match &vp.cond {
                 None => (view, true),
-                Some(c) => self.eval_cond(&engine, c, &view, &mut stats.content_bytes)?,
+                Some(c) => self.eval_cond(engine, c, &view, &mut stats.content_bytes)?,
             };
             states.push(VarState { regions, exact });
         }
+        Ok(states)
+    }
+
+    /// Shard-parallel phase 1: one scoped engine per shard span, evaluated
+    /// on its own worker; per-shard candidate sets concatenate back in
+    /// canonical order because shards follow file order and regions never
+    /// cross file boundaries.
+    fn eval_phase1_sharded(
+        &self,
+        plan: &Plan,
+        spans: &[Span],
+        stats: &mut RunStats,
+    ) -> Result<Vec<VarState>, QueryError> {
+        type ShardOut = Result<(Vec<(RegionSet, bool)>, EvalStats, u64), QueryError>;
+        let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .map(|span| {
+                    scope.spawn(move || -> ShardOut {
+                        let eng = self.shard_engine(span.clone());
+                        let mut content_bytes = 0u64;
+                        let mut per_var = Vec::with_capacity(plan.vars.len());
+                        for vp in &plan.vars {
+                            let view = self.view_regions(&vp.symbol).within_span(span);
+                            let state = match &vp.cond {
+                                None => (view, true),
+                                Some(c) => self.eval_cond(&eng, c, &view, &mut content_bytes)?,
+                            };
+                            per_var.push(state);
+                        }
+                        Ok((per_var, eng.stats(), content_bytes))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker does not panic")).collect()
+        });
+        let mut parts: Vec<Vec<RegionSet>> = vec![Vec::new(); plan.vars.len()];
+        let mut exact = vec![true; plan.vars.len()];
+        for shard in shard_results {
+            let (per_var, eval, content) = shard?;
+            stats.eval.absorb(&eval);
+            stats.content_bytes += content;
+            for (i, (regions, x)) in per_var.into_iter().enumerate() {
+                parts[i].push(regions);
+                exact[i] &= x;
+            }
+        }
+        Ok(parts
+            .into_iter()
+            .zip(exact)
+            .map(|(p, exact)| VarState { regions: RegionSet::concat(p), exact })
+            .collect())
+    }
+
+    fn execute(&self, q: &Query, plan: &Plan, threads: usize) -> Result<QueryResult, QueryError> {
+        let engine = self.engine();
+        let mut stats = RunStats::default();
+
+        // Phase 1: per-variable candidates through the index.
+        let mut states = self.eval_phase1(plan, &engine, threads, &mut stats)?;
 
         // Phase 2: cross-variable content join.
         let mut join_pairs: Option<Vec<(Region, Region)>> = None;
@@ -679,7 +926,7 @@ impl FileDatabase {
             }
         }
 
-        stats.eval = engine.stats();
+        stats.eval.absorb(&engine.stats());
         stats.parse = parser.stats();
         stats.db = db.stats();
         stats.results = result_regions.len();
@@ -795,5 +1042,168 @@ mod tests {
         s.parse.bytes_scanned = 10;
         s.content_bytes = 5;
         assert_eq!(s.bytes_touched(), 15);
+    }
+
+    #[test]
+    fn shardability_analysis() {
+        use RegionExpr::*;
+        let word = |w: &str| Box::new(Word(w.into()));
+        let name = |n: &str| Box::new(Name(n.into()));
+        assert!(expr_shardable(&Including(name("A"), word("chang"))));
+        assert!(expr_shardable(&SelectEq(name("Year"), "1982".into())));
+        // A phrase containing the file separator can match across files.
+        assert!(!expr_shardable(&SelectContains(name("A"), "a\nb".into())));
+        // `near` reaches across file boundaries by construction.
+        assert!(!expr_shardable(&Near { left: name("A"), right: name("B"), gap: 5 }));
+        assert!(!expr_shardable(&Union(
+            name("A"),
+            Box::new(Near { left: name("B"), right: name("C"), gap: 1 }),
+        )));
+    }
+
+    // -- integration tests over generated multi-file corpora ---------------
+
+    use qof_corpus::bibtex::{self, BibtexConfig};
+    use qof_grammar::IndexSpec;
+
+    /// A corpus of `files` bibtex files with distinct seeds.
+    fn multi_file_corpus(files: usize, refs_per_file: usize) -> Corpus {
+        let mut b = qof_text::CorpusBuilder::new();
+        for i in 0..files {
+            let cfg = BibtexConfig {
+                n_refs: refs_per_file,
+                seed: 1000 + i as u64,
+                name_pool: 8,
+                ..Default::default()
+            };
+            let (text, _) = bibtex::generate(&cfg);
+            b.add_file(format!("f{i}.bib"), &text);
+        }
+        b.build()
+    }
+
+    const QUERIES: &[&str] = &[
+        "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"",
+        "SELECT r FROM References r WHERE r.Year = \"1982\"",
+        "SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\" \
+         AND r.Year = \"1982\"",
+        "SELECT r FROM References r WHERE r.Editors.Name.Last_Name = \"Chang\" \
+         OR r.Authors.Name.Last_Name = \"Tompa\"",
+    ];
+
+    fn assert_same_results(a: &QueryResult, b: &QueryResult, q: &str) {
+        assert_eq!(a.regions, b.regions, "regions differ for {q}");
+        assert_eq!(a.values, b.values, "values differ for {q}");
+        assert_eq!(a.stats.exact_index, b.stats.exact_index, "exactness differs for {q}");
+    }
+
+    #[test]
+    fn sharded_execution_matches_sequential() {
+        let corpus = multi_file_corpus(6, 30);
+        let seq = FileDatabase::build(corpus.clone(), bibtex::schema(), IndexSpec::full()).unwrap();
+        let par = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads: 4, cache: false });
+        for q in QUERIES {
+            let a = seq.query(q).unwrap();
+            let b = par.query(q).unwrap();
+            assert_same_results(&a, &b, q);
+            assert!(!a.regions.is_empty() || !a.values.is_empty(), "degenerate workload: {q}");
+        }
+        // The index-only path shards too.
+        let (ra, xa, _) = seq.query_regions(QUERIES[0]).unwrap();
+        let (rb, xb, _) = par.query_regions(QUERIES[0]).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn query_many_matches_individual_queries() {
+        let corpus = multi_file_corpus(4, 20);
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads: 4, cache: true });
+        let batch = db.query_many(QUERIES);
+        assert_eq!(batch.len(), QUERIES.len());
+        for (q, got) in QUERIES.iter().zip(&batch) {
+            let want = db.query(q).unwrap();
+            assert_same_results(got.as_ref().unwrap(), &want, q);
+        }
+        // Errors come back in position, not as a panic.
+        let mixed = db.query_many(&["SELEC nope", QUERIES[0]]);
+        assert!(matches!(mixed[0], Err(QueryError::Syntax(_))));
+        assert!(mixed[1].is_ok());
+    }
+
+    #[test]
+    fn subexpr_cache_serves_repeat_queries() {
+        let corpus = multi_file_corpus(3, 20);
+        let uncached =
+            FileDatabase::build(corpus.clone(), bibtex::schema(), IndexSpec::full()).unwrap();
+        let cached = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads: 1, cache: true });
+        let q = QUERIES[0];
+        let first = cached.query(q).unwrap();
+        let misses_after_first = cached.cache_stats().misses;
+        assert!(misses_after_first > 0, "first run must populate the cache");
+        let second = cached.query(q).unwrap();
+        let stats = cached.cache_stats();
+        assert!(stats.hits > 0, "second run must hit the cache: {stats:?}");
+        assert_eq!(stats.misses, misses_after_first, "second run must add no misses");
+        assert_same_results(&first, &second, q);
+        assert_same_results(&uncached.query(q).unwrap(), &second, q);
+        // Mutating the database invalidates the cache.
+        cached.clear_subexpr_cache();
+        assert_eq!(cached.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn add_file_extends_scoped_word_index() {
+        // Regression: `append_span` used to index every token of an
+        // appended file even when the word index was built with a §7
+        // scope, silently bloating the index past its contract.
+        let cfg = BibtexConfig { n_refs: 40, name_pool: 8, ..Default::default() };
+        let (text, _) = bibtex::generate(&cfg);
+        let spec = IndexSpec::full().with_word_scope("Last_Name");
+        let mut db =
+            FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), spec.clone()).unwrap();
+        let before = db.word_index().stats().postings;
+
+        let cfg2 = BibtexConfig { n_refs: 40, seed: 77, name_pool: 8, ..Default::default() };
+        let (text2, truth2) = bibtex::generate(&cfg2);
+        db.add_file("extra.bib", &text2).unwrap();
+
+        // Names from the new file are findable…
+        let some_last = &truth2.refs[0].authors[0].1;
+        let q =
+            format!("SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"{some_last}\"");
+        assert!(!db.query(&q).unwrap().regions.is_empty());
+
+        // …but the index only grew by scoped occurrences: rebuild from
+        // scratch and compare sizes.
+        let mut both = qof_text::CorpusBuilder::new();
+        both.add_file("base.bib", &text);
+        both.add_file("extra.bib", &text2);
+        let rebuilt = FileDatabase::build(both.build(), bibtex::schema(), spec).unwrap();
+        let after = db.word_index().stats().postings;
+        assert_eq!(after, rebuilt.word_index().stats().postings);
+        assert!(after > before, "the scoped index must still grow");
+    }
+
+    #[test]
+    fn build_parallel_honors_word_scope() {
+        // Regression: the parallel build path ignored the spec's word
+        // scope and always built a full word index.
+        let corpus = multi_file_corpus(4, 15);
+        let spec = IndexSpec::full().with_word_scope("Last_Name");
+        let seq = FileDatabase::build(corpus.clone(), bibtex::schema(), spec.clone()).unwrap();
+        let par = FileDatabase::build_parallel(corpus, bibtex::schema(), spec, 4).unwrap();
+        assert_eq!(
+            par.word_index().stats().postings,
+            seq.word_index().stats().postings,
+            "parallel build must produce the same scoped word index"
+        );
+        assert!(par.word_index().is_scoped());
     }
 }

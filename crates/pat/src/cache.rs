@@ -1,0 +1,163 @@
+//! A shared, thread-safe subexpression cache: the cross-query realization of
+//! §5.2's common-subexpression sharing. Within one `eval` call the engine
+//! already shares identical subtrees; this cache extends the sharing across
+//! queries of a batch (and across shard workers), so repeated chain prefixes
+//! — the pattern the `a1` ablation measures — are computed once.
+//!
+//! Keys are `(scope, normalized RegionExpr)`: scoped (per-shard) engines and
+//! the global engine never alias each other's entries, and commutative
+//! spellings (`A ∪ B` vs `B ∪ A`) collapse to one entry via
+//! [`RegionExpr::normalized`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use qof_text::{Pos, Span};
+
+use crate::{RegionExpr, RegionSet};
+
+/// Scope component of a cache key; `None` (unscoped) maps to the full
+/// address space so it can never collide with a real shard span.
+fn scope_key(scope: Option<&Span>) -> (Pos, Pos) {
+    scope.map_or((0, Pos::MAX), |s| (s.start, s.end))
+}
+
+/// Hit/miss counters and current size of a [`SubexprCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and were then computed and inserted).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// A thread-safe map from `(scope, normalized expression)` to its evaluated
+/// region set. Shared by reference across shard workers and batched queries;
+/// the owner (e.g. `FileDatabase`) must clear it whenever the underlying
+/// corpus or instance changes.
+#[derive(Debug, Default)]
+pub struct SubexprCache {
+    // Two-level map so lookups can probe by `&RegionExpr` without cloning.
+    map: Mutex<HashMap<(Pos, Pos), HashMap<RegionExpr, RegionSet>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SubexprCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a normalized expression under a scope, counting the outcome.
+    pub fn get(&self, scope: Option<&Span>, expr: &RegionExpr) -> Option<RegionSet> {
+        let key = scope_key(scope);
+        let map = self.map.lock().expect("cache lock poisoned");
+        match map.get(&key).and_then(|m| m.get(expr)) {
+            Some(set) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(set.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an evaluated result (last writer wins on races; results for
+    /// the same key are identical by construction).
+    pub fn insert(&self, scope: Option<&Span>, expr: RegionExpr, set: RegionSet) {
+        let key = scope_key(scope);
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        map.entry(key).or_default().insert(expr, set);
+    }
+
+    /// Current counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock poisoned").values().map(HashMap::len).sum(),
+        }
+    }
+
+    /// Drops every entry and resets the counters (required after any
+    /// mutation of the indexed corpus).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Region;
+
+    fn rs(pairs: &[(Pos, Pos)]) -> RegionSet {
+        RegionSet::from_regions(pairs.iter().map(|&(a, b)| Region::new(a, b)).collect())
+    }
+
+    #[test]
+    fn get_insert_roundtrip_counts() {
+        let cache = SubexprCache::new();
+        let e = RegionExpr::name("A").union(RegionExpr::name("B")).normalized();
+        assert_eq!(cache.get(None, &e), None);
+        cache.insert(None, e.clone(), rs(&[(0, 5)]));
+        assert_eq!(cache.get(None, &e), Some(rs(&[(0, 5)])));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn scopes_do_not_alias() {
+        let cache = SubexprCache::new();
+        let e = RegionExpr::name("A");
+        cache.insert(Some(&(0..10)), e.clone(), rs(&[(0, 5)]));
+        cache.insert(Some(&(10..20)), e.clone(), rs(&[(12, 15)]));
+        assert_eq!(cache.get(Some(&(0..10)), &e), Some(rs(&[(0, 5)])));
+        assert_eq!(cache.get(Some(&(10..20)), &e), Some(rs(&[(12, 15)])));
+        assert_eq!(cache.get(None, &e), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = SubexprCache::new();
+        cache.insert(None, RegionExpr::name("A"), rs(&[(0, 1)]));
+        let _ = cache.get(None, &RegionExpr::name("A"));
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+        assert!(s.hit_rate().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn commutative_spellings_share_entries() {
+        let cache = SubexprCache::new();
+        let ab = RegionExpr::name("A").union(RegionExpr::name("B")).normalized();
+        let ba = RegionExpr::name("B").union(RegionExpr::name("A")).normalized();
+        cache.insert(None, ab, rs(&[(0, 1)]));
+        assert_eq!(cache.get(None, &ba), Some(rs(&[(0, 1)])));
+    }
+}

@@ -6,11 +6,11 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use qof_text::{Corpus, Pos, SuffixArray, WordIndex};
+use qof_text::{Corpus, Pos, Span, SuffixArray, WordIndex};
 
 use crate::{
     direct_included_in, direct_including, EvalStats, Instance, Region, RegionExpr, RegionSet,
-    UniverseForest,
+    SubexprCache, UniverseForest,
 };
 
 /// Errors raised during evaluation.
@@ -45,12 +45,26 @@ pub struct Engine<'a> {
     forest: UniverseForest,
     stats: RefCell<EvalStats>,
     share: std::cell::Cell<bool>,
+    /// When set, evaluation is restricted to this span of the corpus: name
+    /// sets, match points and the universe are filtered to it. Shard workers
+    /// use one scoped engine per file-aligned shard.
+    scope: Option<Span>,
+    /// Cross-query subexpression cache, shared by reference between engines
+    /// (batch workers, shard workers) over the same indexes.
+    shared: Option<&'a SubexprCache>,
 }
 
 impl<'a> Engine<'a> {
-    /// Builds an engine; the universe nesting forest is constructed once.
-    pub fn new(corpus: &'a Corpus, words: &'a WordIndex, instance: &'a Instance) -> Self {
-        let universe = instance.universe();
+    fn build(
+        corpus: &'a Corpus,
+        words: &'a WordIndex,
+        instance: &'a Instance,
+        scope: Option<Span>,
+    ) -> Self {
+        let universe = match &scope {
+            None => instance.universe(),
+            Some(span) => instance.universe().within_span(span),
+        };
         let forest = UniverseForest::build(&universe);
         Self {
             corpus,
@@ -61,7 +75,37 @@ impl<'a> Engine<'a> {
             forest,
             stats: RefCell::new(EvalStats::new()),
             share: std::cell::Cell::new(true),
+            scope,
+            shared: None,
         }
+    }
+
+    /// Builds an engine; the universe nesting forest is constructed once.
+    pub fn new(corpus: &'a Corpus, words: &'a WordIndex, instance: &'a Instance) -> Self {
+        Self::build(corpus, words, instance, None)
+    }
+
+    /// Builds an engine scoped to `span`: every name set, match-point set
+    /// and the universe are restricted to regions lying inside the span.
+    /// With file-aligned spans (regions and tokens never cross file
+    /// boundaries), concatenating scoped results over a partition of the
+    /// corpus reproduces the unscoped result exactly.
+    pub fn new_scoped(
+        corpus: &'a Corpus,
+        words: &'a WordIndex,
+        instance: &'a Instance,
+        span: Span,
+    ) -> Self {
+        Self::build(corpus, words, instance, Some(span))
+    }
+
+    /// Attaches a shared subexpression cache. Lookups key on the engine's
+    /// scope plus the normalized expression, so scoped and unscoped engines
+    /// never alias. The caller must clear the cache when the corpus or the
+    /// instance changes.
+    pub fn with_shared_cache(mut self, cache: &'a SubexprCache) -> Self {
+        self.shared = Some(cache);
+        self
     }
 
     /// Attaches a PAT suffix array, enabling fast prefix match points.
@@ -90,6 +134,11 @@ impl<'a> Engine<'a> {
         &self.forest
     }
 
+    /// The evaluation scope, when restricted (see [`Engine::new_scoped`]).
+    pub fn scope(&self) -> Option<&Span> {
+        self.scope.as_ref()
+    }
+
     /// Accumulated statistics since construction or the last reset.
     pub fn stats(&self) -> EvalStats {
         self.stats.borrow().clone()
@@ -100,17 +149,27 @@ impl<'a> Engine<'a> {
         *self.stats.borrow_mut() = EvalStats::new();
     }
 
-    /// Evaluates `expr`, sharing identical subexpressions.
+    /// Evaluates `expr`, sharing identical subexpressions. With a shared
+    /// cache attached, the expression is normalized first so commutative
+    /// spellings hit the same entries.
     pub fn eval(&self, expr: &RegionExpr) -> Result<RegionSet, EvalError> {
         let mut cache = HashMap::new();
-        self.eval_memo(expr, &mut cache)
+        if self.shared.is_some() {
+            self.eval_memo(&expr.normalized(), &mut cache)
+        } else {
+            self.eval_memo(expr, &mut cache)
+        }
     }
 
     /// Evaluates several expressions with a shared subexpression cache
     /// (§5.2: "find common subexpressions … and evaluate them once").
     pub fn eval_all(&self, exprs: &[RegionExpr]) -> Result<Vec<RegionSet>, EvalError> {
         let mut cache = HashMap::new();
-        exprs.iter().map(|e| self.eval_memo(e, &mut cache)).collect()
+        if self.shared.is_some() {
+            exprs.iter().map(|e| self.eval_memo(&e.normalized(), &mut cache)).collect()
+        } else {
+            exprs.iter().map(|e| self.eval_memo(e, &mut cache)).collect()
+        }
     }
 
     /// Evaluates `expr` *without* common-subexpression sharing — the
@@ -132,12 +191,49 @@ impl<'a> Engine<'a> {
             if let Some(hit) = cache.get(expr) {
                 return Ok(hit.clone());
             }
+            // Name sets are direct instance lookups; caching them would
+            // only duplicate the instance, so the shared cache skips them.
+            if let Some(shared) = self.shared {
+                if !matches!(expr, RegionExpr::Name(_)) {
+                    if let Some(hit) = shared.get(self.scope.as_ref(), expr) {
+                        cache.insert(expr.clone(), hit.clone());
+                        return Ok(hit);
+                    }
+                }
+            }
         }
         let result = self.eval_uncached(expr, cache)?;
         if self.share.get() {
             cache.insert(expr.clone(), result.clone());
+            if let Some(shared) = self.shared {
+                if !matches!(expr, RegionExpr::Name(_)) {
+                    shared.insert(self.scope.as_ref(), expr.clone(), result.clone());
+                }
+            }
         }
         Ok(result)
+    }
+
+    /// Narrows a sorted position list to the engine's scope.
+    fn in_scope<'p>(&self, positions: &'p [Pos]) -> &'p [Pos] {
+        match &self.scope {
+            None => positions,
+            Some(span) => {
+                let lo = positions.partition_point(|&p| p < span.start);
+                let hi = positions.partition_point(|&p| p < span.end);
+                &positions[lo..hi]
+            }
+        }
+    }
+
+    /// Applies the scope's end boundary to computed spans (a match starting
+    /// in scope could still extend past an arbitrary, non-file-aligned
+    /// scope end).
+    fn clip_to_scope(&self, set: RegionSet) -> RegionSet {
+        match &self.scope {
+            None => set,
+            Some(span) => set.within_span(span),
+        }
     }
 
     /// Occurrence spans of a constant, computed index-only. A constant that
@@ -166,25 +262,27 @@ impl<'a> Engine<'a> {
             return RegionSet::new();
         };
         if runs.len() == 1 && first_off == 0 && first.len() == w.len() {
-            let positions = self.words.positions(w);
+            let positions = self.in_scope(self.words.positions(w));
             self.stats.borrow_mut().record_word_probe(positions.len());
             let len = w.len() as Pos;
-            return RegionSet::from_sorted(
+            return self.clip_to_scope(RegionSet::from_sorted(
                 positions.iter().map(|&p| Region::new(p, p + len)).collect(),
-            );
+            ));
         }
-        let firsts = self.words.positions(first);
-        let mut probes = firsts.len();
+        let firsts = self.in_scope(self.words.positions(first));
+        // Fetch each later run's posting list once, outside the candidate
+        // loop: `positions` re-folds its key per call, which used to cost an
+        // allocation per candidate per run on case-folded indexes.
+        let rest: Vec<(Pos, &[Pos])> =
+            runs[1..].iter().map(|&(off, word)| (off, self.words.positions(word))).collect();
+        let probes = firsts.len() + rest.len();
         let mut verify_bytes = 0u64;
         let text = self.corpus.text();
         let hits: Vec<Region> = firsts
             .iter()
             .filter_map(|&p| p.checked_sub(first_off))
             .filter(|&base| {
-                runs[1..].iter().all(|&(off, word)| {
-                    probes += 1;
-                    self.words.positions(word).binary_search(&(base + off)).is_ok()
-                })
+                rest.iter().all(|&(off, list)| list.binary_search(&(base + off)).is_ok())
             })
             .filter(|&base| {
                 // Alignment fixes the word runs but not the separator
@@ -198,7 +296,8 @@ impl<'a> Engine<'a> {
         let mut stats = self.stats.borrow_mut();
         stats.record_word_probe(probes);
         stats.record_scan(verify_bytes);
-        RegionSet::from_regions(hits)
+        drop(stats);
+        self.clip_to_scope(RegionSet::from_regions(hits))
     }
 
     fn prefix_spans(&self, prefix: &str) -> RegionSet {
@@ -206,7 +305,10 @@ impl<'a> Engine<'a> {
         // each hit extends to the end of the word starting there. Without
         // one, fall back to scanning the word-index vocabulary.
         if let Some(sa) = self.suffix {
-            let hits = sa.prefix_positions(self.corpus, prefix);
+            let mut hits = sa.prefix_positions(self.corpus, prefix);
+            if let Some(span) = &self.scope {
+                hits.retain(|&p| span.start <= p && p < span.end);
+            }
             self.stats.borrow_mut().record_word_probe(hits.len());
             let text = self.corpus.text().as_bytes();
             let spans = hits
@@ -219,24 +321,29 @@ impl<'a> Engine<'a> {
                     Region::new(p, e as Pos)
                 })
                 .collect();
-            RegionSet::from_regions(spans)
+            self.clip_to_scope(RegionSet::from_regions(spans))
         } else {
             let mut spans = Vec::new();
             let mut probes = 0usize;
             for (word, positions) in self.words.iter() {
                 if word.starts_with(prefix) {
+                    let positions = self.in_scope(positions);
                     probes += positions.len();
                     let len = word.len() as Pos;
                     spans.extend(positions.iter().map(|&p| Region::new(p, p + len)));
                 }
             }
             self.stats.borrow_mut().record_word_probe(probes);
-            RegionSet::from_regions(spans)
+            self.clip_to_scope(RegionSet::from_regions(spans))
         }
     }
 
     fn name_set(&self, n: &str) -> Result<RegionSet, EvalError> {
-        self.instance.get(n).cloned().ok_or_else(|| EvalError::UnknownName(n.to_owned()))
+        let set = self.instance.get(n).ok_or_else(|| EvalError::UnknownName(n.to_owned()))?;
+        Ok(match &self.scope {
+            None => set.clone(),
+            Some(span) => set.within_span(span),
+        })
     }
 
     fn eval_uncached(
@@ -681,6 +788,83 @@ mod tests {
         // n = 0 keeps everything.
         let e0 = RegionExpr::name("Reference").select_count_at_least("Corliss", 0);
         assert_eq!(eng.eval(&e0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scoped_engine_restricts_name_sets_and_words() {
+        let (c, w, i) = fixture();
+        // Scope to the second "reference" only.
+        let eng = Engine::new_scoped(&c, &w, &i, 34..52);
+        assert_eq!(eng.scope(), Some(&(34..52)));
+        let refs = eng.eval(&RegionExpr::name("Reference")).unwrap();
+        assert_eq!(refs.as_slice(), &[Region::new(34, 52)]);
+        let corliss = eng.eval(&RegionExpr::word("Corliss")).unwrap();
+        assert_eq!(corliss.as_slice(), &[Region::new(43, 50)]);
+        let prefix = eng.eval(&RegionExpr::prefix("Cor")).unwrap();
+        assert_eq!(prefix.as_slice(), &[Region::new(43, 50)]);
+    }
+
+    #[test]
+    fn scoped_shards_concatenate_to_global_result() {
+        let (c, w, i) = fixture();
+        let global = Engine::new(&c, &w, &i);
+        // Two spans partitioning the corpus between the references.
+        let shards = [0..34, 34..52];
+        let exprs = [
+            RegionExpr::name("Reference").including(
+                RegionExpr::name("Authors")
+                    .including(RegionExpr::name("Last_Name").select_eq("Corliss")),
+            ),
+            RegionExpr::name("Reference").union(RegionExpr::name("Last_Name")).innermost(),
+            RegionExpr::name("Authors").direct_including(RegionExpr::name("Last_Name")),
+            RegionExpr::name("Reference").select_count_at_least("Corliss", 1),
+        ];
+        for e in &exprs {
+            let want = global.eval(e).unwrap();
+            let parts: Vec<RegionSet> = shards
+                .iter()
+                .map(|s| Engine::new_scoped(&c, &w, &i, s.clone()).eval(e).unwrap())
+                .collect();
+            assert_eq!(RegionSet::concat(parts), want, "shard mismatch for {e}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_serves_repeat_evaluations() {
+        let (c, w, i) = fixture();
+        let shared = crate::SubexprCache::new();
+        let e = RegionExpr::name("Reference")
+            .including(RegionExpr::name("Last_Name").select_eq("Chang"));
+        let first = {
+            let eng = Engine::new(&c, &w, &i).with_shared_cache(&shared);
+            eng.eval(&e).unwrap()
+        };
+        assert_eq!(shared.stats().hits, 0);
+        let eng = Engine::new(&c, &w, &i).with_shared_cache(&shared);
+        let second = eng.eval(&e).unwrap();
+        assert_eq!(first, second);
+        assert!(shared.stats().hits >= 1, "second evaluation must hit the cache");
+        // The whole expression was answered from the cache: no ⊃ ran.
+        assert_eq!(eng.stats().ops("⊃"), 0);
+    }
+
+    #[test]
+    fn shared_cache_results_match_uncached() {
+        let (c, w, i) = fixture();
+        let shared = crate::SubexprCache::new();
+        let exprs = [
+            RegionExpr::name("Last_Name").select_eq("Corliss"),
+            RegionExpr::name("Authors").union(RegionExpr::name("Editors")),
+            RegionExpr::name("Editors").union(RegionExpr::name("Authors")),
+        ];
+        for e in &exprs {
+            let plain = Engine::new(&c, &w, &i).eval(e).unwrap();
+            let cached = Engine::new(&c, &w, &i).with_shared_cache(&shared).eval(e).unwrap();
+            assert_eq!(plain, cached, "cache changed the result of {e}");
+        }
+        // The two commutative spellings share one entry.
+        let s = shared.stats();
+        assert!(s.hits >= 1, "B ∪ A must hit A ∪ B's entry, got {s:?}");
     }
 
     #[test]

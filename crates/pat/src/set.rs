@@ -183,17 +183,16 @@ impl RegionSet {
                     return true;
                 }
                 // Strict: some included region must differ from r. The only
-                // region equal to r that `other` can hold is r itself.
-                if !other.contains(r) {
-                    return true;
+                // region equal to r that `other` can hold is r itself. When
+                // r is present at index ri, every region in [lo, ri) shares
+                // r's start with a larger end (canonical order) and is never
+                // included, so a distinct witness exists iff the suffix past
+                // ri still reaches down to r.end — an O(1) extrema test
+                // instead of a scan over equal-start pileups.
+                match other.regions.binary_search(r) {
+                    Err(_) => true,
+                    Ok(ri) => suffix_min_end[ri + 1] <= r.end,
                 }
-                // Check for an included region other than r: either a second
-                // region with min end <= r.end in the suffix, or r's own
-                // slot is not the unique witness. Fall back to a local scan.
-                other.regions[lo..]
-                    .iter()
-                    .take_while(|s| s.start <= r.end)
-                    .any(|s| s.end <= r.end && *s != **r)
             })
             .copied()
             .collect();
@@ -233,10 +232,15 @@ impl RegionSet {
                 if !strict {
                     return true;
                 }
-                if !other.contains(r) {
-                    return true;
+                // Strict: a distinct container must exist. When r sits in
+                // `other` at index ri, every distinct container sorts before
+                // it (smaller start, or equal start with larger end), so the
+                // prefix extrema array answers in O(1) — the old witness
+                // scan was O(|other|) per region on equal-start pileups.
+                match other.regions.binary_search(r) {
+                    Err(_) => true,
+                    Ok(ri) => prefix_max_end[ri] >= r.end,
                 }
-                other.regions[..hi].iter().any(|s| s.end >= r.end && *s != **r)
             })
             .copied()
             .collect();
@@ -271,6 +275,24 @@ impl RegionSet {
             best = best.max(self.regions[i].end);
         }
         RegionSet { regions: out }
+    }
+
+    /// Concatenates per-shard results back into one set. The parts must be
+    /// span-disjoint and ordered — every region of part `k` precedes every
+    /// region of part `k+1` — which holds whenever shards partition the
+    /// corpus by file span, since regions never cross file boundaries.
+    /// Canonical order is debug-checked, making the merge a lossless O(n)
+    /// append.
+    pub fn concat(parts: impl IntoIterator<Item = RegionSet>) -> RegionSet {
+        let mut regions: Vec<Region> = Vec::new();
+        for part in parts {
+            debug_assert!(
+                regions.last().zip(part.regions.first()).is_none_or(|(a, b)| a < b),
+                "shard results out of order"
+            );
+            regions.extend_from_slice(&part.regions);
+        }
+        Self::from_sorted(regions)
     }
 
     /// Keeps the members whose span lies inside `span` (helper for scoped
@@ -437,6 +459,79 @@ mod tests {
     fn within_span_filters() {
         let s = rs(&[(0, 5), (10, 20), (15, 18), (25, 40)]);
         assert_eq!(s.within_span(&(10..20)), rs(&[(10, 20), (15, 18)]));
+    }
+
+    #[test]
+    fn concat_joins_disjoint_shard_results() {
+        let a = rs(&[(0, 5), (2, 4)]);
+        let b = rs(&[(10, 20), (12, 15)]);
+        let c = rs(&[(30, 31)]);
+        assert_eq!(RegionSet::concat([a.clone(), b.clone(), c.clone()]), a.union(&b).union(&c));
+        assert_eq!(RegionSet::concat([RegionSet::new(), a.clone(), RegionSet::new()]), a);
+        assert!(RegionSet::concat(std::iter::empty::<RegionSet>()).is_empty());
+    }
+
+    /// Regression: the strict-inclusion fallback used to scan `other`
+    /// linearly per region, degenerating to O(|R|·|S|) on equal-start /
+    /// equal-end pileups. With N = 60 000 the old code performed ~1.8e9
+    /// witness-scan steps here (minutes in a debug build); the extrema-array
+    /// test keeps the whole thing O(N log N).
+    #[test]
+    fn strict_inclusion_pathological_pileups_stay_fast() {
+        const N: Pos = 60_000;
+        // Equal-start pileup: {(0, j) : 1 <= j <= N}. Every region except
+        // the smallest strictly includes a shorter one.
+        let pileup =
+            RegionSet::from_regions((1..=N).map(|j| Region::new(0, j)).collect::<Vec<_>>());
+        let incl = pileup.strictly_including(&pileup);
+        assert_eq!(incl.len(), (N - 1) as usize);
+        assert!(!incl.contains(&Region::new(0, 1)));
+        // ... and every region except the largest is strictly included.
+        let sub = pileup.strictly_included_in(&pileup);
+        assert_eq!(sub.len(), (N - 1) as usize);
+        assert!(!sub.contains(&Region::new(0, N)));
+        // Disjoint unit regions: the non-strict prefix/suffix test passes
+        // (each region includes itself), but no distinct witness exists, so
+        // the old fallback scanned every preceding region before giving up.
+        let units = RegionSet::from_regions(
+            (0..N).map(|i| Region::new(2 * i, 2 * i + 1)).collect::<Vec<_>>(),
+        );
+        assert!(units.strictly_included_in(&units).is_empty());
+        assert!(units.strictly_including(&units).is_empty());
+    }
+
+    #[test]
+    fn strict_inclusion_matches_naive_oracle() {
+        // Dense overlapping layout: cross-check both strict operators
+        // against the quadratic definition.
+        let mut regions = Vec::new();
+        for start in 0..12u32 {
+            for len in 0..6u32 {
+                if (start + len) % 3 != 2 {
+                    regions.push(Region::new(start, start + len + 1));
+                }
+            }
+        }
+        let set = RegionSet::from_regions(regions.clone());
+        let other = RegionSet::from_regions(
+            regions.iter().filter(|r| r.start % 2 == 0).copied().collect::<Vec<_>>(),
+        );
+        for (a, b) in [(&set, &other), (&other, &set), (&set, &set)] {
+            let fast = a.strictly_including(b);
+            let naive: Vec<Region> = a
+                .iter()
+                .filter(|r| b.iter().any(|s| s != *r && r.start <= s.start && s.end <= r.end))
+                .copied()
+                .collect();
+            assert_eq!(fast.as_slice(), naive.as_slice());
+            let fast = a.strictly_included_in(b);
+            let naive: Vec<Region> = a
+                .iter()
+                .filter(|r| b.iter().any(|s| s != *r && s.start <= r.start && r.end <= s.end))
+                .copied()
+                .collect();
+            assert_eq!(fast.as_slice(), naive.as_slice());
+        }
     }
 
     #[test]

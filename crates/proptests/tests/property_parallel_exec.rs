@@ -1,0 +1,146 @@
+//! Parallel-execution property tests: sharded, multi-threaded, and cached
+//! query evaluation must be byte-identical to plain sequential evaluation —
+//! over random corpora, schemas, thread counts, and batch shapes. This is
+//! the correctness contract of the shard-parallel layer (per-shard results
+//! concatenate losslessly because regions never cross file boundaries) and
+//! of the engine-level subexpression cache (§5.2 sharing).
+
+use proptest::prelude::*;
+use qof::corpus::bibtex::{self, BibtexConfig};
+use qof::corpus::logs::{self, LogConfig};
+use qof::grammar::IndexSpec;
+use qof::text::{Corpus, CorpusBuilder};
+use qof::{ExecOptions, FileDatabase, QueryResult};
+
+/// A multi-file BibTeX corpus: `files` files with distinct seeds derived
+/// from `seed`, `refs` references each.
+fn bibtex_corpus(files: usize, refs: usize, seed: u64) -> Corpus {
+    let mut b = CorpusBuilder::new();
+    for i in 0..files {
+        let cfg = BibtexConfig {
+            n_refs: refs,
+            seed: seed.wrapping_mul(31).wrapping_add(i as u64),
+            name_pool: 8,
+            ..Default::default()
+        };
+        b.add_file(format!("f{i}.bib"), &bibtex::generate(&cfg).0);
+    }
+    b.build()
+}
+
+fn bibtex_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"",
+        "SELECT r FROM References r WHERE r.Year = \"1982\"",
+        "SELECT r FROM References r WHERE r.*X.Last_Name = \"Griewank\"",
+        "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\" \
+         AND r.Year = \"1975\"",
+        "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\" \
+         OR r.Editors.Name.Last_Name = \"Chang\"",
+        "SELECT r FROM References r WHERE NOT r.Authors.Name.Last_Name = \"Chang\"",
+        "SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name",
+        "SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = \"Milo\"",
+        "SELECT r FROM References r WHERE r.Keywords.Keyword = \"Taylor series\"",
+    ]
+}
+
+/// Byte-identical result comparison: regions, materialized values, and the
+/// exactness verdict all agree.
+fn assert_same(a: &QueryResult, b: &QueryResult, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.regions, &b.regions, "regions differ: {}", ctx);
+    prop_assert_eq!(&a.values, &b.values, "values differ: {}", ctx);
+    prop_assert_eq!(
+        a.stats.exact_index,
+        b.stats.exact_index,
+        "exactness differs: {}",
+        ctx
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shard-parallel evaluation with any thread count returns exactly the
+    /// sequential answer, with and without the subexpression cache.
+    #[test]
+    fn parallel_and_cached_match_sequential(
+        seed in 0u64..5,
+        files in 1usize..6,
+        threads in 2usize..9,
+        qi in 0usize..9,
+        cache in proptest::bool::ANY,
+    ) {
+        let corpus = bibtex_corpus(files, 12, seed);
+        let q = bibtex_queries()[qi];
+        let seq = FileDatabase::build(corpus.clone(), bibtex::schema(), IndexSpec::full())
+            .unwrap();
+        let par = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads, cache });
+        let a = seq.query(q).unwrap();
+        // Twice, so the second run replays through a warm cache.
+        let b1 = par.query(q).unwrap();
+        let b2 = par.query(q).unwrap();
+        let ctx = format!("{q} (files={files}, threads={threads}, cache={cache})");
+        assert_same(&a, &b1, &ctx)?;
+        assert_same(&a, &b2, &ctx)?;
+    }
+
+    /// Batched `query_many` equals query-by-query, in order, regardless of
+    /// worker count, caching, or batch composition.
+    #[test]
+    fn query_many_matches_sequential_queries(
+        seed in 0u64..4,
+        threads in 1usize..6,
+        cache in proptest::bool::ANY,
+        picks in proptest::collection::vec(0usize..9, 1..7),
+    ) {
+        let corpus = bibtex_corpus(3, 10, seed);
+        let pool = bibtex_queries();
+        let batch: Vec<&str> = picks.iter().map(|&i| pool[i]).collect();
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads, cache });
+        let got = db.query_many(&batch);
+        prop_assert_eq!(got.len(), batch.len());
+        for (q, r) in batch.iter().zip(&got) {
+            let want = db.query(q).unwrap();
+            let ctx = format!("{q} (threads={threads}, cache={cache})");
+            assert_same(r.as_ref().unwrap(), &want, &ctx)?;
+        }
+    }
+
+    /// The same contract on a second schema (partial index included): the
+    /// shard decomposition must not depend on the grammar.
+    #[test]
+    fn parallel_matches_sequential_on_logs_schema(
+        seed in 0u64..4,
+        threads in 2usize..7,
+        partial in proptest::bool::ANY,
+    ) {
+        let mut b = CorpusBuilder::new();
+        for i in 0..3u64 {
+            let cfg = LogConfig {
+                n_sessions: 15,
+                error_percent: 10,
+                seed: seed * 7 + i,
+                ..Default::default()
+            };
+            b.add_file(format!("l{i}.log"), &logs::generate(&cfg).0);
+        }
+        let corpus = b.build();
+        let spec = if partial {
+            IndexSpec::names(["Session", "Status"])
+        } else {
+            IndexSpec::full()
+        };
+        let q = "SELECT s FROM Sessions s WHERE s.Requests.Request.Status = \"500\"";
+        let seq = FileDatabase::build(corpus.clone(), logs::schema(), spec.clone()).unwrap();
+        let par = FileDatabase::build(corpus, logs::schema(), spec)
+            .unwrap()
+            .with_exec_options(ExecOptions { threads, cache: true });
+        let ctx = format!("logs (threads={threads}, partial={partial})");
+        assert_same(&seq.query(q).unwrap(), &par.query(q).unwrap(), &ctx)?;
+    }
+}

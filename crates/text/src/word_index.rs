@@ -24,6 +24,11 @@ pub struct WordIndex {
     map: HashMap<String, Vec<Pos>>,
     postings: usize,
     case_fold: bool,
+    /// The spans this index was selectively built over (sorted by start,
+    /// descending end at ties), or `None` for a full index. Incremental
+    /// appends filter against it so out-of-scope occurrences can never
+    /// leak into a selective index.
+    scope: Option<Vec<Span>>,
 }
 
 /// Builder configuring word-index construction.
@@ -40,8 +45,9 @@ impl<'a> WordIndexBuilder<'a> {
         Self { tokenizer, scope: None }
     }
 
-    /// Restricts indexing to occurrences inside the given spans
-    /// (must be sorted by start; overlaps allowed).
+    /// Restricts indexing to occurrences inside the given spans. The spans
+    /// may arrive in any order (the builder sorts them by start) and may
+    /// overlap.
     pub fn scoped_to(mut self, mut spans: Vec<Span>) -> Self {
         spans.sort_by_key(|s| (s.start, std::cmp::Reverse(s.end)));
         self.scope = Some(spans);
@@ -71,7 +77,7 @@ impl<'a> WordIndexBuilder<'a> {
             map.entry(key).or_default().push(tok.span.start);
             postings += 1;
         }
-        WordIndex { map, postings, case_fold: self.tokenizer.folds_case() }
+        WordIndex { map, postings, case_fold: self.tokenizer.folds_case(), scope: self.scope }
     }
 }
 
@@ -83,10 +89,17 @@ impl WordIndex {
 
     /// Sorted start positions of `word` (normalized per the build tokenizer).
     /// Returns an empty slice for unindexed words.
+    ///
+    /// This is the engine's hottest index entry point; case folding only
+    /// allocates when the word actually needs folding (`to_lowercase` is a
+    /// fixed point on ASCII text with no uppercase letters, which covers
+    /// every already-normalized lookup).
     pub fn positions(&self, word: &str) -> &[Pos] {
-        let key: std::borrow::Cow<'_, str> =
-            if self.case_fold { word.to_lowercase().into() } else { word.into() };
-        self.map.get(key.as_ref()).map_or(&[], Vec::as_slice)
+        if self.case_fold && !word.bytes().all(|b| b.is_ascii() && !b.is_ascii_uppercase()) {
+            let key = word.to_lowercase();
+            return self.map.get(key.as_str()).map_or(&[], Vec::as_slice);
+        }
+        self.map.get(word).map_or(&[], Vec::as_slice)
     }
 
     /// Whether the index has at least one posting for `word`.
@@ -103,10 +116,16 @@ impl WordIndex {
     /// experiments (E9).
     pub fn stats(&self) -> WordStats {
         let key_bytes: usize = self.map.keys().map(std::string::String::len).sum();
+        // Each entry also pays for its `String` and `Vec` headers plus the
+        // hash table's control byte; without this the E9 size/performance
+        // tradeoff under-reported small-vocabulary indexes.
+        let entry_overhead = std::mem::size_of::<String>() + std::mem::size_of::<Vec<Pos>>() + 1;
         WordStats {
             distinct_words: self.map.len(),
             postings: self.postings,
-            approx_bytes: key_bytes + self.postings * std::mem::size_of::<Pos>(),
+            approx_bytes: key_bytes
+                + self.postings * std::mem::size_of::<Pos>()
+                + self.map.len() * entry_overhead,
         }
     }
 
@@ -115,16 +134,53 @@ impl WordIndex {
         self.map.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
+    /// Whether this index was selectively built (§7): only occurrences
+    /// inside its scope spans are indexed.
+    pub fn is_scoped(&self) -> bool {
+        self.scope.is_some()
+    }
+
+    /// Extends the scope of a selectively built index with more spans
+    /// (e.g. the in-scope regions of a newly appended file) ahead of
+    /// [`WordIndex::append_span`]. No-op on a full index, which always
+    /// indexes everything.
+    pub fn extend_scope(&mut self, spans: impl IntoIterator<Item = Span>) {
+        if let Some(scope) = &mut self.scope {
+            scope.extend(spans);
+            scope.sort_by_key(|s| (s.start, std::cmp::Reverse(s.end)));
+        }
+    }
+
     /// Indexes the words of a newly appended span (incremental indexing).
     /// The span must lie past every previously indexed position, so the
     /// per-word position lists stay sorted.
+    ///
+    /// On a selectively built index, only occurrences inside the scope are
+    /// appended — the scope the index was built with is stored, so
+    /// incremental appends can never index out-of-scope occurrences. Grow
+    /// the scope first with [`WordIndex::extend_scope`] when the new file
+    /// contributes in-scope regions.
     ///
     /// # Panics
     /// Panics in debug builds if an out-of-order position is appended.
     pub fn append_span(&mut self, corpus: &Corpus, tokenizer: &Tokenizer, span: Span) {
         debug_assert_eq!(self.case_fold, tokenizer.folds_case(), "tokenizer mode must match");
         let text = corpus.slice(span.clone());
+        // Same running-max sweep as the builder: a token is in scope iff
+        // some scope span starting at or before it covers its end.
+        let scope = self.scope.as_deref();
+        let mut scope_idx = 0usize;
+        let mut max_end: Pos = 0;
         for tok in tokenizer.tokenize(text, span.start) {
+            if let Some(spans) = scope {
+                while scope_idx < spans.len() && spans[scope_idx].start <= tok.span.start {
+                    max_end = max_end.max(spans[scope_idx].end);
+                    scope_idx += 1;
+                }
+                if tok.span.end > max_end {
+                    continue;
+                }
+            }
             let key = tokenizer.normalize(tok.text);
             let list = self.map.entry(key).or_default();
             debug_assert!(list.last().is_none_or(|&p| p < tok.span.start));
@@ -214,6 +270,70 @@ mod tests {
     }
 
     use crate::CorpusBuilder;
+
+    #[test]
+    fn case_fold_lookup_paths_agree() {
+        let c = Corpus::from_text("Chang CHANG chang müller");
+        let t = Tokenizer::new().case_insensitive();
+        let i = WordIndex::build(&c, &t);
+        // Already-folded ASCII (allocation-free path), mixed-case ASCII and
+        // non-ASCII (folding path) must all resolve identically.
+        assert_eq!(i.positions("chang"), i.positions("CHANG"));
+        assert_eq!(i.positions("chang"), i.positions("Chang"));
+        assert_eq!(i.frequency("chang"), 3);
+        // Non-ASCII lookups take the folding path (and find nothing here:
+        // the tokenizer splits on non-ASCII bytes).
+        assert_eq!(i.positions("müller"), i.positions("MÜLLER"));
+    }
+
+    #[test]
+    fn stats_count_entry_overhead() {
+        let (_, i) = idx("x y x");
+        let s = i.stats();
+        let headers = std::mem::size_of::<String>() + std::mem::size_of::<Vec<Pos>>() + 1;
+        // 2 distinct words of 1 byte each, 3 postings, plus 2 entry headers.
+        assert_eq!(s.approx_bytes, 2 + 3 * std::mem::size_of::<Pos>() + 2 * headers);
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn append_to_scoped_index_respects_stored_scope() {
+        // Scope covers "bbb" only; the initial build indexes just that.
+        let mut c = Corpus::from_text("aaa bbb");
+        let t = Tokenizer::new();
+        let mut i = WordIndexBuilder::new(&t).scoped_to(Vec::from([4..7])).build(&c);
+        assert!(i.is_scoped());
+        assert_eq!(i.frequency("bbb"), 1);
+        // Appending a file without extending the scope must index nothing:
+        // the new text lies entirely outside the selective scope.
+        let id = c.push_file("more", "bbb ccc");
+        let span = c.file(id).unwrap().span.clone();
+        i.append_span(&c, &t, span);
+        assert_eq!(i.frequency("bbb"), 1, "out-of-scope occurrence was indexed");
+        assert_eq!(i.frequency("ccc"), 0, "out-of-scope occurrence was indexed");
+        // Extending the scope over part of the next file indexes only that
+        // part: "ddd" is in scope, "eee" is not.
+        let id = c.push_file("scoped", "ddd eee");
+        let span = c.file(id).unwrap().span.clone();
+        i.extend_scope([span.start..span.start + 3]);
+        i.append_span(&c, &t, span);
+        assert_eq!(i.frequency("ddd"), 1);
+        assert_eq!(i.frequency("eee"), 0);
+    }
+
+    #[test]
+    fn append_to_full_index_still_indexes_everything() {
+        let mut c = Corpus::from_text("alpha");
+        let t = Tokenizer::new();
+        let mut i = WordIndex::build(&c, &t);
+        assert!(!i.is_scoped());
+        // extend_scope on a full index is a no-op and must not narrow it.
+        i.extend_scope(std::iter::once(0..1));
+        let id = c.push_file("more", "beta");
+        let span = c.file(id).unwrap().span.clone();
+        i.append_span(&c, &t, span);
+        assert_eq!(i.frequency("beta"), 1);
+    }
 
     #[test]
     fn append_span_extends_postings() {

@@ -10,14 +10,16 @@
 //!
 //! Built-in structuring schemas: `bibtex`, `mail`, `logs`, `sgml`, `code`
 //! (see `qof::corpus` for the formats). Pass `--index A,B,C` before the
-//! query to use a partial region index instead of full indexing.
+//! query to use a partial region index instead of full indexing,
+//! `--threads N` to evaluate the index phase shard-parallel over the
+//! files, and `--cache` to share subexpression results across the run.
 
 use std::process::ExitCode;
 
 use qof::corpus::{bibtex, code, logs, mail, sgml};
 use qof::grammar::{IndexSpec, StructuringSchema};
 use qof::text::{Corpus, CorpusBuilder};
-use qof::{advise, parse_query, FileDatabase, Rig, Severity};
+use qof::{advise, parse_query, ExecOptions, FileDatabase, Rig, Severity};
 
 fn schema_by_name(name: &str) -> Option<StructuringSchema> {
     Some(match name {
@@ -46,7 +48,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          qof generate <schema> <count>\n  \
          qof rig <schema> [indexed,names]\n  \
-         qof query   <schema> [--index A,B,C] <file>... <query>\n  \
+         qof query   <schema> [--index A,B,C] [--threads N] [--cache] <file>... <query>\n  \
          qof explain <schema> [--index A,B,C] <file>... <query>\n  \
          qof advise  <schema> <query>...\n  \
          qof check   <schema> [--index A,B,C] [<query>...]\n\
@@ -111,18 +113,39 @@ fn run() -> Result<ExitCode, String> {
             let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
             let mut rest: Vec<String> = args[2..].to_vec();
             let mut index: Option<String> = None;
-            if rest.first().map(String::as_str) == Some("--index") {
-                if rest.len() < 2 {
-                    return Ok(usage());
+            let mut threads: usize = 1;
+            let mut cache = false;
+            loop {
+                match rest.first().map(String::as_str) {
+                    Some("--index") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        index = Some(rest[1].clone());
+                        rest.drain(..2);
+                    }
+                    Some("--threads") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        threads = rest[1]
+                            .parse()
+                            .map_err(|_| "--threads needs a positive number".to_owned())?;
+                        rest.drain(..2);
+                    }
+                    Some("--cache") => {
+                        cache = true;
+                        rest.remove(0);
+                    }
+                    _ => break,
                 }
-                index = Some(rest[1].clone());
-                rest.drain(..2);
             }
             let Some((query, files)) = rest.split_last() else { return Ok(usage()) };
             if files.is_empty() {
                 return Ok(usage());
             }
-            let db = build_db(schema, files, index.as_deref())?;
+            let db = build_db(schema, files, index.as_deref())?
+                .with_exec_options(ExecOptions { threads: threads.max(1), cache });
             if cmd == "explain" {
                 print!("{}", db.explain(query).map_err(|e| e.to_string())?);
             } else {
@@ -137,6 +160,13 @@ fn run() -> Result<ExitCode, String> {
                     res.stats.eval,
                     res.stats.parse.bytes_scanned
                 );
+                if cache {
+                    let cs = db.cache_stats();
+                    eprintln!(
+                        "-- cache: {} hits / {} misses ({} entries)",
+                        cs.hits, cs.misses, cs.entries
+                    );
+                }
             }
             Ok(ExitCode::SUCCESS)
         }

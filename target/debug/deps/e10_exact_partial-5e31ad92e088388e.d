@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_exact_partial-5e31ad92e088388e.d: crates/bench/benches/e10_exact_partial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_exact_partial-5e31ad92e088388e.rmeta: crates/bench/benches/e10_exact_partial.rs Cargo.toml
+
+crates/bench/benches/e10_exact_partial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_parallel-ba524b7910e74f63.d: crates/bench/benches/e11_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_parallel-ba524b7910e74f63.rmeta: crates/bench/benches/e11_parallel.rs Cargo.toml
+
+crates/bench/benches/e11_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_optimizer_effect-b0f17156e949b8bc.d: crates/bench/benches/e1_optimizer_effect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_optimizer_effect-b0f17156e949b8bc.rmeta: crates/bench/benches/e1_optimizer_effect.rs Cargo.toml
+
+crates/bench/benches/e1_optimizer_effect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_vs_database-0a86d9f68fa011f5.d: crates/bench/benches/e2_vs_database.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_vs_database-0a86d9f68fa011f5.rmeta: crates/bench/benches/e2_vs_database.rs Cargo.toml
+
+crates/bench/benches/e2_vs_database.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_direct_inclusion-fe95003e80946287.d: crates/bench/benches/e3_direct_inclusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_direct_inclusion-fe95003e80946287.rmeta: crates/bench/benches/e3_direct_inclusion.rs Cargo.toml
+
+crates/bench/benches/e3_direct_inclusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_partial_indexing-f6937653ede1528b.d: crates/bench/benches/e4_partial_indexing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_partial_indexing-f6937653ede1528b.rmeta: crates/bench/benches/e4_partial_indexing.rs Cargo.toml
+
+crates/bench/benches/e4_partial_indexing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_pushdown_parse-c2cb9713cb16b52a.d: crates/bench/benches/e5_pushdown_parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_pushdown_parse-c2cb9713cb16b52a.rmeta: crates/bench/benches/e5_pushdown_parse.rs Cargo.toml
+
+crates/bench/benches/e5_pushdown_parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_join_hybrid-890268d40f8a9169.d: crates/bench/benches/e6_join_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_join_hybrid-890268d40f8a9169.rmeta: crates/bench/benches/e6_join_hybrid.rs Cargo.toml
+
+crates/bench/benches/e6_join_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

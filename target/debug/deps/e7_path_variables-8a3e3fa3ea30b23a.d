@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_path_variables-8a3e3fa3ea30b23a.d: crates/bench/benches/e7_path_variables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_path_variables-8a3e3fa3ea30b23a.rmeta: crates/bench/benches/e7_path_variables.rs Cargo.toml
+
+crates/bench/benches/e7_path_variables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

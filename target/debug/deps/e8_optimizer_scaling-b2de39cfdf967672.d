@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_optimizer_scaling-b2de39cfdf967672.d: crates/bench/benches/e8_optimizer_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_optimizer_scaling-b2de39cfdf967672.rmeta: crates/bench/benches/e8_optimizer_scaling.rs Cargo.toml
+
+crates/bench/benches/e8_optimizer_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_index_choice-f92672c2890b228e.d: crates/bench/benches/e9_index_choice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_index_choice-f92672c2890b228e.rmeta: crates/bench/benches/e9_index_choice.rs Cargo.toml
+
+crates/bench/benches/e9_index_choice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-0354955cb5b3d774.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-0354955cb5b3d774: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

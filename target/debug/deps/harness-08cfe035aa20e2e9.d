@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-08cfe035aa20e2e9.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-08cfe035aa20e2e9.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

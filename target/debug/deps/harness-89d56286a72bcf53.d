@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-89d56286a72bcf53.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-89d56286a72bcf53: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

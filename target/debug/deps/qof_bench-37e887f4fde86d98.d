@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qof_bench-37e887f4fde86d98.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqof_bench-37e887f4fde86d98.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/qof_pat-3455b8d4a2ee2322.d: crates/pat/src/lib.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
+/root/repo/target/debug/deps/qof_pat-3455b8d4a2ee2322.d: crates/pat/src/lib.rs crates/pat/src/cache.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
 
-/root/repo/target/debug/deps/libqof_pat-3455b8d4a2ee2322.rlib: crates/pat/src/lib.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
+/root/repo/target/debug/deps/libqof_pat-3455b8d4a2ee2322.rlib: crates/pat/src/lib.rs crates/pat/src/cache.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
 
-/root/repo/target/debug/deps/libqof_pat-3455b8d4a2ee2322.rmeta: crates/pat/src/lib.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
+/root/repo/target/debug/deps/libqof_pat-3455b8d4a2ee2322.rmeta: crates/pat/src/lib.rs crates/pat/src/cache.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
 
 crates/pat/src/lib.rs:
+crates/pat/src/cache.rs:
 crates/pat/src/direct.rs:
 crates/pat/src/engine.rs:
 crates/pat/src/expr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-3cde0fd3312fa53f.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-3cde0fd3312fa53f: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

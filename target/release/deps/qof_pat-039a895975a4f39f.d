@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/qof_pat-039a895975a4f39f.d: crates/pat/src/lib.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
+/root/repo/target/release/deps/qof_pat-039a895975a4f39f.d: crates/pat/src/lib.rs crates/pat/src/cache.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
 
-/root/repo/target/release/deps/libqof_pat-039a895975a4f39f.rlib: crates/pat/src/lib.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
+/root/repo/target/release/deps/libqof_pat-039a895975a4f39f.rlib: crates/pat/src/lib.rs crates/pat/src/cache.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
 
-/root/repo/target/release/deps/libqof_pat-039a895975a4f39f.rmeta: crates/pat/src/lib.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
+/root/repo/target/release/deps/libqof_pat-039a895975a4f39f.rmeta: crates/pat/src/lib.rs crates/pat/src/cache.rs crates/pat/src/direct.rs crates/pat/src/engine.rs crates/pat/src/expr.rs crates/pat/src/forest.rs crates/pat/src/instance.rs crates/pat/src/region.rs crates/pat/src/set.rs crates/pat/src/stats.rs
 
 crates/pat/src/lib.rs:
+crates/pat/src/cache.rs:
 crates/pat/src/direct.rs:
 crates/pat/src/engine.rs:
 crates/pat/src/expr.rs:
