@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-9dcbbb07aebe2c19.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/libharness-9dcbbb07aebe2c19.rmeta: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qof-30c8249e99b61f31.d: src/bin/qof.rs
+
+/root/repo/target/debug/deps/libqof-30c8249e99b61f31.rmeta: src/bin/qof.rs
+
+src/bin/qof.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qof-d8e97454e8fb591c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqof-d8e97454e8fb591c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qof_bench-ae5aa9d738c09c3e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libqof_bench-ae5aa9d738c09c3e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

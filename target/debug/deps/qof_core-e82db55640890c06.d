@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qof_core-e82db55640890c06.d: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/analyze/mod.rs crates/core/src/analyze/query.rs crates/core/src/analyze/schema.rs crates/core/src/analyze/verify.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs
+
+/root/repo/target/debug/deps/libqof_core-e82db55640890c06.rmeta: crates/core/src/lib.rs crates/core/src/advisor.rs crates/core/src/analyze/mod.rs crates/core/src/analyze/query.rs crates/core/src/analyze/schema.rs crates/core/src/analyze/verify.rs crates/core/src/baseline.rs crates/core/src/exec.rs crates/core/src/incl.rs crates/core/src/optimizer.rs crates/core/src/plan.rs crates/core/src/query.rs crates/core/src/residual.rs crates/core/src/rig.rs crates/core/src/translate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/advisor.rs:
+crates/core/src/analyze/mod.rs:
+crates/core/src/analyze/query.rs:
+crates/core/src/analyze/schema.rs:
+crates/core/src/analyze/verify.rs:
+crates/core/src/baseline.rs:
+crates/core/src/exec.rs:
+crates/core/src/incl.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/plan.rs:
+crates/core/src/query.rs:
+crates/core/src/residual.rs:
+crates/core/src/rig.rs:
+crates/core/src/translate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qof_corpus-6424698ed7885bd1.d: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs
+
+/root/repo/target/debug/deps/libqof_corpus-6424698ed7885bd1.rmeta: crates/corpus/src/lib.rs crates/corpus/src/bibtex.rs crates/corpus/src/code.rs crates/corpus/src/logs.rs crates/corpus/src/mail.rs crates/corpus/src/rng.rs crates/corpus/src/sgml.rs crates/corpus/src/vocab.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/bibtex.rs:
+crates/corpus/src/code.rs:
+crates/corpus/src/logs.rs:
+crates/corpus/src/mail.rs:
+crates/corpus/src/rng.rs:
+crates/corpus/src/sgml.rs:
+crates/corpus/src/vocab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qof_db-242b34ec33849365.d: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+/root/repo/target/debug/deps/libqof_db-242b34ec33849365.rmeta: crates/db/src/lib.rs crates/db/src/path.rs crates/db/src/schema.rs crates/db/src/store.rs crates/db/src/value.rs
+
+crates/db/src/lib.rs:
+crates/db/src/path.rs:
+crates/db/src/schema.rs:
+crates/db/src/store.rs:
+crates/db/src/value.rs:

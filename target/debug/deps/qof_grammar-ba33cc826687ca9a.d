@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qof_grammar-ba33cc826687ca9a.d: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs
+
+/root/repo/target/debug/deps/libqof_grammar-ba33cc826687ca9a.rmeta: crates/grammar/src/lib.rs crates/grammar/src/build.rs crates/grammar/src/extract.rs crates/grammar/src/grammar.rs crates/grammar/src/parser.rs crates/grammar/src/render.rs crates/grammar/src/schema.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/build.rs:
+crates/grammar/src/extract.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/parser.rs:
+crates/grammar/src/render.rs:
+crates/grammar/src/schema.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qof_text-270c2148ce0f4b14.d: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+/root/repo/target/debug/deps/libqof_text-270c2148ce0f4b14.rmeta: crates/text/src/lib.rs crates/text/src/corpus.rs crates/text/src/suffix.rs crates/text/src/token.rs crates/text/src/word_index.rs
+
+crates/text/src/lib.rs:
+crates/text/src/corpus.rs:
+crates/text/src/suffix.rs:
+crates/text/src/token.rs:
+crates/text/src/word_index.rs:
