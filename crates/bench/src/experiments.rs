@@ -58,11 +58,18 @@ impl Scale {
 #[derive(Debug, Default)]
 struct Recorder {
     ms: Vec<Measurement>,
+    trace_json: Option<String>,
 }
 
 impl Recorder {
     fn rec(&mut self, name: impl Into<String>, value: f64, unit: &'static str) {
         self.ms.push(Measurement { name: name.into(), value, unit });
+    }
+
+    /// Embeds a serialized `QueryTrace` into the experiment's report
+    /// (rendered under `"trace"`; last call wins).
+    fn attach_trace(&mut self, json: String) {
+        self.trace_json = Some(json);
     }
 }
 
@@ -112,7 +119,13 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "a1" => a1(scale, &mut r),
         _ => unreachable!("id came from EXPERIMENTS"),
     }
-    Some(ExperimentReport { id, title, wall_secs: t0.elapsed().as_secs_f64(), measurements: r.ms })
+    Some(ExperimentReport {
+        id,
+        title,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        measurements: r.ms,
+        trace_json: r.trace_json,
+    })
 }
 
 fn banner(id: &str, title: &str) {
@@ -627,6 +640,42 @@ fn e11(scale: Scale, r: &mut Recorder) {
         stats.entries
     );
     println!("(speedups depend on available cores; results are asserted identical throughout)");
+
+    // Trace-derived breakdown of the heaviest query: per-phase timings and
+    // this run's cache hit ratio, embedded into the report as a full
+    // `QueryTrace` document. Traced evaluation re-enters the same memoized
+    // engine, so the result must be byte-identical to the untraced run —
+    // asserted here instead of a speedup (tracing is pure overhead).
+    let untraced = fdb.query(EDITOR_IS_AUTHOR).unwrap();
+    let (traced, trace) = fdb.query_traced(EDITOR_IS_AUTHOR).unwrap();
+    assert_eq!(untraced.regions, traced.regions, "tracing changed a result");
+    assert_eq!(untraced.values, traced.values, "tracing changed a value");
+    r.rec("trace_cache_hit_rate", trace.cache_hit_rate(), "ratio");
+    r.rec("trace_total_secs", trace.total_nanos as f64 / 1e9, "s");
+    r.rec("trace_op_nodes", trace.op_node_count() as f64, "nodes");
+    for phase in &trace.phases {
+        r.rec(
+            format!("trace_phase_{}_secs", phase.name.replace('-', "_")),
+            phase.nanos as f64 / 1e9,
+            "s",
+        );
+    }
+    let t_untraced = median_secs(3, || time_query(&fdb, EDITOR_IS_AUTHOR).1);
+    let t_traced = median_secs(3, || {
+        let t = Instant::now();
+        std::hint::black_box(fdb.query_traced(EDITOR_IS_AUTHOR).unwrap());
+        t.elapsed().as_secs_f64()
+    });
+    r.rec("trace_overhead_ratio", t_traced / t_untraced.max(1e-12), "x");
+    println!(
+        "traced E6 join: {} phases, {} operator nodes, cache hit rate {:.1}%, \
+         tracing overhead {:.2}x",
+        trace.phases.len(),
+        trace.op_node_count(),
+        100.0 * trace.cache_hit_rate(),
+        t_traced / t_untraced.max(1e-12)
+    );
+    r.attach_trace(trace.to_json());
 }
 
 /// A1 (ablation): common-subexpression sharing across OR branches (§5.2:

@@ -4,17 +4,23 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "scale": "small",
 //!   "total_wall_secs": 1.25,
 //!   "experiments": [
 //!     { "id": "e11", "title": "…", "wall_secs": 0.42,
+//!       "trace": { "schema_version": 1, "query": "…", "phases": [], … },
 //!       "measurements": [
 //!         { "name": "batch_speedup_threads4", "value": 2.3, "unit": "x" }
 //!       ] }
 //!   ]
 //! }
 //! ```
+//!
+//! Schema history: v2 added the optional per-experiment `trace` block — a
+//! full `QueryTrace` document (see `qof_core::TRACE_SCHEMA_VERSION`) with
+//! per-operator timings, per-phase breakdowns and the run's cache hit
+//! ratio. All v1 fields are unchanged.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -41,6 +47,11 @@ pub struct ExperimentReport {
     pub wall_secs: f64,
     /// Key numbers the experiment printed.
     pub measurements: Vec<Measurement>,
+    /// An optional pre-serialized `QueryTrace` JSON document from a traced
+    /// run of the experiment's representative query, embedded verbatim
+    /// under `"trace"`. Must be the output of `QueryTrace::to_json` (the
+    /// renderer trusts it to be valid JSON).
+    pub trace_json: Option<String>,
 }
 
 /// Escapes a string for a JSON literal.
@@ -78,7 +89,7 @@ pub fn render_json(scale: &str, reports: &[ExperimentReport]) -> String {
     let total: f64 = reports.iter().map(|r| r.wall_secs).sum();
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"schema_version\": 2,");
     let _ = writeln!(out, "  \"scale\": \"{}\",", esc(scale));
     let _ = writeln!(out, "  \"total_wall_secs\": {},", num(total));
     out.push_str("  \"experiments\": [\n");
@@ -87,6 +98,9 @@ pub fn render_json(scale: &str, reports: &[ExperimentReport]) -> String {
         let _ = writeln!(out, "      \"id\": \"{}\",", esc(r.id));
         let _ = writeln!(out, "      \"title\": \"{}\",", esc(r.title));
         let _ = writeln!(out, "      \"wall_secs\": {},", num(r.wall_secs));
+        if let Some(trace) = &r.trace_json {
+            let _ = writeln!(out, "      \"trace\": {trace},");
+        }
         out.push_str("      \"measurements\": [\n");
         for (j, m) in r.measurements.iter().enumerate() {
             let comma = if j + 1 == r.measurements.len() { "" } else { "," };
@@ -125,9 +139,11 @@ mod tests {
                 Measurement { name: "speedup".into(), value: 2.0, unit: "x" },
                 Measurement { name: "bad".into(), value: f64::INFINITY, unit: "s" },
             ],
+            trace_json: None,
         }];
         let json = render_json("small", &reports);
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(!json.contains("\"trace\""), "no trace block unless one was attached");
         assert!(json.contains("quote \\\" and slash \\\\"));
         assert!(json.contains("\"value\": null"), "non-finite values become null");
         assert!(json.contains("\"total_wall_secs\": 0.5"));
@@ -146,5 +162,21 @@ mod tests {
         let json = render_json("full", &[]);
         assert!(json.contains("\"experiments\": [\n  ]"));
         assert!(json.contains("\"total_wall_secs\": 0"));
+    }
+
+    #[test]
+    fn trace_block_embeds_verbatim() {
+        let reports = vec![ExperimentReport {
+            id: "e11",
+            title: "t",
+            wall_secs: 0.1,
+            measurements: vec![],
+            trace_json: Some("{\"schema_version\":1,\"ops\":[]}".to_owned()),
+        }];
+        let json = render_json("small", &reports);
+        assert!(json.contains("\"trace\": {\"schema_version\":1,\"ops\":[]},"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
     }
 }

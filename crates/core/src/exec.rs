@@ -4,6 +4,7 @@
 //! candidate parsing with push-down → residual filtering → projection.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use qof_db::{Database, DbStats, Value};
 use qof_grammar::{
@@ -11,7 +12,8 @@ use qof_grammar::{
     StructuringSchema,
 };
 use qof_pat::{
-    CacheStats, Engine, EvalError, EvalStats, Instance, Region, RegionExpr, RegionSet, SubexprCache,
+    CacheStats, Engine, EvalError, EvalStats, Instance, MetricsRegistry, OpTrace, Region,
+    RegionExpr, RegionSet, SubexprCache, TraceSink,
 };
 use qof_text::{Corpus, Span, SuffixArray, Tokenizer, WordIndex};
 
@@ -19,6 +21,7 @@ use qof_db::PathCost;
 
 use crate::plan::{CondNode, Plan, PlanError, Planner, ProjPlan};
 use crate::residual::{eval_single, path_values};
+use crate::trace::{ExecTrace, PhaseTrace, QueryTrace, ShardTrace};
 use crate::{parse_query, Query, QueryParseError, Rig};
 
 /// Errors while building a [`FileDatabase`].
@@ -509,6 +512,67 @@ impl FileDatabase {
         self.query_with_threads(src, self.options.threads)
     }
 
+    /// Like [`FileDatabase::query`], but records a full [`QueryTrace`]
+    /// alongside the result: the optimizer rewrites that fired during
+    /// planning, per-phase wall times, the engine's operator tree (with
+    /// per-operator timings, cardinalities and cache outcomes), per-shard
+    /// phase-1 work, and this run's shared-cache hit/miss delta. The run
+    /// also feeds the process-wide [`MetricsRegistry`] behind `qof stats`.
+    ///
+    /// Results are identical to the untraced path: the traced engine
+    /// re-enters the same memoized evaluator, so caching behavior cannot
+    /// drift.
+    pub fn query_traced(&self, src: &str) -> Result<(QueryResult, QueryTrace), QueryError> {
+        let started = Instant::now();
+        let cache_before = self.cache.stats();
+        let metrics = MetricsRegistry::global();
+        let q = match parse_query(src) {
+            Ok(q) => q,
+            Err(e) => {
+                metrics.record_query(elapsed_nanos(started), false);
+                return Err(e.into());
+            }
+        };
+        let plan = match self.planner().plan(&q) {
+            Ok(p) => p,
+            Err(e) => {
+                metrics.record_query(elapsed_nanos(started), false);
+                return Err(e.into());
+            }
+        };
+        let mut tr = ExecTrace::default();
+        let result = match self.execute_inner(&q, &plan, self.options.threads, Some(&mut tr)) {
+            Ok(r) => r,
+            Err(e) => {
+                metrics.record_query(elapsed_nanos(started), false);
+                return Err(e);
+            }
+        };
+        let total_nanos = elapsed_nanos(started);
+        let cache_after = self.cache.stats();
+        let trace = QueryTrace {
+            query: src.to_owned(),
+            plan: result.explain.clone(),
+            rewrites: plan.rewrites.clone(),
+            phases: tr.phases,
+            shards: tr.shards,
+            ops: tr.ops,
+            cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+            cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+            total_nanos,
+            candidates: result.stats.candidates,
+            results: result.stats.results,
+            exact_index: result.stats.exact_index,
+        };
+        metrics.record_query(total_nanos, true);
+        metrics.record_cache(trace.cache_hits, trace.cache_misses);
+        metrics.record_op_trace(&trace.ops);
+        for shard in &trace.shards {
+            metrics.record_op_trace(&shard.ops);
+        }
+        Ok((result, trace))
+    }
+
     /// Runs an already-parsed query.
     pub fn query_ast(&self, q: &Query) -> Result<QueryResult, QueryError> {
         let plan = self.planner().plan(q)?;
@@ -569,7 +633,8 @@ impl FileDatabase {
         let plan = self.planner().plan(&q)?;
         let engine = self.engine();
         let mut stats = RunStats::default();
-        let mut states = self.eval_phase1(&plan, &engine, self.options.threads, &mut stats)?;
+        let mut states =
+            self.eval_phase1(&plan, &engine, self.options.threads, &mut stats, None)?;
         let idx = plan.vars.iter().position(|vp| vp.var == q.projected_var()).unwrap_or(0);
         let VarState { regions, exact } = states.swap_remove(idx);
         stats.eval.absorb(&engine.stats());
@@ -685,6 +750,7 @@ impl FileDatabase {
         engine: &Engine<'_>,
         threads: usize,
         stats: &mut RunStats,
+        shard_tr: Option<&mut Vec<ShardTrace>>,
     ) -> Result<Vec<VarState>, QueryError> {
         if threads > 1
             && self.corpus.files().len() > 1
@@ -692,7 +758,7 @@ impl FileDatabase {
         {
             let spans = self.corpus.shard_spans(threads);
             if spans.len() > 1 {
-                return self.eval_phase1_sharded(plan, &spans, stats);
+                return self.eval_phase1_sharded(plan, &spans, stats, shard_tr);
             }
         }
         let mut states: Vec<VarState> = Vec::new();
@@ -716,14 +782,23 @@ impl FileDatabase {
         plan: &Plan,
         spans: &[Span],
         stats: &mut RunStats,
+        mut shard_tr: Option<&mut Vec<ShardTrace>>,
     ) -> Result<Vec<VarState>, QueryError> {
-        type ShardOut = Result<(Vec<(RegionSet, bool)>, EvalStats, u64), QueryError>;
+        let traced = shard_tr.is_some();
+        type ShardOut =
+            Result<(Vec<(RegionSet, bool)>, EvalStats, u64, u64, Vec<OpTrace>), QueryError>;
         let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = spans
                 .iter()
                 .map(|span| {
                     scope.spawn(move || -> ShardOut {
+                        let shard_started = Instant::now();
+                        // Each worker owns its sink (TraceSink is
+                        // single-threaded by design); the traces merge in
+                        // span order below.
+                        let sink = TraceSink::new();
                         let eng = self.shard_engine(span.clone());
+                        let eng = if traced { eng.with_trace(&sink) } else { eng };
                         let mut content_bytes = 0u64;
                         let mut per_var = Vec::with_capacity(plan.vars.len());
                         for vp in &plan.vars {
@@ -734,7 +809,14 @@ impl FileDatabase {
                             };
                             per_var.push(state);
                         }
-                        Ok((per_var, eng.stats(), content_bytes))
+                        let eval = eng.stats();
+                        Ok((
+                            per_var,
+                            eval,
+                            content_bytes,
+                            elapsed_nanos(shard_started),
+                            sink.take(),
+                        ))
                     })
                 })
                 .collect();
@@ -742,10 +824,13 @@ impl FileDatabase {
         });
         let mut parts: Vec<Vec<RegionSet>> = vec![Vec::new(); plan.vars.len()];
         let mut exact = vec![true; plan.vars.len()];
-        for shard in shard_results {
-            let (per_var, eval, content) = shard?;
+        for (span, shard) in spans.iter().zip(shard_results) {
+            let (per_var, eval, content, nanos, ops) = shard?;
             stats.eval.absorb(&eval);
             stats.content_bytes += content;
+            if let Some(tr) = shard_tr.as_deref_mut() {
+                tr.push(ShardTrace { start: span.start, end: span.end, nanos, ops });
+            }
             for (i, (regions, x)) in per_var.into_iter().enumerate() {
                 parts[i].push(regions);
                 exact[i] &= x;
@@ -759,13 +844,46 @@ impl FileDatabase {
     }
 
     fn execute(&self, q: &Query, plan: &Plan, threads: usize) -> Result<QueryResult, QueryError> {
+        self.execute_inner(q, plan, threads, None)
+    }
+
+    /// The executor proper. With `tr` set, every phase is timed, the main
+    /// engine (and each shard engine) evaluates with a trace sink attached,
+    /// and `tr` receives the phase, shard and operator traces of the run.
+    /// The untraced path pays a handful of `Instant` reads and nothing else.
+    fn execute_inner(
+        &self,
+        q: &Query,
+        plan: &Plan,
+        threads: usize,
+        tr: Option<&mut ExecTrace>,
+    ) -> Result<QueryResult, QueryError> {
+        let tracing = tr.is_some();
+        let sink = TraceSink::new();
         let engine = self.engine();
+        let engine = if tracing { engine.with_trace(&sink) } else { engine };
         let mut stats = RunStats::default();
+        let mut phases: Vec<PhaseTrace> = Vec::new();
+        let mut shard_traces: Vec<ShardTrace> = Vec::new();
 
         // Phase 1: per-variable candidates through the index.
-        let mut states = self.eval_phase1(plan, &engine, threads, &mut stats)?;
+        let phase_started = Instant::now();
+        let mut states = self.eval_phase1(
+            plan,
+            &engine,
+            threads,
+            &mut stats,
+            if tracing { Some(&mut shard_traces) } else { None },
+        )?;
+        if tracing {
+            phases.push(PhaseTrace {
+                name: "index-candidates".into(),
+                nanos: elapsed_nanos(phase_started),
+            });
+        }
 
         // Phase 2: cross-variable content join.
+        let phase_started = Instant::now();
         let mut join_pairs: Option<Vec<(Region, Region)>> = None;
         let mut join_exact = true;
         if let Some(j) = &plan.join {
@@ -802,6 +920,12 @@ impl FileDatabase {
             join_exact = j.exact;
             join_pairs = Some(region_pairs);
         }
+        if tracing {
+            phases.push(PhaseTrace {
+                name: "content-join".into(),
+                nanos: elapsed_nanos(phase_started),
+            });
+        }
 
         stats.candidates = states.iter().map(|s| s.regions.len()).sum();
         stats.exact_index = states.iter().all(|s| s.exact)
@@ -809,6 +933,7 @@ impl FileDatabase {
             && plan.join.is_none() == join_pairs.is_none();
 
         // Phase 3: decide what must be parsed.
+        let phase_started = Instant::now();
         let mut db = Database::new();
         let parser = Parser::new(&self.schema.grammar, self.corpus.text());
         // objects[var_index]: region -> built value
@@ -886,8 +1011,15 @@ impl FileDatabase {
             }
         }
         let _ = &join_pairs;
+        if tracing {
+            phases.push(PhaseTrace {
+                name: "parse-filter".into(),
+                nanos: elapsed_nanos(phase_started),
+            });
+        }
 
         // Phase 4: projection.
+        let phase_started = Instant::now();
         let result_regions = states[proj_idx].regions.clone();
         let mut values: Vec<Value> = Vec::new();
         match &plan.projection {
@@ -926,12 +1058,29 @@ impl FileDatabase {
             }
         }
 
+        if tracing {
+            phases.push(PhaseTrace {
+                name: "projection".into(),
+                nanos: elapsed_nanos(phase_started),
+            });
+        }
+
         stats.eval.absorb(&engine.stats());
         stats.parse = parser.stats();
         stats.db = db.stats();
         stats.results = result_regions.len();
+        if let Some(tr) = tr {
+            tr.phases = phases;
+            tr.shards = shard_traces;
+            tr.ops = sink.take();
+        }
         Ok(QueryResult { regions: result_regions, values, db, explain: plan.describe(), stats })
     }
+}
+
+/// Monotonic elapsed time in nanoseconds, saturating at `u64::MAX`.
+fn elapsed_nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Position of a join variable among the plan's range variables.
@@ -1156,6 +1305,75 @@ mod tests {
         // Mutating the database invalidates the cache.
         cached.clear_subexpr_cache();
         assert_eq!(cached.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn traced_query_matches_untraced_and_fills_the_trace() {
+        let corpus = multi_file_corpus(3, 20);
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+        let q = QUERIES[0];
+        let plain = db.query(q).unwrap();
+        let (traced, trace) = db.query_traced(q).unwrap();
+        assert_same_results(&plain, &traced, q);
+        assert_eq!(trace.query, q);
+        assert_eq!(trace.plan, plain.explain);
+        assert_eq!(trace.results, plain.regions.len());
+        assert_eq!(trace.candidates, plain.stats.candidates);
+        let names: Vec<&str> = trace.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["index-candidates", "content-join", "parse-filter", "projection"]);
+        assert!(trace.op_node_count() > 0, "the engine must record operator nodes");
+        assert!(
+            trace.rewrites.iter().any(|r| r.proposition == "3.5(b)"),
+            "chain shortening must be recorded for {q}: {:?}",
+            trace.rewrites
+        );
+        assert!(trace.shards.is_empty(), "sequential run must not fabricate shards");
+        assert!(trace.total_nanos > 0);
+        // The JSON surface round-trips the real thing, not just fixtures.
+        let back = crate::QueryTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn traced_sharded_query_records_per_shard_work() {
+        let corpus = multi_file_corpus(4, 15);
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads: 4, cache: false });
+        let plain = db.query(QUERIES[0]).unwrap();
+        let (traced, trace) = db.query_traced(QUERIES[0]).unwrap();
+        assert_same_results(&plain, &traced, QUERIES[0]);
+        assert!(trace.shards.len() > 1, "a 4-file corpus on 4 threads must shard");
+        for shard in &trace.shards {
+            assert!(shard.start < shard.end);
+            assert!(!shard.ops.is_empty(), "each shard engine must trace its operators");
+        }
+        // Shards come back in span order and never overlap.
+        for w in trace.shards.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn traced_query_feeds_global_metrics() {
+        let corpus = multi_file_corpus(2, 10);
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads: 1, cache: true });
+        let before = MetricsRegistry::global().snapshot();
+        let (_, trace) = db.query_traced(QUERIES[1]).unwrap();
+        db.query_traced(QUERIES[1]).unwrap();
+        let after = MetricsRegistry::global().snapshot();
+        // Other tests share the process-wide registry, so assert growth,
+        // not absolute values.
+        assert!(after.queries >= before.queries + 2);
+        assert!(after.cache_misses >= before.cache_misses + trace.cache_misses);
+        assert!(after.query_latency.count >= before.query_latency.count + 2);
+        assert!(!after.op_latency.is_empty());
+        // A failing query still counts, as an error.
+        assert!(db.query_traced("SELEC nope").is_err());
+        let errs = MetricsRegistry::global().snapshot();
+        assert!(errs.query_errors > after.query_errors);
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod plan;
 mod query;
 mod residual;
 mod rig;
+mod trace;
 mod translate;
 
 pub use advisor::{advise, Advice};
@@ -51,11 +52,12 @@ pub use analyze::{
 pub use exec::{BuildError, ExecOptions, FileDatabase, QueryError, QueryResult, RunStats};
 pub use incl::{ChainOp, Direction, InclusionExpr, SelectKind};
 pub use optimizer::{is_trivially_empty, optimize, Optimized, Rewrite, RewriteKind};
-pub use plan::{Exactness, InexactHop, InexactReason, Plan, PlanError, Planner};
+pub use plan::{Exactness, InexactHop, InexactReason, Plan, PlanError, PlanRewrite, Planner};
 pub use query::{parse_query, Cond, Projection, QPath, QStep, Query, QueryParseError, RightHand};
 pub use residual::{
     compile_cond, compile_steps, db_steps_for, eval_pair, eval_single, path_values, CompiledCond,
     CompiledPath,
 };
 pub use rig::{Rig, RigViolation};
+pub use trace::{PhaseTrace, QueryTrace, ShardTrace, TRACE_SCHEMA_VERSION};
 pub use translate::{PathSpec, TranslateError};

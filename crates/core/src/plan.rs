@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 use qof_grammar::{PathFilter, StructuringSchema};
 use qof_pat::{Instance, RegionExpr};
 
-use crate::optimizer::optimize;
+use crate::optimizer::{optimize, RewriteKind};
 use crate::residual::{compile_cond, compile_steps, CompiledCond, CompiledPath};
 use crate::translate::{filter_paths, resolve_path, PathSpec, SkOp, TranslateError};
 use crate::{ChainOp, Cond, Direction, InclusionExpr, Projection, QPath, Query, Rig, SelectKind};
@@ -114,6 +114,20 @@ pub enum ProjPlan {
     },
 }
 
+/// One optimizer rewrite applied while planning, tagged with the paper
+/// proposition that licensed it — the raw material of `--explain-analyze`'s
+/// "optimizer rewrites" section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRewrite {
+    /// The licensing proposition: `"3.3"` (trivial emptiness), `"3.5(a)"`
+    /// (⊃d weakening) or `"3.5(b)"` (chain shortening).
+    pub proposition: String,
+    /// Human-readable description of the rewrite and its justification.
+    pub description: String,
+    /// The inclusion expression after this rewrite (`∅` for 3.3).
+    pub result: String,
+}
+
 /// A complete query plan.
 #[derive(Debug, Clone)]
 pub struct Plan {
@@ -123,6 +137,9 @@ pub struct Plan {
     pub join: Option<JoinPlan>,
     /// The projection.
     pub projection: ProjPlan,
+    /// Every optimizer rewrite applied while lowering the query's chains,
+    /// in application order.
+    pub rewrites: Vec<PlanRewrite>,
 }
 
 /// Planning failures.
@@ -298,7 +315,9 @@ impl<'a> Planner<'a> {
             ));
         }
 
-        // Plan per-var conditions, collecting push-down filter paths.
+        // Plan per-var conditions, collecting push-down filter paths and
+        // the optimizer rewrites fired along the way.
+        let mut rewrites: Vec<PlanRewrite> = Vec::new();
         for vp in &mut vars {
             let conds = &local
                 .iter()
@@ -310,7 +329,7 @@ impl<'a> Planner<'a> {
             let mut filter_specs: Vec<Vec<String>> = Vec::new();
             let planned = conds
                 .iter()
-                .map(|c| self.plan_cond(c, &vp.symbol, &mut filter_specs))
+                .map(|c| self.plan_cond(c, &vp.symbol, &mut filter_specs, &mut rewrites))
                 .collect::<Result<Vec<_>, _>>()?;
             vp.cond = planned.into_iter().reduce(|a, b| CondNode::And(Box::new(a), Box::new(b)));
             let folded = conds.iter().cloned().reduce(|a, b| Cond::And(Box::new(a), Box::new(b)));
@@ -346,8 +365,8 @@ impl<'a> Planner<'a> {
                     .clone();
                 let lspec = resolve_path(&self.schema.grammar, &lsym, &p.steps)?;
                 let rspec = resolve_path(&self.schema.grammar, &rsym, &qp.steps)?;
-                let (le, ld, lex) = self.deep_expr(&lspec)?;
-                let (re, rd, rex) = self.deep_expr(&rspec)?;
+                let (le, ld, lex) = self.deep_expr(&lspec, &mut rewrites)?;
+                let (re, rd, rex) = self.deep_expr(&rspec, &mut rewrites)?;
                 // Extend the push-down filters with the join paths.
                 for vp in &mut vars {
                     let spec = if vp.var == lv {
@@ -391,13 +410,13 @@ impl<'a> Planner<'a> {
                 let mut f = PathFilter::from_paths(&filter_paths(&spec));
                 f.merge(&vp.filter);
                 vp.filter = f;
-                let chain = self.deep_expr(&spec).ok();
+                let chain = self.deep_expr(&spec, &mut rewrites).ok();
                 let steps = compile_steps(&self.schema.grammar, &vp.symbol, &p.steps)?;
                 ProjPlan::Values { var: p.var.clone(), steps, chain }
             }
         };
 
-        Ok(Plan { vars, join, projection })
+        Ok(Plan { vars, join, projection, rewrites })
     }
 
     /// Plans a single-variable condition.
@@ -406,12 +425,13 @@ impl<'a> Planner<'a> {
         cond: &Cond,
         view_symbol: &str,
         filters: &mut Vec<Vec<String>>,
+        rewrites: &mut Vec<PlanRewrite>,
     ) -> Result<CondNode, PlanError> {
         match cond {
             Cond::Eq(p, crate::RightHand::Const(w)) => {
                 let spec = resolve_path(&self.schema.grammar, view_symbol, &p.steps)?;
                 filters.extend(filter_paths(&spec));
-                let (expr, display, exact) = self.container_expr(&spec, w)?;
+                let (expr, display, exact) = self.container_expr(&spec, w, rewrites)?;
                 Ok(CondNode::IndexOnly { expr, display, exact })
             }
             Cond::Eq(p, crate::RightHand::Path(qp)) => {
@@ -419,8 +439,8 @@ impl<'a> Planner<'a> {
                 let rspec = resolve_path(&self.schema.grammar, view_symbol, &qp.steps)?;
                 filters.extend(filter_paths(&lspec));
                 filters.extend(filter_paths(&rspec));
-                let (le, ld, lex) = self.deep_expr(&lspec)?;
-                let (re, rd, rex) = self.deep_expr(&rspec)?;
+                let (le, ld, lex) = self.deep_expr(&lspec, rewrites)?;
+                let (re, rd, rex) = self.deep_expr(&rspec, rewrites)?;
                 Ok(CondNode::ContentCompare {
                     left: le,
                     right: re,
@@ -429,14 +449,16 @@ impl<'a> Planner<'a> {
                 })
             }
             Cond::And(a, b) => Ok(CondNode::And(
-                Box::new(self.plan_cond(a, view_symbol, filters)?),
-                Box::new(self.plan_cond(b, view_symbol, filters)?),
+                Box::new(self.plan_cond(a, view_symbol, filters, rewrites)?),
+                Box::new(self.plan_cond(b, view_symbol, filters, rewrites)?),
             )),
             Cond::Or(a, b) => Ok(CondNode::Or(
-                Box::new(self.plan_cond(a, view_symbol, filters)?),
-                Box::new(self.plan_cond(b, view_symbol, filters)?),
+                Box::new(self.plan_cond(a, view_symbol, filters, rewrites)?),
+                Box::new(self.plan_cond(b, view_symbol, filters, rewrites)?),
             )),
-            Cond::Not(a) => Ok(CondNode::Not(Box::new(self.plan_cond(a, view_symbol, filters)?))),
+            Cond::Not(a) => {
+                Ok(CondNode::Not(Box::new(self.plan_cond(a, view_symbol, filters, rewrites)?)))
+            }
         }
     }
 
@@ -446,6 +468,7 @@ impl<'a> Planner<'a> {
         &self,
         spec: &PathSpec,
         word: &str,
+        rewrites: &mut Vec<PlanRewrite>,
     ) -> Result<(RegionExpr, String, bool), PlanError> {
         // A trailing `*` in the constant selects by word prefix — PAT's
         // lexical search (`r.Last_Name = "Ch*"`).
@@ -456,7 +479,7 @@ impl<'a> Planner<'a> {
         let mut exprs: Vec<(RegionExpr, String, bool)> = Vec::new();
         for alt in &spec.alternatives {
             let chain = self.project_chain(alt, Some(selector.clone()));
-            let (expr, display, exact) = self.lower_chain(&chain, Direction::Including);
+            let (expr, display, exact) = self.lower_chain(&chain, Direction::Including, rewrites);
             exprs.push((expr, display, exact));
         }
         combine_union(exprs)
@@ -464,11 +487,15 @@ impl<'a> Planner<'a> {
 
     /// Builds the expression producing the **deep attribute regions** of a
     /// path (for projections and content joins), union over alternatives.
-    fn deep_expr(&self, spec: &PathSpec) -> Result<(RegionExpr, String, bool), PlanError> {
+    fn deep_expr(
+        &self,
+        spec: &PathSpec,
+        rewrites: &mut Vec<PlanRewrite>,
+    ) -> Result<(RegionExpr, String, bool), PlanError> {
         let mut exprs: Vec<(RegionExpr, String, bool)> = Vec::new();
         for alt in &spec.alternatives {
             let chain = self.project_chain(alt, None);
-            let (expr, display, exact) = self.lower_chain(&chain, Direction::IncludedIn);
+            let (expr, display, exact) = self.lower_chain(&chain, Direction::IncludedIn, rewrites);
             exprs.push((expr, display, exact));
         }
         combine_union(exprs)
@@ -603,8 +630,14 @@ impl<'a> Planner<'a> {
     }
 
     /// Optimizes the Direct/Incl runs of a projected chain against the
-    /// partial RIG and lowers it to a region expression.
-    fn lower_chain(&self, chain: &ProjectedChain, dir: Direction) -> (RegionExpr, String, bool) {
+    /// partial RIG and lowers it to a region expression, recording every
+    /// rewrite the optimizer fired.
+    fn lower_chain(
+        &self,
+        chain: &ProjectedChain,
+        dir: Direction,
+        rewrites: &mut Vec<PlanRewrite>,
+    ) -> (RegionExpr, String, bool) {
         // Split at Exact ops; optimize each run as an InclusionExpr.
         let mut runs: Vec<(Vec<String>, Vec<ChainOp>)> = Vec::new();
         let mut links: Vec<u32> = Vec::new();
@@ -645,8 +678,24 @@ impl<'a> Planner<'a> {
                 continue;
             }
             let opt = optimize(&ie, self.partial_rig);
+            for rw in &opt.trace {
+                let proposition = match &rw.kind {
+                    RewriteKind::Weaken { .. } => "3.5(a)",
+                    RewriteKind::Shorten { .. } => "3.5(b)",
+                };
+                rewrites.push(PlanRewrite {
+                    proposition: proposition.to_owned(),
+                    description: rw.description.clone(),
+                    result: rw.result.clone(),
+                });
+            }
             if opt.trivially_empty {
                 empty = true;
+                rewrites.push(PlanRewrite {
+                    proposition: "3.3".to_owned(),
+                    description: format!("`{ie}` is provably empty: a hop has no RIG edge or path"),
+                    result: "∅".to_owned(),
+                });
             }
             optimized_runs.push(opt.expr);
         }

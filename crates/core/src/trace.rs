@@ -1,0 +1,723 @@
+//! `EXPLAIN ANALYZE` for the whole pipeline: a [`QueryTrace`] records what
+//! one query run actually did — the plan, the optimizer rewrites that fired
+//! (tagged with the licensing proposition: 3.3, 3.5(a), 3.5(b)), per-phase
+//! wall times, per-shard phase-1 work for the parallel path, and the
+//! operator tree from the engine ([`OpTrace`]) with timings, cardinalities
+//! and cache outcomes.
+//!
+//! Two renderers live here: [`QueryTrace::render`], the rustc-style pretty
+//! tree behind `qof query --explain-analyze`, and
+//! [`QueryTrace::to_json`] / [`QueryTrace::from_json`], a dependency-free
+//! JSON round trip (`--trace-json`, consumed by the bench harness and CI).
+
+use std::fmt::Write as _;
+
+use qof_pat::{CacheSource, OpTrace};
+use qof_text::Pos;
+
+use crate::plan::PlanRewrite;
+
+/// Version stamp of the `--trace-json` format. Bump when a field changes
+/// meaning; consumers (bench harness, CI smoke job) check it.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Wall time of one executor phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTrace {
+    /// Phase name (`index-candidates`, `content-join`, `parse-filter`,
+    /// `projection`).
+    pub name: String,
+    /// Inclusive wall time, nanoseconds.
+    pub nanos: u64,
+}
+
+/// Phase-1 work of one shard of the parallel path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTrace {
+    /// Start of the shard's corpus span.
+    pub start: Pos,
+    /// End of the shard's corpus span.
+    pub end: Pos,
+    /// The shard worker's wall time, nanoseconds.
+    pub nanos: u64,
+    /// Operator trace recorded by the shard's scoped engine.
+    pub ops: Vec<OpTrace>,
+}
+
+/// Everything one traced query run recorded, across optimizer, engine and
+/// executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// The query source text.
+    pub query: String,
+    /// The EXPLAIN text of the executed plan.
+    pub plan: String,
+    /// Optimizer rewrites applied during planning, in order.
+    pub rewrites: Vec<PlanRewrite>,
+    /// Executor phases with wall times, in execution order.
+    pub phases: Vec<PhaseTrace>,
+    /// Per-shard phase-1 traces (empty on the sequential path).
+    pub shards: Vec<ShardTrace>,
+    /// Operator trace of the main (unscoped) engine.
+    pub ops: Vec<OpTrace>,
+    /// Shared-cache hits during this run.
+    pub cache_hits: u64,
+    /// Shared-cache misses during this run.
+    pub cache_misses: u64,
+    /// End-to-end wall time, nanoseconds.
+    pub total_nanos: u64,
+    /// Candidate view regions considered.
+    pub candidates: usize,
+    /// Result count.
+    pub results: usize,
+    /// Whether the index phase alone computed the exact answer (§6.3).
+    pub exact_index: bool,
+}
+
+/// Scratch space the executor fills while running traced (crate-internal;
+/// [`FileDatabase::query_traced`](crate::FileDatabase::query_traced)
+/// assembles the public [`QueryTrace`] from it).
+#[derive(Debug, Default)]
+pub(crate) struct ExecTrace {
+    pub(crate) phases: Vec<PhaseTrace>,
+    pub(crate) shards: Vec<ShardTrace>,
+    pub(crate) ops: Vec<OpTrace>,
+}
+
+impl QueryTrace {
+    /// Fraction of shared-cache lookups that hit during this run.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cache_hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// Total operator-trace nodes, main engine and shards together.
+    pub fn op_node_count(&self) -> usize {
+        let main: usize = self.ops.iter().map(OpTrace::node_count).sum();
+        let sharded: usize = self.shards.iter().flat_map(|s| &s.ops).map(OpTrace::node_count).sum();
+        main + sharded
+    }
+
+    /// The rustc-style pretty tree shown by `qof query --explain-analyze`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "query: {}", self.query);
+        let _ = writeln!(out, "plan:");
+        for line in self.plan.lines() {
+            let _ = writeln!(out, "  │ {line}");
+        }
+        let _ = writeln!(out, "optimizer rewrites: {}", self.rewrites.len());
+        for rw in &self.rewrites {
+            let _ = writeln!(out, "  [{}] {}", rw.proposition, rw.description);
+            let _ = writeln!(out, "        ⇒ {}", rw.result);
+        }
+        let _ = writeln!(out, "phases:");
+        for ph in &self.phases {
+            let _ = writeln!(out, "  {:<18} {:>10}", ph.name, fmt_nanos(ph.nanos));
+        }
+        if !self.shards.is_empty() {
+            let _ = writeln!(out, "shards (phase 1):");
+            for sh in &self.shards {
+                let nodes: usize = sh.ops.iter().map(OpTrace::node_count).sum();
+                let _ = writeln!(
+                    out,
+                    "  [{}, {})  {:>10}  {} operator nodes",
+                    sh.start,
+                    sh.end,
+                    fmt_nanos(sh.nanos),
+                    nodes
+                );
+            }
+        }
+        let _ = writeln!(out, "operators:");
+        let roots: Vec<&OpTrace> = if self.ops.is_empty() && !self.shards.is_empty() {
+            // Sequential ops are empty on the fully sharded path: show the
+            // first shard's tree as the representative operator breakdown.
+            self.shards[0].ops.iter().collect()
+        } else {
+            self.ops.iter().collect()
+        };
+        for (i, root) in roots.iter().enumerate() {
+            render_op(root, "  ", i + 1 == roots.len(), &mut out);
+        }
+        let _ = writeln!(
+            out,
+            "totals: {} candidates, {} results [{}], cache {}/{} hits, {}",
+            self.candidates,
+            self.results,
+            if self.exact_index { "exact" } else { "candidates" },
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            fmt_nanos(self.total_nanos)
+        );
+        out
+    }
+
+    /// Serializes the trace to its versioned JSON form (`--trace-json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push('{');
+        let _ = write!(s, "\"schema_version\":{TRACE_SCHEMA_VERSION}");
+        let _ = write!(s, ",\"query\":\"{}\"", esc(&self.query));
+        let _ = write!(s, ",\"plan\":\"{}\"", esc(&self.plan));
+        s.push_str(",\"rewrites\":[");
+        for (i, rw) in self.rewrites.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"proposition\":\"{}\",\"description\":\"{}\",\"result\":\"{}\"}}",
+                esc(&rw.proposition),
+                esc(&rw.description),
+                esc(&rw.result)
+            );
+        }
+        s.push_str("],\"phases\":[");
+        for (i, ph) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"name\":\"{}\",\"nanos\":{}}}", esc(&ph.name), ph.nanos);
+        }
+        s.push_str("],\"shards\":[");
+        for (i, sh) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"start\":{},\"end\":{},\"nanos\":{},\"ops\":",
+                sh.start, sh.end, sh.nanos
+            );
+            ops_to_json(&sh.ops, &mut s);
+            s.push('}');
+        }
+        s.push_str("],\"ops\":");
+        ops_to_json(&self.ops, &mut s);
+        let _ =
+            write!(s, ",\"cache_hits\":{},\"cache_misses\":{}", self.cache_hits, self.cache_misses);
+        let _ = write!(s, ",\"total_nanos\":{}", self.total_nanos);
+        let _ = write!(s, ",\"candidates\":{},\"results\":{}", self.candidates, self.results);
+        let _ = write!(s, ",\"exact_index\":{}", self.exact_index);
+        s.push('}');
+        s
+    }
+
+    /// Parses a trace back from [`QueryTrace::to_json`] output. Rejects
+    /// unknown schema versions and malformed documents with a description
+    /// of the first offence.
+    pub fn from_json(text: &str) -> Result<QueryTrace, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_obj().ok_or("top level is not an object")?;
+        let version = get_u64(obj, "schema_version")?;
+        if version != TRACE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported trace schema version {version} (expected {TRACE_SCHEMA_VERSION})"
+            ));
+        }
+        let rewrites = get_arr(obj, "rewrites")?
+            .iter()
+            .map(|v| {
+                let o = v.as_obj().ok_or("rewrite is not an object")?;
+                Ok(PlanRewrite {
+                    proposition: get_str(o, "proposition")?,
+                    description: get_str(o, "description")?,
+                    result: get_str(o, "result")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let phases = get_arr(obj, "phases")?
+            .iter()
+            .map(|v| {
+                let o = v.as_obj().ok_or("phase is not an object")?;
+                Ok(PhaseTrace { name: get_str(o, "name")?, nanos: get_u64(o, "nanos")? })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let shards = get_arr(obj, "shards")?
+            .iter()
+            .map(|v| {
+                let o = v.as_obj().ok_or("shard is not an object")?;
+                Ok(ShardTrace {
+                    start: pos_from(get_u64(o, "start")?)?,
+                    end: pos_from(get_u64(o, "end")?)?,
+                    nanos: get_u64(o, "nanos")?,
+                    ops: ops_from_json(get_arr(o, "ops")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(QueryTrace {
+            query: get_str(obj, "query")?,
+            plan: get_str(obj, "plan")?,
+            rewrites,
+            phases,
+            shards,
+            ops: ops_from_json(get_arr(obj, "ops")?)?,
+            cache_hits: get_u64(obj, "cache_hits")?,
+            cache_misses: get_u64(obj, "cache_misses")?,
+            total_nanos: get_u64(obj, "total_nanos")?,
+            candidates: usize_from(get_u64(obj, "candidates")?)?,
+            results: usize_from(get_u64(obj, "results")?)?,
+            exact_index: get_bool(obj, "exact_index")?,
+        })
+    }
+}
+
+fn pos_from(n: u64) -> Result<Pos, String> {
+    Pos::try_from(n).map_err(|_| format!("position {n} out of range"))
+}
+
+fn usize_from(n: u64) -> Result<usize, String> {
+    usize::try_from(n).map_err(|_| format!("count {n} out of range"))
+}
+
+/// One operator line of the pretty tree:
+/// `⊃  in=5 out=1  1.2µs  [12 probes] (memo)`.
+fn render_op(node: &OpTrace, prefix: &str, is_last: bool, out: &mut String) {
+    let branch = if is_last { "└─ " } else { "├─ " };
+    let mut line = node.op.clone();
+    if !node.detail.is_empty() {
+        let _ = write!(line, " {}", node.detail);
+    }
+    let _ = write!(line, "  in={} out={}  {}", node.input, node.output, fmt_nanos(node.nanos));
+    if node.bytes > 0 {
+        let _ = write!(line, "  {} B scanned", node.bytes);
+    }
+    if node.probes > 0 {
+        let _ = write!(line, "  {} probes", node.probes);
+    }
+    match node.source {
+        CacheSource::Computed => {}
+        CacheSource::LocalMemo => line.push_str("  (memo hit)"),
+        CacheSource::SharedCache => line.push_str("  (shared-cache hit)"),
+    }
+    let _ = writeln!(out, "{prefix}{branch}{line}");
+    let child_prefix = format!("{prefix}{}", if is_last { "   " } else { "│  " });
+    for (i, c) in node.children.iter().enumerate() {
+        render_op(c, &child_prefix, i + 1 == node.children.len(), out);
+    }
+}
+
+/// `1234` → `"1.2µs"`: human-scaled duration for the pretty renderer.
+#[allow(clippy::cast_precision_loss)]
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing (mirrors crates/bench/src/report.rs: no serde in this tree).
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ops_to_json(ops: &[OpTrace], s: &mut String) {
+    s.push('[');
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"op\":\"{}\",\"detail\":\"{}\",\"input\":{},\"output\":{},\"nanos\":{},\
+             \"bytes\":{},\"probes\":{},\"source\":\"{}\",\"children\":",
+            esc(&op.op),
+            esc(&op.detail),
+            op.input,
+            op.output,
+            op.nanos,
+            op.bytes,
+            op.probes,
+            op.source.label()
+        );
+        ops_to_json(&op.children, s);
+        s.push('}');
+    }
+    s.push(']');
+}
+
+fn ops_from_json(arr: &[Json]) -> Result<Vec<OpTrace>, String> {
+    arr.iter()
+        .map(|v| {
+            let o = v.as_obj().ok_or("op node is not an object")?;
+            let source_label = get_str(o, "source")?;
+            Ok(OpTrace {
+                op: get_str(o, "op")?,
+                detail: get_str(o, "detail")?,
+                input: usize_from(get_u64(o, "input")?)?,
+                output: usize_from(get_u64(o, "output")?)?,
+                nanos: get_u64(o, "nanos")?,
+                bytes: get_u64(o, "bytes")?,
+                probes: get_u64(o, "probes")?,
+                source: CacheSource::from_label(&source_label)
+                    .ok_or_else(|| format!("unknown cache source `{source_label}`"))?,
+                children: ops_from_json(get_arr(o, "children")?)?,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader — just enough to round-trip our own writer's output
+// (objects, arrays, strings with escapes, unsigned integers, booleans).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut p = Parser { chars, i: 0 };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.chars.len() {
+            return Err(format!("trailing content at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(format!("key `{key}` is not a string")),
+    }
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => Ok(*n),
+        _ => Err(format!("key `{key}` is not a number")),
+    }
+}
+
+fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("key `{key}` is not a boolean")),
+    }
+}
+
+fn get_arr<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a [Json], String> {
+    match get(obj, key)? {
+        Json::Arr(items) => Ok(items),
+        _ => Err(format!("key `{key}` is not an array")),
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn ws(&mut self) {
+        while self.i < self.chars.len() && self.chars[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut n: u64 = 0;
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u64::from(d)))
+                .ok_or_else(|| format!("number overflow at offset {start}"))?;
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected a digit at offset {start}"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some('"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('b') => out.push('\u{8}'),
+                        Some('f') => out.push('\u{c}'),
+                        Some('u') => {
+                            let hex: String = self
+                                .chars
+                                .get(self.i + 1..self.i + 5)
+                                .unwrap_or(&[])
+                                .iter()
+                                .collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape at offset {}", self.i))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad code point U+{code:04X}"))?,
+                            );
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some(']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some('}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.ws();
+            match self.peek() {
+                Some(',') => self.i += 1,
+                Some('}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryTrace {
+        let leaf = OpTrace {
+            op: "name".into(),
+            detail: "Reference".into(),
+            input: 0,
+            output: 2,
+            nanos: 120,
+            bytes: 0,
+            probes: 0,
+            source: CacheSource::Computed,
+            children: Vec::new(),
+        };
+        let root = OpTrace {
+            op: "⊃".into(),
+            detail: String::new(),
+            input: 3,
+            output: 1,
+            nanos: 900,
+            bytes: 15,
+            probes: 1,
+            source: CacheSource::Computed,
+            children: vec![leaf.clone(), OpTrace { source: CacheSource::LocalMemo, ..leaf }],
+        };
+        QueryTrace {
+            query: "SELECT r FROM References r WHERE r.Year = \"1982\"".into(),
+            plan: "var r : view References over <Reference>\n  index: …\n".into(),
+            rewrites: vec![PlanRewrite {
+                proposition: "3.5(b)".into(),
+                description: "drop Name: every path passes through Name".into(),
+                result: "Reference ⊃ Authors ⊃ σ_\"Chang\"(Last_Name)".into(),
+            }],
+            phases: vec![
+                PhaseTrace { name: "index-candidates".into(), nanos: 1_500 },
+                PhaseTrace { name: "projection".into(), nanos: 2_000_000 },
+            ],
+            shards: vec![ShardTrace { start: 0, end: 512, nanos: 700, ops: vec![root.clone()] }],
+            ops: vec![root],
+            cache_hits: 3,
+            cache_misses: 1,
+            total_nanos: 2_100_000,
+            candidates: 5,
+            results: 1,
+            exact_index: true,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let trace = sample();
+        let json = trace.to_json();
+        let back = QueryTrace::from_json(&json).expect("own output parses");
+        assert_eq!(back, trace);
+        // And the round trip is a fixpoint.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_versions_and_garbage() {
+        let json = sample().to_json().replace("\"schema_version\":1", "\"schema_version\":999");
+        assert!(QueryTrace::from_json(&json).unwrap_err().contains("schema version"));
+        assert!(QueryTrace::from_json("{").is_err());
+        assert!(QueryTrace::from_json("[]").is_err());
+        assert!(QueryTrace::from_json("{}").unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn render_shows_all_sections() {
+        let text = sample().render();
+        assert!(text.contains("query: SELECT r"));
+        assert!(text.contains("optimizer rewrites: 1"));
+        assert!(text.contains("[3.5(b)] drop Name"));
+        assert!(text.contains("index-candidates"));
+        assert!(text.contains("└─ ⊃  in=3 out=1"));
+        assert!(text.contains("(memo hit)"));
+        assert!(text.contains("shards (phase 1):"));
+        assert!(text.contains("totals: 5 candidates, 1 results [exact]"));
+    }
+
+    #[test]
+    fn cache_hit_rate_and_node_count() {
+        let t = sample();
+        assert!((t.cache_hit_rate() - 0.75).abs() < 1e-9);
+        // 3 nodes in the main tree + 3 in the shard copy.
+        assert_eq!(t.op_node_count(), 6);
+        assert!((QueryTrace { cache_hits: 0, cache_misses: 0, ..t }).cache_hit_rate().abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmt_nanos_scales() {
+        assert_eq!(fmt_nanos(12), "12ns");
+        assert_eq!(fmt_nanos(1_500), "1.5µs");
+        assert_eq!(fmt_nanos(2_000_000), "2.00ms");
+        assert_eq!(fmt_nanos(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn esc_handles_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("⊃d"), "⊃d");
+        let parsed = Json::parse("\"a\\u0041⊃\"").unwrap();
+        assert_eq!(parsed, Json::Str("aA⊃".into()));
+    }
+}

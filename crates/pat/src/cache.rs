@@ -35,6 +35,16 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Merges a per-shard stats block into this one. Hit and miss counts
+    /// sum losslessly; `entries` is a gauge, not a counter — shard workers
+    /// share one cache, so concurrent snapshots see (at most) the same
+    /// resident set and the merged block keeps the largest observation.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.entries = self.entries.max(other.entries);
+    }
+
     /// Fraction of lookups answered from the cache (0 when never consulted).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -150,6 +160,17 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
         assert!(s.hit_rate().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_losslessly() {
+        let a = CacheStats { hits: 3, misses: 2, entries: 7 };
+        let b = CacheStats { hits: 5, misses: 0, entries: 4 };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!((m.hits, m.misses), (8, 2), "hit/miss counters must sum, not overwrite");
+        assert_eq!(m.entries, 7, "entries is a shared gauge: keep the max, never sum shards");
+        assert!((m.hit_rate() - 0.8).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -9,8 +9,8 @@ use std::collections::HashMap;
 use qof_text::{Corpus, Pos, Span, SuffixArray, WordIndex};
 
 use crate::{
-    direct_included_in, direct_including, EvalStats, Instance, Region, RegionExpr, RegionSet,
-    SubexprCache, UniverseForest,
+    direct_included_in, direct_including, CacheSource, EvalStats, Instance, OpTrace, Region,
+    RegionExpr, RegionSet, SubexprCache, TraceSink, UniverseForest,
 };
 
 /// Errors raised during evaluation.
@@ -52,6 +52,9 @@ pub struct Engine<'a> {
     /// Cross-query subexpression cache, shared by reference between engines
     /// (batch workers, shard workers) over the same indexes.
     shared: Option<&'a SubexprCache>,
+    /// Operator trace sink. `None` (the default) keeps evaluation on the
+    /// untraced hot path — the only cost is this branch.
+    trace: Option<&'a TraceSink>,
 }
 
 impl<'a> Engine<'a> {
@@ -77,6 +80,7 @@ impl<'a> Engine<'a> {
             share: std::cell::Cell::new(true),
             scope,
             shared: None,
+            trace: None,
         }
     }
 
@@ -111,6 +115,16 @@ impl<'a> Engine<'a> {
     /// Attaches a PAT suffix array, enabling fast prefix match points.
     pub fn with_suffix_array(mut self, sa: &'a SuffixArray) -> Self {
         self.suffix = Some(sa);
+        self
+    }
+
+    /// Attaches an operator trace sink: every subsequent evaluation records
+    /// one [`OpTrace`] node per operator application (timings, input/output
+    /// cardinalities, bytes scanned, cache outcomes). Detach by rebuilding
+    /// the engine; with no sink attached evaluation is untraced and pays
+    /// only one branch per node.
+    pub fn with_trace(mut self, sink: &'a TraceSink) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -187,6 +201,9 @@ impl<'a> Engine<'a> {
         expr: &RegionExpr,
         cache: &mut HashMap<RegionExpr, RegionSet>,
     ) -> Result<RegionSet, EvalError> {
+        if let Some(sink) = self.trace {
+            return self.eval_traced(expr, cache, sink);
+        }
         if self.share.get() {
             if let Some(hit) = cache.get(expr) {
                 return Ok(hit.clone());
@@ -203,6 +220,84 @@ impl<'a> Engine<'a> {
             }
         }
         let result = self.eval_uncached(expr, cache)?;
+        if self.share.get() {
+            cache.insert(expr.clone(), result.clone());
+            if let Some(shared) = self.shared {
+                if !matches!(expr, RegionExpr::Name(_)) {
+                    shared.insert(self.scope.as_ref(), expr.clone(), result.clone());
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// The traced twin of [`Engine::eval_memo`]: same memo/shared-cache
+    /// policy, but every operator application is timed and filed into the
+    /// sink — cache hits as childless leaves, computed nodes as spans whose
+    /// children are the operand evaluations. Recursion re-enters
+    /// `eval_memo`, which re-dispatches here, so the two paths cannot drift
+    /// in caching behaviour.
+    fn eval_traced(
+        &self,
+        expr: &RegionExpr,
+        cache: &mut HashMap<RegionExpr, RegionSet>,
+        sink: &TraceSink,
+    ) -> Result<RegionSet, EvalError> {
+        let hit_leaf = |set: &RegionSet, source: CacheSource| {
+            let (op, detail) = op_parts(expr);
+            sink.leaf(OpTrace {
+                op: op.to_owned(),
+                detail,
+                input: 0,
+                output: set.len(),
+                nanos: 0,
+                bytes: 0,
+                probes: 0,
+                source,
+                children: Vec::new(),
+            });
+        };
+        if self.share.get() {
+            if let Some(hit) = cache.get(expr) {
+                hit_leaf(hit, CacheSource::LocalMemo);
+                return Ok(hit.clone());
+            }
+            if let Some(shared) = self.shared {
+                if !matches!(expr, RegionExpr::Name(_)) {
+                    if let Some(hit) = shared.get(self.scope.as_ref(), expr) {
+                        hit_leaf(&hit, CacheSource::SharedCache);
+                        cache.insert(expr.clone(), hit.clone());
+                        return Ok(hit);
+                    }
+                }
+            }
+        }
+        let (bytes0, probes0) = {
+            let s = self.stats.borrow();
+            (s.bytes_scanned, s.word_probes)
+        };
+        sink.enter();
+        let started = std::time::Instant::now();
+        let result = self.eval_uncached(expr, cache);
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let (bytes1, probes1) = {
+            let s = self.stats.borrow();
+            (s.bytes_scanned, s.word_probes)
+        };
+        let (op, detail) = op_parts(expr);
+        let output = result.as_ref().map_or(0, RegionSet::len);
+        sink.exit_with(|children| OpTrace {
+            op: op.to_owned(),
+            detail,
+            input: children.iter().map(|c| c.output).sum(),
+            output,
+            nanos,
+            bytes: bytes1 - bytes0,
+            probes: probes1 - probes0,
+            source: CacheSource::Computed,
+            children,
+        });
+        let result = result?;
         if self.share.get() {
             cache.insert(expr.clone(), result.clone());
             if let Some(shared) = self.shared {
@@ -478,6 +573,32 @@ impl<'a> Engine<'a> {
             }
         }
         outer.intersect(&RegionSet::from_regions(candidates))
+    }
+}
+
+/// Operator label + argument for a traced node. Labels match the keys used
+/// by [`EvalStats::record_op`] so traces and stats aggregate on the same
+/// vocabulary.
+fn op_parts(expr: &RegionExpr) -> (&'static str, String) {
+    use RegionExpr::*;
+    match expr {
+        Name(n) => ("name", n.clone()),
+        Word(w) => ("word", format!("\"{w}\"")),
+        Prefix(p) => ("prefix", format!("\"{p}*\"")),
+        Union(..) => ("∪", String::new()),
+        Intersect(..) => ("∩", String::new()),
+        Difference(..) => ("−", String::new()),
+        SelectEq(_, w) => ("σ", format!("\"{w}\"")),
+        SelectContains(_, w) => ("σ∋", format!("\"{w}\"")),
+        Innermost(_) => ("ι", String::new()),
+        Outermost(_) => ("ω", String::new()),
+        Including(..) => ("⊃", String::new()),
+        IncludedIn(..) => ("⊂", String::new()),
+        DirectIncluding(..) => ("⊃d", String::new()),
+        DirectIncludedIn(..) => ("⊂d", String::new()),
+        NestedExactly { depth, .. } => ("⊃^n", format!("depth {depth}")),
+        Near { gap, .. } => ("near", format!("gap {gap}")),
+        SelectCountAtLeast(_, w, n) => ("σ≥n", format!("\"{w}\" × {n}")),
     }
 }
 
@@ -865,6 +986,83 @@ mod tests {
         // The two commutative spellings share one entry.
         let s = shared.stats();
         assert!(s.hits >= 1, "B ∪ A must hit A ∪ B's entry, got {s:?}");
+    }
+
+    #[test]
+    fn traced_eval_matches_untraced_and_records_tree() {
+        let (c, w, i) = fixture();
+        let e = RegionExpr::name("Reference").including(
+            RegionExpr::name("Authors").including(RegionExpr::name("Last_Name").select_eq("Chang")),
+        );
+        let plain = Engine::new(&c, &w, &i).eval(&e).unwrap();
+        let sink = TraceSink::new();
+        let eng = Engine::new(&c, &w, &i).with_trace(&sink);
+        let traced = eng.eval(&e).unwrap();
+        assert_eq!(plain, traced, "tracing must not change results");
+        let roots = sink.take();
+        assert_eq!(roots.len(), 1);
+        let root = &roots[0];
+        assert_eq!(root.op, "⊃");
+        assert_eq!(root.output, traced.len());
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.input, root.children.iter().map(|ch| ch.output).sum::<usize>());
+        // No repeated subexpressions here, so every node is computed and the
+        // tree has exactly one node per recorded operator application.
+        assert_eq!(root.node_count() as u64, eng.stats().total_ops());
+        // The σ node sits under Authors ⊃ …; its probe shows up in the trace.
+        let mut sigma_probes = 0;
+        root.walk(&mut |n| {
+            if n.op == "σ" {
+                sigma_probes = n.probes;
+                assert_eq!(n.detail, "\"Chang\"");
+            }
+        });
+        assert_eq!(sigma_probes, 1, "σ probes the word index once");
+        assert!(root.probes >= 1, "parent totals include child probes");
+    }
+
+    #[test]
+    fn traced_memo_hits_become_leaves() {
+        let (c, w, i) = fixture();
+        let sub = RegionExpr::name("Last_Name").select_eq("Corliss");
+        let e = RegionExpr::name("Authors")
+            .including(sub.clone())
+            .union(RegionExpr::name("Editors").including(sub));
+        let sink = TraceSink::new();
+        let eng = Engine::new(&c, &w, &i).with_trace(&sink);
+        let traced = eng.eval(&e).unwrap();
+        assert_eq!(traced, Engine::new(&c, &w, &i).eval(&e).unwrap());
+        let roots = sink.take();
+        let mut memo_hits = Vec::new();
+        roots[0].walk(&mut |n| {
+            if n.source == CacheSource::LocalMemo {
+                memo_hits.push((n.op.clone(), n.output));
+            }
+        });
+        // The second σ occurrence is served by the memo: a childless leaf
+        // whose output still reports the set's true cardinality (both
+        // Corliss regions — the editor's and the author's).
+        assert_eq!(memo_hits, vec![("σ".to_owned(), 2)]);
+        // One extra tree node (the memo leaf) relative to computed ops.
+        assert_eq!(roots[0].node_count() as u64, eng.stats().total_ops() + 1);
+    }
+
+    #[test]
+    fn traced_shared_cache_hit_is_a_leaf() {
+        let (c, w, i) = fixture();
+        let shared = crate::SubexprCache::new();
+        let e = RegionExpr::name("Reference")
+            .including(RegionExpr::name("Last_Name").select_eq("Chang"));
+        let first = Engine::new(&c, &w, &i).with_shared_cache(&shared).eval(&e).unwrap();
+        let sink = TraceSink::new();
+        let eng = Engine::new(&c, &w, &i).with_shared_cache(&shared).with_trace(&sink);
+        let second = eng.eval(&e).unwrap();
+        assert_eq!(first, second);
+        let roots = sink.take();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].source, CacheSource::SharedCache);
+        assert_eq!(roots[0].output, second.len());
+        assert!(roots[0].children.is_empty());
     }
 
     #[test]

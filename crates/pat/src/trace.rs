@@ -1,0 +1,537 @@
+//! Execution tracing and process-wide metrics for the region algebra.
+//!
+//! Two instruments live here:
+//!
+//! * [`TraceSink`] / [`OpTrace`] — a per-evaluation operator trace. The
+//!   engine, when a sink is attached ([`Engine::with_trace`]), records one
+//!   tree node per operator application: monotonic wall time, input/output
+//!   region-set cardinalities, text bytes scanned, word-index probes, and
+//!   whether the node was answered from the local memo or the shared
+//!   [`SubexprCache`](crate::SubexprCache). With no sink attached the hot
+//!   path pays a single branch on an `Option` — nothing is allocated and
+//!   nothing is timed.
+//! * [`MetricsRegistry`] — process-wide counters and latency histograms
+//!   (queries executed, cache hit ratio, per-operator p50/p95), the
+//!   substrate for `qof stats` and for future server work. Counters are
+//!   relaxed atomics; histograms use fixed log₂ buckets so recording never
+//!   allocates.
+//!
+//! [`Engine::with_trace`]: crate::Engine::with_trace
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Where a traced node's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSource {
+    /// Computed by applying the operator.
+    Computed,
+    /// Served by the per-`eval` memo (§5.2 sharing within one expression).
+    LocalMemo,
+    /// Served by the shared cross-query [`SubexprCache`](crate::SubexprCache).
+    SharedCache,
+}
+
+impl CacheSource {
+    /// Stable lowercase label (used by the JSON export).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheSource::Computed => "computed",
+            CacheSource::LocalMemo => "memo",
+            CacheSource::SharedCache => "shared",
+        }
+    }
+
+    /// Parses a [`CacheSource::label`] back.
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "computed" => CacheSource::Computed,
+            "memo" => CacheSource::LocalMemo,
+            "shared" => CacheSource::SharedCache,
+            _ => return None,
+        })
+    }
+}
+
+/// One node of an operator trace: a single operator application with its
+/// cost, in tree position (children are the operand evaluations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTrace {
+    /// Operator label: the algebra symbol (`⊃`, `σ`, `∪`, …) or the leaf
+    /// kind (`name`, `word`, `prefix`), matching the keys of
+    /// [`EvalStats::op_counts`](crate::EvalStats).
+    pub op: String,
+    /// Operator argument, when one exists: the region name of a `name`
+    /// leaf, the quoted constant of a `word`/`σ` node, a `near` gap.
+    pub detail: String,
+    /// Regions consumed from the operand sets (0 for leaves).
+    pub input: usize,
+    /// Regions in the produced set.
+    pub output: usize,
+    /// Inclusive wall time of this node, nanoseconds (monotonic clock).
+    pub nanos: u64,
+    /// Text bytes scanned inside this node and its children.
+    pub bytes: u64,
+    /// Word-index probes inside this node and its children.
+    pub probes: u64,
+    /// Where the result came from.
+    pub source: CacheSource,
+    /// Operand evaluations (empty for leaves and cache hits).
+    pub children: Vec<OpTrace>,
+}
+
+impl OpTrace {
+    /// Wall time spent in this node exclusive of its children.
+    pub fn self_nanos(&self) -> u64 {
+        self.nanos.saturating_sub(self.children.iter().map(|c| c.nanos).sum())
+    }
+
+    /// Total nodes in this subtree (itself included).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(OpTrace::node_count).sum::<usize>()
+    }
+
+    /// Walks the subtree pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&OpTrace)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+}
+
+/// Collects an operator trace during one or more engine evaluations.
+///
+/// The sink keeps a stack of open frames mirroring the evaluator's
+/// recursion; [`TraceSink::enter`] opens a frame, [`TraceSink::exit`]
+/// closes it and files the finished node under its parent. Completed
+/// top-level evaluations accumulate as roots until [`TraceSink::take`].
+///
+/// The sink is single-threaded by design (the engine itself is); shard
+/// workers each attach their own sink and the shard traces are merged by
+/// the caller.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    frames: RefCell<Vec<Vec<OpTrace>>>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self { frames: RefCell::new(vec![Vec::new()]) }
+    }
+
+    /// Opens a span for an operator application about to run.
+    pub fn enter(&self) {
+        self.frames.borrow_mut().push(Vec::new());
+    }
+
+    /// Closes the innermost span: the finished node adopts the children
+    /// recorded inside the span and is filed under the enclosing span (or
+    /// as a root).
+    pub fn exit(&self, mut node: OpTrace) {
+        let mut frames = self.frames.borrow_mut();
+        node.children = frames.pop().unwrap_or_default();
+        match frames.last_mut() {
+            Some(parent) => parent.push(node),
+            None => {
+                // Unbalanced exit; refile as a root rather than losing it.
+                frames.push(vec![node]);
+            }
+        }
+    }
+
+    /// Like [`TraceSink::exit`], but the caller builds the node *from* the
+    /// recorded children (e.g. to derive the input cardinality as the sum
+    /// of child outputs before filing).
+    pub fn exit_with(&self, build: impl FnOnce(Vec<OpTrace>) -> OpTrace) {
+        let children = {
+            let mut frames = self.frames.borrow_mut();
+            frames.pop().unwrap_or_default()
+        };
+        let node = build(children);
+        let mut frames = self.frames.borrow_mut();
+        match frames.last_mut() {
+            Some(parent) => parent.push(node),
+            None => frames.push(vec![node]),
+        }
+    }
+
+    /// Records a childless node (a cache hit or a leaf observed whole).
+    pub fn leaf(&self, node: OpTrace) {
+        let mut frames = self.frames.borrow_mut();
+        match frames.last_mut() {
+            Some(parent) => parent.push(node),
+            None => frames.push(vec![node]),
+        }
+    }
+
+    /// Takes the completed root nodes, leaving the sink empty and reusable.
+    pub fn take(&self) -> Vec<OpTrace> {
+        let mut frames = self.frames.borrow_mut();
+        let roots = if frames.is_empty() { Vec::new() } else { std::mem::take(&mut frames[0]) };
+        *frames = vec![Vec::new()];
+        roots
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: histograms and the process-wide registry.
+// ---------------------------------------------------------------------------
+
+/// Number of log₂ latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds; the last bucket is open-ended (≳ 9 min).
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ latency histogram. Recording is allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// Records one sample (nanoseconds).
+    pub fn record(&mut self, nanos: u64) {
+        let b = (64 - u64::leading_zeros(nanos.max(1)) as usize - 1).min(BUCKETS - 1);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += nanos;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, nanoseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Approximate quantile (`0.0 ..= 1.0`): the upper bound of the bucket
+    /// holding the q-th sample, so the estimate is within 2× of the true
+    /// value. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+
+    /// Merges another histogram into this one (bucket-wise sums; lossless).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// An immutable summary of one histogram, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_nanos: u64,
+    /// Approximate median, nanoseconds.
+    pub p50_nanos: u64,
+    /// Approximate 95th percentile, nanoseconds.
+    pub p95_nanos: u64,
+}
+
+impl Histogram {
+    /// Count / sum / p50 / p95 snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum_nanos: self.sum,
+            p50_nanos: self.quantile(0.50),
+            p95_nanos: self.quantile(0.95),
+        }
+    }
+}
+
+/// Process-wide counters and histograms. One global instance exists
+/// ([`MetricsRegistry::global`]); embedders (tests, future servers) can
+/// also hold private registries.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    queries: AtomicU64,
+    query_errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    query_latency: Mutex<Histogram>,
+    op_latency: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queries executed (successes and failures).
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub query_errors: u64,
+    /// Shared-cache hits observed.
+    pub cache_hits: u64,
+    /// Shared-cache misses observed.
+    pub cache_misses: u64,
+    /// End-to-end query latency.
+    pub query_latency: HistogramSummary,
+    /// Per-operator latency, keyed by operator label.
+    pub op_latency: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of cache lookups that hit (0 when never consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cache_hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, private registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Records one executed query and its end-to-end latency.
+    pub fn record_query(&self, nanos: u64, ok: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.query_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.query_latency.lock().expect("metrics lock poisoned").record(nanos);
+    }
+
+    /// Accumulates shared-cache hit/miss deltas.
+    pub fn record_cache(&self, hits: u64, misses: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Records one operator application's latency under its label.
+    pub fn record_op(&self, op: &str, nanos: u64) {
+        let mut map = self.op_latency.lock().expect("metrics lock poisoned");
+        match map.get_mut(op) {
+            Some(h) => h.record(nanos),
+            None => {
+                let mut h = Histogram::new();
+                h.record(nanos);
+                map.insert(op.to_owned(), h);
+            }
+        }
+    }
+
+    /// Folds every node of an operator trace into the per-op histograms
+    /// (exclusive times, so parents don't double-count their children).
+    pub fn record_op_trace(&self, roots: &[OpTrace]) {
+        for root in roots {
+            root.walk(&mut |node| {
+                if node.source == CacheSource::Computed {
+                    self.record_op(&node.op, node.self_nanos());
+                }
+            });
+        }
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            query_errors: self.query_errors.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            query_latency: self.query_latency.lock().expect("metrics lock poisoned").summary(),
+            op_latency: self
+                .op_latency
+                .lock()
+                .expect("metrics lock poisoned")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every counter and histogram (tests; `qof stats` baselines).
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.query_errors.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        *self.query_latency.lock().expect("metrics lock poisoned") = Histogram::new();
+        self.op_latency.lock().expect("metrics lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(op: &str, nanos: u64) -> OpTrace {
+        OpTrace {
+            op: op.into(),
+            detail: String::new(),
+            input: 0,
+            output: 0,
+            nanos,
+            bytes: 0,
+            probes: 0,
+            source: CacheSource::Computed,
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sink_builds_nested_tree() {
+        let sink = TraceSink::new();
+        sink.enter(); // ⊃
+        sink.enter(); // name A
+        sink.exit(node("name A", 5));
+        sink.enter(); // name B
+        sink.exit(node("name B", 7));
+        sink.exit(node("⊃", 20));
+        let roots = sink.take();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].op, "⊃");
+        assert_eq!(roots[0].children.len(), 2);
+        assert_eq!(roots[0].children[0].op, "name A");
+        assert_eq!(roots[0].self_nanos(), 8);
+        assert_eq!(roots[0].node_count(), 3);
+        // The sink is reusable after take().
+        sink.enter();
+        sink.exit(node("σ", 1));
+        assert_eq!(sink.take().len(), 1);
+    }
+
+    #[test]
+    fn sink_collects_multiple_roots_and_leaves() {
+        let sink = TraceSink::new();
+        sink.enter();
+        sink.exit(node("∪", 3));
+        sink.leaf(node("memo-hit", 0));
+        let roots = sink.take();
+        assert_eq!(roots.len(), 2);
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = Histogram::new();
+        for _ in 0..95 {
+            h.record(1_000); // ~2^10
+        }
+        for _ in 0..5 {
+            h.record(1_000_000); // ~2^20
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        assert!((1_000..=2_048).contains(&p50), "p50 = {p50}");
+        let p95 = h.quantile(0.95);
+        assert!(p95 <= 2_048, "p95 falls in the 1µs bucket: {p95}");
+        let p99 = h.quantile(0.99);
+        assert!((1_000_000..=2_097_152).contains(&p99), "p99 = {p99}");
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_lossless() {
+        let mut a = Histogram::new();
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(100);
+        b.record(1 << 30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 200 + (1 << 30));
+        let s = a.summary();
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn registry_counts_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.record_query(1_000, true);
+        reg.record_query(2_000, false);
+        reg.record_cache(3, 1);
+        reg.record_op("⊃", 500);
+        reg.record_op("⊃", 700);
+        reg.record_op("σ", 80);
+        let s = reg.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.query_errors, 1);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(s.op_latency["⊃"].count, 2);
+        assert_eq!(s.op_latency["σ"].count, 1);
+        assert_eq!(s.query_latency.count, 2);
+        reg.reset();
+        let s = reg.snapshot();
+        assert_eq!(s.queries, 0);
+        assert!(s.op_latency.is_empty());
+    }
+
+    #[test]
+    fn record_op_trace_uses_exclusive_times_and_skips_cache_hits() {
+        let reg = MetricsRegistry::new();
+        let mut parent = node("⊃", 100);
+        parent.children.push(node("name A", 30));
+        let mut hit = node("σ", 20);
+        hit.source = CacheSource::SharedCache;
+        parent.children.push(hit);
+        reg.record_op_trace(&[parent]);
+        let s = reg.snapshot();
+        // ⊃ recorded with 100 − 30 − 20 = 50ns exclusive; σ (cache hit) not
+        // recorded at all.
+        assert_eq!(s.op_latency["⊃"].count, 1);
+        assert!(!s.op_latency.contains_key("σ"));
+        assert_eq!(s.op_latency["name A"].count, 1);
+    }
+
+    #[test]
+    fn cache_source_labels_round_trip() {
+        for s in [CacheSource::Computed, CacheSource::LocalMemo, CacheSource::SharedCache] {
+            assert_eq!(CacheSource::from_label(s.label()), Some(s));
+        }
+        assert_eq!(CacheSource::from_label("nope"), None);
+    }
+}

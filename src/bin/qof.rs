@@ -48,8 +48,10 @@ fn usage() -> ExitCode {
         "usage:\n  \
          qof generate <schema> <count>\n  \
          qof rig <schema> [indexed,names]\n  \
-         qof query   <schema> [--index A,B,C] [--threads N] [--cache] <file>... <query>\n  \
+         qof query   <schema> [--index A,B,C] [--threads N] [--cache]\n              \
+         [--explain-analyze] [--trace-json FILE] <file>... <query>\n  \
          qof explain <schema> [--index A,B,C] <file>... <query>\n  \
+         qof stats   <schema> [--index A,B,C] [--threads N] [--cache] <file>... <query>...\n  \
          qof advise  <schema> <query>...\n  \
          qof check   <schema> [--index A,B,C] [<query>...]\n\
          schemas: bibtex mail logs sgml code"
@@ -77,6 +79,70 @@ fn build_db(
         Some(names) => IndexSpec::names(names.split(',').map(str::trim)),
     };
     FileDatabase::build(corpus, schema, spec).map_err(|e| e.to_string())
+}
+
+/// `qof stats`: runs every query traced against the corpus, then prints the
+/// process-wide metrics snapshot (queries executed, cache hit ratio,
+/// p50/p95 operator latencies). Trailing arguments are files when they
+/// exist on disk and queries otherwise — queries contain spaces and SELECT
+/// keywords, never bare readable paths.
+fn run_stats(
+    schema: StructuringSchema,
+    rest: Vec<String>,
+    index: Option<&str>,
+    threads: usize,
+    cache: bool,
+) -> Result<ExitCode, String> {
+    let (files, queries): (Vec<String>, Vec<String>) =
+        rest.into_iter().partition(|a| std::path::Path::new(a).is_file());
+    if files.is_empty() || queries.is_empty() {
+        return Ok(usage());
+    }
+    let db = build_db(schema, &files, index)?
+        .with_exec_options(ExecOptions { threads: threads.max(1), cache });
+    for q in &queries {
+        if let Err(e) = db.query_traced(q) {
+            eprintln!("error in `{q}`: {e}");
+        }
+    }
+    let snap = qof::pat::MetricsRegistry::global().snapshot();
+    println!("queries executed:   {} ({} errors)", snap.queries, snap.query_errors);
+    println!(
+        "cache hit rate:     {:.1}% ({} hits / {} misses)",
+        snap.cache_hit_rate() * 100.0,
+        snap.cache_hits,
+        snap.cache_misses
+    );
+    println!(
+        "query latency:      p50 {}  p95 {}  ({} samples)",
+        fmt_nanos(snap.query_latency.p50_nanos),
+        fmt_nanos(snap.query_latency.p95_nanos),
+        snap.query_latency.count
+    );
+    println!("operator latencies:");
+    for (op, h) in &snap.op_latency {
+        println!(
+            "  {op:<6} p50 {:>8}  p95 {:>8}  ×{}",
+            fmt_nanos(h.p50_nanos),
+            fmt_nanos(h.p95_nanos),
+            h.count
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Human-scaled duration (histogram quantiles are bucket upper bounds).
+#[allow(clippy::cast_precision_loss)]
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -108,13 +174,15 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
-        "query" | "explain" => {
+        "query" | "explain" | "stats" => {
             let Some(name) = args.get(1) else { return Ok(usage()) };
             let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
             let mut rest: Vec<String> = args[2..].to_vec();
             let mut index: Option<String> = None;
             let mut threads: usize = 1;
             let mut cache = false;
+            let mut explain_analyze = false;
+            let mut trace_json: Option<String> = None;
             loop {
                 match rest.first().map(String::as_str) {
                     Some("--index") => {
@@ -137,8 +205,22 @@ fn run() -> Result<ExitCode, String> {
                         cache = true;
                         rest.remove(0);
                     }
+                    Some("--explain-analyze") => {
+                        explain_analyze = true;
+                        rest.remove(0);
+                    }
+                    Some("--trace-json") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        trace_json = Some(rest[1].clone());
+                        rest.drain(..2);
+                    }
                     _ => break,
                 }
+            }
+            if cmd == "stats" {
+                return run_stats(schema, rest, index.as_deref(), threads, cache);
             }
             let Some((query, files)) = rest.split_last() else { return Ok(usage()) };
             if files.is_empty() {
@@ -148,6 +230,22 @@ fn run() -> Result<ExitCode, String> {
                 .with_exec_options(ExecOptions { threads: threads.max(1), cache });
             if cmd == "explain" {
                 print!("{}", db.explain(query).map_err(|e| e.to_string())?);
+            } else if explain_analyze || trace_json.is_some() {
+                let (res, trace) = db.query_traced(query).map_err(|e| e.to_string())?;
+                if let Some(path) = &trace_json {
+                    std::fs::write(path, trace.to_json())
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                }
+                if explain_analyze {
+                    // EXPLAIN ANALYZE executes the query but shows the
+                    // annotated plan instead of the rows.
+                    print!("{}", trace.render());
+                } else {
+                    for v in &res.values {
+                        println!("{v}");
+                    }
+                    eprintln!("-- trace written to {}", trace_json.as_deref().unwrap_or("?"));
+                }
             } else {
                 let res = db.query(query).map_err(|e| e.to_string())?;
                 for v in &res.values {
