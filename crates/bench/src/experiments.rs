@@ -1,4 +1,4 @@
-//! The experiment suite F2–F3, E1–E11, A1 (see DESIGN.md §4 for the
+//! The experiment suite F2–F3, E1–E12, A1 (see DESIGN.md §4 for the
 //! experiment ↔ paper-claim mapping). Every experiment prints its
 //! human-readable table *and* records its key numbers into an
 //! [`ExperimentReport`], which the harness serializes to
@@ -88,6 +88,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("e9", "choosing what to index: size vs time (§7)"),
     ("e10", "exact answers with partial indexing (§6.3)"),
     ("e11", "sharded parallel execution and the subexpression cache"),
+    ("e12", "query server under closed-loop load: latency from /metrics, log overhead"),
     ("a1", "ablation: common-subexpression sharing in boolean queries (§5.2)"),
 ];
 
@@ -116,6 +117,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "e9" => e9(scale, &mut r),
         "e10" => e10(scale, &mut r),
         "e11" => e11(scale, &mut r),
+        "e12" => e12(scale, &mut r),
         "a1" => a1(scale, &mut r),
         _ => unreachable!("id came from EXPERIMENTS"),
     }
@@ -676,6 +678,134 @@ fn e11(scale: Scale, r: &mut Recorder) {
         t_traced / t_untraced.max(1e-12)
     );
     r.attach_trace(trace.to_json());
+}
+
+/// Reads quantile `q` (seconds) of a Prometheus histogram out of `/metrics`
+/// exposition text: smallest bucket upper bound whose cumulative count
+/// covers `q` of the total. Only unlabeled series match (`name_bucket{le=`),
+/// so per-operator histograms don't leak in.
+fn prom_histogram_quantile(metrics: &str, name: &str, q: f64) -> f64 {
+    let prefix = format!("{name}_bucket{{le=\"");
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    for line in metrics.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else { continue };
+        let Some((le, count)) = rest.split_once("\"} ") else { continue };
+        let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap_or(f64::NAN) };
+        buckets.push((le, count.trim().parse().unwrap_or(0.0)));
+    }
+    let total = buckets.last().map_or(0.0, |b| b.1);
+    if total == 0.0 {
+        return 0.0;
+    }
+    let target = q * total;
+    buckets.iter().find(|(_, c)| *c >= target).map_or(f64::INFINITY, |(le, _)| *le)
+}
+
+/// Reads a counter's value out of Prometheus exposition text.
+fn prom_counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// E12: the `qof serve` stack under closed-loop load — concurrent
+/// keep-alive HTTP clients posting the E11 workload (plus one malformed
+/// query each), with p50/p95 read back from `/metrics` the way a scraper
+/// would, the query log cross-checked line-for-line against
+/// `qof_queries_total`, and the log's overhead measured by re-running the
+/// identical load with the log discarded.
+fn e12(scale: Scale, r: &mut Recorder) {
+    use std::net::TcpListener;
+
+    use qof_server::{serve, Client, QueryLog, ServerConfig, ServerHandle};
+
+    banner("E12", "query server under closed-loop load: latency from /metrics, log overhead");
+    let (files, refs) = scale.pick((4, 30), (8, 200));
+    let clients = scale.pick(2, 4);
+    let per_client = scale.pick(20, 150);
+    println!(
+        "corpus: {files} files × {refs} refs; {clients} closed-loop clients × {per_client} \
+         requests (first one malformed)"
+    );
+
+    let build_db = || {
+        FileDatabase::build(multi_file_bibtex(files, refs), bibtex::schema(), IndexSpec::full())
+            .expect("generated corpus indexes")
+            .with_exec_options(ExecOptions { threads: 1, cache: true })
+    };
+    // One closed-loop run: start a fresh server, drive it, return the
+    // handle (still serving) and the load's wall-clock seconds.
+    let run_load = |log: QueryLog| -> (ServerHandle, f64) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("loopback listener");
+        let handle = serve(build_db(), listener, log, &ServerConfig::default()).expect("serve");
+        let addr = handle.addr();
+        let t = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..per_client {
+                        let (want, q) = if i == 0 {
+                            (400, "SELEC nope")
+                        } else {
+                            (200, PARALLEL_WORKLOAD[(c + i) % PARALLEL_WORKLOAD.len()])
+                        };
+                        let (status, body) = client.post("/query", q).expect("request");
+                        assert_eq!(status, want, "{body}");
+                    }
+                });
+            }
+        });
+        (handle, t.elapsed().as_secs_f64())
+    };
+
+    // Pass 1: log discarded (the no-overhead baseline).
+    let (plain, t_plain) = run_load(QueryLog::discard());
+    plain.shutdown();
+
+    // Pass 2: the same load with the query log on a real file.
+    let log_path = std::env::temp_dir().join(format!("qof-e12-{}.log", std::process::id()));
+    let file = std::fs::File::create(&log_path).expect("create query log");
+    let (handle, t_logged) = run_load(QueryLog::new(Box::new(file)));
+
+    let total = (clients * per_client) as u64;
+    let mut scraper = Client::connect(handle.addr()).expect("connect");
+    let (status, metrics) = scraper.get("/metrics").expect("scrape");
+    assert_eq!(status, 200);
+    let queries = prom_counter(&metrics, "qof_queries_total");
+    let errors = prom_counter(&metrics, "qof_query_errors_total");
+    assert_eq!(queries, total, "every request is counted exactly once");
+    assert_eq!(errors, clients as u64, "one malformed query per client");
+    let log_lines =
+        std::fs::read_to_string(&log_path).expect("read query log").lines().count() as u64;
+    assert_eq!(log_lines, queries, "metrics and the query log advance in lockstep");
+    let (_, recorder_json) = scraper.get("/flight-recorder").expect("recorder");
+    assert!(recorder_json.contains("\"id\":"), "flight recorder holds traces");
+    handle.shutdown();
+    std::fs::remove_file(&log_path).ok();
+
+    let p50 = prom_histogram_quantile(&metrics, "qof_query_latency_seconds", 0.50);
+    let p95 = prom_histogram_quantile(&metrics, "qof_query_latency_seconds", 0.95);
+    let overhead = t_logged / t_plain.max(1e-12);
+    r.rec("requests", total as f64, "queries");
+    r.rec("wall_secs_logged", t_logged, "s");
+    r.rec("throughput_qps", total as f64 / t_logged.max(1e-12), "1/s");
+    r.rec("p50_ms", p50 * 1e3, "ms");
+    r.rec("p95_ms", p95 * 1e3, "ms");
+    r.rec("log_overhead_ratio", overhead, "x");
+    println!(
+        "{total} requests in {} = {:.0} q/s; server-side p50 {} p95 {} (log₂ bucket bounds)",
+        fmt_secs(t_logged),
+        total as f64 / t_logged.max(1e-12),
+        fmt_secs(p50),
+        fmt_secs(p95),
+    );
+    println!(
+        "query log: {log_lines} lines (= qof_queries_total); overhead vs no log {overhead:.3}x"
+    );
+    println!("(closed-loop: each client waits for its response before the next request)");
 }
 
 /// A1 (ablation): common-subexpression sharing across OR branches (§5.2:

@@ -1,4 +1,4 @@
-//! Shared setup and measurement helpers for the experiment suite E1–E11
+//! Shared setup and measurement helpers for the experiment suite E1–E12
 //! (see DESIGN.md §4 for the experiment ↔ paper-claim mapping). Both the
 //! `cargo bench` wrappers and the `harness` binary run the experiments in
 //! [`experiments`], so the numbers they report come from identical code

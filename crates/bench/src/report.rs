@@ -4,7 +4,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "scale": "small",
 //!   "total_wall_secs": 1.25,
 //!   "experiments": [
@@ -20,7 +20,9 @@
 //! Schema history: v2 added the optional per-experiment `trace` block — a
 //! full `QueryTrace` document (see `qof_core::TRACE_SCHEMA_VERSION`) with
 //! per-operator timings, per-phase breakdowns and the run's cache hit
-//! ratio. All v1 fields are unchanged.
+//! ratio. v3 added the `e12` server-load experiment to the canonical run
+//! order and bumped embedded traces to trace schema v2 (which carries the
+//! query `id`). All v2 fields are unchanged.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -89,7 +91,7 @@ pub fn render_json(scale: &str, reports: &[ExperimentReport]) -> String {
     let total: f64 = reports.iter().map(|r| r.wall_secs).sum();
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema_version\": 2,");
+    let _ = writeln!(out, "  \"schema_version\": 3,");
     let _ = writeln!(out, "  \"scale\": \"{}\",", esc(scale));
     let _ = writeln!(out, "  \"total_wall_secs\": {},", num(total));
     out.push_str("  \"experiments\": [\n");
@@ -142,7 +144,7 @@ mod tests {
             trace_json: None,
         }];
         let json = render_json("small", &reports);
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(!json.contains("\"trace\""), "no trace block unless one was attached");
         assert!(json.contains("quote \\\" and slash \\\\"));
         assert!(json.contains("\"value\": null"), "non-finite values become null");

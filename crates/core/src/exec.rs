@@ -4,6 +4,8 @@
 //! candidate parsing with push-down → residual filtering → projection.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use qof_db::{Database, DbStats, Value};
@@ -210,6 +212,10 @@ pub struct QueryResult {
     pub stats: RunStats,
 }
 
+/// A hook invoked with every completed [`QueryTrace`] — the query server's
+/// flight recorder attaches here.
+pub type TraceHook = Box<dyn Fn(&QueryTrace) + Send + Sync>;
+
 /// A queryable view of a corpus: word index + region indices + schema.
 pub struct FileDatabase {
     corpus: Corpus,
@@ -223,6 +229,9 @@ pub struct FileDatabase {
     partial_rig: Rig,
     options: ExecOptions,
     cache: SubexprCache,
+    metrics: Arc<MetricsRegistry>,
+    query_counter: AtomicU64,
+    trace_hook: Option<TraceHook>,
 }
 
 /// Builds the word index for `corpus`, honoring the spec's §7 selective
@@ -285,6 +294,9 @@ impl FileDatabase {
             partial_rig,
             options: ExecOptions::default(),
             cache: SubexprCache::new(),
+            metrics: MetricsRegistry::global_arc(),
+            query_counter: AtomicU64::new(0),
+            trace_hook: None,
         })
     }
 
@@ -359,6 +371,9 @@ impl FileDatabase {
             partial_rig,
             options: ExecOptions::default(),
             cache: SubexprCache::new(),
+            metrics: MetricsRegistry::global_arc(),
+            query_counter: AtomicU64::new(0),
+            trace_hook: None,
         })
     }
 
@@ -388,6 +403,45 @@ impl FileDatabase {
     /// The current execution options.
     pub fn exec_options(&self) -> ExecOptions {
         self.options
+    }
+
+    /// Injects the metrics registry traced queries record into (builder
+    /// style). The default is [`MetricsRegistry::global_arc`]; servers and
+    /// concurrent tests inject [`MetricsRegistry::shared`] instances so
+    /// independent workloads never share mutable counters.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.set_metrics(metrics);
+        self
+    }
+
+    /// Injects the metrics registry in place.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = metrics;
+    }
+
+    /// The registry this database records traced-query metrics into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Installs a hook invoked with every completed [`QueryTrace`] (after
+    /// metrics recording, before the trace is returned). The query server
+    /// feeds its flight recorder through this.
+    pub fn set_trace_hook(&mut self, hook: impl Fn(&QueryTrace) + Send + Sync + 'static) {
+        self.trace_hook = Some(Box::new(hook));
+    }
+
+    /// Removes the trace hook.
+    pub fn clear_trace_hook(&mut self) {
+        self.trace_hook = None;
+    }
+
+    /// Draws the next query ID from this database's sequence (1, 2, …).
+    /// [`FileDatabase::query_traced`] draws automatically; callers that
+    /// must log failures under the same ID space (the query server) draw
+    /// explicitly and pass the ID to [`FileDatabase::query_traced_with_id`].
+    pub fn allocate_query_id(&self) -> u64 {
+        self.query_counter.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Hit/miss/size counters of the shared subexpression cache.
@@ -517,15 +571,28 @@ impl FileDatabase {
     /// planning, per-phase wall times, the engine's operator tree (with
     /// per-operator timings, cardinalities and cache outcomes), per-shard
     /// phase-1 work, and this run's shared-cache hit/miss delta. The run
-    /// also feeds the process-wide [`MetricsRegistry`] behind `qof stats`.
+    /// also feeds this database's [`MetricsRegistry`] (the process-wide
+    /// one unless another was injected) and draws the trace's query ID
+    /// from the database's sequence.
     ///
     /// Results are identical to the untraced path: the traced engine
     /// re-enters the same memoized evaluator, so caching behavior cannot
     /// drift.
     pub fn query_traced(&self, src: &str) -> Result<(QueryResult, QueryTrace), QueryError> {
+        self.query_traced_with_id(src, self.allocate_query_id())
+    }
+
+    /// [`FileDatabase::query_traced`] with a caller-assigned query ID
+    /// (drawn from [`FileDatabase::allocate_query_id`]), so a failing query
+    /// can still be logged under the ID it consumed.
+    pub fn query_traced_with_id(
+        &self,
+        src: &str,
+        id: u64,
+    ) -> Result<(QueryResult, QueryTrace), QueryError> {
         let started = Instant::now();
         let cache_before = self.cache.stats();
-        let metrics = MetricsRegistry::global();
+        let metrics = &self.metrics;
         let q = match parse_query(src) {
             Ok(q) => q,
             Err(e) => {
@@ -551,6 +618,7 @@ impl FileDatabase {
         let total_nanos = elapsed_nanos(started);
         let cache_after = self.cache.stats();
         let trace = QueryTrace {
+            id,
             query: src.to_owned(),
             plan: result.explain.clone(),
             rewrites: plan.rewrites.clone(),
@@ -569,6 +637,9 @@ impl FileDatabase {
         metrics.record_op_trace(&trace.ops);
         for shard in &trace.shards {
             metrics.record_op_trace(&shard.ops);
+        }
+        if let Some(hook) = &self.trace_hook {
+            hook(&trace);
         }
         Ok((result, trace))
     }
@@ -1355,25 +1426,51 @@ mod tests {
     }
 
     #[test]
-    fn traced_query_feeds_global_metrics() {
+    fn traced_query_feeds_injected_metrics() {
         let corpus = multi_file_corpus(2, 10);
+        let metrics = MetricsRegistry::shared();
         let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
             .unwrap()
-            .with_exec_options(ExecOptions { threads: 1, cache: true });
-        let before = MetricsRegistry::global().snapshot();
+            .with_exec_options(ExecOptions { threads: 1, cache: true })
+            .with_metrics(std::sync::Arc::clone(&metrics));
         let (_, trace) = db.query_traced(QUERIES[1]).unwrap();
-        db.query_traced(QUERIES[1]).unwrap();
-        let after = MetricsRegistry::global().snapshot();
-        // Other tests share the process-wide registry, so assert growth,
-        // not absolute values.
-        assert!(after.queries >= before.queries + 2);
-        assert!(after.cache_misses >= before.cache_misses + trace.cache_misses);
-        assert!(after.query_latency.count >= before.query_latency.count + 2);
+        let (_, trace2) = db.query_traced(QUERIES[1]).unwrap();
+        // A private registry sees exactly this database's work.
+        let after = metrics.snapshot();
+        assert_eq!(after.queries, 2);
+        assert_eq!(after.query_errors, 0);
+        assert_eq!(after.cache_misses, trace.cache_misses + trace2.cache_misses);
+        assert_eq!(after.cache_hits, trace.cache_hits + trace2.cache_hits);
+        assert_eq!(after.query_latency.count(), 2);
         assert!(!after.op_latency.is_empty());
+        // Query IDs come from the database's own sequence.
+        assert_eq!(trace.id, 1);
+        assert_eq!(trace2.id, 2);
         // A failing query still counts, as an error.
         assert!(db.query_traced("SELEC nope").is_err());
-        let errs = MetricsRegistry::global().snapshot();
-        assert!(errs.query_errors > after.query_errors);
+        let errs = metrics.snapshot();
+        assert_eq!(errs.queries, 3);
+        assert_eq!(errs.query_errors, 1);
+    }
+
+    #[test]
+    fn trace_hook_sees_every_successful_trace() {
+        let corpus = multi_file_corpus(2, 10);
+        let mut db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads: 1, cache: false });
+        let seen: std::sync::Arc<std::sync::Mutex<Vec<u64>>> =
+            std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&seen);
+        db.set_trace_hook(move |t: &crate::QueryTrace| sink.lock().unwrap().push(t.id));
+        db.query_traced(QUERIES[0]).unwrap();
+        let id = db.allocate_query_id();
+        db.query_traced_with_id(QUERIES[1], id).unwrap();
+        assert!(db.query_traced("SELEC nope").is_err(), "errors produce no trace");
+        assert_eq!(*seen.lock().unwrap(), vec![1, id]);
+        db.clear_trace_hook();
+        db.query_traced(QUERIES[0]).unwrap();
+        assert_eq!(seen.lock().unwrap().len(), 2, "cleared hook no longer fires");
     }
 
     #[test]

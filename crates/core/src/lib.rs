@@ -49,7 +49,9 @@ pub use advisor::{advise, Advice};
 pub use analyze::{
     check_index, check_query, check_schema, render_all, Code, Diagnostic, Severity, Span,
 };
-pub use exec::{BuildError, ExecOptions, FileDatabase, QueryError, QueryResult, RunStats};
+pub use exec::{
+    BuildError, ExecOptions, FileDatabase, QueryError, QueryResult, RunStats, TraceHook,
+};
 pub use incl::{ChainOp, Direction, InclusionExpr, SelectKind};
 pub use optimizer::{is_trivially_empty, optimize, Optimized, Rewrite, RewriteKind};
 pub use plan::{Exactness, InexactHop, InexactReason, Plan, PlanError, PlanRewrite, Planner};

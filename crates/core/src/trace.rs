@@ -19,7 +19,11 @@ use crate::plan::PlanRewrite;
 
 /// Version stamp of the `--trace-json` format. Bump when a field changes
 /// meaning; consumers (bench harness, CI smoke job) check it.
-pub const TRACE_SCHEMA_VERSION: u64 = 1;
+///
+/// History: v2 added `id`, the per-database query sequence number that the
+/// query server uses to correlate responses, query-log lines and
+/// flight-recorder entries. All v1 fields are unchanged.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// Wall time of one executor phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,8 +50,15 @@ pub struct ShardTrace {
 
 /// Everything one traced query run recorded, across optimizer, engine and
 /// executor.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryTrace {
+    /// Query sequence number, unique per [`FileDatabase`] instance and
+    /// assigned in execution order starting from 1. The query server uses
+    /// it to correlate a response with its query-log line and
+    /// flight-recorder entry.
+    ///
+    /// [`FileDatabase`]: crate::FileDatabase
+    pub id: u64,
     /// The query source text.
     pub query: String,
     /// The EXPLAIN text of the executed plan.
@@ -109,6 +120,9 @@ impl QueryTrace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "query: {}", self.query);
+        if self.id != 0 {
+            let _ = writeln!(out, "id: {}", self.id);
+        }
         let _ = writeln!(out, "plan:");
         for line in self.plan.lines() {
             let _ = writeln!(out, "  │ {line}");
@@ -165,6 +179,7 @@ impl QueryTrace {
         let mut s = String::new();
         s.push('{');
         let _ = write!(s, "\"schema_version\":{TRACE_SCHEMA_VERSION}");
+        let _ = write!(s, ",\"id\":{}", self.id);
         let _ = write!(s, ",\"query\":\"{}\"", esc(&self.query));
         let _ = write!(s, ",\"plan\":\"{}\"", esc(&self.plan));
         s.push_str(",\"rewrites\":[");
@@ -254,6 +269,7 @@ impl QueryTrace {
             })
             .collect::<Result<Vec<_>, String>>()?;
         Ok(QueryTrace {
+            id: get_u64(obj, "id")?,
             query: get_str(obj, "query")?,
             plan: get_str(obj, "plan")?,
             rewrites,
@@ -642,6 +658,7 @@ mod tests {
             children: vec![leaf.clone(), OpTrace { source: CacheSource::LocalMemo, ..leaf }],
         };
         QueryTrace {
+            id: 7,
             query: "SELECT r FROM References r WHERE r.Year = \"1982\"".into(),
             plan: "var r : view References over <Reference>\n  index: …\n".into(),
             rewrites: vec![PlanRewrite {
@@ -676,7 +693,7 @@ mod tests {
 
     #[test]
     fn from_json_rejects_bad_versions_and_garbage() {
-        let json = sample().to_json().replace("\"schema_version\":1", "\"schema_version\":999");
+        let json = sample().to_json().replace("\"schema_version\":2", "\"schema_version\":999");
         assert!(QueryTrace::from_json(&json).unwrap_err().contains("schema version"));
         assert!(QueryTrace::from_json("{").is_err());
         assert!(QueryTrace::from_json("[]").is_err());
@@ -687,6 +704,7 @@ mod tests {
     fn render_shows_all_sections() {
         let text = sample().render();
         assert!(text.contains("query: SELECT r"));
+        assert!(text.contains("id: 7"));
         assert!(text.contains("optimizer rewrites: 1"));
         assert!(text.contains("[3.5(b)] drop Name"));
         assert!(text.contains("index-candidates"));

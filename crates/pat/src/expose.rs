@@ -1,0 +1,263 @@
+//! Metrics exposition: the renderers that turn a [`MetricsSnapshot`] into
+//! machine-readable text. Two surfaces exist and both live here so they
+//! cannot drift apart:
+//!
+//! * [`render_prometheus`] — Prometheus text exposition format v0.0.4, the
+//!   body of the query server's `GET /metrics`. Counters become `counter`
+//!   series; the log₂ latency histograms become native Prometheus
+//!   `histogram` series (`_bucket{le=…}` cumulative counts, `_sum`,
+//!   `_count`), with per-operator histograms labelled `{op="⊃"}`.
+//! * [`snapshot_to_json`] — a dependency-free JSON document with the same
+//!   counters and full bucket contents, the body of `qof stats --json` and
+//!   of `GET /metrics?format=json`.
+//!
+//! All durations are nanoseconds in the JSON document and seconds in the
+//! Prometheus rendering (Prometheus' base-unit convention).
+
+use std::fmt::Write as _;
+
+use crate::trace::{Histogram, MetricsSnapshot};
+
+/// Escapes a Prometheus label value (`\`, `"`, newline).
+fn esc_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for a JSON literal.
+fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds as a Prometheus seconds value (`f64` prints shortest
+/// round-tripping decimal, so `2048` ns renders as `0.000002048`).
+#[allow(clippy::cast_precision_loss)]
+fn secs(nanos: u64) -> String {
+    format!("{}", nanos as f64 / 1e9)
+}
+
+/// Emits one histogram's `_bucket`/`_sum`/`_count` series under `name`,
+/// with `labels` (e.g. `op="⊃"`) spliced into every sample.
+fn histogram_series(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (i, &n) in h.bucket_counts().iter().enumerate() {
+        cumulative += n;
+        // Only materialize boundaries up to the last non-empty bucket;
+        // `+Inf` below carries the total regardless.
+        if cumulative == 0 || n == 0 {
+            continue;
+        }
+        if let Some(ub) = Histogram::bucket_upper_bound(i) {
+            let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}", secs(ub));
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", h.count());
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", secs(h.sum()));
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", secs(h.sum()));
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format v0.0.4.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let counters: [(&str, &str, u64); 4] = [
+        ("qof_queries_total", "Queries executed (successes and failures).", snap.queries),
+        ("qof_query_errors_total", "Queries that returned an error.", snap.query_errors),
+        ("qof_cache_hits_total", "Shared subexpression-cache hits.", snap.cache_hits),
+        ("qof_cache_misses_total", "Shared subexpression-cache misses.", snap.cache_misses),
+    ];
+    for (name, help, value) in counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    let _ = writeln!(out, "# HELP qof_query_latency_seconds End-to-end query latency.");
+    let _ = writeln!(out, "# TYPE qof_query_latency_seconds histogram");
+    histogram_series(&mut out, "qof_query_latency_seconds", "", &snap.query_latency);
+    if !snap.op_latency.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP qof_op_latency_seconds Per-operator evaluation latency (exclusive time)."
+        );
+        let _ = writeln!(out, "# TYPE qof_op_latency_seconds histogram");
+        for (op, h) in &snap.op_latency {
+            let label = format!("op=\"{}\"", esc_label(op));
+            histogram_series(&mut out, "qof_op_latency_seconds", &label, h);
+        }
+    }
+    out
+}
+
+/// One histogram as a JSON object: count, sum, the p50/p95 summary, and
+/// the non-empty buckets (`le_nanos` exclusive upper bound, 0 = open end).
+fn histogram_json(h: &Histogram) -> String {
+    let s = h.summary();
+    let mut out = format!(
+        "{{\"count\":{},\"sum_nanos\":{},\"p50_nanos\":{},\"p95_nanos\":{},\"buckets\":[",
+        s.count, s.sum_nanos, s.p50_nanos, s.p95_nanos
+    );
+    let mut first = true;
+    for (i, &n) in h.bucket_counts().iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let le = Histogram::bucket_upper_bound(i).unwrap_or(0);
+        let _ = write!(out, "{{\"le_nanos\":{le},\"count\":{n}}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes the snapshot as JSON: the `qof stats --json` document, also
+/// served by `GET /metrics?format=json`.
+pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"queries\":{},\"query_errors\":{},\"cache_hits\":{},\"cache_misses\":{}",
+        snap.queries, snap.query_errors, snap.cache_hits, snap.cache_misses
+    );
+    let _ = write!(out, ",\"cache_hit_rate\":{}", snap.cache_hit_rate());
+    let _ = write!(out, ",\"query_latency\":{}", histogram_json(&snap.query_latency));
+    out.push_str(",\"op_latency\":{");
+    for (i, (op, h)) in snap.op_latency.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", esc_json(op), histogram_json(h));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MetricsRegistry;
+
+    /// A registry with a fully known content: 3 queries (1 error), cache
+    /// 2/1, two ops. Latencies land in known log₂ buckets.
+    fn known_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.record_query(1_000, true); // bucket [512, 1024) → le 1024ns
+        reg.record_query(1_000, true);
+        reg.record_query(1 << 20, false); // le 2^21 ns
+        reg.record_cache(2, 1);
+        reg.record_op("⊃", 600); // le 1024ns
+        reg.record_op("σ", 100); // le 128ns
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_rendering_is_golden() {
+        let text = render_prometheus(&known_snapshot());
+        let want = "\
+# HELP qof_queries_total Queries executed (successes and failures).
+# TYPE qof_queries_total counter
+qof_queries_total 3
+# HELP qof_query_errors_total Queries that returned an error.
+# TYPE qof_query_errors_total counter
+qof_query_errors_total 1
+# HELP qof_cache_hits_total Shared subexpression-cache hits.
+# TYPE qof_cache_hits_total counter
+qof_cache_hits_total 2
+# HELP qof_cache_misses_total Shared subexpression-cache misses.
+# TYPE qof_cache_misses_total counter
+qof_cache_misses_total 1
+# HELP qof_query_latency_seconds End-to-end query latency.
+# TYPE qof_query_latency_seconds histogram
+qof_query_latency_seconds_bucket{le=\"0.000001024\"} 2
+qof_query_latency_seconds_bucket{le=\"0.002097152\"} 3
+qof_query_latency_seconds_bucket{le=\"+Inf\"} 3
+qof_query_latency_seconds_sum 0.001050576
+qof_query_latency_seconds_count 3
+# HELP qof_op_latency_seconds Per-operator evaluation latency (exclusive time).
+# TYPE qof_op_latency_seconds histogram
+qof_op_latency_seconds_bucket{op=\"σ\",le=\"0.000000128\"} 1
+qof_op_latency_seconds_bucket{op=\"σ\",le=\"+Inf\"} 1
+qof_op_latency_seconds_sum{op=\"σ\"} 0.0000001
+qof_op_latency_seconds_count{op=\"σ\"} 1
+qof_op_latency_seconds_bucket{op=\"⊃\",le=\"0.000001024\"} 1
+qof_op_latency_seconds_bucket{op=\"⊃\",le=\"+Inf\"} 1
+qof_op_latency_seconds_sum{op=\"⊃\"} 0.0000006
+qof_op_latency_seconds_count{op=\"⊃\"} 1
+";
+        assert_eq!(text, want);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_inf() {
+        let text = render_prometheus(&known_snapshot());
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("qof_query_latency_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+        assert_eq!(*buckets.last().unwrap(), 3, "+Inf bucket carries the total count");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let snap = MetricsRegistry::new().snapshot();
+        let text = render_prometheus(&snap);
+        assert!(text.contains("qof_queries_total 0"));
+        assert!(text.contains("qof_query_latency_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(!text.contains("qof_op_latency_seconds"), "no op series when none recorded");
+        let json = snapshot_to_json(&snap);
+        assert!(json.contains("\"queries\":0"));
+        assert!(json.contains("\"op_latency\":{}"));
+    }
+
+    #[test]
+    fn json_document_matches_the_snapshot() {
+        let snap = known_snapshot();
+        let json = snapshot_to_json(&snap);
+        assert!(json.contains("\"queries\":3,\"query_errors\":1"));
+        assert!(json.contains("\"cache_hits\":2,\"cache_misses\":1"));
+        assert!(json.contains("\"le_nanos\":1024,\"count\":2"), "{json}");
+        assert!(json.contains("\"⊃\""));
+        // Structural sanity: balanced braces, no trailing commas.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+        assert!(!json.contains(",}") && !json.contains(",]"), "{json}");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(esc_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc_label("⊃"), "⊃");
+    }
+}

@@ -21,7 +21,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Where a traced node's result came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,7 +183,8 @@ impl TraceSink {
 
 /// Number of log₂ latency buckets: bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` nanoseconds; the last bucket is open-ended (≳ 9 min).
-const BUCKETS: usize = 40;
+pub const HISTOGRAM_BUCKETS: usize = 40;
+const BUCKETS: usize = HISTOGRAM_BUCKETS;
 
 /// A fixed-bucket log₂ latency histogram. Recording is allocation-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,6 +252,22 @@ impl Histogram {
         self.count += other.count;
         self.sum += other.sum;
     }
+
+    /// The raw per-bucket sample counts (not cumulative), bucket `i`
+    /// covering `[2^i, 2^(i+1))` nanoseconds and the last bucket open-ended.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Exclusive upper bound of bucket `i` in nanoseconds, or `None` for
+    /// the open-ended last bucket (Prometheus `+Inf`).
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        if i + 1 < HISTOGRAM_BUCKETS {
+            Some(1u64 << (i + 1))
+        } else {
+            None
+        }
+    }
 }
 
 /// An immutable summary of one histogram, for reporting.
@@ -278,9 +295,10 @@ impl Histogram {
     }
 }
 
-/// Process-wide counters and histograms. One global instance exists
-/// ([`MetricsRegistry::global`]); embedders (tests, future servers) can
-/// also hold private registries.
+/// Counters and histograms for one engine's workload. A process-wide
+/// instance exists ([`MetricsRegistry::global`]); embedders (tests,
+/// servers) hold private registries via [`MetricsRegistry::shared`] so
+/// concurrent engines never share mutable counters.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     queries: AtomicU64,
@@ -291,8 +309,11 @@ pub struct MetricsRegistry {
     op_latency: Mutex<BTreeMap<String, Histogram>>,
 }
 
-/// A point-in-time copy of a [`MetricsRegistry`].
-#[derive(Debug, Clone, PartialEq)]
+/// A point-in-time copy of a [`MetricsRegistry`]: counters plus the *full*
+/// latency histograms, so every reporting surface (the CLI's `qof stats`,
+/// the server's Prometheus `/metrics`) renders from one struct and cannot
+/// drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Queries executed (successes and failures).
     pub queries: u64,
@@ -303,9 +324,9 @@ pub struct MetricsSnapshot {
     /// Shared-cache misses observed.
     pub cache_misses: u64,
     /// End-to-end query latency.
-    pub query_latency: HistogramSummary,
+    pub query_latency: Histogram,
     /// Per-operator latency, keyed by operator label.
-    pub op_latency: BTreeMap<String, HistogramSummary>,
+    pub op_latency: BTreeMap<String, Histogram>,
 }
 
 impl MetricsSnapshot {
@@ -329,10 +350,22 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// A fresh, private registry behind a shareable handle — what a server
+    /// instance or a test injects into its `FileDatabase` so concurrent
+    /// workloads never share counters.
+    pub fn shared() -> Arc<MetricsRegistry> {
+        Arc::new(Self::new())
+    }
+
     /// The process-wide registry.
     pub fn global() -> &'static MetricsRegistry {
-        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
-        GLOBAL.get_or_init(MetricsRegistry::new)
+        global_arc_ref()
+    }
+
+    /// A shareable handle to the process-wide registry (the default a
+    /// `FileDatabase` records into when nothing else is injected).
+    pub fn global_arc() -> Arc<MetricsRegistry> {
+        Arc::clone(global_arc_ref())
     }
 
     /// Records one executed query and its end-to-end latency.
@@ -382,14 +415,8 @@ impl MetricsRegistry {
             query_errors: self.query_errors.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            query_latency: self.query_latency.lock().expect("metrics lock poisoned").summary(),
-            op_latency: self
-                .op_latency
-                .lock()
-                .expect("metrics lock poisoned")
-                .iter()
-                .map(|(k, h)| (k.clone(), h.summary()))
-                .collect(),
+            query_latency: self.query_latency.lock().expect("metrics lock poisoned").clone(),
+            op_latency: self.op_latency.lock().expect("metrics lock poisoned").clone(),
         }
     }
 
@@ -402,6 +429,14 @@ impl MetricsRegistry {
         *self.query_latency.lock().expect("metrics lock poisoned") = Histogram::new();
         self.op_latency.lock().expect("metrics lock poisoned").clear();
     }
+}
+
+/// The process-wide registry, held behind an `Arc` so embedders can clone
+/// a handle ([`MetricsRegistry::global_arc`]) and borrowers can keep the
+/// `&'static` view ([`MetricsRegistry::global`]).
+fn global_arc_ref() -> &'static Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::shared)
 }
 
 #[cfg(test)]
@@ -501,9 +536,9 @@ mod tests {
         assert_eq!(s.queries, 2);
         assert_eq!(s.query_errors, 1);
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-9);
-        assert_eq!(s.op_latency["⊃"].count, 2);
-        assert_eq!(s.op_latency["σ"].count, 1);
-        assert_eq!(s.query_latency.count, 2);
+        assert_eq!(s.op_latency["⊃"].count(), 2);
+        assert_eq!(s.op_latency["σ"].count(), 1);
+        assert_eq!(s.query_latency.count(), 2);
         reg.reset();
         let s = reg.snapshot();
         assert_eq!(s.queries, 0);
@@ -522,9 +557,9 @@ mod tests {
         let s = reg.snapshot();
         // ⊃ recorded with 100 − 30 − 20 = 50ns exclusive; σ (cache hit) not
         // recorded at all.
-        assert_eq!(s.op_latency["⊃"].count, 1);
+        assert_eq!(s.op_latency["⊃"].count(), 1);
         assert!(!s.op_latency.contains_key("σ"));
-        assert_eq!(s.op_latency["name A"].count, 1);
+        assert_eq!(s.op_latency["name A"].count(), 1);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # qof-server
+//!
+//! A long-running query server over a [`FileDatabase`]: load the corpus
+//! and its indexes once, then answer queries over HTTP. Dependency-free —
+//! the HTTP layer is a small hand-rolled HTTP/1.1 implementation on
+//! [`std::net::TcpListener`] with thread-per-connection and keep-alive.
+//!
+//! Endpoints:
+//!
+//! * `POST /query` — query text in the body, JSON results back; append
+//!   `?explain=1` to attach the full [`QueryTrace`] to the response.
+//! * `GET /metrics` — Prometheus text exposition (v0.0.4) of the server's
+//!   [`MetricsRegistry`]; `?format=json` returns the same snapshot as the
+//!   `qof stats --json` document (both renderers live in `qof_pat`).
+//! * `GET /healthz` — liveness plus uptime and query count.
+//! * `GET /flight-recorder` — the last N traces and recent slow traces.
+//! * `POST /shutdown` — stop accepting and drain.
+//!
+//! Every `/query` request — success or failure — appends one JSON line to
+//! the structured query log; `qof_queries_total` and the log line count
+//! advance in lockstep. The server injects a private [`MetricsRegistry`]
+//! into the database, so `/metrics` describes this server's traffic alone.
+//!
+//! [`QueryTrace`]: qof_core::QueryTrace
+//! [`MetricsRegistry`]: qof_pat::MetricsRegistry
+
+pub mod http;
+mod qlog;
+mod recorder;
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use qof_core::FileDatabase;
+use qof_pat::{render_prometheus, snapshot_to_json, MetricsRegistry};
+
+pub use http::Client;
+use http::{esc_json, read_request, write_response, Request};
+pub use qlog::{error_line, normalize_query, success_line, QueryLog};
+pub use recorder::FlightRecorder;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Queries at least this slow (milliseconds) are pinned in the flight
+    /// recorder's slow ring.
+    pub slow_ms: u64,
+    /// Capacity of each flight-recorder ring.
+    pub recorder_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { slow_ms: 100, recorder_capacity: 64 }
+    }
+}
+
+struct State {
+    db: FileDatabase,
+    metrics: Arc<MetricsRegistry>,
+    recorder: Arc<FlightRecorder>,
+    log: QueryLog,
+    shutdown: AtomicBool,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+/// A running server: its bound address and the means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Query-log lines written so far.
+    pub fn log_lines_written(&self) -> u64 {
+        self.state.log.lines_written()
+    }
+
+    /// Stops accepting connections and joins the accept thread. In-flight
+    /// connection handlers finish their current request and exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the accept loop exits — i.e. until some client issues
+    /// `POST /shutdown`. This is `qof serve`'s foreground mode.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept()`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts serving `db` on `listener`. The database gets a private
+/// [`MetricsRegistry`](qof_pat::MetricsRegistry) (so `/metrics` covers
+/// exactly this server's queries) and a trace hook feeding the flight
+/// recorder. Returns immediately; the accept loop runs on its own thread.
+pub fn serve(
+    mut db: FileDatabase,
+    listener: TcpListener,
+    log: QueryLog,
+    config: &ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let metrics = MetricsRegistry::shared();
+    db.set_metrics(Arc::clone(&metrics));
+    let recorder = Arc::new(FlightRecorder::new(
+        config.recorder_capacity,
+        config.slow_ms.saturating_mul(1_000_000),
+    ));
+    let hook_recorder = Arc::clone(&recorder);
+    db.set_trace_hook(move |t| hook_recorder.record(t));
+    let state = Arc::new(State {
+        db,
+        metrics,
+        recorder,
+        log,
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        addr,
+    });
+
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new().name("qof-accept".into()).spawn(move || {
+        for stream in listener.incoming() {
+            if accept_state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_state = Arc::clone(&accept_state);
+            let _ = std::thread::Builder::new()
+                .name("qof-conn".into())
+                .spawn(move || handle_connection(&conn_state, stream));
+        }
+    })?;
+
+    Ok(ServerHandle { addr, state, accept: Some(accept) })
+}
+
+/// Serves one connection until the client closes it, asks to, or errors.
+fn handle_connection(state: &State, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF between requests
+            Err(e) => {
+                let body = format!("{{\"error\":\"{}\"}}", esc_json(&e));
+                let _ = write_response(&mut stream, 400, "application/json", &body, false);
+                return;
+            }
+        };
+        let keep_alive = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+        let (status, content_type, body) = route(state, &req);
+        if write_response(&mut stream, status, content_type, &body, keep_alive).is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+fn route(state: &State, req: &Request) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    const PROM: &str = "text/plain; version=0.0.4";
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => handle_query(state, req),
+        ("GET", "/metrics") => {
+            let snap = state.metrics.snapshot();
+            if req.query_param("format") == Some("json") {
+                (200, JSON, snapshot_to_json(&snap))
+            } else {
+                (200, PROM, render_prometheus(&snap))
+            }
+        }
+        ("GET", "/healthz") => {
+            let snap = state.metrics.snapshot();
+            let body = format!(
+                "{{\"status\":\"ok\",\"uptime_ms\":{},\"queries\":{},\"query_errors\":{},\
+                 \"log_lines\":{}}}",
+                state.started.elapsed().as_millis(),
+                snap.queries,
+                snap.query_errors,
+                state.log.lines_written(),
+            );
+            (200, JSON, body)
+        }
+        ("GET", "/flight-recorder") => (200, JSON, state.recorder.to_json()),
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop (blocked in `accept()`) so it can
+            // observe the flag and exit.
+            let _ = TcpStream::connect(state.addr);
+            (200, JSON, "{\"status\":\"shutting down\"}".to_owned())
+        }
+        (_, "/query" | "/shutdown") | ("POST" | "PUT" | "DELETE", _) => {
+            (405, JSON, "{\"error\":\"method not allowed\"}".to_owned())
+        }
+        _ => (404, JSON, "{\"error\":\"not found\"}".to_owned()),
+    }
+}
+
+/// `POST /query`: runs the body as a query. Draws the query ID before
+/// executing so a failure is still logged under the ID it consumed.
+fn handle_query(state: &State, req: &Request) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let Ok(src) = std::str::from_utf8(&req.body) else {
+        // Never reached the engine: neither a metrics count nor a log line.
+        return (400, JSON, "{\"error\":\"body is not UTF-8\"}".to_owned());
+    };
+    let src = src.trim();
+    if src.is_empty() {
+        return (400, JSON, "{\"error\":\"empty query body\"}".to_owned());
+    }
+    let id = state.db.allocate_query_id();
+    let started = Instant::now();
+    match state.db.query_traced_with_id(src, id) {
+        Ok((res, trace)) => {
+            state.log.log_success(&trace);
+            let mut body = format!(
+                "{{\"id\":{id},\"results\":{},\"candidates\":{},\"exact_index\":{},\
+                 \"total_nanos\":{},\"values\":[",
+                trace.results, trace.candidates, trace.exact_index, trace.total_nanos
+            );
+            for (i, v) in res.values.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push('"');
+                body.push_str(&esc_json(&v.to_string()));
+                body.push('"');
+            }
+            body.push(']');
+            if req.query_param("explain") == Some("1") {
+                body.push_str(",\"trace\":");
+                body.push_str(&trace.to_json());
+            }
+            body.push('}');
+            (200, JSON, body)
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            state.log.log_error(id, src, &msg, nanos);
+            (400, JSON, format!("{{\"id\":{id},\"error\":\"{}\"}}", esc_json(&msg)))
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The structured query log: one JSON line per `/query` request —
+//! successes and failures alike — carrying the query ID, the normalized
+//! query text, timings, cardinalities, the run's cache delta and the
+//! outcome. `qof_queries_total` in `/metrics` and the number of lines
+//! written here advance in lockstep; CI asserts that.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use qof_core::QueryTrace;
+
+use crate::http::esc_json;
+
+/// Collapses whitespace runs so multi-line queries become one log token.
+pub fn normalize_query(src: &str) -> String {
+    src.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn now_ms() -> u128 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis())
+}
+
+/// The log line for a successful traced query (no trailing newline).
+pub fn success_line(trace: &QueryTrace, ts_ms: u128) -> String {
+    format!(
+        "{{\"ts_ms\":{ts_ms},\"id\":{},\"query\":\"{}\",\"outcome\":\"ok\",\
+         \"total_nanos\":{},\"candidates\":{},\"results\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"exact_index\":{}}}",
+        trace.id,
+        esc_json(&normalize_query(&trace.query)),
+        trace.total_nanos,
+        trace.candidates,
+        trace.results,
+        trace.cache_hits,
+        trace.cache_misses,
+        trace.exact_index,
+    )
+}
+
+/// The log line for a failed query (no trailing newline).
+pub fn error_line(id: u64, query: &str, error: &str, total_nanos: u64, ts_ms: u128) -> String {
+    format!(
+        "{{\"ts_ms\":{ts_ms},\"id\":{id},\"query\":\"{}\",\"outcome\":\"error\",\
+         \"error\":\"{}\",\"total_nanos\":{total_nanos}}}",
+        esc_json(&normalize_query(query)),
+        esc_json(error),
+    )
+}
+
+/// A line-oriented JSON log over any `Write` sink (a file for
+/// `qof serve --log`, a `Vec<u8>` in tests, [`std::io::sink`] when
+/// disabled). Writes are serialized under a mutex so concurrent
+/// connection threads never interleave partial lines.
+pub struct QueryLog {
+    sink: Mutex<Box<dyn Write + Send>>,
+    lines: AtomicU64,
+}
+
+impl QueryLog {
+    /// A log writing to `sink`.
+    pub fn new(sink: Box<dyn Write + Send>) -> QueryLog {
+        QueryLog { sink: Mutex::new(sink), lines: AtomicU64::new(0) }
+    }
+
+    /// A log that counts lines but writes nothing (no `--log` flag).
+    pub fn discard() -> QueryLog {
+        QueryLog::new(Box::new(std::io::sink()))
+    }
+
+    /// Lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    fn append(&self, line: &str) {
+        let mut sink = self.sink.lock().expect("query log lock");
+        // A failed write must not take the server down; the line counter
+        // only advances on success so the metrics cross-check stays honest.
+        if writeln!(sink, "{line}").is_ok() && sink.flush().is_ok() {
+            self.lines.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends the line for a successful query.
+    pub fn log_success(&self, trace: &QueryTrace) {
+        self.append(&success_line(trace, now_ms()));
+    }
+
+    /// Appends the line for a failed query.
+    pub fn log_error(&self, id: u64, query: &str, error: &str, total_nanos: u64) {
+        self.append(&error_line(id, query, error, total_nanos, now_ms()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_whitespace() {
+        assert_eq!(normalize_query("SELECT r\n  FROM\tRefs r"), "SELECT r FROM Refs r");
+        assert_eq!(normalize_query("  x  "), "x");
+    }
+
+    #[test]
+    fn success_line_shape() {
+        let trace = QueryTrace {
+            id: 3,
+            query: "SELECT r\nFROM References r".into(),
+            total_nanos: 1234,
+            candidates: 10,
+            results: 2,
+            cache_hits: 1,
+            cache_misses: 4,
+            exact_index: true,
+            ..Default::default()
+        };
+        let line = success_line(&trace, 1700000000000);
+        assert_eq!(
+            line,
+            "{\"ts_ms\":1700000000000,\"id\":3,\
+             \"query\":\"SELECT r FROM References r\",\"outcome\":\"ok\",\
+             \"total_nanos\":1234,\"candidates\":10,\"results\":2,\
+             \"cache_hits\":1,\"cache_misses\":4,\"exact_index\":true}"
+        );
+    }
+
+    #[test]
+    fn error_line_escapes_the_message() {
+        let line = error_line(9, "SELEC \"x\"", "parse error:\nline 1", 55, 7);
+        assert!(line.contains("\"outcome\":\"error\""));
+        assert!(line.contains("\"query\":\"SELEC \\\"x\\\"\""));
+        assert!(line.contains("\"error\":\"parse error:\\nline 1\""));
+    }
+
+    #[test]
+    fn log_counts_each_line_once() {
+        let log = QueryLog::discard();
+        log.log_success(&QueryTrace { id: 1, ..Default::default() });
+        log.log_error(2, "bad", "nope", 10);
+        assert_eq!(log.lines_written(), 2);
+    }
+}

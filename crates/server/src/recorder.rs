@@ -1,0 +1,141 @@
+//! The flight recorder: a bounded in-memory ring of recent query traces,
+//! plus a second ring that retains slow queries even after they scroll out
+//! of the recent window. Fed from the database's trace hook
+//! ([`qof_core::FileDatabase::set_trace_hook`]), drained by
+//! `GET /flight-recorder`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use qof_core::QueryTrace;
+
+/// Bounded trace retention for a long-running server.
+pub struct FlightRecorder {
+    capacity: usize,
+    slow_nanos: u64,
+    inner: Mutex<Rings>,
+}
+
+#[derive(Default)]
+struct Rings {
+    recent: VecDeque<QueryTrace>,
+    slow: VecDeque<QueryTrace>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` traces and, separately, the
+    /// last `capacity` traces slower than `slow_nanos` (so one burst of
+    /// fast queries cannot evict the evidence of a slow one).
+    pub fn new(capacity: usize, slow_nanos: u64) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            slow_nanos,
+            inner: Mutex::new(Rings::default()),
+        }
+    }
+
+    /// The slow-query threshold in nanoseconds.
+    pub fn slow_nanos(&self) -> u64 {
+        self.slow_nanos
+    }
+
+    /// Records one completed trace (both rings are bounded; the oldest
+    /// entry falls out).
+    pub fn record(&self, trace: &QueryTrace) {
+        let mut rings = self.inner.lock().expect("recorder lock");
+        if rings.recent.len() == self.capacity {
+            rings.recent.pop_front();
+        }
+        rings.recent.push_back(trace.clone());
+        if trace.total_nanos >= self.slow_nanos {
+            if rings.slow.len() == self.capacity {
+                rings.slow.pop_front();
+            }
+            rings.slow.push_back(trace.clone());
+        }
+    }
+
+    /// Query IDs currently held in the recent ring, oldest first.
+    pub fn recent_ids(&self) -> Vec<u64> {
+        self.inner.lock().expect("recorder lock").recent.iter().map(|t| t.id).collect()
+    }
+
+    /// Number of traces in the recent ring.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder lock").recent.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `GET /flight-recorder` document: configuration plus both rings
+    /// as full [`QueryTrace`] JSON, oldest first.
+    pub fn to_json(&self) -> String {
+        let rings = self.inner.lock().expect("recorder lock");
+        let mut out = format!(
+            "{{\"capacity\":{},\"slow_threshold_nanos\":{},\"recent\":[",
+            self.capacity, self.slow_nanos
+        );
+        for (i, t) in rings.recent.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push_str("],\"slow\":[");
+        for (i, t) in rings.slow.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total_nanos: u64) -> QueryTrace {
+        QueryTrace { id, total_nanos, query: format!("q{id}"), ..Default::default() }
+    }
+
+    #[test]
+    fn recent_ring_is_bounded_and_ordered() {
+        let rec = FlightRecorder::new(3, u64::MAX);
+        for id in 1..=5 {
+            rec.record(&trace(id, 10));
+        }
+        assert_eq!(rec.recent_ids(), vec![3, 4, 5]);
+        assert_eq!(rec.len(), 3);
+    }
+
+    #[test]
+    fn slow_ring_survives_fast_bursts() {
+        let rec = FlightRecorder::new(2, 1_000);
+        rec.record(&trace(1, 5_000)); // slow
+        rec.record(&trace(2, 10));
+        rec.record(&trace(3, 10)); // evicts 1 from recent
+        assert_eq!(rec.recent_ids(), vec![2, 3]);
+        let json = rec.to_json();
+        let slow = json.split("\"slow\":").nth(1).unwrap();
+        assert!(slow.contains("\"id\":1"), "slow ring still holds the slow trace: {slow}");
+    }
+
+    #[test]
+    fn json_document_round_trips_traces() {
+        let rec = FlightRecorder::new(4, 1_000);
+        rec.record(&trace(7, 2_000));
+        let json = rec.to_json();
+        assert!(json.starts_with("{\"capacity\":4,\"slow_threshold_nanos\":1000,"));
+        // Both rings hold the trace; each copy parses back.
+        let body = json.split("\"recent\":[").nth(1).unwrap();
+        let end = body.find("],\"slow\"").unwrap();
+        let back = QueryTrace::from_json(&body[..end]).unwrap();
+        assert_eq!(back.id, 7);
+    }
+}

@@ -6,6 +6,7 @@
 //! qof explain bibtex refs.bib 'SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"'
 //! qof rig bibtex
 //! qof advise bibtex 'SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"'
+//! qof serve bibtex --port 7878 --log query.log refs.bib
 //! ```
 //!
 //! Built-in structuring schemas: `bibtex`, `mail`, `logs`, `sgml`, `code`
@@ -51,7 +52,9 @@ fn usage() -> ExitCode {
          qof query   <schema> [--index A,B,C] [--threads N] [--cache]\n              \
          [--explain-analyze] [--trace-json FILE] <file>... <query>\n  \
          qof explain <schema> [--index A,B,C] <file>... <query>\n  \
-         qof stats   <schema> [--index A,B,C] [--threads N] [--cache] <file>... <query>...\n  \
+         qof stats   <schema> [--index A,B,C] [--threads N] [--cache] [--json] <file>... <query>...\n  \
+         qof serve   <schema> [--index A,B,C] [--threads N] [--cache] [--port P]\n              \
+         [--log FILE] [--slow-ms MS] [--recorder N] <file>...\n  \
          qof advise  <schema> <query>...\n  \
          qof check   <schema> [--index A,B,C] [<query>...]\n\
          schemas: bibtex mail logs sgml code"
@@ -92,6 +95,7 @@ fn run_stats(
     index: Option<&str>,
     threads: usize,
     cache: bool,
+    json: bool,
 ) -> Result<ExitCode, String> {
     let (files, queries): (Vec<String>, Vec<String>) =
         rest.into_iter().partition(|a| std::path::Path::new(a).is_file());
@@ -106,6 +110,12 @@ fn run_stats(
         }
     }
     let snap = qof::pat::MetricsRegistry::global().snapshot();
+    if json {
+        // The same serializer that backs the server's `GET
+        // /metrics?format=json`, so the two surfaces cannot drift.
+        println!("{}", qof::pat::snapshot_to_json(&snap));
+        return Ok(ExitCode::SUCCESS);
+    }
     println!("queries executed:   {} ({} errors)", snap.queries, snap.query_errors);
     println!(
         "cache hit rate:     {:.1}% ({} hits / {} misses)",
@@ -113,21 +123,73 @@ fn run_stats(
         snap.cache_hits,
         snap.cache_misses
     );
+    let ql = snap.query_latency.summary();
     println!(
         "query latency:      p50 {}  p95 {}  ({} samples)",
-        fmt_nanos(snap.query_latency.p50_nanos),
-        fmt_nanos(snap.query_latency.p95_nanos),
-        snap.query_latency.count
+        fmt_nanos(ql.p50_nanos),
+        fmt_nanos(ql.p95_nanos),
+        ql.count
     );
     println!("operator latencies:");
     for (op, h) in &snap.op_latency {
+        let s = h.summary();
         println!(
             "  {op:<6} p50 {:>8}  p95 {:>8}  ×{}",
-            fmt_nanos(h.p50_nanos),
-            fmt_nanos(h.p95_nanos),
-            h.count
+            fmt_nanos(s.p50_nanos),
+            fmt_nanos(s.p95_nanos),
+            s.count
         );
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `qof serve` knobs beyond the shared query flags.
+struct ServeOpts {
+    port: u16,
+    log_path: Option<String>,
+    slow_ms: u64,
+    recorder: usize,
+}
+
+/// `qof serve`: loads the corpus once, then serves queries over HTTP until
+/// killed (or until `POST /shutdown`). See `qof::server` for endpoints.
+fn run_serve(
+    schema: StructuringSchema,
+    files: &[String],
+    index: Option<&str>,
+    threads: usize,
+    cache: bool,
+    opts: &ServeOpts,
+) -> Result<ExitCode, String> {
+    use qof::server::{serve, QueryLog, ServerConfig};
+    if files.is_empty() {
+        return Ok(usage());
+    }
+    let db = build_db(schema, files, index)?
+        .with_exec_options(ExecOptions { threads: threads.max(1), cache });
+    let log = match opts.log_path.as_deref() {
+        None => QueryLog::discard(),
+        Some(path) => {
+            let file = std::fs::File::options()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open log `{path}`: {e}"))?;
+            QueryLog::new(Box::new(file))
+        }
+    };
+    let listener = std::net::TcpListener::bind(("127.0.0.1", opts.port))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+    let config = ServerConfig { slow_ms: opts.slow_ms, recorder_capacity: opts.recorder };
+    let handle = serve(db, listener, log, &config).map_err(|e| e.to_string())?;
+    eprintln!("qof serve: listening on http://{}", handle.addr());
+    eprintln!("  POST /query        query text in body (?explain=1 for a trace)");
+    eprintln!("  GET  /metrics      Prometheus text (?format=json)");
+    eprintln!("  GET  /healthz      liveness");
+    eprintln!("  GET  /flight-recorder");
+    eprintln!("  POST /shutdown");
+    handle.wait();
+    eprintln!("qof serve: shut down");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -174,7 +236,7 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
-        "query" | "explain" | "stats" => {
+        "query" | "explain" | "stats" | "serve" => {
             let Some(name) = args.get(1) else { return Ok(usage()) };
             let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
             let mut rest: Vec<String> = args[2..].to_vec();
@@ -183,6 +245,11 @@ fn run() -> Result<ExitCode, String> {
             let mut cache = false;
             let mut explain_analyze = false;
             let mut trace_json: Option<String> = None;
+            let mut json = false;
+            let mut port: u16 = 7878;
+            let mut log_path: Option<String> = None;
+            let mut slow_ms: u64 = 100;
+            let mut recorder: usize = 64;
             loop {
                 match rest.first().map(String::as_str) {
                     Some("--index") => {
@@ -216,11 +283,50 @@ fn run() -> Result<ExitCode, String> {
                         trace_json = Some(rest[1].clone());
                         rest.drain(..2);
                     }
+                    Some("--json") => {
+                        json = true;
+                        rest.remove(0);
+                    }
+                    Some("--port") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        port = rest[1].parse().map_err(|_| "--port needs a port".to_owned())?;
+                        rest.drain(..2);
+                    }
+                    Some("--log") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        log_path = Some(rest[1].clone());
+                        rest.drain(..2);
+                    }
+                    Some("--slow-ms") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        slow_ms =
+                            rest[1].parse().map_err(|_| "--slow-ms needs a number".to_owned())?;
+                        rest.drain(..2);
+                    }
+                    Some("--recorder") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        recorder = rest[1]
+                            .parse()
+                            .map_err(|_| "--recorder needs a capacity".to_owned())?;
+                        rest.drain(..2);
+                    }
                     _ => break,
                 }
             }
             if cmd == "stats" {
-                return run_stats(schema, rest, index.as_deref(), threads, cache);
+                return run_stats(schema, rest, index.as_deref(), threads, cache, json);
+            }
+            if cmd == "serve" {
+                let opts = ServeOpts { port, log_path, slow_ms, recorder };
+                return run_serve(schema, &rest, index.as_deref(), threads, cache, &opts);
             }
             let Some((query, files)) = rest.split_last() else { return Ok(usage()) };
             if files.is_empty() {

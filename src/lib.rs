@@ -11,6 +11,8 @@
 //! * [`db`] — the in-memory object database (baseline substrate);
 //! * [`grammar`] — structuring schemas (§4);
 //! * [`corpus`] — synthetic corpora with ground truths;
+//! * [`server`] — the `qof serve` HTTP query server (metrics, query log,
+//!   flight recorder);
 //! * the core items (query language, RIG, optimizer, planner, executor,
 //!   baseline, index advisor) at the crate root.
 //!
@@ -58,4 +60,10 @@ pub mod grammar {
 /// Synthetic corpora (BibTeX, mail, logs, SGML) with ground truths.
 pub mod corpus {
     pub use qof_corpus::*;
+}
+
+/// The long-running query server (`qof serve`): HTTP endpoints, Prometheus
+/// metrics, structured query log, flight recorder.
+pub mod server {
+    pub use qof_server::*;
 }
