@@ -12,8 +12,8 @@ use std::time::Instant;
 
 use qof_core::baseline::BaselineMode;
 use qof_core::{
-    advise, optimize, parse_query, Direction, ExecOptions, FileDatabase, InclusionExpr, Rig,
-    SelectKind,
+    advise, certify, optimize, parse_query, AbsInterp, Direction, ExecOptions, FileDatabase,
+    InclusionExpr, Rig, SelectKind,
 };
 use qof_corpus::{bibtex, logs};
 use qof_grammar::{render_tree, IndexSpec, Parser};
@@ -90,6 +90,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("e11", "sharded parallel execution and the subexpression cache"),
     ("e12", "query server under closed-loop load: latency from /metrics, log overhead"),
     ("a1", "ablation: common-subexpression sharing in boolean queries (§5.2)"),
+    ("a2", "analyzer: qof check latency and rewrite-certifier overhead"),
 ];
 
 /// All experiment ids, in canonical run order.
@@ -119,6 +120,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "e11" => e11(scale, &mut r),
         "e12" => e12(scale, &mut r),
         "a1" => a1(scale, &mut r),
+        "a2" => a2(scale, &mut r),
         _ => unreachable!("id came from EXPERIMENTS"),
     }
     Some(ExperimentReport {
@@ -865,6 +867,65 @@ fn a1(scale: Scale, r: &mut Recorder) {
             ops_s,
             ops_u,
             t_unshared / t_shared.max(1e-12)
+        );
+    }
+}
+
+/// A2: what the static-analysis layer costs. Three numbers per corpus
+/// size: the full `qof check` pipeline per query (planning + abstract
+/// interpretation + lints), the end-to-end query it guards, and the
+/// certifier alone on the §3.2 golden chain (the per-plan overhead the
+/// query path now always pays).
+fn a2(scale: Scale, r: &mut Recorder) {
+    banner("A2", "analyzer: qof check latency and rewrite-certifier overhead");
+    println!(
+        "{:>8} | {:>10} {:>10} {:>12} | {:>9}",
+        "refs", "check", "query", "certify", "chk/qry"
+    );
+    let queries = [CHANG_AUTHOR, CHANG_STAR, "SELECT r FROM References r WHERE r.Year = \"1982\""];
+    for n in scale.pick(vec![200usize], vec![800usize, 3200]) {
+        let fdb = bibtex_full(n);
+        let t_check = median_secs(9, || {
+            let t = Instant::now();
+            for q in &queries {
+                std::hint::black_box(fdb.check(q));
+            }
+            t.elapsed().as_secs_f64() / queries.len() as f64
+        });
+        let t_query = median_secs(9, || {
+            let t = Instant::now();
+            for q in &queries {
+                std::hint::black_box(fdb.query(q).unwrap());
+            }
+            t.elapsed().as_secs_f64() / queries.len() as f64
+        });
+        // The certifier micro-benchmark: replay + abstract states for the
+        // golden chain's two-step rewrite, amortized over a tight loop.
+        let rig = fdb.partial_rig();
+        let chain = InclusionExpr::all_direct(
+            Direction::Including,
+            ["Reference", "Authors", "Name", "Last_Name"].iter().map(ToString::to_string).collect(),
+            None,
+        );
+        let opt = optimize(&chain, rig);
+        let interp = AbsInterp::new(rig);
+        let t_cert = median_secs(9, || {
+            let t = Instant::now();
+            for _ in 0..100 {
+                std::hint::black_box(certify(&chain, rig, &opt, &interp));
+            }
+            t.elapsed().as_secs_f64() / 100.0
+        });
+        r.rec(format!("check_secs_{n}"), t_check, "s");
+        r.rec(format!("query_secs_{n}"), t_query, "s");
+        r.rec(format!("certify_secs_{n}"), t_cert, "s");
+        println!(
+            "{:>8} | {} {} {:>11} | {:>8.2}x",
+            n,
+            fmt_secs(t_check),
+            fmt_secs(t_query),
+            fmt_secs(t_cert),
+            t_check / t_query.max(1e-12)
         );
     }
 }

@@ -22,7 +22,11 @@
 //! per-operator timings, per-phase breakdowns and the run's cache hit
 //! ratio. v3 added the `e12` server-load experiment to the canonical run
 //! order and bumped embedded traces to trace schema v2 (which carries the
-//! query `id`). All v2 fields are unchanged.
+//! query `id`). All v2 fields are unchanged. Embedded traces follow
+//! `qof_core::TRACE_SCHEMA_VERSION` as it evolves (v3 adds per-rewrite
+//! `certified` and the static `facts` array); the `a2` analyzer-overhead
+//! experiment joined the canonical order without a report schema bump —
+//! experiments are data, not schema.
 
 use std::fmt::Write as _;
 use std::path::Path;

@@ -1,0 +1,299 @@
+//! The rewrite certifier: abstract-interpretation sign-off on every
+//! §3.3/§3.5 step the optimizer recorded.
+//!
+//! The optimizer's trace is replayed step by step from the original
+//! chain. Each step must (1) structurally apply to the current chain,
+//! (2) satisfy the Proposition 3.5 side condition it claims, and (3)
+//! carry the abstract state across: the [`AbsState`]s of the chain
+//! before and after the step must be [compatible](AbsState::compatible)
+//! (a rewrite preserves the concrete result set, so the two
+//! over-approximations must share at least one concretization). A
+//! Proposition 3.3 `∅` verdict is certified by replaying the per-hop
+//! dead-edge test — the structural ground truth — and confirming the
+//! interpreter agrees the `∅` encoding is empty.
+//!
+//! Unlike `analyze::verify` (which turns violations into `QOF030`
+//! diagnostics), the certifier returns a per-step verdict so the
+//! planner can annotate each `PlanRewrite` as certified or not, surface
+//! `QOF110` for failures, and — under `--strict` — fall back to the
+//! unoptimized chain.
+
+use super::{AbsInterp, AbsState};
+use crate::analyze::verify::weaken_licensed;
+use crate::analyze::{Code, Diagnostic, Severity};
+use crate::optimizer::{is_trivially_empty, Optimized, RewriteKind};
+use crate::{ChainOp, InclusionExpr, Rig};
+
+/// The verdict on one optimizer step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepCert {
+    /// Whether the step passed all three checks.
+    pub certified: bool,
+    /// Why it failed, when it did.
+    pub reason: Option<String>,
+}
+
+impl StepCert {
+    fn ok() -> Self {
+        StepCert { certified: true, reason: None }
+    }
+
+    fn fail(reason: impl Into<String>) -> Self {
+        StepCert { certified: false, reason: Some(reason.into()) }
+    }
+}
+
+/// The certifier's output for one optimized chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifyResult {
+    /// One verdict per entry of the optimizer trace, in order.
+    pub steps: Vec<StepCert>,
+    /// The verdict on the Proposition 3.3 `∅` conclusion, when the
+    /// optimizer drew one.
+    pub empty_step: Option<StepCert>,
+    /// Whether the replayed trace lands exactly on the optimized chain.
+    pub replay_matches: bool,
+}
+
+impl CertifyResult {
+    /// Whether every step (and the `∅` verdict, if any) is certified and
+    /// the replay reproduced the optimizer's output.
+    pub fn all_certified(&self) -> bool {
+        self.replay_matches
+            && self.steps.iter().all(|s| s.certified)
+            && self.empty_step.as_ref().is_none_or(|s| s.certified)
+    }
+}
+
+/// Certifies `out` — the optimizer's verdict on `original` over `rig` —
+/// step by step. See the module docs for the three per-step checks.
+pub fn certify(
+    original: &InclusionExpr,
+    rig: &Rig,
+    out: &Optimized,
+    interp: &AbsInterp<'_>,
+) -> CertifyResult {
+    if out.trivially_empty {
+        let structurally_empty = is_trivially_empty(original, rig);
+        // The planner encodes a Proposition 3.3 verdict as `x − x`; the
+        // interpreter must prove that encoding empty. (The chain itself
+        // may *not* be abstractly provable: the loose domain rule admits
+        // reverse-path inclusions that equal-span regions could satisfy,
+        // so the per-hop structural replay above is the authoritative
+        // test, exactly as in `is_trivially_empty`.)
+        let head = qof_pat::RegionExpr::name(&original.names()[0]);
+        let abs_agrees = interp.analyze(&head.clone().difference(head)).empty;
+        let step = if !structurally_empty {
+            StepCert::fail("a per-hop replay finds no dead RIG edge or path")
+        } else if !out.trace.is_empty() {
+            StepCert::fail("a trivially empty expression must not also be rewritten")
+        } else if !abs_agrees {
+            StepCert::fail("the abstract state of the ∅ encoding is not provably empty")
+        } else {
+            StepCert::ok()
+        };
+        let certified = step.certified;
+        return CertifyResult {
+            steps: Vec::new(),
+            empty_step: Some(step),
+            replay_matches: certified,
+        };
+    }
+
+    let mut names: Vec<String> = original.names().to_vec();
+    let mut ops: Vec<ChainOp> = original.ops().to_vec();
+    let mut steps = Vec::with_capacity(out.trace.len());
+    let mut broken = false;
+    for rw in &out.trace {
+        if broken {
+            steps.push(StepCert::fail("an earlier step failed to replay"));
+            continue;
+        }
+        let pre = interp.analyze(&original.with_chain(names.clone(), ops.clone()).to_region_expr());
+        let step = match &rw.kind {
+            RewriteKind::Weaken { a, b } => {
+                match (0..ops.len())
+                    .find(|&i| names[i] == *a && names[i + 1] == *b && ops[i] == ChainOp::Direct)
+                {
+                    None => {
+                        broken = true;
+                        StepCert::fail(format!(
+                            "`weaken {a} ⊃d {b}` does not apply to the current chain"
+                        ))
+                    }
+                    Some(i) => {
+                        let licensed = weaken_licensed(rig, original.direction(), &names, i);
+                        ops[i] = ChainOp::Incl;
+                        if licensed {
+                            StepCert::ok()
+                        } else {
+                            StepCert::fail(format!(
+                                "`weaken {a} ⊃d {b}` violates Proposition 3.5(a)"
+                            ))
+                        }
+                    }
+                }
+            }
+            RewriteKind::Shorten { a, via, b } => {
+                match (0..names.len().saturating_sub(2)).find(|&i| {
+                    names[i] == *a
+                        && names[i + 1] == *via
+                        && names[i + 2] == *b
+                        && ops[i] == ChainOp::Incl
+                        && ops[i + 1] == ChainOp::Incl
+                }) {
+                    None => {
+                        broken = true;
+                        StepCert::fail(format!(
+                            "`drop {via} from {a} ⊃ {via} ⊃ {b}` does not apply to the current \
+                             chain"
+                        ))
+                    }
+                    Some(i) => {
+                        let licensed = rig.all_paths_pass_through(a, b, via);
+                        names.remove(i + 1);
+                        ops.remove(i);
+                        if licensed {
+                            StepCert::ok()
+                        } else {
+                            StepCert::fail(format!(
+                                "`drop {via} from {a} ⊃ {via} ⊃ {b}` violates Proposition 3.5(b)"
+                            ))
+                        }
+                    }
+                }
+            }
+        };
+        let step = if step.certified {
+            let post =
+                interp.analyze(&original.with_chain(names.clone(), ops.clone()).to_region_expr());
+            check_states(&pre, &post)
+        } else {
+            step
+        };
+        steps.push(step);
+    }
+    let replay_matches = !broken && names == out.expr.names() && ops == out.expr.ops();
+    CertifyResult { steps, empty_step: None, replay_matches }
+}
+
+/// Renders an uncertified rewrite as the `QOF110` diagnostic `qof check`
+/// emits — the one constructor behind both the check path and tests, so
+/// the rendered shape cannot drift.
+pub fn uncertified_diagnostic(
+    proposition: &str,
+    description: &str,
+    reason: Option<&str>,
+) -> Diagnostic {
+    let mut d = Diagnostic::new(
+        Code::Qof110,
+        Severity::Warning,
+        format!("optimizer rewrite [{proposition}] `{description}` failed certification"),
+    )
+    .with_note(
+        "the abstract interpreter could not prove the step sound; `--strict` suppresses \
+         uncertified rewrites",
+    );
+    if let Some(r) = reason {
+        d = d.with_note(r);
+    }
+    d
+}
+
+/// The abstract-state leg of certification: a semantics-preserving
+/// rewrite must leave the pre/post states compatible.
+fn check_states(pre: &AbsState, post: &AbsState) -> StepCert {
+    if pre.compatible(post) {
+        StepCert::ok()
+    } else {
+        StepCert::fail(format!(
+            "pre/post abstract states are incompatible: {} vs {} (empty: {} vs {})",
+            pre.card, post.card, pre.empty, post.empty
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize, Direction, Rewrite};
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(ToString::to_string).collect()
+    }
+
+    fn bib_rig() -> Rig {
+        let mut g = Rig::new();
+        g.add_edge("Reference", "Authors");
+        g.add_edge("Authors", "Name");
+        g.add_edge("Name", "Last_Name");
+        g
+    }
+
+    #[test]
+    fn real_optimizer_output_is_certified() {
+        let g = bib_rig();
+        let e = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            None,
+        );
+        let out = optimize(&e, &g);
+        assert!(!out.trace.is_empty(), "the golden chain must rewrite");
+        let interp = AbsInterp::new(&g);
+        let cert = certify(&e, &g, &out, &interp);
+        assert!(cert.all_certified(), "{cert:?}");
+        assert_eq!(cert.steps.len(), out.trace.len());
+    }
+
+    #[test]
+    fn trivially_empty_verdict_is_certified() {
+        let mut g = Rig::new();
+        g.add_edge("A", "B");
+        let e = InclusionExpr::all_direct(Direction::Including, names(&["B", "A"]), None);
+        let out = optimize(&e, &g);
+        assert!(out.trivially_empty);
+        let interp = AbsInterp::new(&g);
+        let cert = certify(&e, &g, &out, &interp);
+        assert!(cert.all_certified(), "{cert:?}");
+        assert!(cert.empty_step.is_some());
+    }
+
+    #[test]
+    fn forged_shorten_is_not_certified() {
+        let mut g = Rig::new();
+        g.add_edge("A", "B");
+        g.add_edge("B", "C");
+        g.add_edge("A", "C"); // second path: dropping B is unsound
+        let e = InclusionExpr::including(
+            names(&["A", "B", "C"]),
+            vec![ChainOp::Incl, ChainOp::Incl],
+            None,
+        );
+        let forged = Optimized {
+            expr: e.with_chain(names(&["A", "C"]), vec![ChainOp::Incl]),
+            trivially_empty: false,
+            trace: vec![Rewrite {
+                kind: RewriteKind::Shorten { a: "A".into(), via: "B".into(), b: "C".into() },
+                description: String::new(),
+                result: String::new(),
+            }],
+        };
+        let interp = AbsInterp::new(&g);
+        let cert = certify(&e, &g, &forged, &interp);
+        assert!(!cert.all_certified());
+        assert!(!cert.steps[0].certified);
+        assert!(cert.steps[0].reason.as_deref().unwrap().contains("3.5(b)"));
+    }
+
+    #[test]
+    fn forged_empty_verdict_is_not_certified() {
+        let g = bib_rig();
+        let e =
+            InclusionExpr::including(names(&["Reference", "Authors"]), vec![ChainOp::Incl], None);
+        let forged = Optimized { expr: e.clone(), trivially_empty: true, trace: Vec::new() };
+        let interp = AbsInterp::new(&g);
+        let cert = certify(&e, &g, &forged, &interp);
+        assert!(!cert.all_certified());
+    }
+}

@@ -13,6 +13,7 @@
 //! [`Diagnostic`] values renderable in rustc style via
 //! [`Diagnostic::render`].
 
+pub mod absint;
 mod query;
 mod schema;
 pub mod verify;
@@ -24,7 +25,9 @@ use std::fmt;
 
 /// Stable diagnostic codes. The numeric ranges group the checks:
 /// `QOF00x` schema, `QOF01x` RIG/index, `QOF02x` query, `QOF03x`
-/// optimizer self-verification.
+/// optimizer self-verification, `QOF1xx` abstract interpretation
+/// (static domains, cardinality intervals, emptiness facts) and the
+/// rewrite certifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum Code {
@@ -59,6 +62,20 @@ pub enum Code {
     Qof030,
     /// Optimizer normal form is not confluent (Theorem 3.6).
     Qof031,
+    /// Subexpression proven empty by the abstract interpreter.
+    Qof100,
+    /// Dead branch of a `∪`/`−`: one operand is provably empty.
+    Qof101,
+    /// Redundant intersection: both operands are the same expression.
+    Qof102,
+    /// Inclusion over disjoint RIG components: the operand domains admit
+    /// no containment per the RIG.
+    Qof103,
+    /// Closure (`+`) requested over a region type on no RIG cycle, so the
+    /// closure can never add a second level.
+    Qof104,
+    /// Optimizer rewrite the certifier could not certify.
+    Qof110,
 }
 
 impl Code {
@@ -80,6 +97,12 @@ impl Code {
             Code::Qof026 => "QOF026",
             Code::Qof030 => "QOF030",
             Code::Qof031 => "QOF031",
+            Code::Qof100 => "QOF100",
+            Code::Qof101 => "QOF101",
+            Code::Qof102 => "QOF102",
+            Code::Qof103 => "QOF103",
+            Code::Qof104 => "QOF104",
+            Code::Qof110 => "QOF110",
         }
     }
 }
@@ -103,12 +126,18 @@ pub enum Severity {
 }
 
 impl Severity {
-    fn label(self) -> &'static str {
+    /// The stable lowercase label (`error`/`warning`/`help`), shared by
+    /// the rustc-style renderer and the `--json` output.
+    pub fn as_str(self) -> &'static str {
         match self {
             Severity::Error => "error",
             Severity::Warning => "warning",
             Severity::Help => "help",
         }
+    }
+
+    fn label(self) -> &'static str {
+        self.as_str()
     }
 }
 
@@ -190,6 +219,34 @@ impl Diagnostic {
         for note in &self.notes {
             let _ = writeln!(out, "  = note: {note}");
         }
+        out
+    }
+
+    /// Serializes the diagnostic as one JSON object — the machine-readable
+    /// twin of [`Diagnostic::render`], sharing the same data model. The
+    /// `span` key is omitted when the finding is not source-anchored.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let esc = crate::trace::esc;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+            self.code,
+            self.severity.as_str(),
+            esc(&self.message)
+        );
+        if let Some(span) = self.span {
+            let _ = write!(out, ",\"span\":{{\"start\":{},\"end\":{}}}", span.start, span.end);
+        }
+        out.push_str(",\"notes\":[");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(note));
+        }
+        out.push_str("]}");
         out
     }
 }

@@ -1,12 +1,17 @@
-//! Query lints (`QOF011`, `QOF020`–`QOF026`).
+//! Query lints (`QOF011`, `QOF020`–`QOF026`, `QOF1xx`).
 //!
 //! Everything here is decided **statically**: from the query text, the
 //! structuring schema, the RIG, and (when a planner is supplied) the index
-//! spec — no file content is ever read.
+//! spec — no file content is ever read. With a planner, the abstract
+//! interpreter additionally lints the *planned* region expressions
+//! (`QOF100`–`QOF103`) and surfaces any rewrite the certifier refused to
+//! sign off (`QOF110`); `QOF104` flags closures over non-cyclic RIG
+//! names.
 
+use super::absint::AbsInterp;
 use super::{did_you_mean, locate, Code, Diagnostic, Severity};
 use crate::optimizer::optimize;
-use crate::plan::{InexactReason, PlanError, Planner};
+use crate::plan::{CondNode, InexactReason, Plan, PlanError, Planner, ProjPlan};
 use crate::translate::{resolve_path, SkOp, Skeleton, TranslateError};
 use crate::{
     parse_query, ChainOp, Cond, Direction, InclusionExpr, Projection, QPath, QStep, Query, Rig,
@@ -78,6 +83,7 @@ pub fn check_query(
                     empty_paths.push(path.to_string());
                 } else {
                     check_star_suggestion(full_rig, symbol, &path, src, &mut out);
+                    check_acyclic_closure(full_rig, &path, &spec.alternatives, src, &mut out);
                 }
             }
         }
@@ -313,6 +319,40 @@ fn check_star_suggestion(
     }
 }
 
+/// QOF104 — a closure step (`A+`) over a name on no RIG cycle: `A` can
+/// never nest within itself, so the closure collapses to a single level
+/// and the `+` is misleading (pre-wiring for path regular expressions).
+fn check_acyclic_closure(
+    rig: &Rig,
+    path: &QPath,
+    alternatives: &[Skeleton],
+    src: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut flagged: Vec<&str> = Vec::new();
+    for alt in alternatives {
+        for (i, op) in alt.ops.iter().enumerate() {
+            let target = alt.names[i + 1].as_str();
+            if *op == SkOp::Closure && !rig.on_cycle(target) && !flagged.contains(&target) {
+                flagged.push(target);
+                let mut d = Diagnostic::new(
+                    Code::Qof104,
+                    Severity::Help,
+                    format!("closure `{target}+` in `{path}` ranges over a non-cyclic RIG name"),
+                )
+                .with_note(format!(
+                    "the RIG has no cycle through `{target}`, so `{target}` regions never nest \
+                     within each other and `{target}+` matches exactly one level"
+                ));
+                if let Some(span) = locate(src, target) {
+                    d = d.with_span(span);
+                }
+                out.push(d);
+            }
+        }
+    }
+}
+
 /// QOF023 — type mismatches on comparisons, via `qof_db::schema`.
 fn check_types(schema: &StructuringSchema, q: &Query, src: &str, out: &mut Vec<Diagnostic>) {
     let Some(w) = &q.where_ else { return };
@@ -413,8 +453,10 @@ fn strip_containers(schema: &StructuringSchema, mut ty: TypeDef) -> Option<TypeD
     }
 }
 
-/// The planner-dependent checks: `QOF026` (view not indexed) and `QOF011`
-/// (§6.3 inexact hops, with the ambiguous edge named).
+/// The planner-dependent checks: `QOF026` (view not indexed), `QOF011`
+/// (§6.3 inexact hops, with the ambiguous edge named), the abstract
+/// interpreter's `QOF100`–`QOF103` lints over the planned region
+/// expressions, and `QOF110` for rewrites the certifier refused.
 fn check_with_planner(
     planner: &Planner<'_>,
     q: &Query,
@@ -423,16 +465,22 @@ fn check_with_planner(
     src: &str,
     out: &mut Vec<Diagnostic>,
 ) {
-    if let Err(PlanError::ViewNotIndexed(sym)) = planner.plan(q) {
-        out.push(
-            Diagnostic::new(
-                Code::Qof026,
-                Severity::Error,
-                format!("view symbol `{sym}` is not indexed"),
-            )
-            .with_note("§6 requires at least the view's regions in the index to locate candidates"),
-        );
-        return;
+    match planner.plan(q) {
+        Err(PlanError::ViewNotIndexed(sym)) => {
+            out.push(
+                Diagnostic::new(
+                    Code::Qof026,
+                    Severity::Error,
+                    format!("view symbol `{sym}` is not indexed"),
+                )
+                .with_note(
+                    "§6 requires at least the view's regions in the index to locate candidates",
+                ),
+            );
+            return;
+        }
+        Err(_) => {} // reported through the path/type lints above
+        Ok(plan) => check_plan_absint(planner, &plan, empty_paths, out),
     }
     let mut seen: Vec<crate::plan::InexactHop> = Vec::new();
     for path in paths_of(q) {
@@ -480,5 +528,55 @@ fn check_with_planner(
             out.push(d);
             seen.push(hop);
         }
+    }
+}
+
+/// The abstract-interpretation leg of the planner checks: `QOF110` for
+/// every rewrite the certifier refused, then the `QOF100`–`QOF103` lints
+/// over each region expression the plan evaluates. The interpreter runs
+/// RIG-only here — `qof check` plans against a synthetic sample corpus
+/// whose index statistics would be misleading as evidence.
+fn check_plan_absint(
+    planner: &Planner<'_>,
+    plan: &Plan,
+    empty_paths: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    for rw in &plan.rewrites {
+        if !rw.certified {
+            out.push(super::absint::uncertified_diagnostic(&rw.proposition, &rw.description, None));
+        }
+    }
+    // A path already reported as trivially empty (QOF024) plans to the ∅
+    // encoding; its subtree needs no second emptiness report.
+    if !empty_paths.is_empty() {
+        return;
+    }
+    let interp = AbsInterp::new(planner.partial_rig);
+    fn walk(c: &CondNode, interp: &AbsInterp<'_>, out: &mut Vec<Diagnostic>) {
+        match c {
+            CondNode::IndexOnly { expr, .. } => interp.lint_expr(expr, out),
+            CondNode::ContentCompare { left, right, .. } => {
+                interp.lint_expr(left, out);
+                interp.lint_expr(right, out);
+            }
+            CondNode::And(a, b) | CondNode::Or(a, b) => {
+                walk(a, interp, out);
+                walk(b, interp, out);
+            }
+            CondNode::Not(a) => walk(a, interp, out),
+        }
+    }
+    for vp in &plan.vars {
+        if let Some(c) = &vp.cond {
+            walk(c, &interp, out);
+        }
+    }
+    if let Some(j) = &plan.join {
+        interp.lint_expr(&j.left, out);
+        interp.lint_expr(&j.right, out);
+    }
+    if let ProjPlan::Values { chain: Some((expr, _, _)), .. } = &plan.projection {
+        interp.lint_expr(expr, out);
     }
 }

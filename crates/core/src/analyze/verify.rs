@@ -131,7 +131,7 @@ pub fn verify_rewrites(original: &InclusionExpr, rig: &Rig, out: &Optimized) -> 
 /// Whether Proposition 3.5(a) licenses weakening the hop at `i`:
 /// the edge is the only path, or the hop touches the chain's existential
 /// endpoint and every path runs through the edge at that end.
-fn weaken_licensed(rig: &Rig, dir: Direction, names: &[String], i: usize) -> bool {
+pub(crate) fn weaken_licensed(rig: &Rig, dir: Direction, names: &[String], i: usize) -> bool {
     let (a, b) = (&names[i], &names[i + 1]);
     if rig.only_path_edge(a, b) {
         return true;

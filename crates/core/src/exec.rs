@@ -232,6 +232,7 @@ pub struct FileDatabase {
     metrics: Arc<MetricsRegistry>,
     query_counter: AtomicU64,
     trace_hook: Option<TraceHook>,
+    strict: bool,
 }
 
 /// Builds the word index for `corpus`, honoring the spec's §7 selective
@@ -297,6 +298,7 @@ impl FileDatabase {
             metrics: MetricsRegistry::global_arc(),
             query_counter: AtomicU64::new(0),
             trace_hook: None,
+            strict: false,
         })
     }
 
@@ -374,6 +376,7 @@ impl FileDatabase {
             metrics: MetricsRegistry::global_arc(),
             query_counter: AtomicU64::new(0),
             trace_hook: None,
+            strict: false,
         })
     }
 
@@ -403,6 +406,28 @@ impl FileDatabase {
     /// The current execution options.
     pub fn exec_options(&self) -> ExecOptions {
         self.options
+    }
+
+    /// Enables strict planning (builder style): an optimizer rewrite the
+    /// abstract-interpretation certifier cannot certify is suppressed
+    /// instead of merely flagged in the trace.
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.set_strict(strict);
+        self
+    }
+
+    /// Sets strict planning in place. Plans change shape, so any cached
+    /// subexpression results are dropped.
+    pub fn set_strict(&mut self, strict: bool) {
+        if self.strict != strict {
+            self.cache.clear();
+        }
+        self.strict = strict;
+    }
+
+    /// Whether strict planning is enabled.
+    pub fn strict(&self) -> bool {
+        self.strict
     }
 
     /// Injects the metrics registry traced queries record into (builder
@@ -536,7 +561,18 @@ impl FileDatabase {
             full_rig: &self.full_rig,
             partial_rig: &self.partial_rig,
             full_indexing: self.spec.is_full(),
+            strict: self.strict,
         }
+    }
+
+    /// The abstract interpreter over this database's indexed RIG and
+    /// statistics — the one `query_traced` uses for trace facts.
+    pub fn abs_interp(&self) -> crate::analyze::absint::AbsInterp<'_> {
+        crate::analyze::absint::AbsInterp::with_stats(
+            &self.partial_rig,
+            &self.instance,
+            &self.words,
+        )
     }
 
     /// Statically checks a query against this database's schema, RIG and
@@ -622,6 +658,7 @@ impl FileDatabase {
             query: src.to_owned(),
             plan: result.explain.clone(),
             rewrites: plan.rewrites.clone(),
+            facts: plan.facts(&self.abs_interp()),
             phases: tr.phases,
             shards: tr.shards,
             ops: tr.ops,

@@ -46,6 +46,9 @@ mod trace;
 mod translate;
 
 pub use advisor::{advise, Advice};
+pub use analyze::absint::{
+    certify, uncertified_diagnostic, AbsInterp, AbsState, CardInterval, CertifyResult, StepCert,
+};
 pub use analyze::{
     check_index, check_query, check_schema, render_all, Code, Diagnostic, Severity, Span,
 };
@@ -61,5 +64,5 @@ pub use residual::{
     CompiledPath,
 };
 pub use rig::{Rig, RigViolation};
-pub use trace::{PhaseTrace, QueryTrace, ShardTrace, TRACE_SCHEMA_VERSION};
+pub use trace::{NodeFact, PhaseTrace, QueryTrace, ShardTrace, TRACE_SCHEMA_VERSION};
 pub use translate::{PathSpec, TranslateError};

@@ -9,8 +9,10 @@ use std::fmt::Write as _;
 use qof_grammar::{PathFilter, StructuringSchema};
 use qof_pat::{Instance, RegionExpr};
 
+use crate::analyze::absint::{certify, AbsInterp};
 use crate::optimizer::{optimize, RewriteKind};
 use crate::residual::{compile_cond, compile_steps, CompiledCond, CompiledPath};
+use crate::trace::NodeFact;
 use crate::translate::{filter_paths, resolve_path, PathSpec, SkOp, TranslateError};
 use crate::{ChainOp, Cond, Direction, InclusionExpr, Projection, QPath, Query, Rig, SelectKind};
 
@@ -126,6 +128,10 @@ pub struct PlanRewrite {
     pub description: String,
     /// The inclusion expression after this rewrite (`∅` for 3.3).
     pub result: String,
+    /// Whether the abstract-interpretation certifier signed the step off
+    /// (structural replay + Proposition 3.5 side condition + compatible
+    /// pre/post abstract states).
+    pub certified: bool,
 }
 
 /// A complete query plan.
@@ -194,6 +200,9 @@ pub struct Planner<'a> {
     pub partial_rig: &'a Rig,
     /// Whether the index spec covers every non-terminal (full indexing).
     pub full_indexing: bool,
+    /// Strict mode: a rewrite the certifier cannot certify is *suppressed*
+    /// (the run stays unoptimized) instead of merely flagged.
+    pub strict: bool,
 }
 
 /// Why a projected hop lost §6.3 exactness (surfaced by `qof check` as
@@ -678,7 +687,13 @@ impl<'a> Planner<'a> {
                 continue;
             }
             let opt = optimize(&ie, self.partial_rig);
-            for rw in &opt.trace {
+            // Every recorded step goes through the abstract-interpretation
+            // certifier; a verdict the certifier rejects is flagged in the
+            // trace and — under strict mode — suppressed entirely.
+            let interp = AbsInterp::new(self.partial_rig);
+            let cert = certify(&ie, self.partial_rig, &opt, &interp);
+            let accepted = !self.strict || cert.all_certified();
+            for (rw, step) in opt.trace.iter().zip(&cert.steps) {
                 let proposition = match &rw.kind {
                     RewriteKind::Weaken { .. } => "3.5(a)",
                     RewriteKind::Shorten { .. } => "3.5(b)",
@@ -687,17 +702,22 @@ impl<'a> Planner<'a> {
                     proposition: proposition.to_owned(),
                     description: rw.description.clone(),
                     result: rw.result.clone(),
+                    certified: step.certified,
                 });
             }
             if opt.trivially_empty {
-                empty = true;
+                let step_ok = cert.empty_step.as_ref().is_some_and(|s| s.certified);
                 rewrites.push(PlanRewrite {
                     proposition: "3.3".to_owned(),
                     description: format!("`{ie}` is provably empty: a hop has no RIG edge or path"),
                     result: "∅".to_owned(),
+                    certified: step_ok,
                 });
+                if accepted {
+                    empty = true;
+                }
             }
-            optimized_runs.push(opt.expr);
+            optimized_runs.push(if accepted { opt.expr } else { ie });
         }
 
         // Reassemble: fold runs right-to-left with NestedExactly links.
@@ -1042,6 +1062,51 @@ impl Plan {
                     let _ = writeln!(out, "project: values of {var} via parsed objects");
                 }
             },
+        }
+        if !self.rewrites.is_empty() {
+            let certified = self.rewrites.iter().filter(|r| r.certified).count();
+            let _ = writeln!(
+                out,
+                "optimizer: {} rewrite(s), {certified} certified",
+                self.rewrites.len()
+            );
+        }
+        out
+    }
+
+    /// The abstract interpreter's verdict on every region expression the
+    /// plan evaluates: condition leaves, both content-compare and join
+    /// sides, and the index-side projection chain. The raw material of
+    /// trace schema v3's `facts` array.
+    pub fn facts(&self, interp: &AbsInterp<'_>) -> Vec<NodeFact> {
+        fn cond_facts(c: &CondNode, interp: &AbsInterp<'_>, out: &mut Vec<NodeFact>) {
+            match c {
+                CondNode::IndexOnly { expr, display, .. } => {
+                    out.push(interp.fact(display.clone(), expr));
+                }
+                CondNode::ContentCompare { left, right, .. } => {
+                    out.push(interp.fact(left.to_string(), left));
+                    out.push(interp.fact(right.to_string(), right));
+                }
+                CondNode::And(a, b) | CondNode::Or(a, b) => {
+                    cond_facts(a, interp, out);
+                    cond_facts(b, interp, out);
+                }
+                CondNode::Not(a) => cond_facts(a, interp, out),
+            }
+        }
+        let mut out = Vec::new();
+        for vp in &self.vars {
+            if let Some(c) = &vp.cond {
+                cond_facts(c, interp, &mut out);
+            }
+        }
+        if let Some(j) = &self.join {
+            out.push(interp.fact(j.left.to_string(), &j.left));
+            out.push(interp.fact(j.right.to_string(), &j.right));
+        }
+        if let ProjPlan::Values { chain: Some((expr, display, _)), .. } = &self.projection {
+            out.push(interp.fact(display.clone(), expr));
         }
         out
     }

@@ -188,6 +188,13 @@ impl Rig {
         }
     }
 
+    /// Whether `name` sits on a RIG cycle — i.e. regions of this type can
+    /// nest inside regions of the same type. Closure (`+`) over a name off
+    /// every cycle can never reach a second nesting level.
+    pub fn on_cycle(&self, name: &str) -> bool {
+        self.has_path(name, name)
+    }
+
     /// Proposition 3.5(a), first disjunct: the edge `(from, to)` exists and
     /// is the **only** path from `from` to `to`.
     ///

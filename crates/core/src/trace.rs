@@ -22,8 +22,34 @@ use crate::plan::PlanRewrite;
 ///
 /// History: v2 added `id`, the per-database query sequence number that the
 /// query server uses to correlate responses, query-log lines and
-/// flight-recorder entries. All v1 fields are unchanged.
-pub const TRACE_SCHEMA_VERSION: u64 = 2;
+/// flight-recorder entries. v3 added the abstract interpreter: `facts`
+/// (per-plan-node [`NodeFact`]s) and a `certified` flag on every rewrite
+/// (the certifier's verdict). All earlier fields are unchanged.
+pub const TRACE_SCHEMA_VERSION: u64 = 3;
+
+/// The abstract interpreter's verdict on one plan node (trace schema v3):
+/// a static domain, a cardinality interval and an emptiness fact, as
+/// computed by [`AbsInterp`](crate::analyze::absint::AbsInterp).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeFact {
+    /// The plan node's display label.
+    pub node: String,
+    /// Region types the node's spans can belong to; meaningful only when
+    /// `domain_known` is true.
+    pub domain: Vec<String>,
+    /// Whether `domain` is a real claim (`false` means ⊤: raw word or
+    /// position spans with no region type).
+    pub domain_known: bool,
+    /// Lower cardinality bound, inclusive.
+    pub card_lo: u64,
+    /// Upper cardinality bound, inclusive; `None` is unbounded (the JSON
+    /// form omits the key).
+    pub card_hi: Option<u64>,
+    /// Whether the node is proven to evaluate to ∅.
+    pub empty: bool,
+    /// Human-readable evidence.
+    pub notes: Vec<String>,
+}
 
 /// Wall time of one executor phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +91,8 @@ pub struct QueryTrace {
     pub plan: String,
     /// Optimizer rewrites applied during planning, in order.
     pub rewrites: Vec<PlanRewrite>,
+    /// Per-plan-node abstract facts (schema v3).
+    pub facts: Vec<NodeFact>,
     /// Executor phases with wall times, in execution order.
     pub phases: Vec<PhaseTrace>,
     /// Per-shard phase-1 traces (empty on the sequential path).
@@ -129,8 +157,28 @@ impl QueryTrace {
         }
         let _ = writeln!(out, "optimizer rewrites: {}", self.rewrites.len());
         for rw in &self.rewrites {
-            let _ = writeln!(out, "  [{}] {}", rw.proposition, rw.description);
+            let mark = if rw.certified { "✓ certified" } else { "✗ NOT certified" };
+            let _ = writeln!(out, "  [{}] {}  {mark}", rw.proposition, rw.description);
             let _ = writeln!(out, "        ⇒ {}", rw.result);
+        }
+        if !self.facts.is_empty() {
+            let _ = writeln!(out, "static facts:");
+            for fact in &self.facts {
+                let domain = if fact.domain_known {
+                    format!("{{{}}}", fact.domain.join(", "))
+                } else {
+                    "⊤".to_string()
+                };
+                let card = match fact.card_hi {
+                    Some(hi) => format!("[{}, {hi}]", fact.card_lo),
+                    None => format!("[{}, ∞)", fact.card_lo),
+                };
+                let empty = if fact.empty { "  ∅" } else { "" };
+                let _ = writeln!(out, "  {}: domain {domain}, card {card}{empty}", fact.node);
+                for note in &fact.notes {
+                    let _ = writeln!(out, "      note: {note}");
+                }
+            }
         }
         let _ = writeln!(out, "phases:");
         for ph in &self.phases {
@@ -189,11 +237,40 @@ impl QueryTrace {
             }
             let _ = write!(
                 s,
-                "{{\"proposition\":\"{}\",\"description\":\"{}\",\"result\":\"{}\"}}",
+                "{{\"proposition\":\"{}\",\"description\":\"{}\",\"result\":\"{}\",\
+                 \"certified\":{}}}",
                 esc(&rw.proposition),
                 esc(&rw.description),
-                esc(&rw.result)
+                esc(&rw.result),
+                rw.certified
             );
+        }
+        s.push_str("],\"facts\":[");
+        for (i, fact) in self.facts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"node\":\"{}\",\"domain\":[", esc(&fact.node));
+            for (j, name) in fact.domain.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\"", esc(name));
+            }
+            let _ =
+                write!(s, "],\"domain_known\":{},\"card_lo\":{}", fact.domain_known, fact.card_lo);
+            // The reader has no `null`: an unbounded interval omits the key.
+            if let Some(hi) = fact.card_hi {
+                let _ = write!(s, ",\"card_hi\":{hi}");
+            }
+            let _ = write!(s, ",\"empty\":{},\"notes\":[", fact.empty);
+            for (j, note) in fact.notes.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\"", esc(note));
+            }
+            s.push_str("]}");
         }
         s.push_str("],\"phases\":[");
         for (i, ph) in self.phases.iter().enumerate() {
@@ -246,6 +323,22 @@ impl QueryTrace {
                     proposition: get_str(o, "proposition")?,
                     description: get_str(o, "description")?,
                     result: get_str(o, "result")?,
+                    certified: get_bool(o, "certified")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let facts = get_arr(obj, "facts")?
+            .iter()
+            .map(|v| {
+                let o = v.as_obj().ok_or("fact is not an object")?;
+                Ok(NodeFact {
+                    node: get_str(o, "node")?,
+                    domain: get_str_arr(o, "domain")?,
+                    domain_known: get_bool(o, "domain_known")?,
+                    card_lo: get_u64(o, "card_lo")?,
+                    card_hi: opt_u64(o, "card_hi")?,
+                    empty: get_bool(o, "empty")?,
+                    notes: get_str_arr(o, "notes")?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -273,6 +366,7 @@ impl QueryTrace {
             query: get_str(obj, "query")?,
             plan: get_str(obj, "plan")?,
             rewrites,
+            facts,
             phases,
             shards,
             ops: ops_from_json(get_arr(obj, "ops")?)?,
@@ -339,8 +433,9 @@ fn fmt_nanos(n: u64) -> String {
 // JSON writing (mirrors crates/bench/src/report.rs: no serde in this tree).
 // ---------------------------------------------------------------------------
 
-/// Escapes a string for a JSON literal.
-fn esc(s: &str) -> String {
+/// Escapes a string for a JSON literal (shared with the `--json`
+/// diagnostic writer in `analyze`).
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -468,6 +563,26 @@ fn get_arr<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a [Json], Strin
         Json::Arr(items) => Ok(items),
         _ => Err(format!("key `{key}` is not an array")),
     }
+}
+
+/// Optional unsigned field: `Ok(None)` when the key is absent (the writer
+/// omits unbounded `card_hi` — the reader has no `null`).
+fn opt_u64(obj: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Json::Num(n))) => Ok(Some(*n)),
+        Some(_) => Err(format!("key `{key}` is not a number")),
+    }
+}
+
+fn get_str_arr(obj: &[(String, Json)], key: &str) -> Result<Vec<String>, String> {
+    get_arr(obj, key)?
+        .iter()
+        .map(|v| match v {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(format!("key `{key}` holds a non-string element")),
+        })
+        .collect()
 }
 
 struct Parser {
@@ -665,7 +780,28 @@ mod tests {
                 proposition: "3.5(b)".into(),
                 description: "drop Name: every path passes through Name".into(),
                 result: "Reference ⊃ Authors ⊃ σ_\"Chang\"(Last_Name)".into(),
+                certified: true,
             }],
+            facts: vec![
+                NodeFact {
+                    node: "Reference ⊃ Authors".into(),
+                    domain: vec!["Reference".into()],
+                    domain_known: true,
+                    card_lo: 0,
+                    card_hi: Some(60),
+                    empty: false,
+                    notes: Vec::new(),
+                },
+                NodeFact {
+                    node: "word(\"zzz\")".into(),
+                    domain: Vec::new(),
+                    domain_known: false,
+                    card_lo: 0,
+                    card_hi: None,
+                    empty: true,
+                    notes: vec!["word \"zzz\" does not occur in the corpus".into()],
+                },
+            ],
             phases: vec![
                 PhaseTrace { name: "index-candidates".into(), nanos: 1_500 },
                 PhaseTrace { name: "projection".into(), nanos: 2_000_000 },
@@ -693,7 +829,7 @@ mod tests {
 
     #[test]
     fn from_json_rejects_bad_versions_and_garbage() {
-        let json = sample().to_json().replace("\"schema_version\":2", "\"schema_version\":999");
+        let json = sample().to_json().replace("\"schema_version\":3", "\"schema_version\":999");
         assert!(QueryTrace::from_json(&json).unwrap_err().contains("schema version"));
         assert!(QueryTrace::from_json("{").is_err());
         assert!(QueryTrace::from_json("[]").is_err());
@@ -707,6 +843,11 @@ mod tests {
         assert!(text.contains("id: 7"));
         assert!(text.contains("optimizer rewrites: 1"));
         assert!(text.contains("[3.5(b)] drop Name"));
+        assert!(text.contains("✓ certified"));
+        assert!(text.contains("static facts:"));
+        assert!(text.contains("domain {Reference}, card [0, 60]"));
+        assert!(text.contains("domain ⊤, card [0, ∞)  ∅"));
+        assert!(text.contains("note: word \"zzz\""));
         assert!(text.contains("index-candidates"));
         assert!(text.contains("└─ ⊃  in=3 out=1"));
         assert!(text.contains("(memo hit)"));

@@ -1,0 +1,125 @@
+//! Soundness property tests for the abstract interpreter: for random
+//! region expressions over real generated corpora, the concrete result
+//! must lie inside the abstract over-approximation — its cardinality
+//! within the static interval, and a proven-empty verdict implying a
+//! genuinely empty concrete set. These are the properties the rewrite
+//! certifier and the `QOF10x` lints rest on.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use qof::corpus::bibtex::{self, BibtexConfig};
+use qof::grammar::IndexSpec;
+use qof::pat::{Engine, RegionExpr};
+use qof::text::Corpus;
+use qof::FileDatabase;
+
+/// Region names of the BibTeX grammar (leaves and containers alike).
+const NAMES: [&str; 9] =
+    ["Reference", "Key", "Authors", "Name", "First_Name", "Last_Name", "Year", "Keywords", "Title"];
+
+/// Words that may or may not occur in a generated corpus, plus ones that
+/// certainly do not — absence is what drives the emptiness facts.
+const WORDS: [&str; 6] = ["Chang", "1982", "Taylor", "and", "zzznosuchword", "qqqabsent"];
+
+fn dbs() -> &'static [FileDatabase; 2] {
+    static DBS: OnceLock<[FileDatabase; 2]> = OnceLock::new();
+    DBS.get_or_init(|| {
+        [8, 40].map(|n| {
+            let (text, _) = bibtex::generate(&BibtexConfig::with_refs(n));
+            FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), IndexSpec::full())
+                .unwrap()
+        })
+    })
+}
+
+/// Arbitrary region expression over the schema's names and the word pool.
+fn expr_strategy() -> impl Strategy<Value = RegionExpr> {
+    let leaf = prop_oneof![
+        (0..NAMES.len()).prop_map(|i| RegionExpr::name(NAMES[i])),
+        (0..WORDS.len()).prop_map(|i| RegionExpr::word(WORDS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.including(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.included_in(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.direct_including(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.direct_included_in(b)),
+            (inner.clone(), 0..WORDS.len()).prop_map(|(a, i)| a.select_eq(WORDS[i])),
+            (inner.clone(), 0..WORDS.len()).prop_map(|(a, i)| a.select_contains(WORDS[i])),
+            inner.clone().prop_map(RegionExpr::innermost),
+            inner.clone().prop_map(RegionExpr::outermost),
+            (inner.clone(), inner.clone(), 0u32..20).prop_map(|(a, b, g)| a.near(b, g)),
+            (inner.clone(), 0..WORDS.len(), 1u32..4)
+                .prop_map(|(a, i, n)| a.select_count_at_least(WORDS[i], n)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Concrete cardinality lies in the static interval, and a
+    /// proven-empty abstract state implies an empty concrete result.
+    #[test]
+    fn concrete_results_lie_within_the_abstract_state(
+        which in 0usize..2,
+        expr in expr_strategy(),
+    ) {
+        let db = &dbs()[which];
+        let interp = db.abs_interp();
+        let st = interp.analyze(&expr);
+        let engine = Engine::new(db.corpus(), db.word_index(), db.instance());
+        let concrete = engine.eval(&expr).unwrap();
+        let n = concrete.len() as u64;
+        prop_assert!(
+            n >= st.card.lo,
+            "concrete {} below static lower bound {} for `{expr}`", n, st.card
+        );
+        if let Some(hi) = st.card.hi {
+            prop_assert!(
+                n <= hi,
+                "concrete {} above static upper bound {} for `{expr}`", n, st.card
+            );
+        }
+        if st.empty {
+            prop_assert!(
+                concrete.is_empty(),
+                "proven-empty expression evaluated to {} regions: `{expr}`", n
+            );
+        }
+    }
+
+    /// The RIG-only interpreter (the one behind `qof check`) must be at
+    /// least as loose as the statistics-backed one: anything it proves
+    /// empty is empty concretely too.
+    #[test]
+    fn rig_only_interpreter_is_sound(which in 0usize..2, expr in expr_strategy()) {
+        let db = &dbs()[which];
+        let interp = qof::AbsInterp::new(db.partial_rig());
+        let st = interp.analyze(&expr);
+        if st.empty {
+            let engine = Engine::new(db.corpus(), db.word_index(), db.instance());
+            let concrete = engine.eval(&expr).unwrap();
+            prop_assert!(concrete.is_empty(), "`{expr}` proven empty but has {} regions", concrete.len());
+        }
+        // RIG-only intervals carry no statistics: lower bound stays 0.
+        prop_assert_eq!(st.card.lo, 0, "`{expr}`");
+    }
+
+    /// Node facts are a pure repackaging of the abstract state.
+    #[test]
+    fn facts_mirror_the_analysis(expr in expr_strategy()) {
+        let db = &dbs()[0];
+        let interp = db.abs_interp();
+        let st = interp.analyze(&expr);
+        let fact = interp.fact("n", &expr);
+        prop_assert_eq!(fact.card_lo, st.card.lo);
+        prop_assert_eq!(fact.card_hi, st.card.hi);
+        prop_assert_eq!(fact.empty, st.empty);
+        prop_assert_eq!(fact.domain_known, st.domain.is_some());
+    }
+}

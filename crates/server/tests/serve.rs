@@ -40,7 +40,7 @@ fn healthz_metrics_and_query_roundtrip() {
     assert_eq!(status, 200);
     assert!(body.contains("\"id\":2"), "{body}");
     assert!(body.contains("\"trace\":{"), "{body}");
-    assert!(body.contains("\"schema_version\":2"), "{body}");
+    assert!(body.contains("\"schema_version\":3"), "{body}");
 
     // Metrics saw both queries — and only them (private registry).
     let (status, metrics) = client.get("/metrics").unwrap();

@@ -49,14 +49,14 @@ fn usage() -> ExitCode {
         "usage:\n  \
          qof generate <schema> <count>\n  \
          qof rig <schema> [indexed,names]\n  \
-         qof query   <schema> [--index A,B,C] [--threads N] [--cache]\n              \
+         qof query   <schema> [--index A,B,C] [--threads N] [--cache] [--strict]\n              \
          [--explain-analyze] [--trace-json FILE] <file>... <query>\n  \
          qof explain <schema> [--index A,B,C] <file>... <query>\n  \
          qof stats   <schema> [--index A,B,C] [--threads N] [--cache] [--json] <file>... <query>...\n  \
          qof serve   <schema> [--index A,B,C] [--threads N] [--cache] [--port P]\n              \
          [--log FILE] [--slow-ms MS] [--recorder N] <file>...\n  \
          qof advise  <schema> <query>...\n  \
-         qof check   <schema> [--index A,B,C] [<query>...]\n\
+         qof check   <schema> [--index A,B,C] [--json] [--strict] [<query>...]\n\
          schemas: bibtex mail logs sgml code"
     );
     ExitCode::from(2)
@@ -193,6 +193,24 @@ fn run_serve(
     Ok(ExitCode::SUCCESS)
 }
 
+/// Minimal JSON string escaping for the `check --json` envelope (query
+/// strings only — diagnostics serialize themselves).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Human-scaled duration (histogram quantiles are bucket upper bounds).
 #[allow(clippy::cast_precision_loss)]
 fn fmt_nanos(n: u64) -> String {
@@ -243,6 +261,7 @@ fn run() -> Result<ExitCode, String> {
             let mut index: Option<String> = None;
             let mut threads: usize = 1;
             let mut cache = false;
+            let mut strict = false;
             let mut explain_analyze = false;
             let mut trace_json: Option<String> = None;
             let mut json = false;
@@ -270,6 +289,10 @@ fn run() -> Result<ExitCode, String> {
                     }
                     Some("--cache") => {
                         cache = true;
+                        rest.remove(0);
+                    }
+                    Some("--strict") => {
+                        strict = true;
                         rest.remove(0);
                     }
                     Some("--explain-analyze") => {
@@ -333,7 +356,8 @@ fn run() -> Result<ExitCode, String> {
                 return Ok(usage());
             }
             let db = build_db(schema, files, index.as_deref())?
-                .with_exec_options(ExecOptions { threads: threads.max(1), cache });
+                .with_exec_options(ExecOptions { threads: threads.max(1), cache })
+                .with_strict(strict);
             if cmd == "explain" {
                 print!("{}", db.explain(query).map_err(|e| e.to_string())?);
             } else if explain_analyze || trace_json.is_some() {
@@ -379,43 +403,98 @@ fn run() -> Result<ExitCode, String> {
             let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
             let mut rest: Vec<String> = args[2..].to_vec();
             let mut index: Option<String> = None;
-            if rest.first().map(String::as_str) == Some("--index") {
-                if rest.len() < 2 {
-                    return Ok(usage());
+            let mut json = false;
+            let mut strict = false;
+            loop {
+                match rest.first().map(String::as_str) {
+                    Some("--index") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        index = Some(rest[1].clone());
+                        rest.drain(..2);
+                    }
+                    Some("--json") => {
+                        json = true;
+                        rest.remove(0);
+                    }
+                    Some("--strict") => {
+                        strict = true;
+                        rest.remove(0);
+                    }
+                    _ => break,
                 }
-                index = Some(rest[1].clone());
-                rest.drain(..2);
             }
             let spec = match index.as_deref() {
                 None => IndexSpec::full(),
                 Some(names) => IndexSpec::names(names.split(',').map(str::trim)),
             };
             // Schema- and index-level lints need no file at all.
-            let mut diags = qof::check_schema(&schema);
-            diags.extend(qof::check_index(&schema, &spec));
-            for d in &diags {
-                print!("{}", d.render(None));
-            }
-            let mut has_error = diags.iter().any(|d| d.severity == Severity::Error);
+            let schema_diags = qof::check_schema(&schema);
+            let index_diags = qof::check_index(&schema, &spec);
+            // `checks` collects (target, query, diagnostics) triples; the
+            // JSON envelope and the human renderer share this data model.
+            let mut checks: Vec<(&str, Option<&String>, Vec<qof::Diagnostic>)> =
+                vec![("schema", None, schema_diags), ("index", None, index_diags)];
             // Query lints run against a tiny generated corpus: the planner
             // needs an index instance, but never reads file content.
             if !rest.is_empty() {
                 let text = generate_by_name(name, 3).expect("known schema");
                 let db = FileDatabase::build(Corpus::from_text(&text), schema, spec)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| e.to_string())?
+                    .with_strict(strict);
                 for query in &rest {
-                    let qd = db.check(query);
-                    println!("-- {query}");
-                    for d in &qd {
-                        print!("{}", d.render(Some(query)));
-                    }
-                    if qd.is_empty() {
-                        println!("clean");
-                    }
-                    has_error |= qd.iter().any(|d| d.severity == Severity::Error);
+                    checks.push(("query", Some(query), db.check(query)));
                 }
             }
-            Ok(if has_error { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+            let errors = checks
+                .iter()
+                .flat_map(|(_, _, ds)| ds)
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            let warnings = checks
+                .iter()
+                .flat_map(|(_, _, ds)| ds)
+                .filter(|d| d.severity == Severity::Warning)
+                .count();
+            if json {
+                let mut out = String::from("{\"schema_version\":1,\"checks\":[");
+                for (i, (target, query, ds)) in checks.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"target\":\"{target}\""));
+                    if let Some(q) = query {
+                        out.push_str(&format!(",\"query\":\"{}\"", json_escape(q)));
+                    }
+                    out.push_str(",\"diagnostics\":[");
+                    let body: Vec<String> = ds.iter().map(qof::Diagnostic::to_json).collect();
+                    out.push_str(&body.join(","));
+                    out.push_str("]}");
+                }
+                out.push_str(&format!("],\"errors\":{errors},\"warnings\":{warnings}}}"));
+                println!("{out}");
+            } else {
+                for (_, query, ds) in &checks {
+                    match query {
+                        Some(q) => {
+                            println!("-- {q}");
+                            for d in ds {
+                                print!("{}", d.render(Some(q)));
+                            }
+                            if ds.is_empty() {
+                                println!("clean");
+                            }
+                        }
+                        None => {
+                            for d in ds {
+                                print!("{}", d.render(None));
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(if errors > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
         }
         "advise" => {
             let Some(name) = args.get(1) else { return Ok(usage()) };

@@ -1,0 +1,182 @@
+//! Golden tests for the rewrite certifier: every rewrite the optimizer
+//! fires on the existing trace-suite queries must come out `certified`
+//! in the `QueryTrace` JSON, and a constructed uncertifiable step must
+//! both fail certification and render as a `QOF110` diagnostic.
+
+use qof::corpus::{bibtex, sgml};
+use qof::grammar::IndexSpec;
+use qof::text::Corpus;
+use qof::{
+    certify, optimize, uncertified_diagnostic, AbsInterp, ChainOp, Direction, FileDatabase,
+    InclusionExpr, Optimized, Rewrite, RewriteKind, Rig, Severity,
+};
+
+/// The §3.2 running example plus the other shapes the trace suite
+/// exercises: weakening-only, chain-shortening, a multi-condition AND,
+/// and a projection chain.
+const QUERIES: &[&str] = &[
+    "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"",
+    "SELECT r FROM References r WHERE r.Year = \"1982\"",
+    "SELECT r FROM References r WHERE r.Title = \"On\" AND r.Authors.Name.Last_Name = \"Chang\"",
+    "SELECT r.Authors.Name.Last_Name FROM References r WHERE r.Year = \"1982\"",
+];
+
+fn db() -> FileDatabase {
+    let (text, _) = bibtex::generate(&bibtex::BibtexConfig::with_refs(60));
+    FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), IndexSpec::full()).unwrap()
+}
+
+#[test]
+fn every_fired_rewrite_is_certified_in_the_trace_json() {
+    let fdb = db();
+    let mut rewrites_seen = 0;
+    for q in QUERIES {
+        let (_, trace) = fdb.query_traced(q).unwrap();
+        let json = trace.to_json();
+        for rw in &trace.rewrites {
+            rewrites_seen += 1;
+            assert!(rw.certified, "uncertified rewrite in `{q}`: {rw:?}");
+        }
+        assert!(
+            !json.contains("\"certified\":false"),
+            "trace JSON for `{q}` carries an uncertified rewrite:\n{json}"
+        );
+        if !trace.rewrites.is_empty() {
+            assert!(
+                json.contains("\"certified\":true"),
+                "certification must be visible in the trace JSON for `{q}`:\n{json}"
+            );
+        }
+    }
+    assert!(rewrites_seen >= 3, "the suite must actually exercise rewrites ({rewrites_seen})");
+}
+
+#[test]
+fn certified_marks_render_in_explain_analyze() {
+    let (_, trace) = db()
+        .query_traced("SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"x\"")
+        .unwrap();
+    let text = trace.render();
+    assert!(text.contains("✓ certified"), "{text}");
+    assert!(!text.contains("NOT certified"), "{text}");
+}
+
+#[test]
+fn static_facts_appear_in_trace_json_and_render() {
+    let (_, trace) = db().query_traced(QUERIES[0]).unwrap();
+    assert!(!trace.facts.is_empty(), "the traced plan must carry node facts");
+    let json = trace.to_json();
+    assert!(json.contains("\"facts\":["), "{json}");
+    assert!(json.contains("\"card_lo\":"), "{json}");
+    let text = trace.render();
+    assert!(text.contains("static facts:"), "{text}");
+    // Index statistics are available on the query path, so the root
+    // fact's interval must be bounded above.
+    assert!(trace.facts.iter().any(|f| f.card_hi.is_some()), "{:?}", trace.facts);
+}
+
+/// Across every built-in corpus schema, no real optimizer verdict may
+/// fail certification (the certifier is a soundness check, not a
+/// heuristic: false alarms would suppress sound rewrites under
+/// `--strict`).
+#[test]
+fn real_rewrites_across_schemas_always_certify() {
+    let bib_text = bibtex::generate(&bibtex::BibtexConfig::with_refs(20)).0;
+    let sgml_text = sgml::generate(&sgml::SgmlConfig::default()).0;
+    for (schema, text, query) in [
+        (
+            bibtex::schema(),
+            &bib_text,
+            "SELECT r FROM References r WHERE r.Authors.Name.First_Name = \"A\"",
+        ),
+        (sgml::schema(), &sgml_text, "SELECT s FROM Sections s WHERE s.Paras.Para.Text = \"x\""),
+    ] {
+        let fdb = FileDatabase::build(Corpus::from_text(text), schema, IndexSpec::full()).unwrap();
+        let (_, trace) = fdb.query_traced(query).unwrap();
+        for rw in &trace.rewrites {
+            assert!(rw.certified, "`{query}`: {rw:?}");
+        }
+    }
+}
+
+#[test]
+fn forged_shortcut_fails_certification_and_renders_qof110() {
+    // A diamond RIG: A → B → C and A → C directly. Dropping B from
+    // `A ⊃ B ⊃ C` is unsound (a C directly under A would be admitted),
+    // so Proposition 3.5(b) does not license the step.
+    let mut rig = Rig::new();
+    rig.add_edge("A", "B");
+    rig.add_edge("B", "C");
+    rig.add_edge("A", "C");
+    let names: Vec<String> = ["A", "B", "C"].iter().map(ToString::to_string).collect();
+    let original = InclusionExpr::including(names, vec![ChainOp::Incl, ChainOp::Incl], None);
+    let shortcut: Vec<String> = ["A", "C"].iter().map(ToString::to_string).collect();
+    let forged = Optimized {
+        expr: InclusionExpr::including(shortcut, vec![ChainOp::Incl], None),
+        trivially_empty: false,
+        trace: vec![Rewrite {
+            kind: RewriteKind::Shorten { a: "A".into(), via: "B".into(), b: "C".into() },
+            description: "drop B from A ⊃ B ⊃ C".into(),
+            result: "A ⊃ C".into(),
+        }],
+    };
+    let interp = AbsInterp::new(&rig);
+    let cert = certify(&original, &rig, &forged, &interp);
+    assert!(!cert.all_certified());
+    let step = &cert.steps[0];
+    assert!(!step.certified);
+
+    // The uncertified step renders through the same constructor the
+    // `qof check` path uses.
+    let diag = uncertified_diagnostic("3.5(b)", "drop B from A ⊃ B ⊃ C", step.reason.as_deref());
+    assert_eq!(diag.severity, Severity::Warning);
+    assert_eq!(diag.code.as_str(), "QOF110");
+    let rendered = diag.render(None);
+    assert!(rendered.contains("QOF110"), "{rendered}");
+    assert!(rendered.contains("failed certification"), "{rendered}");
+    assert!(rendered.contains("--strict"), "{rendered}");
+    let json = diag.to_json();
+    assert!(json.contains("\"code\":\"QOF110\""), "{json}");
+    assert!(json.contains("\"severity\":\"warning\""), "{json}");
+}
+
+#[test]
+fn strict_mode_suppresses_nothing_when_everything_certifies() {
+    let fdb = db();
+    let strict = db().with_strict(true);
+    for q in QUERIES {
+        let a = fdb.query(q).unwrap();
+        let b = strict.query(q).unwrap();
+        assert_eq!(a.values, b.values, "strict mode changed results for `{q}`");
+    }
+}
+
+#[test]
+fn optimizer_and_certifier_agree_on_generated_chains() {
+    // Sweep every ⊃d chain over the bibtex RIG up to length 4; whatever
+    // the optimizer does to each must certify.
+    let schema = bibtex::schema();
+    let rig = Rig::from_grammar(&schema.grammar);
+    let interp = AbsInterp::new(&rig);
+    let mut chains = 0;
+    let names = ["Reference", "Authors", "Name", "Last_Name", "Year", "Title"];
+    for a in names {
+        for b in names {
+            for c in [None, Some("Name")] {
+                let chain: Vec<String> = match c {
+                    None => vec![a.to_string(), b.to_string()],
+                    Some(mid) => vec![a.to_string(), mid.to_string(), b.to_string()],
+                };
+                if chain.windows(2).any(|w| w[0] == w[1]) {
+                    continue;
+                }
+                let e = InclusionExpr::all_direct(Direction::Including, chain, None);
+                let out = optimize(&e, &rig);
+                let cert = certify(&e, &rig, &out, &interp);
+                assert!(cert.all_certified(), "chain {e:?}: {cert:?}");
+                chains += 1;
+            }
+        }
+    }
+    assert!(chains > 20, "{chains}");
+}

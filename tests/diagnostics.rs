@@ -5,6 +5,7 @@
 use qof::corpus::{bibtex, logs};
 use qof::db::{ClassDef, TypeDef};
 use qof::grammar::{lit, nt, Grammar, IndexSpec, StructuringSchema, TokenPattern, ValueBuilder};
+use qof::pat::RegionExpr;
 use qof::text::Corpus;
 use qof::{
     check_index, check_query, check_schema, render_all, Code, Direction, FileDatabase,
@@ -340,4 +341,116 @@ fn malformed_queries_error_never_panic() {
         let _ = db.explain(q);
         let _ = db.check(q); // diagnostics never panic either
     }
+}
+
+// --- QOF1xx: the abstract-interpretation lint family ---------------------
+
+/// The interpreter the `qof check` query path uses is RIG-only; the
+/// traced-query path adds index statistics. These tests exercise both
+/// through the public surface.
+#[test]
+fn qof100_provably_empty_subexpression() {
+    let db = bibtex_db(IndexSpec::full());
+    let interp = db.abs_interp();
+    // With word statistics, an absent word proves σ/⊃ subtrees empty.
+    let expr = RegionExpr::name("Reference").including(RegionExpr::word("zzzqqxyzzy"));
+    let mut out = Vec::new();
+    interp.lint_expr(&expr, &mut out);
+    let d = find(&out, Code::Qof100);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("provably empty"), "{}", d.message);
+    // Outermost node only: exactly one report for the whole subtree.
+    assert_eq!(out.len(), 1, "{:?}", codes(&out));
+}
+
+#[test]
+fn qof101_dead_union_and_difference_branches() {
+    let db = bibtex_db(IndexSpec::full());
+    let interp = db.abs_interp();
+    let dead = RegionExpr::word("zzzqqxyzzy");
+    let mut out = Vec::new();
+    interp.lint_expr(&RegionExpr::name("Year").union(dead.clone()), &mut out);
+    let d = find(&out, Code::Qof101);
+    assert!(d.message.contains("dead `∪` branch"), "{}", d.message);
+
+    let mut out = Vec::new();
+    interp.lint_expr(&RegionExpr::name("Year").difference(dead), &mut out);
+    let d = find(&out, Code::Qof101);
+    assert!(d.message.contains("dead `−` branch"), "{}", d.message);
+}
+
+#[test]
+fn qof102_redundant_intersection() {
+    let db = bibtex_db(IndexSpec::full());
+    let interp = db.abs_interp();
+    let mut out = Vec::new();
+    interp.lint_expr(&RegionExpr::name("Year").intersect(RegionExpr::name("Year")), &mut out);
+    let d = find(&out, Code::Qof102);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("redundant intersection"), "{}", d.message);
+}
+
+#[test]
+fn qof103_inclusion_across_disjoint_rig_components() {
+    // Year and Title are RIG siblings: no inclusion path in either
+    // direction, so `Year ⊃ Title` is unsatisfiable by Proposition 3.3.
+    let db = bibtex_db(IndexSpec::full());
+    let interp = db.abs_interp();
+    let mut out = Vec::new();
+    interp.lint_expr(&RegionExpr::name("Year").including(RegionExpr::name("Title")), &mut out);
+    let d = find(&out, Code::Qof103);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("disjoint RIG components"), "{}", d.message);
+    assert!(!codes(&out).contains(&Code::Qof100), "QOF103 replaces QOF100: {:?}", codes(&out));
+}
+
+#[test]
+fn qof104_closure_over_non_cyclic_name() {
+    let db = bibtex_db(IndexSpec::full());
+    let diags = db.check("SELECT r FROM References r WHERE r.Authors+.Name = \"x\"");
+    let d = find(&diags, Code::Qof104);
+    assert_eq!(d.severity, Severity::Help);
+    assert!(d.message.contains("`Authors+`"), "{}", d.message);
+    assert!(d.notes.iter().any(|n| n.contains("no cycle")), "{:?}", d.notes);
+
+    // A genuinely recursive name stays quiet.
+    let (text, _) = qof::corpus::sgml::generate(&qof::corpus::sgml::SgmlConfig::default());
+    let sdb = FileDatabase::build(
+        Corpus::from_text(&text),
+        qof::corpus::sgml::schema(),
+        IndexSpec::full(),
+    )
+    .unwrap();
+    let diags = sdb.check("SELECT s FROM Sections s WHERE s.Section+.Head = \"intro\"");
+    assert!(!codes(&diags).contains(&Code::Qof104), "{:?}", codes(&diags));
+}
+
+#[test]
+fn clean_queries_raise_no_qof1xx() {
+    let db = bibtex_db(IndexSpec::full());
+    for q in [
+        "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"",
+        "SELECT r FROM References r WHERE r.Year = \"1982\"",
+    ] {
+        let diags = db.check(q);
+        assert!(
+            !diags.iter().any(|d| d.code.as_str().starts_with("QOF1")),
+            "`{q}`: {:?}",
+            codes(&diags)
+        );
+    }
+}
+
+#[test]
+fn diagnostic_to_json_shares_the_renderer_data_model() {
+    let db = bibtex_db(IndexSpec::full());
+    let src = "SELECT r FROM Refrences r";
+    let diags = db.check(src);
+    assert_eq!(diags.len(), 1);
+    let json = diags[0].to_json();
+    assert!(json.contains("\"code\":\"QOF021\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+    assert!(json.contains("\"message\":\"unknown view `Refrences`\""), "{json}");
+    assert!(json.contains("\"span\":{\"start\":14,\"end\":23}"), "{json}");
+    assert!(json.contains("did you mean `References`?"), "{json}");
 }
