@@ -91,6 +91,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("e12", "query server under closed-loop load: latency from /metrics, log overhead"),
     ("a1", "ablation: common-subexpression sharing in boolean queries (§5.2)"),
     ("a2", "analyzer: qof check latency and rewrite-certifier overhead"),
+    ("a3", "cost model: cardinality-estimation error and plan-cache hit rate"),
 ];
 
 /// All experiment ids, in canonical run order.
@@ -121,6 +122,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "e12" => e12(scale, &mut r),
         "a1" => a1(scale, &mut r),
         "a2" => a2(scale, &mut r),
+        "a3" => a3(scale, &mut r),
         _ => unreachable!("id came from EXPERIMENTS"),
     }
     Some(ExperimentReport {
@@ -930,6 +932,85 @@ fn a2(scale: Scale, r: &mut Recorder) {
     }
 }
 
+/// A3: how good the cost model's numbers are, and what the plan cache
+/// buys. A mixed workload runs several passes over the corpus; the first
+/// pass measures estimation quality (planner intervals vs the phase-1
+/// cardinalities the engine then observed), the repeats measure the plan
+/// cache. Soundness — every observation inside its interval — is asserted,
+/// not just reported.
+fn a3(scale: Scale, r: &mut Recorder) {
+    banner("A3", "cost model: cardinality-estimation error and plan-cache hit rate");
+    let workload = [
+        CHANG_AUTHOR,
+        CHANG_STAR,
+        EDITOR_IS_AUTHOR,
+        "SELECT r FROM References r WHERE r.Year = \"1982\"",
+    ];
+    println!(
+        "{:>8} | {:>9} {:>8} | {:>9} {:>10} | {:>10} {:>10}",
+        "refs", "rel err", "sound", "pc hits", "pc misses", "1st pass", "warm pass"
+    );
+    for n in scale.pick(vec![200usize], vec![800usize, 3200]) {
+        let fdb = bibtex_full(n);
+        // Pass 1 (cold): every chain misses the plan cache; collect the
+        // estimated-vs-actual pairs.
+        let t = Instant::now();
+        let mut rel_err_sum = 0.0;
+        let mut est_count = 0u64;
+        let mut sound = 0u64;
+        for q in &workload {
+            let (_, trace) = fdb.query_traced(q).unwrap();
+            for e in &trace.estimates {
+                // Point estimate: the interval midpoint when bounded above,
+                // else the lower bound.
+                let point = match e.est_hi {
+                    Some(hi) => (e.est_lo as f64 + hi as f64) / 2.0,
+                    None => e.est_lo as f64,
+                };
+                rel_err_sum += (point - e.observed as f64).abs() / (e.observed as f64).max(1.0);
+                est_count += 1;
+                let inside = e.est_lo <= e.observed && e.est_hi.is_none_or(|hi| e.observed <= hi);
+                assert!(inside, "unsound estimate for {q}: {e:?}");
+                sound += u64::from(inside);
+            }
+            if *q == CHANG_AUTHOR {
+                r.attach_trace(trace.to_json());
+            }
+        }
+        let t_cold = t.elapsed().as_secs_f64() / workload.len() as f64;
+        // Warm passes: identical queries, so planning comes from the cache.
+        let passes = scale.pick(3usize, 9);
+        let t_warm = median_secs(passes, || {
+            let t = Instant::now();
+            for q in &workload {
+                std::hint::black_box(fdb.query_traced(q).unwrap());
+            }
+            t.elapsed().as_secs_f64() / workload.len() as f64
+        });
+        let pc = fdb.plan_cache_stats();
+        let mean_rel_err = rel_err_sum / est_count.max(1) as f64;
+        let sound_rate = sound as f64 / est_count.max(1) as f64;
+        let hit_rate = pc.hits as f64 / (pc.hits + pc.misses).max(1) as f64;
+        r.rec(format!("estimate_mean_rel_error_{n}"), mean_rel_err, "x");
+        r.rec(format!("estimate_sound_rate_{n}"), sound_rate, "ratio");
+        r.rec(format!("plan_cache_hit_rate_{n}"), hit_rate, "ratio");
+        r.rec(format!("plan_cache_hits_{n}"), pc.hits as f64, "count");
+        r.rec(format!("plan_cache_misses_{n}"), pc.misses as f64, "count");
+        r.rec(format!("cold_pass_secs_{n}"), t_cold, "s");
+        r.rec(format!("warm_pass_secs_{n}"), t_warm, "s");
+        println!(
+            "{:>8} | {:>8.2}x {:>7.0}% | {:>9} {:>10} | {} {}",
+            n,
+            mean_rel_err,
+            sound_rate * 100.0,
+            pc.hits,
+            pc.misses,
+            fmt_secs(t_cold),
+            fmt_secs(t_warm),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -937,6 +1018,30 @@ mod tests {
     #[test]
     fn unknown_id_is_rejected() {
         assert!(run("e99", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn a3_reports_estimation_error_and_plan_cache_hit_rate() {
+        let report = run("a3", Scale::Small).unwrap();
+        let names: Vec<&str> = report.measurements.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("estimate_mean_rel_error_")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("plan_cache_hit_rate_")), "{names:?}");
+        let hit_rate = report
+            .measurements
+            .iter()
+            .find(|m| m.name.starts_with("plan_cache_hit_rate_"))
+            .unwrap();
+        assert!(hit_rate.value > 0.0, "warm passes must hit the plan cache");
+        let sound = report
+            .measurements
+            .iter()
+            .find(|m| m.name.starts_with("estimate_sound_rate_"))
+            .unwrap();
+        assert!((sound.value - 1.0).abs() < f64::EPSILON, "intervals must be sound");
+        // The embedded trace is a v4 document with estimates.
+        let trace = report.trace_json.as_deref().unwrap();
+        assert!(trace.contains("\"schema_version\":4"), "{trace}");
+        assert!(trace.contains("\"estimates\":["), "{trace}");
     }
 
     #[test]

@@ -24,9 +24,10 @@
 //! order and bumped embedded traces to trace schema v2 (which carries the
 //! query `id`). All v2 fields are unchanged. Embedded traces follow
 //! `qof_core::TRACE_SCHEMA_VERSION` as it evolves (v3 adds per-rewrite
-//! `certified` and the static `facts` array); the `a2` analyzer-overhead
-//! experiment joined the canonical order without a report schema bump —
-//! experiments are data, not schema.
+//! `certified` and the static `facts` array; v4 adds estimated-vs-actual
+//! cardinalities and plan-cache counters); the `a2` analyzer-overhead and
+//! `a3` cost-model experiments joined the canonical order without a report
+//! schema bump — experiments are data, not schema.
 
 use std::fmt::Write as _;
 use std::path::Path;

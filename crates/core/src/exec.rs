@@ -21,9 +21,10 @@ use qof_text::{Corpus, Span, SuffixArray, Tokenizer, WordIndex};
 
 use qof_db::PathCost;
 
+use crate::cost::{PlanCache, PlanCacheStats, StatsStore};
 use crate::plan::{CondNode, Plan, PlanError, Planner, ProjPlan};
 use crate::residual::{eval_single, path_values};
-use crate::trace::{ExecTrace, PhaseTrace, QueryTrace, ShardTrace};
+use crate::trace::{CardEstimate, ExecTrace, PhaseTrace, QueryTrace, ShardTrace};
 use crate::{parse_query, Query, QueryParseError, Rig};
 
 /// Errors while building a [`FileDatabase`].
@@ -229,6 +230,8 @@ pub struct FileDatabase {
     partial_rig: Rig,
     options: ExecOptions,
     cache: SubexprCache,
+    stats: StatsStore,
+    plan_cache: PlanCache,
     metrics: Arc<MetricsRegistry>,
     query_counter: AtomicU64,
     trace_hook: Option<TraceHook>,
@@ -283,6 +286,7 @@ impl FileDatabase {
         let indexed: std::collections::BTreeSet<String> =
             instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
         let partial_rig = full_rig.partial(&indexed);
+        let stats = StatsStore::from_index(&instance, &words, &partial_rig);
         Ok(Self {
             corpus,
             tokenizer,
@@ -295,6 +299,8 @@ impl FileDatabase {
             partial_rig,
             options: ExecOptions::default(),
             cache: SubexprCache::new(),
+            stats,
+            plan_cache: PlanCache::new(),
             metrics: MetricsRegistry::global_arc(),
             query_counter: AtomicU64::new(0),
             trace_hook: None,
@@ -361,6 +367,7 @@ impl FileDatabase {
         let indexed: std::collections::BTreeSet<String> =
             instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
         let partial_rig = full_rig.partial(&indexed);
+        let stats = StatsStore::from_index(&instance, &words, &partial_rig);
         Ok(Self {
             corpus,
             tokenizer,
@@ -373,6 +380,8 @@ impl FileDatabase {
             partial_rig,
             options: ExecOptions::default(),
             cache: SubexprCache::new(),
+            stats,
+            plan_cache: PlanCache::new(),
             metrics: MetricsRegistry::global_arc(),
             query_counter: AtomicU64::new(0),
             trace_hook: None,
@@ -417,10 +426,11 @@ impl FileDatabase {
     }
 
     /// Sets strict planning in place. Plans change shape, so any cached
-    /// subexpression results are dropped.
+    /// subexpression results and memoized lowerings are dropped.
     pub fn set_strict(&mut self, strict: bool) {
         if self.strict != strict {
             self.cache.clear();
+            self.plan_cache.clear();
         }
         self.strict = strict;
     }
@@ -479,6 +489,16 @@ impl FileDatabase {
         self.cache.clear();
     }
 
+    /// The index statistics store driving cost-ranked plan selection.
+    pub fn stats_store(&self) -> &StatsStore {
+        &self.stats
+    }
+
+    /// Counters and gauges of the memoized plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
     /// Incrementally indexes another file: appends it to the corpus, parses
     /// it, merges its regions and extends the word index. Existing offsets
     /// stay valid (the new file's span lies past all previous text). The
@@ -514,8 +534,13 @@ impl FileDatabase {
         if self.suffix.is_some() {
             self.suffix = Some(SuffixArray::build(&self.corpus, &Tokenizer::new()));
         }
-        // Cached results were computed against the smaller corpus.
+        // Cached results were computed against the smaller corpus, and so
+        // were the statistics every memoized plan was ranked against:
+        // clear the subexpression cache, re-gather statistics (advancing
+        // the epoch), and invalidate the plan cache with it.
         self.cache.clear();
+        self.stats.refresh_from_index(&self.instance, &self.words, &self.partial_rig);
+        self.plan_cache.bump_epoch();
         Ok(())
     }
 
@@ -562,6 +587,8 @@ impl FileDatabase {
             partial_rig: &self.partial_rig,
             full_indexing: self.spec.is_full(),
             strict: self.strict,
+            stats: Some(&self.stats),
+            plan_cache: Some(&self.plan_cache),
         }
     }
 
@@ -628,6 +655,7 @@ impl FileDatabase {
     ) -> Result<(QueryResult, QueryTrace), QueryError> {
         let started = Instant::now();
         let cache_before = self.cache.stats();
+        let pc_before = self.plan_cache.stats();
         let metrics = &self.metrics;
         let q = match parse_query(src) {
             Ok(q) => q,
@@ -643,6 +671,7 @@ impl FileDatabase {
                 return Err(e.into());
             }
         };
+        let pc_after = self.plan_cache.stats();
         let mut tr = ExecTrace::default();
         let result = match self.execute_inner(&q, &plan, self.options.threads, Some(&mut tr)) {
             Ok(r) => r,
@@ -653,17 +682,34 @@ impl FileDatabase {
         };
         let total_nanos = elapsed_nanos(started);
         let cache_after = self.cache.stats();
+        // Estimated-vs-actual cardinalities: the planner's per-variable
+        // intervals, matched with the phase-1 candidate counts the engine
+        // observed (captured before the join prunes the states).
+        let estimates: Vec<CardEstimate> = plan
+            .var_estimates(&self.abs_interp())
+            .into_iter()
+            .zip(tr.var_candidates.iter().copied())
+            .map(|((var, card), observed)| CardEstimate {
+                var,
+                est_lo: card.lo,
+                est_hi: card.hi,
+                observed,
+            })
+            .collect();
         let trace = QueryTrace {
             id,
             query: src.to_owned(),
             plan: result.explain.clone(),
             rewrites: plan.rewrites.clone(),
             facts: plan.facts(&self.abs_interp()),
+            estimates,
             phases: tr.phases,
             shards: tr.shards,
             ops: tr.ops,
             cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
             cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+            plan_cache_hits: pc_after.hits.saturating_sub(pc_before.hits),
+            plan_cache_misses: pc_after.misses.saturating_sub(pc_before.misses),
             total_nanos,
             candidates: result.stats.candidates,
             results: result.stats.results,
@@ -671,10 +717,16 @@ impl FileDatabase {
         };
         metrics.record_query(total_nanos, true);
         metrics.record_cache(trace.cache_hits, trace.cache_misses);
+        metrics
+            .record_cache_evictions(cache_after.evictions.saturating_sub(cache_before.evictions));
+        metrics.record_plan_cache_delta(trace.plan_cache_hits, trace.plan_cache_misses);
         metrics.record_op_trace(&trace.ops);
         for shard in &trace.shards {
             metrics.record_op_trace(&shard.ops);
         }
+        // Feed the observed cardinalities back into the stats store so
+        // later cost estimates calibrate against real executions.
+        self.stats.observe_trace(&trace);
         if let Some(hook) = &self.trace_hook {
             hook(&trace);
         }
@@ -989,6 +1041,9 @@ impl FileDatabase {
                 nanos: elapsed_nanos(phase_started),
             });
         }
+        // Phase-1 cardinalities, captured before the join prunes the
+        // states: these are what the planner's intervals estimate.
+        let var_candidates: Vec<u64> = states.iter().map(|s| s.regions.len() as u64).collect();
 
         // Phase 2: cross-variable content join.
         let phase_started = Instant::now();
@@ -1181,6 +1236,7 @@ impl FileDatabase {
             tr.phases = phases;
             tr.shards = shard_traces;
             tr.ops = sink.take();
+            tr.var_candidates = var_candidates;
         }
         Ok(QueryResult { regions: result_regions, values, db, explain: plan.describe(), stats })
     }
@@ -1508,6 +1564,114 @@ mod tests {
         db.clear_trace_hook();
         db.query_traced(QUERIES[0]).unwrap();
         assert_eq!(seen.lock().unwrap().len(), 2, "cleared hook no longer fires");
+    }
+
+    // -- cost model, estimates and plan cache -------------------------------
+
+    /// A planner over `db`'s indexes with the cost model switched on or
+    /// off and no plan cache — the two plan-selection policies side by
+    /// side over identical inputs.
+    fn raw_planner<'a>(db: &'a FileDatabase, stats: Option<&'a StatsStore>) -> Planner<'a> {
+        Planner {
+            schema: &db.schema,
+            instance: &db.instance,
+            full_rig: &db.full_rig,
+            partial_rig: &db.partial_rig,
+            full_indexing: db.spec.is_full(),
+            strict: db.strict,
+            stats,
+            plan_cache: None,
+        }
+    }
+
+    #[test]
+    fn cost_ranked_plans_are_result_identical_to_leftmost_first() {
+        // Cost ranking only ever picks among certified-equivalent normal
+        // forms, so whatever the statistics say, results cannot move.
+        let corpus = multi_file_corpus(4, 20);
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+        for q in QUERIES {
+            let parsed = parse_query(q).unwrap();
+            let costed = raw_planner(&db, Some(&db.stats)).plan(&parsed).unwrap();
+            let leftmost = raw_planner(&db, None).plan(&parsed).unwrap();
+            let a = db.execute(&parsed, &costed, 1).unwrap();
+            let b = db.execute(&parsed, &leftmost, 1).unwrap();
+            assert_same_results(&a, &b, q);
+        }
+    }
+
+    #[test]
+    fn plan_cache_hit_is_byte_identical_to_a_fresh_optimize() {
+        let corpus = multi_file_corpus(3, 20);
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+        let q = QUERIES[1];
+        let (r1, t1) = db.query_traced(q).unwrap();
+        assert!(t1.plan_cache_misses > 0, "first run must miss the plan cache");
+        assert_eq!(t1.plan_cache_hits, 0);
+        let (r2, t2) = db.query_traced(q).unwrap();
+        assert!(t2.plan_cache_hits > 0, "second run must hit the plan cache");
+        assert_eq!(t2.plan_cache_misses, 0);
+        // The cached lowering reproduces the fresh one byte for byte:
+        // same plan text, same recorded rewrites, same results.
+        assert_eq!(t1.plan, t2.plan);
+        assert_eq!(t1.rewrites, t2.rewrites);
+        assert_same_results(&r1, &r2, q);
+        let pc = db.plan_cache_stats();
+        assert_eq!(pc.hits, t2.plan_cache_hits);
+        assert_eq!(pc.misses, t1.plan_cache_misses);
+        assert!(pc.entries > 0);
+    }
+
+    #[test]
+    fn estimated_intervals_bound_observed_candidates() {
+        // Every estimate the planner publishes is a sound interval: the
+        // phase-1 candidate count the engine then observes falls inside.
+        let corpus = multi_file_corpus(4, 20);
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+        for q in QUERIES {
+            let (_, trace) = db.query_traced(q).unwrap();
+            assert!(!trace.estimates.is_empty(), "no estimates for {q}");
+            for e in &trace.estimates {
+                assert!(
+                    e.est_lo <= e.observed,
+                    "{q}: var {} observed {} below lo {}",
+                    e.var,
+                    e.observed,
+                    e.est_lo
+                );
+                if let Some(hi) = e.est_hi {
+                    assert!(
+                        e.observed <= hi,
+                        "{q}: var {} observed {} above hi {}",
+                        e.var,
+                        e.observed,
+                        hi
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_file_bumps_the_stats_epoch_and_clears_the_plan_cache() {
+        let cfg = BibtexConfig { n_refs: 20, name_pool: 8, ..Default::default() };
+        let (text, _) = bibtex::generate(&cfg);
+        let mut db =
+            FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), IndexSpec::full())
+                .unwrap();
+        db.query(QUERIES[1]).unwrap();
+        let before = db.plan_cache_stats();
+        assert!(before.entries > 0, "untraced queries also populate the plan cache");
+        let epoch_before = db.stats_store().epoch();
+
+        let (text2, _) = bibtex::generate(&BibtexConfig { n_refs: 10, seed: 9, ..cfg });
+        db.add_file("extra.bib", &text2).unwrap();
+        let after = db.plan_cache_stats();
+        assert_eq!(after.entries, 0, "stale lowerings must not survive an index change");
+        assert_eq!(db.stats_store().epoch(), epoch_before + 1);
+        // Re-planning repopulates against the new statistics.
+        db.query(QUERIES[1]).unwrap();
+        assert!(db.plan_cache_stats().entries > 0);
     }
 
     #[test]

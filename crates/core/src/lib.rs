@@ -35,6 +35,7 @@
 mod advisor;
 pub mod analyze;
 pub mod baseline;
+mod cost;
 mod exec;
 mod incl;
 mod optimizer;
@@ -45,18 +46,23 @@ mod rig;
 mod trace;
 mod translate;
 
-pub use advisor::{advise, Advice};
+pub use advisor::{advise, advise_costed, Advice};
 pub use analyze::absint::{
     certify, uncertified_diagnostic, AbsInterp, AbsState, CardInterval, CertifyResult, StepCert,
 };
 pub use analyze::{
     check_index, check_query, check_schema, render_all, Code, Diagnostic, Severity, Span,
 };
+pub use cost::{
+    CachedChain, CostEstimate, PlanCache, PlanCacheStats, StatsStore, DEFAULT_PLAN_CACHE_ENTRIES,
+};
 pub use exec::{
     BuildError, ExecOptions, FileDatabase, QueryError, QueryResult, RunStats, TraceHook,
 };
 pub use incl::{ChainOp, Direction, InclusionExpr, SelectKind};
-pub use optimizer::{is_trivially_empty, optimize, Optimized, Rewrite, RewriteKind};
+pub use optimizer::{
+    is_trivially_empty, normal_forms, optimize, optimize_costed, Optimized, Rewrite, RewriteKind,
+};
 pub use plan::{Exactness, InexactHop, InexactReason, Plan, PlanError, PlanRewrite, Planner};
 pub use query::{parse_query, Cond, Projection, QPath, QStep, Query, QueryParseError, RightHand};
 pub use residual::{
@@ -64,5 +70,5 @@ pub use residual::{
     CompiledPath,
 };
 pub use rig::{Rig, RigViolation};
-pub use trace::{NodeFact, PhaseTrace, QueryTrace, ShardTrace, TRACE_SCHEMA_VERSION};
+pub use trace::{CardEstimate, NodeFact, PhaseTrace, QueryTrace, ShardTrace, TRACE_SCHEMA_VERSION};
 pub use translate::{PathSpec, TranslateError};

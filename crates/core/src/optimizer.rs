@@ -98,47 +98,14 @@ pub fn optimize(expr: &InclusionExpr, rig: &Rig) -> Optimized {
     let mut names: Vec<String> = expr.names().to_vec();
     let mut ops: Vec<ChainOp> = expr.ops().to_vec();
 
-    // Step 1: replace ⊃d/⊂d by ⊃/⊂ where Proposition 3.5(a) applies: the
-    // edge is the only path, or the hop touches the chain's existential
-    // endpoint. For selection (⊃) chains that endpoint is the deepest
-    // (rightmost) element and the rule is "every path starts with the
-    // edge"; for projection (⊂) chains the result is the *deepest* set, so
-    // the dual applies at the outermost end: "every path ends with the
-    // edge" (the paper's §5.2 symmetry claim needs this dualization —
-    // property testing caught the literal rule producing wrong projections
-    // on self-nested regions).
+    // Step 1: replace ⊃d/⊂d by ⊃/⊂ where Proposition 3.5(a) applies (see
+    // `weaken_why` for the rule and its projection dualization).
     for i in 0..ops.len() {
         if ops[i] != ChainOp::Direct {
             continue;
         }
-        let (a, b) = (names[i].clone(), names[i + 1].clone());
-        let endpoint = match expr.direction() {
-            Direction::Including => i + 1 == names.len() - 1,
-            Direction::IncludedIn => i == 0,
-        };
-        let endpoint_ok = match expr.direction() {
-            Direction::Including => endpoint && rig.all_paths_start_with_edge(&a, &b),
-            Direction::IncludedIn => endpoint && rig.all_paths_end_with_edge(&a, &b),
-        };
-        let (applies, why) = if rig.only_path_edge(&a, &b) {
-            (true, format!("({a}, {b}) is the only path from {a} to {b}"))
-        } else if endpoint_ok {
-            let rule = match expr.direction() {
-                Direction::Including => "starts",
-                Direction::IncludedIn => "ends",
-            };
-            (true, format!("endpoint hop and every path from {a} to {b} {rule} with the edge"))
-        } else {
-            (false, String::new())
-        };
-        if applies {
-            ops[i] = ChainOp::Incl;
-            let cur = expr.with_chain(names.clone(), ops.clone());
-            trace.push(Rewrite {
-                kind: RewriteKind::Weaken { a: a.clone(), b: b.clone() },
-                description: format!("weaken direct inclusion {a} → {b}: {why}"),
-                result: cur.to_string(),
-            });
+        if let Some(rw) = weaken_at(expr, rig, &names, &mut ops, i) {
+            trace.push(rw);
         }
     }
 
@@ -168,6 +135,156 @@ pub fn optimize(expr: &InclusionExpr, rig: &Rig) -> Optimized {
     }
 
     let out = Optimized { expr: expr.with_chain(names, ops), trivially_empty: false, trace };
+    self_verify(expr, rig, &out);
+    out
+}
+
+/// Proposition 3.5(a)'s side condition at hop `i`, with the human-readable
+/// justification: the edge is the only path, or the hop touches the
+/// chain's existential endpoint. For selection (⊃) chains that endpoint is
+/// the deepest (rightmost) element and the rule is "every path starts with
+/// the edge"; for projection (⊂) chains the result is the *deepest* set,
+/// so the dual applies at the outermost end: "every path ends with the
+/// edge" (the paper's §5.2 symmetry claim needs this dualization —
+/// property testing caught the literal rule producing wrong projections on
+/// self-nested regions).
+fn weaken_why(rig: &Rig, dir: Direction, names: &[String], i: usize) -> Option<String> {
+    let (a, b) = (&names[i], &names[i + 1]);
+    if rig.only_path_edge(a, b) {
+        return Some(format!("({a}, {b}) is the only path from {a} to {b}"));
+    }
+    let endpoint_ok = match dir {
+        Direction::Including => i + 1 == names.len() - 1 && rig.all_paths_start_with_edge(a, b),
+        Direction::IncludedIn => i == 0 && rig.all_paths_end_with_edge(a, b),
+    };
+    if endpoint_ok {
+        let rule = match dir {
+            Direction::Including => "starts",
+            Direction::IncludedIn => "ends",
+        };
+        return Some(format!("endpoint hop and every path from {a} to {b} {rule} with the edge"));
+    }
+    None
+}
+
+/// Applies the step-1 weakening at hop `i` if licensed, mutating `ops` and
+/// returning the recorded rewrite.
+fn weaken_at(
+    expr: &InclusionExpr,
+    rig: &Rig,
+    names: &[String],
+    ops: &mut [ChainOp],
+    i: usize,
+) -> Option<Rewrite> {
+    let why = weaken_why(rig, expr.direction(), names, i)?;
+    ops[i] = ChainOp::Incl;
+    let (a, b) = (names[i].clone(), names[i + 1].clone());
+    let cur = expr.with_chain(names.to_vec(), ops.to_vec());
+    Some(Rewrite {
+        kind: RewriteKind::Weaken { a: a.clone(), b: b.clone() },
+        description: format!("weaken direct inclusion {a} → {b}: {why}"),
+        result: cur.to_string(),
+    })
+}
+
+/// Bound on the normal forms [`normal_forms`] enumerates and on the
+/// intermediate reduction states it revisits — non-confluent chains are
+/// rare and short, so a small cap loses nothing in practice while keeping
+/// enumeration polynomial on adversarial chains (e.g. E8's length-128
+/// stress chains).
+const MAX_NORMAL_FORMS: usize = 16;
+const MAX_REDUCTION_STATES: usize = 512;
+
+/// Enumerates the distinct §3.2 normal forms of `expr` (bounded): step 1's
+/// weakenings are order-independent and applied once, then every order of
+/// step 2's shortenings is explored depth-first, deduplicating reduction
+/// states. The *first* returned form is always the canonical leftmost-first
+/// result of [`optimize`]; on confluent inputs (the overwhelmingly common
+/// case, per Theorem 3.6) the result is that single form.
+pub fn normal_forms(expr: &InclusionExpr, rig: &Rig) -> Vec<Optimized> {
+    if is_trivially_empty(expr, rig) {
+        return vec![Optimized { expr: expr.clone(), trivially_empty: true, trace: Vec::new() }];
+    }
+
+    let names: Vec<String> = expr.names().to_vec();
+    let mut ops: Vec<ChainOp> = expr.ops().to_vec();
+    let mut weaken_trace: Vec<Rewrite> = Vec::new();
+    for i in 0..ops.len() {
+        if ops[i] != ChainOp::Direct {
+            continue;
+        }
+        if let Some(rw) = weaken_at(expr, rig, &names, &mut ops, i) {
+            weaken_trace.push(rw);
+        }
+    }
+
+    let mut forms: Vec<Optimized> = Vec::new();
+    let mut visited: Vec<(Vec<String>, Vec<ChainOp>)> = Vec::new();
+    let mut stack: Vec<(Vec<String>, Vec<ChainOp>, Vec<Rewrite>)> =
+        vec![(names, ops, weaken_trace)];
+    // Depth-first with choices pushed in *descending* index order, so the
+    // leftmost choice is popped (and its fixpoint recorded) first.
+    while let Some((names, ops, trace)) = stack.pop() {
+        if visited.len() >= MAX_REDUCTION_STATES || forms.len() >= MAX_NORMAL_FORMS {
+            break;
+        }
+        if visited.iter().any(|(n, o)| *n == names && *o == ops) {
+            continue;
+        }
+        visited.push((names.clone(), ops.clone()));
+        let choices: Vec<usize> = (0..names.len().saturating_sub(2))
+            .filter(|&i| {
+                ops[i] == ChainOp::Incl
+                    && ops[i + 1] == ChainOp::Incl
+                    && rig.all_paths_pass_through(&names[i], &names[i + 2], &names[i + 1])
+            })
+            .collect();
+        if choices.is_empty() {
+            let expr_now = expr.with_chain(names, ops);
+            if !forms.iter().any(|f| f.expr == expr_now) {
+                forms.push(Optimized { expr: expr_now, trivially_empty: false, trace });
+            }
+            continue;
+        }
+        for &i in choices.iter().rev() {
+            let (mut n2, mut o2, mut t2) = (names.clone(), ops.clone(), trace.clone());
+            let (a, m, b) = (n2[i].clone(), n2[i + 1].clone(), n2[i + 2].clone());
+            n2.remove(i + 1);
+            o2.remove(i);
+            let cur = expr.with_chain(n2.clone(), o2.clone());
+            t2.push(Rewrite {
+                kind: RewriteKind::Shorten { a: a.clone(), via: m.clone(), b: b.clone() },
+                description: format!("drop {m}: every path from {a} to {b} passes through {m}"),
+                result: cur.to_string(),
+            });
+            stack.push((n2, o2, t2));
+        }
+    }
+    forms
+}
+
+/// Cost-ranked optimization: enumerates the normal forms of `expr` and
+/// returns the one minimizing `cost`, preferring the canonical
+/// leftmost-first form on ties (so confluent inputs — and absent
+/// statistics — behave exactly like [`optimize`]). Every returned form is
+/// built from licensed Proposition 3.5 rewrites and self-verifies like the
+/// syntactic path.
+pub fn optimize_costed(
+    expr: &InclusionExpr,
+    rig: &Rig,
+    cost: &dyn Fn(&InclusionExpr) -> f64,
+) -> Optimized {
+    let forms = normal_forms(expr, rig);
+    let mut best = 0usize;
+    let mut best_cost = f64::INFINITY;
+    for (k, form) in forms.iter().enumerate() {
+        let c = cost(&form.expr);
+        if c < best_cost {
+            best = k;
+            best_cost = c;
+        }
+    }
+    let out = forms.into_iter().nth(best).expect("normal_forms returns at least one form");
     self_verify(expr, rig, &out);
     out
 }
@@ -400,5 +517,93 @@ mod tests {
         let opt = optimize(&e1, &bib_rig());
         assert!(opt.trace.iter().any(|r| r.description.contains("drop Name")));
         assert!(opt.trace.iter().any(|r| r.description.contains("weaken direct inclusion")));
+    }
+
+    /// The documented non-confluent RIG: edges `A→{B,F}, B→E, E→F`.
+    fn non_confluent_rig() -> Rig {
+        let mut g = Rig::new();
+        g.add_edge("A", "B");
+        g.add_edge("A", "F");
+        g.add_edge("B", "E");
+        g.add_edge("E", "F");
+        g
+    }
+
+    #[test]
+    fn normal_forms_enumerates_both_reducts_of_the_counterexample() {
+        let g = non_confluent_rig();
+        let e = InclusionExpr::all_direct(Direction::Including, names(&["A", "B", "E", "F"]), None);
+        let forms = normal_forms(&e, &g);
+        let spelled: Vec<String> = forms.iter().map(|f| f.expr.to_string()).collect();
+        assert_eq!(forms.len(), 2, "expected exactly two normal forms, got {spelled:?}");
+        // The first form is always optimize()'s canonical leftmost-first
+        // result, trace and all.
+        let canonical = optimize(&e, &g);
+        assert_eq!(forms[0].expr, canonical.expr);
+        assert_eq!(forms[0].trace, canonical.trace);
+        assert!(spelled.contains(&"A ⊃ E ⊃ F".to_string()));
+        assert!(spelled.contains(&"A ⊃ B ⊃ F".to_string()));
+    }
+
+    #[test]
+    fn normal_forms_is_singleton_on_confluent_inputs() {
+        let e1 = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            Some((SelectKind::Eq, "Chang".into())),
+        );
+        let forms = normal_forms(&e1, &bib_rig());
+        assert_eq!(forms.len(), 1);
+        let canonical = optimize(&e1, &bib_rig());
+        assert_eq!(forms[0].expr, canonical.expr);
+        assert_eq!(forms[0].trace, canonical.trace);
+    }
+
+    #[test]
+    fn normal_forms_short_circuits_trivially_empty() {
+        let e = InclusionExpr::including(
+            names(&["Reference", "Title", "Last_Name"]),
+            vec![ChainOp::Incl, ChainOp::Incl],
+            None,
+        );
+        let forms = normal_forms(&e, &bib_rig());
+        assert_eq!(forms.len(), 1);
+        assert!(forms[0].trivially_empty);
+    }
+
+    #[test]
+    fn optimize_costed_picks_the_cheaper_form_and_keeps_canonical_on_ties() {
+        let g = non_confluent_rig();
+        let e = InclusionExpr::all_direct(Direction::Including, names(&["A", "B", "E", "F"]), None);
+        let canonical = optimize(&e, &g);
+        // A constant cost function ties everything: the canonical form wins.
+        let tied = optimize_costed(&e, &g, &|_| 1.0);
+        assert_eq!(tied.expr, canonical.expr);
+        assert_eq!(tied.trace, canonical.trace);
+        // A cost function that penalizes the canonical spelling flips the
+        // choice to the other normal form.
+        let other = optimize_costed(&e, &g, &|x| {
+            if x.to_string() == canonical.expr.to_string() {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        assert_ne!(other.expr, canonical.expr);
+        assert!(other.expr.to_string() == "A ⊃ B ⊃ F" || other.expr.to_string() == "A ⊃ E ⊃ F");
+    }
+
+    #[test]
+    fn optimize_costed_matches_optimize_on_confluent_inputs() {
+        let e1 = InclusionExpr::all_direct(
+            Direction::Including,
+            names(&["Reference", "Authors", "Name", "Last_Name"]),
+            Some((SelectKind::Eq, "Chang".into())),
+        );
+        let g = bib_rig();
+        // Any cost function at all: a single form leaves nothing to rank.
+        let costed = optimize_costed(&e1, &g, &|x| x.names().len() as f64);
+        let plain = optimize(&e1, &g);
+        assert_eq!(costed, plain);
     }
 }

@@ -9,8 +9,9 @@ use std::fmt::Write as _;
 use qof_grammar::{PathFilter, StructuringSchema};
 use qof_pat::{Instance, RegionExpr};
 
-use crate::analyze::absint::{certify, AbsInterp};
-use crate::optimizer::{optimize, RewriteKind};
+use crate::analyze::absint::{certify, AbsInterp, CardInterval};
+use crate::cost::{CachedChain, PlanCache, StatsStore};
+use crate::optimizer::{optimize, optimize_costed, RewriteKind};
 use crate::residual::{compile_cond, compile_steps, CompiledCond, CompiledPath};
 use crate::trace::NodeFact;
 use crate::translate::{filter_paths, resolve_path, PathSpec, SkOp, TranslateError};
@@ -203,6 +204,11 @@ pub struct Planner<'a> {
     /// Strict mode: a rewrite the certifier cannot certify is *suppressed*
     /// (the run stays unoptimized) instead of merely flagged.
     pub strict: bool,
+    /// Index statistics for cost-ranked normal-form selection; `None`
+    /// falls back to the purely syntactic leftmost-first optimizer.
+    pub stats: Option<&'a StatsStore>,
+    /// Memoized per-chain lowering results; `None` plans from scratch.
+    pub plan_cache: Option<&'a PlanCache>,
 }
 
 /// Why a projected hop lost §6.3 exactness (surfaced by `qof check` as
@@ -686,38 +692,70 @@ impl<'a> Planner<'a> {
                 optimized_runs.push(ie);
                 continue;
             }
-            let opt = optimize(&ie, self.partial_rig);
+            // The plan cache memoizes the whole optimize-and-certify
+            // outcome per chain shape; entries only live within one
+            // statistics epoch, so a hit is always byte-identical to what
+            // a fresh lowering would produce.
+            let cache_key = self.plan_cache.map(|_| PlanCache::chain_key(&ie, self.strict));
+            if let (Some(pc), Some(key)) = (self.plan_cache, cache_key.as_deref()) {
+                if let Some(cached) = pc.get(key) {
+                    rewrites.extend(cached.rewrites);
+                    empty |= cached.empty;
+                    optimized_runs.push(cached.expr);
+                    continue;
+                }
+            }
+            // With statistics, rank the certified-equivalent normal forms
+            // by estimated cost; without, keep the syntactic
+            // leftmost-first canonical form.
+            let opt = match self.stats {
+                Some(st) => optimize_costed(&ie, self.partial_rig, &|e| st.estimate_cost(e)),
+                None => optimize(&ie, self.partial_rig),
+            };
             // Every recorded step goes through the abstract-interpretation
             // certifier; a verdict the certifier rejects is flagged in the
             // trace and — under strict mode — suppressed entirely.
             let interp = AbsInterp::new(self.partial_rig);
             let cert = certify(&ie, self.partial_rig, &opt, &interp);
             let accepted = !self.strict || cert.all_certified();
+            let mut run_rewrites: Vec<PlanRewrite> = Vec::new();
             for (rw, step) in opt.trace.iter().zip(&cert.steps) {
                 let proposition = match &rw.kind {
                     RewriteKind::Weaken { .. } => "3.5(a)",
                     RewriteKind::Shorten { .. } => "3.5(b)",
                 };
-                rewrites.push(PlanRewrite {
+                run_rewrites.push(PlanRewrite {
                     proposition: proposition.to_owned(),
                     description: rw.description.clone(),
                     result: rw.result.clone(),
                     certified: step.certified,
                 });
             }
+            let mut run_empty = false;
             if opt.trivially_empty {
                 let step_ok = cert.empty_step.as_ref().is_some_and(|s| s.certified);
-                rewrites.push(PlanRewrite {
+                run_rewrites.push(PlanRewrite {
                     proposition: "3.3".to_owned(),
                     description: format!("`{ie}` is provably empty: a hop has no RIG edge or path"),
                     result: "∅".to_owned(),
                     certified: step_ok,
                 });
-                if accepted {
-                    empty = true;
-                }
+                run_empty = accepted;
             }
-            optimized_runs.push(if accepted { opt.expr } else { ie });
+            let chosen = if accepted { opt.expr } else { ie };
+            if let (Some(pc), Some(key)) = (self.plan_cache, cache_key) {
+                pc.insert(
+                    key,
+                    CachedChain {
+                        expr: chosen.clone(),
+                        rewrites: run_rewrites.clone(),
+                        empty: run_empty,
+                    },
+                );
+            }
+            rewrites.extend(run_rewrites);
+            empty |= run_empty;
+            optimized_runs.push(chosen);
         }
 
         // Reassemble: fold runs right-to-left with NestedExactly links.
@@ -1109,6 +1147,62 @@ impl Plan {
             out.push(interp.fact(display.clone(), expr));
         }
         out
+    }
+
+    /// A sound per-variable candidate-cardinality interval: the abstract
+    /// interpreter's bound for each variable's condition, capped by the
+    /// view's region count. Phase 1's actual candidate counts always fall
+    /// inside these intervals (trace schema v4 pairs the two as
+    /// [`CardEstimate`](crate::trace::CardEstimate)s).
+    pub fn var_estimates(&self, interp: &AbsInterp<'_>) -> Vec<(String, CardInterval)> {
+        self.vars
+            .iter()
+            .map(|vp| {
+                let view_card = interp.analyze(&RegionExpr::name(&vp.symbol)).card;
+                let est = match &vp.cond {
+                    // No condition: candidates are exactly the view extent.
+                    None => view_card,
+                    Some(c) => c.estimate(interp, view_card.hi),
+                };
+                (vp.var.clone(), est)
+            })
+            .collect()
+    }
+}
+
+fn min_hi(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+impl CondNode {
+    /// A sound upper-bound estimate of the candidate regions this
+    /// condition lets through, mirroring the executor's `eval_cond`
+    /// semantics: leaves intersect with the view extent, `AND`
+    /// intersects, `OR` unions, `NOT` can fall back to the whole view.
+    fn estimate(&self, interp: &AbsInterp<'_>, view_hi: Option<u64>) -> CardInterval {
+        let hi = match self {
+            CondNode::IndexOnly { expr, .. } => min_hi(interp.analyze(expr).card.hi, view_hi),
+            // Content-compared and complemented candidates are view
+            // regions; nothing tighter is sound (the inexact paths fall
+            // back to the full view extent).
+            CondNode::ContentCompare { .. } | CondNode::Not(_) => view_hi,
+            CondNode::And(a, b) => {
+                min_hi(a.estimate(interp, view_hi).hi, b.estimate(interp, view_hi).hi)
+            }
+            CondNode::Or(a, b) => {
+                let sum = a
+                    .estimate(interp, view_hi)
+                    .hi
+                    .zip(b.estimate(interp, view_hi).hi)
+                    .map(|(x, y)| x.saturating_add(y));
+                min_hi(sum, view_hi)
+            }
+        };
+        CardInterval { lo: 0, hi }
     }
 }
 

@@ -129,6 +129,11 @@ impl Rig {
         self.out.iter().map(BTreeSet::len).sum()
     }
 
+    /// The node names, in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(String::as_str)
+    }
+
     /// Whether `name` is a node.
     pub fn has_node(&self, name: &str) -> bool {
         self.by_name.contains_key(name)

@@ -24,8 +24,12 @@ use crate::plan::PlanRewrite;
 /// query server uses to correlate responses, query-log lines and
 /// flight-recorder entries. v3 added the abstract interpreter: `facts`
 /// (per-plan-node [`NodeFact`]s) and a `certified` flag on every rewrite
-/// (the certifier's verdict). All earlier fields are unchanged.
-pub const TRACE_SCHEMA_VERSION: u64 = 3;
+/// (the certifier's verdict). v4 added the cost model: `estimates`
+/// (per-variable estimated-vs-actual candidate cardinalities,
+/// [`CardEstimate`]) and the `plan_cache_hits`/`plan_cache_misses` pair
+/// recording how much planning work this run reused. All earlier fields
+/// are unchanged.
+pub const TRACE_SCHEMA_VERSION: u64 = 4;
 
 /// The abstract interpreter's verdict on one plan node (trace schema v3):
 /// a static domain, a cardinality interval and an emptiness fact, as
@@ -49,6 +53,25 @@ pub struct NodeFact {
     pub empty: bool,
     /// Human-readable evidence.
     pub notes: Vec<String>,
+}
+
+/// Estimated vs actual candidate cardinality of one range variable
+/// (trace schema v4): the abstract interpreter's interval for the
+/// variable's index condition, next to the candidate count phase 1
+/// actually produced. The interval is sound, so
+/// `est_lo ≤ observed ≤ est_hi` whenever the estimate comes from the
+/// certified machinery — the bench harness reports the midpoint error.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CardEstimate {
+    /// The range variable.
+    pub var: String,
+    /// Estimated lower bound on the candidate count, inclusive.
+    pub est_lo: u64,
+    /// Estimated upper bound, inclusive; `None` is unbounded (the JSON
+    /// form omits the key).
+    pub est_hi: Option<u64>,
+    /// Candidate regions phase 1 actually produced for the variable.
+    pub observed: u64,
 }
 
 /// Wall time of one executor phase.
@@ -93,6 +116,9 @@ pub struct QueryTrace {
     pub rewrites: Vec<PlanRewrite>,
     /// Per-plan-node abstract facts (schema v3).
     pub facts: Vec<NodeFact>,
+    /// Per-variable estimated vs actual candidate cardinalities (schema
+    /// v4).
+    pub estimates: Vec<CardEstimate>,
     /// Executor phases with wall times, in execution order.
     pub phases: Vec<PhaseTrace>,
     /// Per-shard phase-1 traces (empty on the sequential path).
@@ -103,6 +129,11 @@ pub struct QueryTrace {
     pub cache_hits: u64,
     /// Shared-cache misses during this run.
     pub cache_misses: u64,
+    /// Plan-cache hits while planning this run (schema v4): lowered
+    /// chains reused from a previous optimize-and-certify.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses while planning this run (schema v4).
+    pub plan_cache_misses: u64,
     /// End-to-end wall time, nanoseconds.
     pub total_nanos: u64,
     /// Candidate view regions considered.
@@ -121,6 +152,9 @@ pub(crate) struct ExecTrace {
     pub(crate) phases: Vec<PhaseTrace>,
     pub(crate) shards: Vec<ShardTrace>,
     pub(crate) ops: Vec<OpTrace>,
+    /// Phase-1 candidate counts per range variable, in plan (FROM) order —
+    /// the "actual" half of the v4 [`CardEstimate`]s.
+    pub(crate) var_candidates: Vec<u64>,
 }
 
 impl QueryTrace {
@@ -180,6 +214,27 @@ impl QueryTrace {
                 }
             }
         }
+        if !self.estimates.is_empty() {
+            let _ = writeln!(out, "cardinality estimates:");
+            for est in &self.estimates {
+                let interval = match est.est_hi {
+                    Some(hi) => format!("[{}, {hi}]", est.est_lo),
+                    None => format!("[{}, ∞)", est.est_lo),
+                };
+                let bounded = if est.est_lo <= est.observed
+                    && est.est_hi.is_none_or(|hi| est.observed <= hi)
+                {
+                    ""
+                } else {
+                    "  ⚠ outside interval"
+                };
+                let _ = writeln!(
+                    out,
+                    "  {}: estimated {interval}, actual {}{bounded}",
+                    est.var, est.observed
+                );
+            }
+        }
         let _ = writeln!(out, "phases:");
         for ph in &self.phases {
             let _ = writeln!(out, "  {:<18} {:>10}", ph.name, fmt_nanos(ph.nanos));
@@ -209,9 +264,18 @@ impl QueryTrace {
         for (i, root) in roots.iter().enumerate() {
             render_op(root, "  ", i + 1 == roots.len(), &mut out);
         }
+        let plan_cache = if self.plan_cache_hits + self.plan_cache_misses > 0 {
+            format!(
+                ", plan cache {}/{} hits",
+                self.plan_cache_hits,
+                self.plan_cache_hits + self.plan_cache_misses
+            )
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "totals: {} candidates, {} results [{}], cache {}/{} hits, {}",
+            "totals: {} candidates, {} results [{}], cache {}/{} hits{plan_cache}, {}",
             self.candidates,
             self.results,
             if self.exact_index { "exact" } else { "candidates" },
@@ -272,6 +336,18 @@ impl QueryTrace {
             }
             s.push_str("]}");
         }
+        s.push_str("],\"estimates\":[");
+        for (i, est) in self.estimates.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"var\":\"{}\",\"est_lo\":{}", esc(&est.var), est.est_lo);
+            // Same convention as `card_hi`: unbounded omits the key.
+            if let Some(hi) = est.est_hi {
+                let _ = write!(s, ",\"est_hi\":{hi}");
+            }
+            let _ = write!(s, ",\"observed\":{}}}", est.observed);
+        }
         s.push_str("],\"phases\":[");
         for (i, ph) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -296,6 +372,11 @@ impl QueryTrace {
         ops_to_json(&self.ops, &mut s);
         let _ =
             write!(s, ",\"cache_hits\":{},\"cache_misses\":{}", self.cache_hits, self.cache_misses);
+        let _ = write!(
+            s,
+            ",\"plan_cache_hits\":{},\"plan_cache_misses\":{}",
+            self.plan_cache_hits, self.plan_cache_misses
+        );
         let _ = write!(s, ",\"total_nanos\":{}", self.total_nanos);
         let _ = write!(s, ",\"candidates\":{},\"results\":{}", self.candidates, self.results);
         let _ = write!(s, ",\"exact_index\":{}", self.exact_index);
@@ -342,6 +423,18 @@ impl QueryTrace {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let estimates = get_arr(obj, "estimates")?
+            .iter()
+            .map(|v| {
+                let o = v.as_obj().ok_or("estimate is not an object")?;
+                Ok(CardEstimate {
+                    var: get_str(o, "var")?,
+                    est_lo: get_u64(o, "est_lo")?,
+                    est_hi: opt_u64(o, "est_hi")?,
+                    observed: get_u64(o, "observed")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         let phases = get_arr(obj, "phases")?
             .iter()
             .map(|v| {
@@ -367,11 +460,14 @@ impl QueryTrace {
             plan: get_str(obj, "plan")?,
             rewrites,
             facts,
+            estimates,
             phases,
             shards,
             ops: ops_from_json(get_arr(obj, "ops")?)?,
             cache_hits: get_u64(obj, "cache_hits")?,
             cache_misses: get_u64(obj, "cache_misses")?,
+            plan_cache_hits: get_u64(obj, "plan_cache_hits")?,
+            plan_cache_misses: get_u64(obj, "plan_cache_misses")?,
             total_nanos: get_u64(obj, "total_nanos")?,
             candidates: usize_from(get_u64(obj, "candidates")?)?,
             results: usize_from(get_u64(obj, "results")?)?,
@@ -802,6 +898,10 @@ mod tests {
                     notes: vec!["word \"zzz\" does not occur in the corpus".into()],
                 },
             ],
+            estimates: vec![
+                CardEstimate { var: "r".into(), est_lo: 2, est_hi: Some(8), observed: 5 },
+                CardEstimate { var: "s".into(), est_lo: 0, est_hi: None, observed: 3 },
+            ],
             phases: vec![
                 PhaseTrace { name: "index-candidates".into(), nanos: 1_500 },
                 PhaseTrace { name: "projection".into(), nanos: 2_000_000 },
@@ -810,6 +910,8 @@ mod tests {
             ops: vec![root],
             cache_hits: 3,
             cache_misses: 1,
+            plan_cache_hits: 2,
+            plan_cache_misses: 1,
             total_nanos: 2_100_000,
             candidates: 5,
             results: 1,
@@ -829,7 +931,7 @@ mod tests {
 
     #[test]
     fn from_json_rejects_bad_versions_and_garbage() {
-        let json = sample().to_json().replace("\"schema_version\":3", "\"schema_version\":999");
+        let json = sample().to_json().replace("\"schema_version\":4", "\"schema_version\":999");
         assert!(QueryTrace::from_json(&json).unwrap_err().contains("schema version"));
         assert!(QueryTrace::from_json("{").is_err());
         assert!(QueryTrace::from_json("[]").is_err());
@@ -848,10 +950,15 @@ mod tests {
         assert!(text.contains("domain {Reference}, card [0, 60]"));
         assert!(text.contains("domain ⊤, card [0, ∞)  ∅"));
         assert!(text.contains("note: word \"zzz\""));
+        assert!(text.contains("cardinality estimates:"));
+        assert!(text.contains("r: estimated [2, 8], actual 5"));
+        assert!(text.contains("s: estimated [0, ∞), actual 3"));
+        assert!(!text.contains("⚠ outside interval"));
         assert!(text.contains("index-candidates"));
         assert!(text.contains("└─ ⊃  in=3 out=1"));
         assert!(text.contains("(memo hit)"));
         assert!(text.contains("shards (phase 1):"));
+        assert!(text.contains("plan cache 2/3 hits"));
         assert!(text.contains("totals: 5 candidates, 1 results [exact]"));
     }
 

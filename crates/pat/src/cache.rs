@@ -8,8 +8,14 @@
 //! the global engine never alias each other's entries, and commutative
 //! spellings (`A ∪ B` vs `B ∪ A`) collapse to one entry via
 //! [`RegionExpr::normalized`].
+//!
+//! The cache is bounded. A long-running `qof serve` process with a diverse
+//! query stream would otherwise grow it without limit (every distinct
+//! normalized subexpression is one resident `RegionSet` forever); inserts
+//! past the entry or byte cap evict the oldest entries first and count each
+//! eviction in [`CacheStats::evictions`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -17,13 +23,25 @@ use qof_text::{Pos, Span};
 
 use crate::{RegionExpr, RegionSet};
 
+/// Default cap on resident entries (see [`SubexprCache::with_limits`]).
+pub const DEFAULT_MAX_ENTRIES: usize = 8192;
+
+/// Default cap on approximate resident bytes (64 MiB).
+pub const DEFAULT_MAX_BYTES: usize = 64 << 20;
+
 /// Scope component of a cache key; `None` (unscoped) maps to the full
 /// address space so it can never collide with a real shard span.
 fn scope_key(scope: Option<&Span>) -> (Pos, Pos) {
     scope.map_or((0, Pos::MAX), |s| (s.start, s.end))
 }
 
-/// Hit/miss counters and current size of a [`SubexprCache`].
+/// Approximate resident size of one cached region set: the region pairs
+/// plus a flat per-entry overhead for the key and map bookkeeping.
+fn entry_bytes(set: &RegionSet) -> usize {
+    set.len() * std::mem::size_of::<(Pos, Pos)>() + 64
+}
+
+/// Hit/miss/eviction counters and current size of a [`SubexprCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -32,17 +50,25 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries evicted to stay under the entry/byte caps (cumulative;
+    /// `clear()` resets it along with the hit/miss counters).
+    pub evictions: u64,
+    /// Approximate bytes currently resident (region pairs + overhead).
+    pub approx_bytes: usize,
 }
 
 impl CacheStats {
-    /// Merges a per-shard stats block into this one. Hit and miss counts
-    /// sum losslessly; `entries` is a gauge, not a counter — shard workers
-    /// share one cache, so concurrent snapshots see (at most) the same
-    /// resident set and the merged block keeps the largest observation.
+    /// Merges a per-shard stats block into this one. Hit, miss, and
+    /// eviction counts sum losslessly; `entries`/`approx_bytes` are gauges,
+    /// not counters — shard workers share one cache, so concurrent
+    /// snapshots see (at most) the same resident set and the merged block
+    /// keeps the largest observation.
     pub fn merge(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.evictions += other.evictions;
         self.entries = self.entries.max(other.entries);
+        self.approx_bytes = self.approx_bytes.max(other.approx_bytes);
     }
 
     /// Fraction of lookups answered from the cache (0 when never consulted).
@@ -59,29 +85,89 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe map from `(scope, normalized expression)` to its evaluated
-/// region set. Shared by reference across shard workers and batched queries;
-/// the owner (e.g. `FileDatabase`) must clear it whenever the underlying
-/// corpus or instance changes.
+/// The lock-guarded resident state: the two-level map plus the FIFO
+/// insertion order the evictor walks and the byte gauge.
 #[derive(Debug, Default)]
-pub struct SubexprCache {
+struct Resident {
     // Two-level map so lookups can probe by `&RegionExpr` without cloning.
-    map: Mutex<HashMap<(Pos, Pos), HashMap<RegionExpr, RegionSet>>>,
+    map: HashMap<(Pos, Pos), HashMap<RegionExpr, RegionSet>>,
+    /// Insertion order of `(scope, expr)` keys, oldest first. Replaced
+    /// entries keep their original position (they are re-counted, not
+    /// re-queued), so the queue length always equals the entry count.
+    order: VecDeque<((Pos, Pos), RegionExpr)>,
+    approx_bytes: usize,
+}
+
+impl Resident {
+    fn entries(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Evicts oldest-first until both caps hold; returns how many entries
+    /// were dropped.
+    fn evict_to(&mut self, max_entries: usize, max_bytes: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries() > max_entries || self.approx_bytes > max_bytes {
+            let Some((scope, expr)) = self.order.pop_front() else { break };
+            if let Some(inner) = self.map.get_mut(&scope) {
+                if let Some(set) = inner.remove(&expr) {
+                    self.approx_bytes = self.approx_bytes.saturating_sub(entry_bytes(&set));
+                    evicted += 1;
+                }
+                if inner.is_empty() {
+                    self.map.remove(&scope);
+                }
+            }
+        }
+        evicted
+    }
+}
+
+/// A thread-safe, bounded map from `(scope, normalized expression)` to its
+/// evaluated region set. Shared by reference across shard workers and
+/// batched queries; the owner (e.g. `FileDatabase`) must clear it whenever
+/// the underlying corpus or instance changes.
+#[derive(Debug)]
+pub struct SubexprCache {
+    resident: Mutex<Resident>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    max_entries: usize,
+    max_bytes: usize,
+}
+
+impl Default for SubexprCache {
+    fn default() -> Self {
+        Self::with_limits(DEFAULT_MAX_ENTRIES, DEFAULT_MAX_BYTES)
+    }
 }
 
 impl SubexprCache {
-    /// An empty cache.
+    /// An empty cache with the default entry/byte caps.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache capped at `max_entries` resident entries and
+    /// `max_bytes` approximate resident bytes (whichever binds first).
+    /// Inserts beyond either cap evict the oldest entries.
+    pub fn with_limits(max_entries: usize, max_bytes: usize) -> Self {
+        Self {
+            resident: Mutex::new(Resident::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            max_entries: max_entries.max(1),
+            max_bytes: max_bytes.max(1),
+        }
     }
 
     /// Looks up a normalized expression under a scope, counting the outcome.
     pub fn get(&self, scope: Option<&Span>, expr: &RegionExpr) -> Option<RegionSet> {
         let key = scope_key(scope);
-        let map = self.map.lock().expect("cache lock poisoned");
-        match map.get(&key).and_then(|m| m.get(expr)) {
+        let resident = self.resident.lock().expect("cache lock poisoned");
+        match resident.map.get(&key).and_then(|m| m.get(expr)) {
             Some(set) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(set.clone())
@@ -94,28 +180,46 @@ impl SubexprCache {
     }
 
     /// Stores an evaluated result (last writer wins on races; results for
-    /// the same key are identical by construction).
+    /// the same key are identical by construction), evicting oldest
+    /// entries if the insert pushed the cache past its caps.
     pub fn insert(&self, scope: Option<&Span>, expr: RegionExpr, set: RegionSet) {
         let key = scope_key(scope);
-        let mut map = self.map.lock().expect("cache lock poisoned");
-        map.entry(key).or_default().insert(expr, set);
+        let added = entry_bytes(&set);
+        let mut resident = self.resident.lock().expect("cache lock poisoned");
+        match resident.map.entry(key).or_default().insert(expr.clone(), set) {
+            Some(old) => {
+                // Replacement: adjust the byte gauge, keep the queue slot.
+                resident.approx_bytes = resident.approx_bytes.saturating_sub(entry_bytes(&old));
+            }
+            None => resident.order.push_back((key, expr)),
+        }
+        resident.approx_bytes += added;
+        let evicted = resident.evict_to(self.max_entries, self.max_bytes);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Current counters and size.
     pub fn stats(&self) -> CacheStats {
+        let resident = self.resident.lock().expect("cache lock poisoned");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock poisoned").values().map(HashMap::len).sum(),
+            entries: resident.entries(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            approx_bytes: resident.approx_bytes,
         }
     }
 
     /// Drops every entry and resets the counters (required after any
     /// mutation of the indexed corpus).
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock poisoned").clear();
+        let mut resident = self.resident.lock().expect("cache lock poisoned");
+        *resident = Resident::default();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -136,7 +240,8 @@ mod tests {
         cache.insert(None, e.clone(), rs(&[(0, 5)]));
         assert_eq!(cache.get(None, &e), Some(rs(&[(0, 5)])));
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!((s.hits, s.misses, s.entries, s.evictions), (1, 1, 1, 0));
+        assert!(s.approx_bytes > 0);
         assert!((s.hit_rate() - 0.5).abs() < f64::EPSILON);
     }
 
@@ -158,18 +263,21 @@ mod tests {
         let _ = cache.get(None, &RegionExpr::name("A"));
         cache.clear();
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+        assert_eq!((s.hits, s.misses, s.entries, s.evictions), (0, 0, 0, 0));
+        assert_eq!(s.approx_bytes, 0);
         assert!(s.hit_rate().abs() < f64::EPSILON);
     }
 
     #[test]
     fn stats_merge_sums_counters_losslessly() {
-        let a = CacheStats { hits: 3, misses: 2, entries: 7 };
-        let b = CacheStats { hits: 5, misses: 0, entries: 4 };
+        let a = CacheStats { hits: 3, misses: 2, entries: 7, evictions: 1, approx_bytes: 100 };
+        let b = CacheStats { hits: 5, misses: 0, entries: 4, evictions: 2, approx_bytes: 300 };
         let mut m = a;
         m.merge(&b);
         assert_eq!((m.hits, m.misses), (8, 2), "hit/miss counters must sum, not overwrite");
+        assert_eq!(m.evictions, 3, "evictions is a counter: it sums");
         assert_eq!(m.entries, 7, "entries is a shared gauge: keep the max, never sum shards");
+        assert_eq!(m.approx_bytes, 300, "bytes is a shared gauge too");
         assert!((m.hit_rate() - 0.8).abs() < f64::EPSILON);
     }
 
@@ -180,5 +288,49 @@ mod tests {
         let ba = RegionExpr::name("B").union(RegionExpr::name("A")).normalized();
         cache.insert(None, ab, rs(&[(0, 1)]));
         assert_eq!(cache.get(None, &ba), Some(rs(&[(0, 1)])));
+    }
+
+    #[test]
+    fn entry_cap_evicts_oldest_first() {
+        let cache = SubexprCache::with_limits(3, usize::MAX);
+        for i in 0..5u32 {
+            cache.insert(None, RegionExpr::name(format!("A{i}")), rs(&[(i, i + 1)]));
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 3, "cap holds");
+        assert_eq!(s.evictions, 2, "two oldest entries evicted");
+        // A0/A1 are gone, A2..A4 survive.
+        assert_eq!(cache.get(None, &RegionExpr::name("A0")), None);
+        assert_eq!(cache.get(None, &RegionExpr::name("A1")), None);
+        for i in 2..5u32 {
+            assert!(cache.get(None, &RegionExpr::name(format!("A{i}"))).is_some(), "A{i} resident");
+        }
+    }
+
+    #[test]
+    fn byte_cap_evicts_and_tracks_gauge() {
+        // Each entry costs 64 bytes of overhead plus its regions; a cap of
+        // 200 bytes holds at most two small entries.
+        let cache = SubexprCache::with_limits(usize::MAX, 200);
+        for i in 0..4u32 {
+            cache.insert(None, RegionExpr::name(format!("B{i}")), rs(&[(i, i + 1)]));
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 2, "byte cap binds: {} entries", s.entries);
+        assert!(s.approx_bytes <= 200, "gauge stays under the cap: {}", s.approx_bytes);
+        assert_eq!(s.evictions as usize, 4 - s.entries);
+    }
+
+    #[test]
+    fn replacement_does_not_grow_entries_or_leak_bytes() {
+        let cache = SubexprCache::with_limits(8, usize::MAX);
+        let e = RegionExpr::name("A");
+        cache.insert(None, e.clone(), rs(&[(0, 1), (2, 3), (4, 5)]));
+        let big = cache.stats().approx_bytes;
+        cache.insert(None, e.clone(), rs(&[(0, 1)]));
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "replacement reuses the slot");
+        assert!(s.approx_bytes < big, "byte gauge shrinks with the smaller value");
+        assert_eq!(cache.get(None, &e), Some(rs(&[(0, 1)])), "last writer wins");
     }
 }

@@ -87,11 +87,18 @@ fn histogram_series(out: &mut String, name: &str, labels: &str, h: &Histogram) {
 /// Renders the snapshot in the Prometheus text exposition format v0.0.4.
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
-    let counters: [(&str, &str, u64); 4] = [
+    let counters: [(&str, &str, u64); 7] = [
         ("qof_queries_total", "Queries executed (successes and failures).", snap.queries),
         ("qof_query_errors_total", "Queries that returned an error.", snap.query_errors),
         ("qof_cache_hits_total", "Shared subexpression-cache hits.", snap.cache_hits),
         ("qof_cache_misses_total", "Shared subexpression-cache misses.", snap.cache_misses),
+        (
+            "qof_cache_evictions_total",
+            "Shared subexpression-cache entries evicted by the entry/byte caps.",
+            snap.cache_evictions,
+        ),
+        ("qof_plan_cache_hits_total", "Optimized-plan cache hits.", snap.plan_cache_hits),
+        ("qof_plan_cache_misses_total", "Optimized-plan cache misses.", snap.plan_cache_misses),
     ];
     for (name, help, value) in counters {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -149,6 +156,13 @@ pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
         snap.queries, snap.query_errors, snap.cache_hits, snap.cache_misses
     );
     let _ = write!(out, ",\"cache_hit_rate\":{}", snap.cache_hit_rate());
+    let _ = write!(out, ",\"cache_evictions\":{}", snap.cache_evictions);
+    let _ = write!(
+        out,
+        ",\"plan_cache_hits\":{},\"plan_cache_misses\":{}",
+        snap.plan_cache_hits, snap.plan_cache_misses
+    );
+    let _ = write!(out, ",\"plan_cache_hit_rate\":{}", snap.plan_cache_hit_rate());
     let _ = write!(out, ",\"query_latency\":{}", histogram_json(&snap.query_latency));
     out.push_str(",\"op_latency\":{");
     for (i, (op, h)) in snap.op_latency.iter().enumerate() {
@@ -174,6 +188,10 @@ mod tests {
         reg.record_query(1_000, true);
         reg.record_query(1 << 20, false); // le 2^21 ns
         reg.record_cache(2, 1);
+        reg.record_cache_evictions(5);
+        reg.record_plan_cache(true);
+        reg.record_plan_cache(true);
+        reg.record_plan_cache(false);
         reg.record_op("⊃", 600); // le 1024ns
         reg.record_op("σ", 100); // le 128ns
         reg.snapshot()
@@ -195,6 +213,15 @@ qof_cache_hits_total 2
 # HELP qof_cache_misses_total Shared subexpression-cache misses.
 # TYPE qof_cache_misses_total counter
 qof_cache_misses_total 1
+# HELP qof_cache_evictions_total Shared subexpression-cache entries evicted by the entry/byte caps.
+# TYPE qof_cache_evictions_total counter
+qof_cache_evictions_total 5
+# HELP qof_plan_cache_hits_total Optimized-plan cache hits.
+# TYPE qof_plan_cache_hits_total counter
+qof_plan_cache_hits_total 2
+# HELP qof_plan_cache_misses_total Optimized-plan cache misses.
+# TYPE qof_plan_cache_misses_total counter
+qof_plan_cache_misses_total 1
 # HELP qof_query_latency_seconds End-to-end query latency.
 # TYPE qof_query_latency_seconds histogram
 qof_query_latency_seconds_bucket{le=\"0.000001024\"} 2
@@ -246,6 +273,9 @@ qof_op_latency_seconds_count{op=\"⊃\"} 1
         let json = snapshot_to_json(&snap);
         assert!(json.contains("\"queries\":3,\"query_errors\":1"));
         assert!(json.contains("\"cache_hits\":2,\"cache_misses\":1"));
+        assert!(json.contains("\"cache_evictions\":5"));
+        assert!(json.contains("\"plan_cache_hits\":2,\"plan_cache_misses\":1"), "{json}");
+        assert!(json.contains("\"plan_cache_hit_rate\":0.6666666666666666"), "{json}");
         assert!(json.contains("\"le_nanos\":1024,\"count\":2"), "{json}");
         assert!(json.contains("\"⊃\""));
         // Structural sanity: balanced braces, no trailing commas.

@@ -305,6 +305,9 @@ pub struct MetricsRegistry {
     query_errors: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
     query_latency: Mutex<Histogram>,
     op_latency: Mutex<BTreeMap<String, Histogram>>,
 }
@@ -323,6 +326,12 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Shared-cache misses observed.
     pub cache_misses: u64,
+    /// Shared-cache entries evicted to stay under the cache caps.
+    pub cache_evictions: u64,
+    /// Optimized-plan cache hits (whole plans reused across requests).
+    pub plan_cache_hits: u64,
+    /// Optimized-plan cache misses (plans optimized and certified fresh).
+    pub plan_cache_misses: u64,
     /// End-to-end query latency.
     pub query_latency: Histogram,
     /// Per-operator latency, keyed by operator label.
@@ -339,6 +348,19 @@ impl MetricsSnapshot {
             #[allow(clippy::cast_precision_loss)]
             {
                 self.cache_hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// Fraction of plan-cache lookups that hit (0 when never consulted).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.plan_cache_hits as f64 / total as f64
             }
         }
     }
@@ -383,6 +405,27 @@ impl MetricsRegistry {
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
     }
 
+    /// Accumulates a shared-cache eviction delta.
+    pub fn record_cache_evictions(&self, evictions: u64) {
+        self.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
+    }
+
+    /// Records one optimized-plan cache lookup.
+    pub fn record_plan_cache(&self, hit: bool) {
+        if hit {
+            self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates plan-cache hit/miss deltas (one planning pass can
+    /// consult the cache once per lowered chain).
+    pub fn record_plan_cache_delta(&self, hits: u64, misses: u64) {
+        self.plan_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.plan_cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
     /// Records one operator application's latency under its label.
     pub fn record_op(&self, op: &str, nanos: u64) {
         let mut map = self.op_latency.lock().expect("metrics lock poisoned");
@@ -415,6 +458,9 @@ impl MetricsRegistry {
             query_errors: self.query_errors.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
             query_latency: self.query_latency.lock().expect("metrics lock poisoned").clone(),
             op_latency: self.op_latency.lock().expect("metrics lock poisoned").clone(),
         }
@@ -426,6 +472,9 @@ impl MetricsRegistry {
         self.query_errors.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.plan_cache_misses.store(0, Ordering::Relaxed);
         *self.query_latency.lock().expect("metrics lock poisoned") = Histogram::new();
         self.op_latency.lock().expect("metrics lock poisoned").clear();
     }
@@ -560,6 +609,22 @@ mod tests {
         assert_eq!(s.op_latency["⊃"].count(), 1);
         assert!(!s.op_latency.contains_key("σ"));
         assert_eq!(s.op_latency["name A"].count(), 1);
+    }
+
+    #[test]
+    fn plan_cache_and_eviction_counters_flow_to_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.record_plan_cache(false);
+        reg.record_plan_cache(true);
+        reg.record_plan_cache(true);
+        reg.record_cache_evictions(4);
+        let s = reg.snapshot();
+        assert_eq!((s.plan_cache_hits, s.plan_cache_misses, s.cache_evictions), (2, 1, 4));
+        assert!((s.plan_cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        reg.reset();
+        let s = reg.snapshot();
+        assert_eq!((s.plan_cache_hits, s.plan_cache_misses, s.cache_evictions), (0, 0, 0));
+        assert!(s.plan_cache_hit_rate().abs() < 1e-9);
     }
 
     #[test]

@@ -36,18 +36,43 @@ impl Request {
     }
 }
 
+/// Why [`read_request`] could not produce a request.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The socket's read timeout elapsed — the client stalled (possibly
+    /// mid-request). The connection should be dropped without a response:
+    /// a stalled peer is not draining its receive side either.
+    TimedOut,
+    /// The bytes received do not form an acceptable request.
+    Malformed(String),
+}
+
+impl RequestError {
+    fn io(context: &str, e: &std::io::Error) -> RequestError {
+        use std::io::ErrorKind;
+        // `set_read_timeout` surfaces as `WouldBlock` or `TimedOut`
+        // depending on the platform.
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            RequestError::TimedOut
+        } else {
+            RequestError::Malformed(format!("{context}: {e}"))
+        }
+    }
+}
+
 /// Reads one request from the stream. Returns `Ok(None)` on a clean EOF
 /// (the client closed a keep-alive connection between requests).
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, String> {
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, RequestError> {
+    let malformed = |m: &str| RequestError::Malformed(m.to_owned());
     let mut line = String::new();
     match reader.read_line(&mut line) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
-        Err(e) => return Err(format!("read request line: {e}")),
+        Err(e) => return Err(RequestError::io("read request line", &e)),
     }
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_uppercase();
-    let target = parts.next().ok_or("request line missing path")?;
+    let method = parts.next().ok_or_else(|| malformed("empty request line"))?.to_uppercase();
+    let target = parts.next().ok_or_else(|| malformed("request line missing path"))?;
     let version = parts.next().unwrap_or("HTTP/1.1");
     let (path, query) = target.split_once('?').unwrap_or((target, ""));
 
@@ -56,7 +81,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
     let mut keep_alive = version != "HTTP/1.0";
     loop {
         let mut h = String::new();
-        reader.read_line(&mut h).map_err(|e| format!("read header: {e}"))?;
+        reader.read_line(&mut h).map_err(|e| RequestError::io("read header", &e))?;
         let h = h.trim_end();
         if h.is_empty() {
             break;
@@ -65,18 +90,21 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
         let value = value.trim();
         match name.to_ascii_lowercase().as_str() {
             "content-length" => {
-                content_length =
-                    value.parse().map_err(|_| format!("bad Content-Length `{value}`"))?;
+                content_length = value.parse().map_err(|_| {
+                    RequestError::Malformed(format!("bad Content-Length `{value}`"))
+                })?;
             }
             "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
             _ => {}
         }
     }
     if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+        return Err(RequestError::Malformed(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY}"
+        )));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+    reader.read_exact(&mut body).map_err(|e| RequestError::io("read body", &e))?;
     Ok(Some(Request { method, path: path.to_owned(), query: query.to_owned(), body, keep_alive }))
 }
 

@@ -42,7 +42,7 @@ use qof_core::FileDatabase;
 use qof_pat::{render_prometheus, snapshot_to_json, MetricsRegistry};
 
 pub use http::Client;
-use http::{esc_json, read_request, write_response, Request};
+use http::{esc_json, read_request, write_response, Request, RequestError};
 pub use qlog::{error_line, normalize_query, success_line, QueryLog};
 pub use recorder::FlightRecorder;
 
@@ -54,12 +54,31 @@ pub struct ServerConfig {
     pub slow_ms: u64,
     /// Capacity of each flight-recorder ring.
     pub recorder_capacity: usize,
+    /// Socket read timeout in milliseconds (0 disables). A client that
+    /// stalls mid-request — or holds a keep-alive connection open without
+    /// sending anything — is dropped after this long, freeing its handler
+    /// thread. Without it a stalled peer pins a thread forever.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout in milliseconds (0 disables): bounds how long
+    /// a response write may block on a peer that stops draining.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { slow_ms: 100, recorder_capacity: 64 }
+        ServerConfig {
+            slow_ms: 100,
+            recorder_capacity: 64,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+        }
     }
+}
+
+/// `0` means "no timeout" in the config; `set_read_timeout` spells that
+/// `None`.
+fn timeout(ms: u64) -> Option<std::time::Duration> {
+    (ms > 0).then(|| std::time::Duration::from_millis(ms))
 }
 
 struct State {
@@ -70,6 +89,8 @@ struct State {
     shutdown: AtomicBool,
     started: Instant,
     addr: SocketAddr,
+    read_timeout: Option<std::time::Duration>,
+    write_timeout: Option<std::time::Duration>,
 }
 
 /// A running server: its bound address and the means to stop it.
@@ -148,6 +169,8 @@ pub fn serve(
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         addr,
+        read_timeout: timeout(config.read_timeout_ms),
+        write_timeout: timeout(config.write_timeout_ms),
     });
 
     let accept_state = Arc::clone(&state);
@@ -167,8 +190,14 @@ pub fn serve(
     Ok(ServerHandle { addr, state, accept: Some(accept) })
 }
 
-/// Serves one connection until the client closes it, asks to, or errors.
+/// Serves one connection until the client closes it, asks to, stalls past
+/// the configured timeouts, or errors.
 fn handle_connection(state: &State, stream: TcpStream) {
+    if stream.set_read_timeout(state.read_timeout).is_err()
+        || stream.set_write_timeout(state.write_timeout).is_err()
+    {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
@@ -176,17 +205,29 @@ fn handle_connection(state: &State, stream: TcpStream) {
         let req = match read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean EOF between requests
-            Err(e) => {
+            // A stalled client gets no response — it is not reading one —
+            // just its connection back. The thread frees itself.
+            Err(RequestError::TimedOut) => return,
+            Err(RequestError::Malformed(e)) => {
                 let body = format!("{{\"error\":\"{}\"}}", esc_json(&e));
                 let _ = write_response(&mut stream, 400, "application/json", &body, false);
                 return;
             }
         };
-        let keep_alive = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
         let (status, content_type, body) = route(state, &req);
-        if write_response(&mut stream, status, content_type, &body, keep_alive).is_err()
-            || !keep_alive
-        {
+        // Checked *after* routing: `POST /shutdown` sets the flag while
+        // handling this very request, and its own response must close the
+        // connection rather than hold it open.
+        let keep_alive = req.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+        let write_ok = write_response(&mut stream, status, content_type, &body, keep_alive).is_ok();
+        if state.shutdown.load(Ordering::SeqCst) {
+            // Wake the accept loop (blocked in `accept()`) only now that the
+            // response bytes are in the socket: the foreground process exits
+            // as soon as the accept thread does, and waking first races that
+            // exit against the shutdown reply reaching the client.
+            let _ = TcpStream::connect(state.addr);
+        }
+        if !write_ok || !keep_alive {
             return;
         }
     }
@@ -219,10 +260,9 @@ fn route(state: &State, req: &Request) -> (u16, &'static str, String) {
         }
         ("GET", "/flight-recorder") => (200, JSON, state.recorder.to_json()),
         ("POST", "/shutdown") => {
+            // Only sets the flag; the caller wakes the accept loop after the
+            // response is written so the client reliably sees the reply.
             state.shutdown.store(true, Ordering::SeqCst);
-            // Wake the accept loop (blocked in `accept()`) so it can
-            // observe the flag and exit.
-            let _ = TcpStream::connect(state.addr);
             (200, JSON, "{\"status\":\"shutting down\"}".to_owned())
         }
         (_, "/query" | "/shutdown") | ("POST" | "PUT" | "DELETE", _) => {

@@ -40,7 +40,14 @@ fn healthz_metrics_and_query_roundtrip() {
     assert_eq!(status, 200);
     assert!(body.contains("\"id\":2"), "{body}");
     assert!(body.contains("\"trace\":{"), "{body}");
-    assert!(body.contains("\"schema_version\":3"), "{body}");
+    assert!(body.contains("\"schema_version\":4"), "{body}");
+    // v4: estimated-vs-actual cardinalities and plan-cache counters ride
+    // along in every explain response.
+    assert!(body.contains("\"estimates\":["), "{body}");
+    assert!(body.contains("\"est_lo\":"), "{body}");
+    assert!(body.contains("\"observed\":"), "{body}");
+    assert!(body.contains("\"plan_cache_hits\":"), "{body}");
+    assert!(body.contains("\"plan_cache_misses\":"), "{body}");
 
     // Metrics saw both queries — and only them (private registry).
     let (status, metrics) = client.get("/metrics").unwrap();
@@ -48,12 +55,48 @@ fn healthz_metrics_and_query_roundtrip() {
     assert!(metrics.contains("qof_queries_total 2"), "{metrics}");
     assert!(metrics.contains("qof_query_errors_total 0"), "{metrics}");
     assert!(metrics.contains("qof_query_latency_seconds_bucket"), "{metrics}");
+    // Identical query twice: the second planning pass hits the plan cache.
+    assert!(metrics.contains("qof_plan_cache_hits_total 1"), "{metrics}");
+    assert!(metrics.contains("qof_plan_cache_misses_total 1"), "{metrics}");
 
-    // The JSON surface is the same snapshot through the other renderer.
+    // The JSON surface is the same snapshot through the other renderer —
+    // including the plan-cache counters.
     let (status, json) = client.get("/metrics?format=json").unwrap();
     assert_eq!(status, 200);
     assert!(json.contains("\"queries\":2"), "{json}");
+    assert!(json.contains("\"plan_cache_hits\":1"), "{json}");
+    assert!(json.contains("\"plan_cache_misses\":1"), "{json}");
 
+    handle.shutdown();
+}
+
+#[test]
+fn stalled_client_is_dropped_after_the_read_timeout() {
+    use std::io::{Read as _, Write as _};
+
+    let config = ServerConfig { read_timeout_ms: 200, write_timeout_ms: 200, ..Default::default() };
+    let handle = start(QueryLog::discard(), &config);
+
+    // A client that sends half a request and then stalls. Without socket
+    // timeouts this pinned a handler thread (and the connection) forever.
+    let mut stalled = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stalled.write_all(b"POST /query HTTP/1.1\r\nContent-Length: 64\r\n\r\npartial").unwrap();
+    stalled.flush().unwrap();
+
+    // The server must hang up on its own: the handler thread times out,
+    // returns, and drops the socket — observed here as EOF (or a reset).
+    stalled.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 64];
+    match stalled.read(&mut buf) {
+        Ok(0) => {} // clean close
+        Err(e) => panic!("expected EOF from server-side close, got {e}"),
+        Ok(n) => panic!("expected no response bytes, got {n}"),
+    }
+
+    // The server is still healthy for well-behaved clients.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (status, _) = client.post("/query", QUERY).unwrap();
+    assert_eq!(status, 200);
     handle.shutdown();
 }
 
@@ -86,7 +129,7 @@ fn errors_are_logged_and_counted_under_their_id() {
 
 #[test]
 fn flight_recorder_correlates_with_responses() {
-    let config = ServerConfig { slow_ms: 0, recorder_capacity: 2 };
+    let config = ServerConfig { slow_ms: 0, recorder_capacity: 2, ..Default::default() };
     let handle = start(QueryLog::discard(), &config);
     let mut client = Client::connect(handle.addr()).unwrap();
     for _ in 0..3 {
@@ -169,4 +212,28 @@ fn shutdown_endpoint_stops_the_accept_loop() {
         Err(_) => {}
         Ok(mut c) => assert!(c.get("/healthz").is_err(), "accept loop must be gone"),
     }
+}
+
+#[test]
+fn shutdown_reply_is_fully_delivered_before_the_accept_loop_dies() {
+    use std::io::{Read as _, Write as _};
+
+    let handle = start(QueryLog::discard(), &ServerConfig::default());
+
+    // Raw socket so we see the exact bytes and the close. The accept loop
+    // must only be woken *after* the reply is in the socket — `qof serve`'s
+    // foreground process exits the moment the accept thread does, and
+    // waking first raced that exit against the reply reaching the client
+    // (observed as curl exit 52, empty reply).
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(b"POST /shutdown HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap(); // reads to EOF: server must close
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(reply.contains("\"status\":\"shutting down\""), "{reply}");
+    // The shutdown response must not hold the connection open, even though
+    // the client asked for (implicit HTTP/1.1) keep-alive.
+    assert!(reply.contains("Connection: close"), "{reply}");
+    handle.shutdown();
 }

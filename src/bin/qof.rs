@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use qof::corpus::{bibtex, code, logs, mail, sgml};
 use qof::grammar::{IndexSpec, StructuringSchema};
 use qof::text::{Corpus, CorpusBuilder};
-use qof::{advise, parse_query, ExecOptions, FileDatabase, Rig, Severity};
+use qof::{advise, advise_costed, parse_query, ExecOptions, FileDatabase, Rig, Severity};
 
 fn schema_by_name(name: &str) -> Option<StructuringSchema> {
     Some(match name {
@@ -54,8 +54,8 @@ fn usage() -> ExitCode {
          qof explain <schema> [--index A,B,C] <file>... <query>\n  \
          qof stats   <schema> [--index A,B,C] [--threads N] [--cache] [--json] <file>... <query>...\n  \
          qof serve   <schema> [--index A,B,C] [--threads N] [--cache] [--port P]\n              \
-         [--log FILE] [--slow-ms MS] [--recorder N] <file>...\n  \
-         qof advise  <schema> <query>...\n  \
+         [--log FILE] [--slow-ms MS] [--recorder N] [--timeout-ms MS] <file>...\n  \
+         qof advise  <schema> [--costed] [<file>...] <query>...\n  \
          qof check   <schema> [--index A,B,C] [--json] [--strict] [<query>...]\n\
          schemas: bibtex mail logs sgml code"
     );
@@ -118,10 +118,17 @@ fn run_stats(
     }
     println!("queries executed:   {} ({} errors)", snap.queries, snap.query_errors);
     println!(
-        "cache hit rate:     {:.1}% ({} hits / {} misses)",
+        "cache hit rate:     {:.1}% ({} hits / {} misses, {} evictions)",
         snap.cache_hit_rate() * 100.0,
         snap.cache_hits,
-        snap.cache_misses
+        snap.cache_misses,
+        snap.cache_evictions
+    );
+    println!(
+        "plan cache:         {:.1}% hits ({} hits / {} misses)",
+        snap.plan_cache_hit_rate() * 100.0,
+        snap.plan_cache_hits,
+        snap.plan_cache_misses
     );
     let ql = snap.query_latency.summary();
     println!(
@@ -149,6 +156,7 @@ struct ServeOpts {
     log_path: Option<String>,
     slow_ms: u64,
     recorder: usize,
+    timeout_ms: u64,
 }
 
 /// `qof serve`: loads the corpus once, then serves queries over HTTP until
@@ -180,7 +188,12 @@ fn run_serve(
     };
     let listener = std::net::TcpListener::bind(("127.0.0.1", opts.port))
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
-    let config = ServerConfig { slow_ms: opts.slow_ms, recorder_capacity: opts.recorder };
+    let config = ServerConfig {
+        slow_ms: opts.slow_ms,
+        recorder_capacity: opts.recorder,
+        read_timeout_ms: opts.timeout_ms,
+        write_timeout_ms: opts.timeout_ms,
+    };
     let handle = serve(db, listener, log, &config).map_err(|e| e.to_string())?;
     eprintln!("qof serve: listening on http://{}", handle.addr());
     eprintln!("  POST /query        query text in body (?explain=1 for a trace)");
@@ -269,6 +282,7 @@ fn run() -> Result<ExitCode, String> {
             let mut log_path: Option<String> = None;
             let mut slow_ms: u64 = 100;
             let mut recorder: usize = 64;
+            let mut timeout_ms: u64 = 30_000;
             loop {
                 match rest.first().map(String::as_str) {
                     Some("--index") => {
@@ -341,6 +355,15 @@ fn run() -> Result<ExitCode, String> {
                             .map_err(|_| "--recorder needs a capacity".to_owned())?;
                         rest.drain(..2);
                     }
+                    Some("--timeout-ms") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        timeout_ms = rest[1].parse().map_err(|_| {
+                            "--timeout-ms needs milliseconds (0 disables)".to_owned()
+                        })?;
+                        rest.drain(..2);
+                    }
                     _ => break,
                 }
             }
@@ -348,7 +371,7 @@ fn run() -> Result<ExitCode, String> {
                 return run_stats(schema, rest, index.as_deref(), threads, cache, json);
             }
             if cmd == "serve" {
-                let opts = ServeOpts { port, log_path, slow_ms, recorder };
+                let opts = ServeOpts { port, log_path, slow_ms, recorder, timeout_ms };
                 return run_serve(schema, &rest, index.as_deref(), threads, cache, &opts);
             }
             let Some((query, files)) = rest.split_last() else { return Ok(usage()) };
@@ -499,7 +522,18 @@ fn run() -> Result<ExitCode, String> {
         "advise" => {
             let Some(name) = args.get(1) else { return Ok(usage()) };
             let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
-            let queries: Vec<_> = args[2..]
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let costed = rest.first().map(String::as_str) == Some("--costed");
+            if costed {
+                rest.remove(0);
+            }
+            // With `--costed`, leading arguments naming readable files form
+            // the corpus the statistics come from; everything else is a
+            // query. Without files, statistics come from a small generated
+            // sample of the schema's format.
+            let (files, query_srcs): (Vec<String>, Vec<String>) =
+                rest.into_iter().partition(|a| std::path::Path::new(a).is_file());
+            let queries: Vec<_> = query_srcs
                 .iter()
                 .map(|q| parse_query(q).map_err(|e| e.to_string()))
                 .collect::<Result<_, _>>()?;
@@ -507,7 +541,18 @@ fn run() -> Result<ExitCode, String> {
                 return Ok(usage());
             }
             let rig = Rig::from_grammar(&schema.grammar);
-            let advice = advise(&schema, &rig, &queries);
+            let advice = if costed {
+                let db = if files.is_empty() {
+                    let text = generate_by_name(name, 20).expect("known schema");
+                    FileDatabase::build(Corpus::from_text(&text), schema.clone(), IndexSpec::full())
+                        .map_err(|e| e.to_string())?
+                } else {
+                    build_db(schema.clone(), &files, None)?
+                };
+                advise_costed(&schema, &rig, &queries, db.stats_store())
+            } else {
+                advise(&schema, &rig, &queries)
+            };
             println!("index set: {}", advice.index_set.into_iter().collect::<Vec<_>>().join(","));
             for note in &advice.notes {
                 println!("note: {note}");
