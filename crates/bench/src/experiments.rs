@@ -89,6 +89,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("e10", "exact answers with partial indexing (§6.3)"),
     ("e11", "sharded parallel execution and the subexpression cache"),
     ("e12", "query server under closed-loop load: latency from /metrics, log overhead"),
+    ("e13", "persistent compressed index (.qofx): O(1) reopen vs rebuild"),
     ("a1", "ablation: common-subexpression sharing in boolean queries (§5.2)"),
     ("a2", "analyzer: qof check latency and rewrite-certifier overhead"),
     ("a3", "cost model: cardinality-estimation error and plan-cache hit rate"),
@@ -120,6 +121,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "e10" => e10(scale, &mut r),
         "e11" => e11(scale, &mut r),
         "e12" => e12(scale, &mut r),
+        "e13" => e13(scale, &mut r),
         "a1" => a1(scale, &mut r),
         "a2" => a2(scale, &mut r),
         "a3" => a3(scale, &mut r),
@@ -812,6 +814,105 @@ fn e12(scale: Scale, r: &mut Recorder) {
     println!("(closed-loop: each client waits for its response before the next request)");
 }
 
+/// E13: the tentpole claim of the persistent backend — a server reopening
+/// a `.qofx` file must start an order of magnitude faster than one
+/// rebuilding from source, answer every representative query identically,
+/// and pay less than one index byte per corpus byte on disk (beyond the
+/// embedded corpus text itself).
+fn e13(scale: Scale, r: &mut Recorder) {
+    banner("E13", "persistent compressed index (.qofx): O(1) reopen vs rebuild");
+    let (files, refs) = scale.pick((4, 60), (16, 400));
+    let corpus = multi_file_bibtex(files, refs);
+    let corpus_bytes = u64::from(corpus.len());
+
+    // Stage the corpus as real source files: a cold server start without
+    // a persisted index must read them back and re-tokenize, re-structure
+    // and re-index everything, so that whole pipeline is the baseline.
+    let mut src_dir = std::env::temp_dir();
+    src_dir.push(format!("qof-bench-e13-src-{}", std::process::id()));
+    std::fs::create_dir_all(&src_dir).expect("temp source dir");
+    for f in corpus.files() {
+        let span = (f.span.start as usize)..(f.span.end as usize);
+        std::fs::write(src_dir.join(&f.name), &corpus.text()[span]).expect("stage source file");
+    }
+    let names: Vec<String> = corpus.files().iter().map(|f| f.name.clone()).collect();
+    drop(corpus);
+
+    // Cold build: what a server without a persisted index must do.
+    let t = Instant::now();
+    let mut builder = qof_text::CorpusBuilder::new();
+    for name in &names {
+        let text = std::fs::read_to_string(src_dir.join(name)).expect("read source file");
+        builder.add_file(name.clone(), &text);
+    }
+    let mem = FileDatabase::build(builder.build(), bibtex::schema(), IndexSpec::full())
+        .expect("generated corpus indexes");
+    let t_build = t.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&src_dir).ok();
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("qof-bench-e13-{}.qofx", std::process::id()));
+    let t = Instant::now();
+    let file_bytes = mem.persist(&path).expect("persist succeeds");
+    let t_persist = t.elapsed().as_secs_f64();
+
+    // Reopen repeatedly; the median is the steady cold-start cost.
+    let passes = scale.pick(3usize, 9);
+    let t_open = median_secs(passes, || {
+        let t = Instant::now();
+        std::hint::black_box(FileDatabase::open(&path, bibtex::schema()).expect("reopens"));
+        t.elapsed().as_secs_f64()
+    });
+    let qofx = FileDatabase::open(&path, bibtex::schema()).expect("reopens");
+    std::fs::remove_file(&path).ok();
+
+    // Every representative query must answer byte-identically on both
+    // backends; time them side by side while at it.
+    let mut t_mem_total = 0.0;
+    let mut t_qofx_total = 0.0;
+    for q in PARALLEL_WORKLOAD {
+        let (a, ta) = time_query(&mem, q);
+        let (b, tb) = time_query(&qofx, q);
+        assert_eq!(a.regions, b.regions, "regions differ on {q}");
+        assert_eq!(a.values, b.values, "values differ on {q}");
+        assert_eq!(a.stats.exact_index, b.stats.exact_index, "exactness differs on {q}");
+        t_mem_total += ta;
+        t_qofx_total += tb;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let t_mem_q = t_mem_total / PARALLEL_WORKLOAD.len() as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let t_qofx_q = t_qofx_total / PARALLEL_WORKLOAD.len() as f64;
+
+    let index_bytes = file_bytes.saturating_sub(corpus_bytes);
+    #[allow(clippy::cast_precision_loss)]
+    let per_byte = if corpus_bytes == 0 { 0.0 } else { index_bytes as f64 / corpus_bytes as f64 };
+    let speedup = t_build / t_open.max(1e-9);
+
+    r.rec("build_secs", t_build, "s");
+    r.rec("persist_secs", t_persist, "s");
+    r.rec("open_secs", t_open, "s");
+    r.rec("cold_start_speedup", speedup, "x");
+    r.rec("file_bytes", file_bytes as f64, "B");
+    r.rec("corpus_bytes", corpus_bytes as f64, "B");
+    r.rec("index_bytes_per_corpus_byte", per_byte, "ratio");
+    r.rec("mem_query_secs", t_mem_q, "s");
+    r.rec("qofx_query_secs", t_qofx_q, "s");
+    println!(
+        "{:>10} | {:>9} | {:>9} | {:>9} | {:>7} | {:>7}",
+        "build", "persist", "reopen", "speedup", "idx B/B", "q slowdn"
+    );
+    println!(
+        "{} | {} | {} | {:>8.1}x | {:>7.3} | {:>7.2}x",
+        fmt_secs(t_build),
+        fmt_secs(t_persist),
+        fmt_secs(t_open),
+        speedup,
+        per_byte,
+        t_qofx_q / t_mem_q.max(1e-9),
+    );
+}
+
 /// A1 (ablation): common-subexpression sharing across OR branches (§5.2:
 /// "the goal is to find common subexpressions … and evaluate them once").
 fn a1(scale: Scale, r: &mut Recorder) {
@@ -1042,6 +1143,23 @@ mod tests {
         let trace = report.trace_json.as_deref().unwrap();
         assert!(trace.contains("\"schema_version\":4"), "{trace}");
         assert!(trace.contains("\"estimates\":["), "{trace}");
+    }
+
+    #[test]
+    fn e13_reopen_is_faster_equal_and_compact() {
+        let report = run("e13", Scale::Small).unwrap();
+        let get = |name: &str| {
+            report
+                .measurements
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing measurement {name}"))
+                .value
+        };
+        assert!(get("cold_start_speedup") > 1.0, "reopen must beat rebuild");
+        assert!(get("index_bytes_per_corpus_byte") < 1.0, "index must be compact");
+        assert!(get("open_secs") > 0.0);
+        assert!(get("file_bytes") > get("corpus_bytes"));
     }
 
     #[test]

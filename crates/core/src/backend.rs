@@ -1,0 +1,49 @@
+//! The word-index backend behind a [`FileDatabase`](crate::FileDatabase).
+//!
+//! Queries see only the [`WordLookup`] trait; this enum picks what answers
+//! it: the classic in-memory [`WordIndex`] (what `build` produces) or a
+//! [`CompressedWordIndex`] paging delta-coded posting blocks out of a
+//! `.qofx` file (what `open` produces). Mutation — `add_file` — always
+//! happens on the in-memory form, so a compressed backend materializes
+//! itself on first write and stays in memory from then on.
+
+use qof_text::{CompressedWordIndex, WordIndex, WordLookup};
+
+/// Which concrete index implementation a database is running on.
+pub(crate) enum IndexBackend {
+    /// Uncompressed in-memory inverted index (the build path).
+    Mem(WordIndex),
+    /// Compressed index paged from a `.qofx` file (the open path).
+    Qofx(CompressedWordIndex),
+}
+
+impl IndexBackend {
+    /// The backend as the query-side trait object.
+    pub fn lookup(&self) -> &dyn WordLookup {
+        match self {
+            IndexBackend::Mem(w) => w,
+            IndexBackend::Qofx(c) => c,
+        }
+    }
+
+    /// Stable label for metrics and `qof stats` (`mem` / `qofx`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexBackend::Mem(_) => "mem",
+            IndexBackend::Qofx(_) => "qofx",
+        }
+    }
+
+    /// The mutable in-memory index, materializing a compressed backend
+    /// first (decodes every posting list once; incremental indexing then
+    /// proceeds exactly as on a built database).
+    pub fn make_mem(&mut self) -> &mut WordIndex {
+        if let IndexBackend::Qofx(c) = self {
+            *self = IndexBackend::Mem(c.to_word_index());
+        }
+        match self {
+            IndexBackend::Mem(w) => w,
+            IndexBackend::Qofx(_) => unreachable!("materialized above"),
+        }
+    }
+}

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use qof_pat::{CardObservations, Instance, OpTrace};
-use qof_text::WordIndex;
+use qof_text::WordLookup;
 
 use crate::plan::PlanRewrite;
 use crate::trace::QueryTrace;
@@ -44,6 +44,24 @@ const BYTE_WEIGHT: f64 = 0.01;
 /// consults the nesting forest for parenthood instead of a plain ordered
 /// merge.
 const DIRECT_PENALTY: f64 = 2.0;
+
+/// Comparison-cost factor of a galloping (exponential-search) probe
+/// relative to one linear-sweep step — the constant behind the engine's
+/// 16× skew crossover in `RegionSet::intersect`/`difference`.
+const GALLOP_FACTOR: f64 = 4.0;
+
+/// The cost of merging two sorted region sets of sizes `a` and `b`, as
+/// the engine actually executes it: the linear sweep touches `a + b`
+/// regions, but past a 16× size skew the engine gallops through the big
+/// side, touching about `min · log₂ max` instead. The estimator takes
+/// whichever is cheaper, so plan ranking rewards skewed
+/// (gallop-friendly) operand pairs.
+fn merge_cost(a: f64, b: f64) -> f64 {
+    let (small, large) = if a <= b { (a, b) } else { (b, a) };
+    let sweep = small + large;
+    let gallop = GALLOP_FACTOR * small * large.max(2.0).log2();
+    sweep.min(gallop)
+}
 
 /// A cost breakdown for one inclusion chain, in the engine's own counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -101,7 +119,7 @@ impl StatsStore {
     }
 
     /// Gathers statistics from a freshly built index.
-    pub fn from_index(instance: &Instance, words: &WordIndex, rig: &Rig) -> Self {
+    pub fn from_index(instance: &Instance, words: &dyn WordLookup, rig: &Rig) -> Self {
         let mut store = StatsStore::new();
         store.refresh_from_index(instance, words, rig);
         store
@@ -110,7 +128,7 @@ impl StatsStore {
     /// Re-gathers the index-derived statistics (after `add_file`) and
     /// advances the epoch. Observed operator cardinalities survive the
     /// refresh: they describe the workload, not the corpus.
-    pub fn refresh_from_index(&mut self, instance: &Instance, words: &WordIndex, rig: &Rig) {
+    pub fn refresh_from_index(&mut self, instance: &Instance, words: &dyn WordLookup, rig: &Rig) {
         self.names.clear();
         self.total_regions = 0;
         for (name, set) in instance.iter() {
@@ -123,11 +141,12 @@ impl StatsStore {
         }
         self.word_freqs.clear();
         self.total_postings = 0;
-        for (word, postings) in words.iter() {
-            let f = postings.len() as u64;
+        // Counts come from the backend's dictionary alone: a compressed
+        // backend refreshes statistics without decoding a single posting.
+        words.for_each_word_count(&mut |word, f| {
             self.word_freqs.insert(word.to_owned(), f);
             self.total_postings += f;
-        }
+        });
         self.fan_out.clear();
         for node in rig.nodes() {
             self.fan_out.insert(node.to_owned(), rig.successors(node).len());
@@ -220,7 +239,7 @@ impl StatsStore {
         let mut cur = match expr.selector() {
             Some((_, word)) => {
                 let freq = self.word_frequency(word) as f64;
-                consumed += deep_count + freq;
+                consumed += merge_cost(deep_count, freq);
                 self.calibrated("σ", freq.min(deep_count))
             }
             None => deep_count,
@@ -228,7 +247,7 @@ impl StatsStore {
         // Hops from the deepest name outward.
         for i in (0..ops.len()).rev() {
             let outer = self.region_count(&names[i]) as f64;
-            let hop = outer + cur;
+            let hop = merge_cost(outer, cur);
             match ops[i] {
                 ChainOp::Incl => {
                     consumed += hop;

@@ -17,12 +17,14 @@ use qof_pat::{
     CacheStats, Engine, EvalError, EvalStats, Instance, MetricsRegistry, OpTrace, Region,
     RegionExpr, RegionSet, SubexprCache, TraceSink,
 };
-use qof_text::{Corpus, Span, SuffixArray, Tokenizer, WordIndex};
+use qof_text::{CompressedWordIndex, Corpus, Span, SuffixArray, Tokenizer, WordIndex, WordLookup};
 
 use qof_db::PathCost;
 
+use crate::backend::IndexBackend;
 use crate::cost::{PlanCache, PlanCacheStats, StatsStore};
 use crate::plan::{CondNode, Plan, PlanError, Planner, ProjPlan};
+use crate::qofx::{self, QofxError};
 use crate::residual::{eval_single, path_values};
 use crate::trace::{CardEstimate, ExecTrace, PhaseTrace, QueryTrace, ShardTrace};
 use crate::{parse_query, Query, QueryParseError, Rig};
@@ -221,7 +223,7 @@ pub type TraceHook = Box<dyn Fn(&QueryTrace) + Send + Sync>;
 pub struct FileDatabase {
     corpus: Corpus,
     tokenizer: Tokenizer,
-    words: WordIndex,
+    backend: IndexBackend,
     suffix: Option<SuffixArray>,
     schema: StructuringSchema,
     spec: IndexSpec,
@@ -287,10 +289,10 @@ impl FileDatabase {
             instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
         let partial_rig = full_rig.partial(&indexed);
         let stats = StatsStore::from_index(&instance, &words, &partial_rig);
-        Ok(Self {
+        let db = Self {
             corpus,
             tokenizer,
-            words,
+            backend: IndexBackend::Mem(words),
             suffix: None,
             schema,
             spec,
@@ -305,7 +307,9 @@ impl FileDatabase {
             query_counter: AtomicU64::new(0),
             trace_hook: None,
             strict: false,
-        })
+        };
+        db.publish_index_stats();
+        Ok(db)
     }
 
     /// Like [`FileDatabase::build`], but parses the corpus's files on
@@ -368,10 +372,10 @@ impl FileDatabase {
             instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
         let partial_rig = full_rig.partial(&indexed);
         let stats = StatsStore::from_index(&instance, &words, &partial_rig);
-        Ok(Self {
+        let db = Self {
             corpus,
             tokenizer,
-            words,
+            backend: IndexBackend::Mem(words),
             suffix: None,
             schema,
             spec,
@@ -386,7 +390,84 @@ impl FileDatabase {
             query_counter: AtomicU64::new(0),
             trace_hook: None,
             strict: false,
-        })
+        };
+        db.publish_index_stats();
+        Ok(db)
+    }
+
+    /// Writes the database to a `.qofx` index file: corpus, compressed
+    /// word index, region indices and the index spec, checksummed (see
+    /// [`crate::qofx`] for the layout). The structuring schema and any
+    /// suffix array are *not* stored — [`FileDatabase::open`] takes the
+    /// schema again and the suffix array is opt-in rebuild. Returns the
+    /// file size in bytes.
+    pub fn persist(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<u64> {
+        let compressed_holder;
+        let words: &CompressedWordIndex = match &self.backend {
+            IndexBackend::Mem(w) => {
+                compressed_holder = CompressedWordIndex::from_word_index(w);
+                &compressed_holder
+            }
+            IndexBackend::Qofx(c) => c,
+        };
+        qofx::write_qofx(path.as_ref(), &self.corpus, words, &self.instance, &self.spec)
+    }
+
+    /// Reopens a persisted database from a `.qofx` file in O(1) work
+    /// relative to corpus size: nothing is re-parsed or re-tokenized; the
+    /// file is read once for checksum validation, and posting lists stay
+    /// on disk, paged in lazily per word. `schema` must be the schema the
+    /// database was built with (it is deliberately not persisted — it is
+    /// named configuration, not derived data).
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        schema: StructuringSchema,
+    ) -> Result<Self, QofxError> {
+        let qofx::QofxContents { corpus, words, instance, spec } = qofx::read_qofx(path.as_ref())?;
+        let full_rig = Rig::from_grammar(&schema.grammar);
+        let indexed: std::collections::BTreeSet<String> =
+            instance.names().filter(|n| !n.contains('.')).map(str::to_owned).collect();
+        let partial_rig = full_rig.partial(&indexed);
+        let stats = StatsStore::from_index(&instance, &words, &partial_rig);
+        let db = Self {
+            corpus,
+            tokenizer: Tokenizer::new(),
+            backend: IndexBackend::Qofx(words),
+            suffix: None,
+            schema,
+            spec,
+            instance,
+            full_rig,
+            partial_rig,
+            options: ExecOptions::default(),
+            cache: SubexprCache::new(),
+            stats,
+            plan_cache: PlanCache::new(),
+            metrics: MetricsRegistry::global_arc(),
+            query_counter: AtomicU64::new(0),
+            trace_hook: None,
+            strict: false,
+        };
+        db.publish_index_stats();
+        Ok(db)
+    }
+
+    /// [`FileDatabase::open`], falling back to `rebuild` when the file is
+    /// missing, unreadable or corrupt. Returns the database plus the open
+    /// error that forced a rebuild (`None` when the file opened cleanly) —
+    /// callers log it; a corrupt index is worth a warning, not a crash.
+    pub fn open_or_rebuild<F>(
+        path: impl AsRef<std::path::Path>,
+        schema: StructuringSchema,
+        rebuild: F,
+    ) -> Result<(Self, Option<QofxError>), BuildError>
+    where
+        F: FnOnce(StructuringSchema) -> Result<Self, BuildError>,
+    {
+        match Self::open(path, schema.clone()) {
+            Ok(db) => Ok((db, None)),
+            Err(why) => Ok((rebuild(schema)?, Some(why))),
+        }
     }
 
     /// Adds a PAT suffix array (enables prefix search; optional because
@@ -449,9 +530,12 @@ impl FileDatabase {
         self
     }
 
-    /// Injects the metrics registry in place.
+    /// Injects the metrics registry in place, republishing the index
+    /// footprint gauges into it (gauges live in the registry, so a fresh
+    /// registry would otherwise report no backend at all).
     pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
         self.metrics = metrics;
+        self.publish_index_stats();
     }
 
     /// The registry this database records traced-query metrics into.
@@ -522,15 +606,19 @@ impl FileDatabase {
         for (rname, set) in file_instance.iter() {
             self.instance.merge(rname, set.clone());
         }
+        // Incremental indexing mutates the in-memory index; a compressed
+        // (`.qofx`-paged) backend materializes itself first and the
+        // database runs in memory from here on.
+        let words = self.backend.make_mem();
         // A selectively-built word index (§7) must learn the new file's
         // scoped regions before the append, or the scope filter would drop
         // every new occurrence.
         if let Some(scope_name) = self.spec.word_scope() {
             if let Some(set) = file_instance.get(scope_name) {
-                self.words.extend_scope(set.iter().map(qof_pat::Region::span));
+                words.extend_scope(set.iter().map(qof_pat::Region::span));
             }
         }
-        self.words.append_span(&self.corpus, &self.tokenizer, span);
+        words.append_span(&self.corpus, &self.tokenizer, span);
         if self.suffix.is_some() {
             self.suffix = Some(SuffixArray::build(&self.corpus, &Tokenizer::new()));
         }
@@ -539,8 +627,9 @@ impl FileDatabase {
         // clear the subexpression cache, re-gather statistics (advancing
         // the epoch), and invalidate the plan cache with it.
         self.cache.clear();
-        self.stats.refresh_from_index(&self.instance, &self.words, &self.partial_rig);
+        self.stats.refresh_from_index(&self.instance, self.backend.lookup(), &self.partial_rig);
         self.plan_cache.bump_epoch();
+        self.publish_index_stats();
         Ok(())
     }
 
@@ -559,9 +648,35 @@ impl FileDatabase {
         &self.instance
     }
 
-    /// The word index.
-    pub fn word_index(&self) -> &WordIndex {
-        &self.words
+    /// The word index, behind the backend-neutral lookup trait (the
+    /// database may be running on the in-memory or the compressed
+    /// backend; see [`FileDatabase::backend_label`]).
+    pub fn word_index(&self) -> &dyn WordLookup {
+        self.backend.lookup()
+    }
+
+    /// Which index backend answers word lookups: `"mem"` for the
+    /// in-memory inverted index, `"qofx"` for the compressed
+    /// file-paged index.
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    /// Resident bytes of the word-index backend (dictionary + whatever
+    /// posting data is held in memory; for the compressed backend the
+    /// paged blob is not counted).
+    pub fn index_bytes(&self) -> u64 {
+        self.backend.lookup().index_bytes() as u64
+    }
+
+    /// Publishes the index-footprint gauges (`qof_index_bytes{backend=…}`,
+    /// `qof_corpus_bytes`) into this database's metrics registry.
+    fn publish_index_stats(&self) {
+        self.metrics.record_index_bytes(
+            self.backend.label(),
+            self.backend.lookup().index_bytes() as u64,
+            u64::from(self.corpus.len()),
+        );
     }
 
     /// The index specification this database was built with.
@@ -598,7 +713,7 @@ impl FileDatabase {
         crate::analyze::absint::AbsInterp::with_stats(
             &self.partial_rig,
             &self.instance,
-            &self.words,
+            self.backend.lookup(),
         )
     }
 
@@ -805,7 +920,7 @@ impl FileDatabase {
     }
 
     fn engine(&self) -> Engine<'_> {
-        let e = Engine::new(&self.corpus, &self.words, &self.instance);
+        let e = Engine::new(&self.corpus, self.backend.lookup(), &self.instance);
         let e = match &self.suffix {
             Some(sa) => e.with_suffix_array(sa),
             None => e,
@@ -820,7 +935,7 @@ impl FileDatabase {
     /// An engine scoped to one shard's span, sharing the global suffix
     /// array and (when enabled) the subexpression cache.
     fn shard_engine(&self, span: Span) -> Engine<'_> {
-        let e = Engine::new_scoped(&self.corpus, &self.words, &self.instance, span);
+        let e = Engine::new_scoped(&self.corpus, self.backend.lookup(), &self.instance, span);
         let e = match &self.suffix {
             Some(sa) => e.with_suffix_array(sa),
             None => e,
@@ -1684,7 +1799,7 @@ mod tests {
         let spec = IndexSpec::full().with_word_scope("Last_Name");
         let mut db =
             FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), spec.clone()).unwrap();
-        let before = db.word_index().stats().postings;
+        let before = db.word_index().postings();
 
         let cfg2 = BibtexConfig { n_refs: 40, seed: 77, name_pool: 8, ..Default::default() };
         let (text2, truth2) = bibtex::generate(&cfg2);
@@ -1702,8 +1817,8 @@ mod tests {
         both.add_file("base.bib", &text);
         both.add_file("extra.bib", &text2);
         let rebuilt = FileDatabase::build(both.build(), bibtex::schema(), spec).unwrap();
-        let after = db.word_index().stats().postings;
-        assert_eq!(after, rebuilt.word_index().stats().postings);
+        let after = db.word_index().postings();
+        assert_eq!(after, rebuilt.word_index().postings());
         assert!(after > before, "the scoped index must still grow");
     }
 
@@ -1716,10 +1831,214 @@ mod tests {
         let seq = FileDatabase::build(corpus.clone(), bibtex::schema(), spec.clone()).unwrap();
         let par = FileDatabase::build_parallel(corpus, bibtex::schema(), spec, 4).unwrap();
         assert_eq!(
-            par.word_index().stats().postings,
-            seq.word_index().stats().postings,
+            par.word_index().postings(),
+            seq.word_index().postings(),
             "parallel build must produce the same scoped word index"
         );
         assert!(par.word_index().is_scoped());
+    }
+
+    // -- .qofx persistence --------------------------------------------------
+
+    /// A unique temp path per test (process id + name keeps parallel test
+    /// binaries from colliding).
+    fn temp_qofx(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qof-test-{}-{name}.qofx", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn persist_and_open_round_trips_every_query() {
+        let corpus = multi_file_corpus(4, 25);
+        let built = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+        let path = temp_qofx("roundtrip");
+        let bytes = built.persist(&path).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        // The container embeds the corpus text (that is what makes reopen
+        // O(1)); the *index* part — everything beyond the text — should
+        // not outweigh what it indexes.
+        let overhead = bytes - u64::from(built.corpus().len());
+        assert!(
+            overhead < u64::from(built.corpus().len()),
+            "index overhead ({overhead} B) larger than corpus ({} B)",
+            built.corpus().len()
+        );
+        let opened = FileDatabase::open(&path, bibtex::schema()).unwrap();
+        assert_eq!(opened.backend_label(), "qofx");
+        assert_eq!(built.backend_label(), "mem");
+        assert_eq!(opened.corpus().text(), built.corpus().text());
+        assert_eq!(opened.instance(), built.instance());
+        assert_eq!(opened.index_spec(), built.index_spec());
+        assert_eq!(opened.word_index().postings(), built.word_index().postings());
+        for q in QUERIES {
+            let a = built.query(q).unwrap();
+            let b = opened.query(q).unwrap();
+            assert_same_results(&a, &b, q);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_and_open_preserves_scoped_word_index() {
+        let corpus = multi_file_corpus(2, 12);
+        let spec = IndexSpec::full().with_word_scope("Author");
+        let built = FileDatabase::build(corpus, bibtex::schema(), spec).unwrap();
+        assert!(built.word_index().is_scoped());
+        let path = temp_qofx("scoped");
+        built.persist(&path).unwrap();
+        let opened = FileDatabase::open(&path, bibtex::schema()).unwrap();
+        assert!(opened.word_index().is_scoped());
+        assert_eq!(opened.index_spec().word_scope(), Some("Author"));
+        assert_eq!(opened.word_index().postings(), built.word_index().postings());
+        for q in QUERIES {
+            let a = built.query(q);
+            let b = opened.query(q);
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_same_results(&a, &b, q),
+                (a, b) => assert_eq!(a.is_err(), b.is_err(), "error parity for {q}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_rejected_by_the_checksum() {
+        let corpus = multi_file_corpus(1, 8);
+        let built = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+        let path = temp_qofx("bitflip");
+        built.persist(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit at a spread of offsets covering header, corpus,
+        // word, region and spec sections.
+        for i in 0..16 {
+            let pos = i * clean.len() / 16;
+            let mut bad = clean.clone();
+            bad[pos] ^= 1 << (i % 8);
+            if bad == clean {
+                continue;
+            }
+            std::fs::write(&path, &bad).unwrap();
+            let err = FileDatabase::open(&path, bibtex::schema())
+                .err()
+                .unwrap_or_else(|| panic!("bit flip at {pos} must not open cleanly"));
+            // Magic/version corruption reports as such; anything else must
+            // be the checksum (the first validation to see the body).
+            match err {
+                QofxError::BadMagic | QofxError::UnsupportedVersion(_) => assert!(pos < 8),
+                QofxError::ChecksumMismatch { .. } => {}
+                other => panic!("bit flip at {pos}: unexpected error {other}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_files_are_rejected_cleanly() {
+        let corpus = multi_file_corpus(1, 8);
+        let built = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+        let path = temp_qofx("truncate");
+        built.persist(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for keep in [0, 3, 4, 24, 87, 88, clean.len() / 2, clean.len() - 1] {
+            std::fs::write(&path, &clean[..keep]).unwrap();
+            assert!(
+                FileDatabase::open(&path, bibtex::schema()).is_err(),
+                "truncation to {keep} bytes must not open"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_or_rebuild_falls_back_on_corruption() {
+        let corpus = multi_file_corpus(1, 8);
+        let built =
+            FileDatabase::build(corpus.clone(), bibtex::schema(), IndexSpec::full()).unwrap();
+        let path = temp_qofx("fallback");
+        built.persist(&path).unwrap();
+        // Clean file: opens, no error reported.
+        let (db, why) = FileDatabase::open_or_rebuild(&path, bibtex::schema(), |_| {
+            panic!("must not rebuild when the file is clean")
+        })
+        .unwrap();
+        assert!(why.is_none());
+        assert_eq!(db.backend_label(), "qofx");
+        // Corrupt file: rebuilds, reports why.
+        let mut bad = std::fs::read(&path).unwrap();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        let (db, why) = FileDatabase::open_or_rebuild(&path, bibtex::schema(), |schema| {
+            FileDatabase::build(corpus.clone(), schema, IndexSpec::full())
+        })
+        .unwrap();
+        assert!(matches!(why, Some(QofxError::ChecksumMismatch { .. })), "got {why:?}");
+        assert_eq!(db.backend_label(), "mem");
+        for q in QUERIES {
+            let a = built.query(q).unwrap();
+            let b = db.query(q).unwrap();
+            assert_same_results(&a, &b, q);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn add_file_materializes_a_compressed_backend() {
+        let corpus = multi_file_corpus(2, 10);
+        let built = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full()).unwrap();
+        let path = temp_qofx("materialize");
+        built.persist(&path).unwrap();
+        let mut opened = FileDatabase::open(&path, bibtex::schema()).unwrap();
+        assert_eq!(opened.backend_label(), "qofx");
+        let (text, _) = bibtex::generate(&BibtexConfig {
+            n_refs: 5,
+            seed: 77,
+            name_pool: 8,
+            ..Default::default()
+        });
+        opened.add_file("late.bib", &text).unwrap();
+        assert_eq!(opened.backend_label(), "mem", "writes run on the in-memory index");
+        // The grown database answers like a from-scratch build over the
+        // same files.
+        let rebuilt =
+            FileDatabase::build(opened.corpus().clone(), bibtex::schema(), IndexSpec::full())
+                .unwrap();
+        assert_eq!(opened.word_index().postings(), rebuilt.word_index().postings());
+        for q in QUERIES {
+            let a = opened.query(q).unwrap();
+            let b = rebuilt.query(q).unwrap();
+            assert_same_results(&a, &b, q);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn index_bytes_gauge_tracks_the_backend() {
+        // Large enough that posting storage, not per-entry dictionary
+        // headers, dominates the in-memory footprint.
+        let corpus = multi_file_corpus(4, 40);
+        let metrics = std::sync::Arc::new(MetricsRegistry::default());
+        let built = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_metrics(std::sync::Arc::clone(&metrics));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.index_bytes.len(), 1);
+        assert_eq!(snap.index_bytes.get("mem").copied(), Some(built.index_bytes()));
+        assert_eq!(snap.corpus_bytes, u64::from(built.corpus().len()));
+        let path = temp_qofx("gauge");
+        built.persist(&path).unwrap();
+        let opened = FileDatabase::open(&path, bibtex::schema())
+            .unwrap()
+            .with_metrics(std::sync::Arc::clone(&metrics));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.index_bytes.get("qofx").copied(), Some(opened.index_bytes()));
+        assert!(
+            opened.index_bytes() < built.index_bytes(),
+            "paged backend must be lighter than the in-memory one ({} vs {})",
+            opened.index_bytes(),
+            built.index_bytes()
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

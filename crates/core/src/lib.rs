@@ -34,12 +34,14 @@
 
 mod advisor;
 pub mod analyze;
+mod backend;
 pub mod baseline;
 mod cost;
 mod exec;
 mod incl;
 mod optimizer;
 mod plan;
+pub mod qofx;
 mod query;
 mod residual;
 mod rig;
@@ -64,6 +66,7 @@ pub use optimizer::{
     is_trivially_empty, normal_forms, optimize, optimize_costed, Optimized, Rewrite, RewriteKind,
 };
 pub use plan::{Exactness, InexactHop, InexactReason, Plan, PlanError, PlanRewrite, Planner};
+pub use qofx::{inspect_qofx, QofxError, QofxSummary, QOFX_MAGIC, QOFX_VERSION};
 pub use query::{parse_query, Cond, Projection, QPath, QStep, Query, QueryParseError, RightHand};
 pub use residual::{
     compile_cond, compile_steps, db_steps_for, eval_pair, eval_single, path_values, CompiledCond,

@@ -6,7 +6,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use qof_text::{Corpus, Pos, Span, SuffixArray, WordIndex};
+use qof_text::{Corpus, Pos, Span, SuffixArray, WordLookup};
 
 use crate::{
     direct_included_in, direct_including, CacheSource, EvalStats, Instance, OpTrace, Region,
@@ -38,7 +38,7 @@ impl std::error::Error for EvalError {}
 /// [`EvalStats`], which higher layers read to report scan-volume tradeoffs.
 pub struct Engine<'a> {
     corpus: &'a Corpus,
-    words: &'a WordIndex,
+    words: &'a dyn WordLookup,
     suffix: Option<&'a SuffixArray>,
     instance: &'a Instance,
     universe: RegionSet,
@@ -60,7 +60,7 @@ pub struct Engine<'a> {
 impl<'a> Engine<'a> {
     fn build(
         corpus: &'a Corpus,
-        words: &'a WordIndex,
+        words: &'a dyn WordLookup,
         instance: &'a Instance,
         scope: Option<Span>,
     ) -> Self {
@@ -85,7 +85,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Builds an engine; the universe nesting forest is constructed once.
-    pub fn new(corpus: &'a Corpus, words: &'a WordIndex, instance: &'a Instance) -> Self {
+    pub fn new(corpus: &'a Corpus, words: &'a dyn WordLookup, instance: &'a Instance) -> Self {
         Self::build(corpus, words, instance, None)
     }
 
@@ -96,7 +96,7 @@ impl<'a> Engine<'a> {
     /// corpus reproduces the unscoped result exactly.
     pub fn new_scoped(
         corpus: &'a Corpus,
-        words: &'a WordIndex,
+        words: &'a dyn WordLookup,
         instance: &'a Instance,
         span: Span,
     ) -> Self {
@@ -420,14 +420,14 @@ impl<'a> Engine<'a> {
         } else {
             let mut spans = Vec::new();
             let mut probes = 0usize;
-            for (word, positions) in self.words.iter() {
+            self.words.for_each_word(&mut |word, positions| {
                 if word.starts_with(prefix) {
                     let positions = self.in_scope(positions);
                     probes += positions.len();
                     let len = word.len() as Pos;
                     spans.extend(positions.iter().map(|&p| Region::new(p, p + len)));
                 }
-            }
+            });
             self.stats.borrow_mut().record_word_probe(probes);
             self.clip_to_scope(RegionSet::from_regions(spans))
         }
@@ -655,7 +655,7 @@ fn count_at_least(set: &RegionSet, occurrences: &RegionSet, n: u32) -> RegionSet
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qof_text::Tokenizer;
+    use qof_text::{Tokenizer, WordIndex};
 
     /// A miniature BibTeX-like corpus with a hand-built instance:
     ///

@@ -105,6 +105,19 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {value}");
     }
+    if !snap.index_bytes.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP qof_index_bytes Resident word-index footprint in bytes, by backend."
+        );
+        let _ = writeln!(out, "# TYPE qof_index_bytes gauge");
+        for (backend, bytes) in &snap.index_bytes {
+            let _ = writeln!(out, "qof_index_bytes{{backend=\"{}\"}} {bytes}", esc_label(backend));
+        }
+        let _ = writeln!(out, "# HELP qof_corpus_bytes Corpus text bytes behind the index.");
+        let _ = writeln!(out, "# TYPE qof_corpus_bytes gauge");
+        let _ = writeln!(out, "qof_corpus_bytes {}", snap.corpus_bytes);
+    }
     let _ = writeln!(out, "# HELP qof_query_latency_seconds End-to-end query latency.");
     let _ = writeln!(out, "# TYPE qof_query_latency_seconds histogram");
     histogram_series(&mut out, "qof_query_latency_seconds", "", &snap.query_latency);
@@ -163,6 +176,14 @@ pub fn snapshot_to_json(snap: &MetricsSnapshot) -> String {
         snap.plan_cache_hits, snap.plan_cache_misses
     );
     let _ = write!(out, ",\"plan_cache_hit_rate\":{}", snap.plan_cache_hit_rate());
+    out.push_str(",\"index_bytes\":{");
+    for (i, (backend, bytes)) in snap.index_bytes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{bytes}", esc_json(backend));
+    }
+    let _ = write!(out, "}},\"corpus_bytes\":{}", snap.corpus_bytes);
     let _ = write!(out, ",\"query_latency\":{}", histogram_json(&snap.query_latency));
     out.push_str(",\"op_latency\":{");
     for (i, (op, h)) in snap.op_latency.iter().enumerate() {
@@ -194,6 +215,7 @@ mod tests {
         reg.record_plan_cache(false);
         reg.record_op("⊃", 600); // le 1024ns
         reg.record_op("σ", 100); // le 128ns
+        reg.record_index_bytes("qofx", 4096, 10_000);
         reg.snapshot()
     }
 
@@ -222,6 +244,12 @@ qof_plan_cache_hits_total 2
 # HELP qof_plan_cache_misses_total Optimized-plan cache misses.
 # TYPE qof_plan_cache_misses_total counter
 qof_plan_cache_misses_total 1
+# HELP qof_index_bytes Resident word-index footprint in bytes, by backend.
+# TYPE qof_index_bytes gauge
+qof_index_bytes{backend=\"qofx\"} 4096
+# HELP qof_corpus_bytes Corpus text bytes behind the index.
+# TYPE qof_corpus_bytes gauge
+qof_corpus_bytes 10000
 # HELP qof_query_latency_seconds End-to-end query latency.
 # TYPE qof_query_latency_seconds histogram
 qof_query_latency_seconds_bucket{le=\"0.000001024\"} 2
@@ -262,9 +290,11 @@ qof_op_latency_seconds_count{op=\"⊃\"} 1
         assert!(text.contains("qof_queries_total 0"));
         assert!(text.contains("qof_query_latency_seconds_bucket{le=\"+Inf\"} 0"));
         assert!(!text.contains("qof_op_latency_seconds"), "no op series when none recorded");
+        assert!(!text.contains("qof_index_bytes"), "no gauge until a database publishes");
         let json = snapshot_to_json(&snap);
         assert!(json.contains("\"queries\":0"));
         assert!(json.contains("\"op_latency\":{}"));
+        assert!(json.contains("\"index_bytes\":{},\"corpus_bytes\":0"), "{json}");
     }
 
     #[test]
@@ -276,6 +306,7 @@ qof_op_latency_seconds_count{op=\"⊃\"} 1
         assert!(json.contains("\"cache_evictions\":5"));
         assert!(json.contains("\"plan_cache_hits\":2,\"plan_cache_misses\":1"), "{json}");
         assert!(json.contains("\"plan_cache_hit_rate\":0.6666666666666666"), "{json}");
+        assert!(json.contains("\"index_bytes\":{\"qofx\":4096},\"corpus_bytes\":10000"), "{json}");
         assert!(json.contains("\"le_nanos\":1024,\"count\":2"), "{json}");
         assert!(json.contains("\"⊃\""));
         // Structural sanity: balanced braces, no trailing commas.

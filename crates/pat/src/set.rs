@@ -108,7 +108,32 @@ impl RegionSet {
     }
 
     /// Set intersection (regions equal as begin/end pairs).
+    ///
+    /// Adaptive: skewed operand sizes (|A| ≪ |B|) switch from the linear
+    /// sweep to galloping (exponential) search over the larger side, so
+    /// the cost is `O(min·log max)` instead of `O(min + max)` — the
+    /// posting-list intersection strategy of the compressed-index
+    /// literature, applied to the region algebra's `∩`.
     pub fn intersect(&self, other: &RegionSet) -> RegionSet {
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        if gallop_pays_off(small.len(), large.len()) {
+            let mut out = Vec::with_capacity(small.len());
+            let mut lo = 0usize;
+            for r in &small.regions {
+                lo += gallop_to(&large.regions[lo..], r);
+                if large.regions.get(lo) == Some(r) {
+                    out.push(*r);
+                    lo += 1;
+                }
+            }
+            return RegionSet { regions: out };
+        }
+        self.intersect_sweep(other)
+    }
+
+    /// The naive linear-merge intersection — the oracle the adaptive
+    /// [`intersect`](Self::intersect) is property-tested against.
+    pub fn intersect_sweep(&self, other: &RegionSet) -> RegionSet {
         let mut out = Vec::new();
         let (mut i, mut j) = (0, 0);
         while i < self.len() && j < other.len() {
@@ -126,7 +151,31 @@ impl RegionSet {
     }
 
     /// Set difference `self − other`.
+    ///
+    /// Adaptive like [`intersect`](Self::intersect): when the subtrahend
+    /// dwarfs `self`, each of `self`'s regions gallops into `other`
+    /// instead of sweeping past its bulk. (The skew only pays off in that
+    /// direction — every region of `self` is visited regardless.)
     pub fn difference(&self, other: &RegionSet) -> RegionSet {
+        if gallop_pays_off(self.len(), other.len()) {
+            let mut out = Vec::new();
+            let mut lo = 0usize;
+            for r in &self.regions {
+                lo += gallop_to(&other.regions[lo..], r);
+                if other.regions.get(lo) == Some(r) {
+                    lo += 1;
+                } else {
+                    out.push(*r);
+                }
+            }
+            return RegionSet { regions: out };
+        }
+        self.difference_sweep(other)
+    }
+
+    /// The naive linear-merge difference — the oracle the adaptive
+    /// [`difference`](Self::difference) is property-tested against.
+    pub fn difference_sweep(&self, other: &RegionSet) -> RegionSet {
         let mut out = Vec::new();
         let (mut i, mut j) = (0, 0);
         while i < self.len() {
@@ -306,6 +355,38 @@ impl RegionSet {
             .collect();
         RegionSet { regions: out }
     }
+}
+
+/// Whether galloping beats the linear sweep for operand sizes
+/// `(small, large)`: the sweep touches `small + large` regions, galloping
+/// roughly `small · log₂ large`, and the crossover (with comparison
+/// constants folded in) sits near a 16× skew.
+fn gallop_pays_off(small: usize, large: usize) -> bool {
+    small > 0 && small.saturating_mul(16) < large
+}
+
+/// Index of the first region in `regions` that is `>= target`, found by
+/// exponential (galloping) probe followed by a binary search within the
+/// last doubling window. Returns `regions.len()` when every region is
+/// smaller.
+fn gallop_to(regions: &[Region], target: &Region) -> usize {
+    if regions.first().is_none_or(|r| r >= target) {
+        return 0;
+    }
+    // Invariant: regions[lo] < target <= regions[hi] (hi may be len).
+    let mut step = 1usize;
+    let mut lo = 0usize;
+    let hi = loop {
+        let probe = lo + step;
+        match regions.get(probe) {
+            Some(r) if r < target => {
+                lo = probe;
+                step <<= 1;
+            }
+            _ => break probe.min(regions.len()),
+        }
+    };
+    lo + 1 + regions[lo + 1..hi].partition_point(|r| r < target)
 }
 
 impl FromIterator<Region> for RegionSet {
@@ -539,5 +620,72 @@ mod tests {
         let s = rs(&[(3, 9)]);
         assert!(s.contains(&Region::new(3, 9)));
         assert!(!s.contains(&Region::new(3, 8)));
+    }
+
+    /// A deterministic xorshift generator — enough randomness to sweep
+    /// size skews without a proptest dependency in the default build.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_set(seed: u64, n: usize, universe: u32) -> RegionSet {
+        let mut s = seed | 1;
+        let regions: Vec<Region> = (0..n)
+            .map(|_| {
+                let start = (xorshift(&mut s) % u64::from(universe)) as u32;
+                let len = (xorshift(&mut s) % 9) as u32;
+                Region::new(start, start + len)
+            })
+            .collect();
+        RegionSet::from_regions(regions)
+    }
+
+    #[test]
+    fn galloping_intersect_and_difference_match_the_sweep() {
+        // Property: across skews from balanced to 1:4096 — spanning the
+        // adaptive crossover in both directions — the galloping paths are
+        // element-identical to the naive sweep, including each operand
+        // order and self-application.
+        let mut seed = 0x9e3779b97f4a7c15;
+        for (na, nb) in
+            [(0, 100), (1, 0), (1, 1), (3, 700), (25, 25), (7, 4096), (300, 300), (2000, 5)]
+        {
+            for round in 0..4u64 {
+                let a = random_set(xorshift(&mut seed), na, 500 + (round * 37) as u32);
+                let b = random_set(xorshift(&mut seed), nb, 500);
+                for (x, y) in [(&a, &b), (&b, &a), (&a, &a)] {
+                    assert_eq!(
+                        x.intersect(y).as_slice(),
+                        x.intersect_sweep(y).as_slice(),
+                        "intersect {na}x{nb} round {round}"
+                    );
+                    assert_eq!(
+                        x.difference(y).as_slice(),
+                        x.difference_sweep(y).as_slice(),
+                        "difference {na}x{nb} round {round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_to_finds_the_partition_point() {
+        let set = random_set(42, 2000, 10_000);
+        let regions = set.as_slice();
+        let mut seed = 7u64;
+        for _ in 0..200 {
+            let start = (xorshift(&mut seed) % 11_000) as u32;
+            let target = Region::new(start, start + (xorshift(&mut seed) % 6) as u32);
+            assert_eq!(
+                super::gallop_to(regions, &target),
+                regions.partition_point(|r| r < &target),
+                "{target}"
+            );
+        }
+        assert_eq!(super::gallop_to(&[], &Region::new(1, 2)), 0);
     }
 }

@@ -310,6 +310,8 @@ pub struct MetricsRegistry {
     plan_cache_misses: AtomicU64,
     query_latency: Mutex<Histogram>,
     op_latency: Mutex<BTreeMap<String, Histogram>>,
+    index_bytes: Mutex<BTreeMap<String, u64>>,
+    corpus_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of a [`MetricsRegistry`]: counters plus the *full*
@@ -336,6 +338,12 @@ pub struct MetricsSnapshot {
     pub query_latency: Histogram,
     /// Per-operator latency, keyed by operator label.
     pub op_latency: BTreeMap<String, Histogram>,
+    /// Resident index footprint in bytes, keyed by backend label
+    /// (`mem`, `qofx`) — a gauge, set by whichever database last
+    /// published its footprint into this registry.
+    pub index_bytes: BTreeMap<String, u64>,
+    /// Corpus text size in bytes behind the published index (gauge).
+    pub corpus_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -410,6 +418,18 @@ impl MetricsRegistry {
         self.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
     }
 
+    /// Publishes a database's index footprint: the resident bytes of its
+    /// word-index backend (gauge semantics — set, not add) and the corpus
+    /// bytes it indexes. A database re-publishes after every mutation and
+    /// whenever a registry is injected, so scrapes always see the current
+    /// backend's footprint.
+    pub fn record_index_bytes(&self, backend: &str, bytes: u64, corpus_bytes: u64) {
+        let mut map = self.index_bytes.lock().expect("metrics lock poisoned");
+        map.clear();
+        map.insert(backend.to_owned(), bytes);
+        self.corpus_bytes.store(corpus_bytes, Ordering::Relaxed);
+    }
+
     /// Records one optimized-plan cache lookup.
     pub fn record_plan_cache(&self, hit: bool) {
         if hit {
@@ -463,6 +483,8 @@ impl MetricsRegistry {
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
             query_latency: self.query_latency.lock().expect("metrics lock poisoned").clone(),
             op_latency: self.op_latency.lock().expect("metrics lock poisoned").clone(),
+            index_bytes: self.index_bytes.lock().expect("metrics lock poisoned").clone(),
+            corpus_bytes: self.corpus_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -477,6 +499,8 @@ impl MetricsRegistry {
         self.plan_cache_misses.store(0, Ordering::Relaxed);
         *self.query_latency.lock().expect("metrics lock poisoned") = Histogram::new();
         self.op_latency.lock().expect("metrics lock poisoned").clear();
+        self.index_bytes.lock().expect("metrics lock poisoned").clear();
+        self.corpus_bytes.store(0, Ordering::Relaxed);
     }
 }
 

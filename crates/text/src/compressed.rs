@@ -1,0 +1,476 @@
+//! The compressed word-index backend: a sorted dictionary over delta-coded
+//! posting lists ([`CompressedPostings`]), decoded lazily per word. This is
+//! the in-memory face of the `.qofx` on-disk format (DESIGN.md §13): after
+//! a persisted index is reopened, posting bytes stay on disk and are paged
+//! in with positioned reads (`pread`) only when a query first touches the
+//! word — no `unsafe`, no `mmap`.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+
+use crate::postings::CompressedPostings;
+use crate::varint::{decode_u32, decode_u64, encode_u32, encode_u64};
+use crate::word_index::WordIndex;
+use crate::{Pos, Span};
+
+/// Where a [`CompressedWordIndex`] reads posting bytes from.
+#[derive(Debug)]
+pub enum PostingsSource {
+    /// The whole postings blob resides in memory (a freshly compressed
+    /// index, or a deserialized one asked to stay resident).
+    Bytes(Vec<u8>),
+    /// The blob lives in an open `.qofx` file and is paged in on demand
+    /// with positioned reads; `offset`/`len` bound the blob within it.
+    Paged {
+        /// The open index file.
+        file: File,
+        /// Absolute byte offset of the blob in the file.
+        offset: u64,
+        /// Blob length in bytes.
+        len: u64,
+    },
+}
+
+impl PostingsSource {
+    /// Reads `len` bytes at blob-relative `offset`.
+    fn read(&self, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        match self {
+            PostingsSource::Bytes(blob) => {
+                let start = usize::try_from(offset)
+                    .ok()
+                    .filter(|&s| s.checked_add(len).is_some_and(|e| e <= blob.len()))
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::UnexpectedEof, "postings range out of blob")
+                    })?;
+                Ok(blob[start..start + len].to_vec())
+            }
+            PostingsSource::Paged { file, offset: base, len: total } => {
+                if offset.checked_add(len as u64).is_none_or(|end| end > *total) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "postings range out of blob",
+                    ));
+                }
+                let mut buf = vec![0u8; len];
+                #[cfg(unix)]
+                {
+                    use std::os::unix::fs::FileExt;
+                    file.read_exact_at(&mut buf, base + offset)?;
+                }
+                #[cfg(not(unix))]
+                {
+                    use std::io::{Read, Seek, SeekFrom};
+                    let mut f = file.try_clone()?;
+                    f.seek(SeekFrom::Start(base + offset))?;
+                    f.read_exact(&mut buf)?;
+                }
+                Ok(buf)
+            }
+        }
+    }
+
+    /// Blob length in bytes.
+    fn len(&self) -> u64 {
+        match self {
+            PostingsSource::Bytes(blob) => blob.len() as u64,
+            PostingsSource::Paged { len, .. } => *len,
+        }
+    }
+
+    /// Bytes this source keeps resident in memory.
+    fn resident_bytes(&self) -> usize {
+        match self {
+            PostingsSource::Bytes(blob) => blob.len(),
+            PostingsSource::Paged { .. } => 0,
+        }
+    }
+}
+
+/// One dictionary entry: a word, its posting count, and where its
+/// compressed postings live in the blob.
+#[derive(Debug)]
+struct Entry {
+    word: String,
+    count: u64,
+    offset: u64,
+    len: u32,
+    /// Lazily decoded positions; filled on the first lookup that needs
+    /// actual positions (counts and membership never decode).
+    decoded: OnceLock<Vec<Pos>>,
+}
+
+/// A compressed, immutable word index: sorted dictionary, delta-coded
+/// posting lists, per-word lazy decode. Query-path results are identical
+/// to the [`WordIndex`] it was built from (property-tested end to end).
+#[derive(Debug)]
+pub struct CompressedWordIndex {
+    /// Sorted by word (unique), enabling binary-search lookup.
+    entries: Vec<Entry>,
+    source: PostingsSource,
+    postings: usize,
+    case_fold: bool,
+    scope: Option<Vec<Span>>,
+}
+
+impl CompressedWordIndex {
+    /// Compresses an in-memory [`WordIndex`] (sorting its dictionary).
+    pub fn from_word_index(index: &WordIndex) -> Self {
+        let mut words: Vec<(&str, &[Pos])> = index.iter().collect();
+        words.sort_unstable_by_key(|&(w, _)| w);
+        let mut entries = Vec::with_capacity(words.len());
+        let mut blob = Vec::new();
+        let mut postings = 0usize;
+        for (word, positions) in words {
+            let offset = blob.len() as u64;
+            CompressedPostings::encode(positions).write_to(&mut blob);
+            entries.push(Entry {
+                word: word.to_owned(),
+                count: positions.len() as u64,
+                offset,
+                len: (blob.len() as u64 - offset) as u32,
+                decoded: OnceLock::new(),
+            });
+            postings += positions.len();
+        }
+        CompressedWordIndex {
+            entries,
+            source: PostingsSource::Bytes(blob),
+            postings,
+            case_fold: index.case_fold(),
+            scope: index.scope().map(<[Span]>::to_vec),
+        }
+    }
+
+    /// Rebuilds the equivalent uncompressed [`WordIndex`] — the
+    /// materialization path `add_file` takes before mutating a database
+    /// that was opened from a `.qofx` file.
+    pub fn to_word_index(&self) -> WordIndex {
+        let mut map = std::collections::HashMap::with_capacity(self.entries.len());
+        for e in &self.entries {
+            map.insert(e.word.clone(), self.decoded(e).to_vec());
+        }
+        WordIndex::from_parts(map, self.postings, self.case_fold, self.scope.clone())
+    }
+
+    fn lookup(&self, word: &str) -> Option<&Entry> {
+        let i = self.entries.binary_search_by(|e| e.word.as_str().cmp(word)).ok()?;
+        Some(&self.entries[i])
+    }
+
+    /// The entry for `word` under the same case-folding contract as
+    /// [`WordIndex::positions`].
+    fn entry(&self, word: &str) -> Option<&Entry> {
+        if self.case_fold && !word.bytes().all(|b| b.is_ascii() && !b.is_ascii_uppercase()) {
+            return self.lookup(word.to_lowercase().as_str());
+        }
+        self.lookup(word)
+    }
+
+    /// Decodes (once) and returns an entry's positions.
+    ///
+    /// The `.qofx` checksum was verified at open, so a decode failure here
+    /// means the file changed underneath us; the entry then reads as
+    /// unindexed rather than poisoning the whole process.
+    fn decoded<'a>(&self, e: &'a Entry) -> &'a [Pos] {
+        e.decoded.get_or_init(|| {
+            let Ok(bytes) = self.source.read(e.offset, e.len as usize) else {
+                return Vec::new();
+            };
+            let mut at = 0;
+            match CompressedPostings::read_from(&bytes, &mut at) {
+                Some(c) if at == bytes.len() && c.len() as u64 == e.count => c.decode(),
+                _ => Vec::new(),
+            }
+        })
+    }
+
+    /// Sorted start positions of `word`; empty for unindexed words.
+    /// The first call for a word pages in and decodes its postings.
+    pub fn positions(&self, word: &str) -> &[Pos] {
+        self.entry(word).map_or(&[], |e| self.decoded(e))
+    }
+
+    /// Whether `word` is indexed — answered from the dictionary alone,
+    /// without touching posting bytes.
+    pub fn contains(&self, word: &str) -> bool {
+        self.entry(word).is_some_and(|e| e.count > 0)
+    }
+
+    /// Occurrence count of `word` — from the dictionary, no decode.
+    pub fn frequency(&self, word: &str) -> usize {
+        self.entry(word).map_or(0, |e| e.count as usize)
+    }
+
+    /// Number of distinct words.
+    pub fn distinct_words(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total posting count.
+    pub fn postings(&self) -> usize {
+        self.postings
+    }
+
+    /// Whether the index was selectively built (§7).
+    pub fn is_scoped(&self) -> bool {
+        self.scope.is_some()
+    }
+
+    /// Whether lookups fold ASCII case (mirrors the tokenizer's setting;
+    /// persisted in the `.qofx` header flags, not the word section).
+    pub fn case_fold(&self) -> bool {
+        self.case_fold
+    }
+
+    /// Resident bytes: dictionary strings + entry headers + whatever part
+    /// of the blob is held in memory. Lazily decoded lists are *not*
+    /// counted — they are a cache, not the index.
+    pub fn index_bytes(&self) -> usize {
+        let key_bytes: usize = self.entries.iter().map(|e| e.word.len()).sum();
+        key_bytes
+            + self.entries.len() * std::mem::size_of::<Entry>()
+            + self.source.resident_bytes()
+            + self.scope.as_ref().map_or(0, |s| s.len() * std::mem::size_of::<Span>())
+    }
+
+    /// Visits every `(word, count)` pair in dictionary order — no decode.
+    pub fn for_each_word_count(&self, f: &mut dyn FnMut(&str, u64)) {
+        for e in &self.entries {
+            f(&e.word, e.count);
+        }
+    }
+
+    /// Visits every `(word, positions)` pair in dictionary order,
+    /// decoding each list (the vocabulary-scan fallback of prefix search).
+    pub fn for_each_word(&self, f: &mut dyn FnMut(&str, &[Pos])) {
+        for e in &self.entries {
+            f(&e.word, self.decoded(e));
+        }
+    }
+
+    /// Serializes the word section of the `.qofx` format: scope spans,
+    /// dictionary (word, count, byte length — offsets are cumulative),
+    /// then the postings blob. Works for both sources; a paged source
+    /// reads its blob back once.
+    pub fn serialize(&self, out: &mut Vec<u8>) -> io::Result<()> {
+        match &self.scope {
+            None => out.push(0),
+            Some(spans) => {
+                out.push(1);
+                encode_u64(spans.len() as u64, out);
+                for s in spans {
+                    encode_u32(s.start, out);
+                    encode_u32(s.end, out);
+                }
+            }
+        }
+        encode_u64(self.entries.len() as u64, out);
+        for e in &self.entries {
+            encode_u64(e.word.len() as u64, out);
+            out.extend_from_slice(e.word.as_bytes());
+            encode_u64(e.count, out);
+            encode_u32(e.len, out);
+        }
+        let blob_len = self.source.len();
+        encode_u64(blob_len, out);
+        let blob = self.source.read(0, usize::try_from(blob_len).expect("blob fits memory"))?;
+        out.extend_from_slice(&blob);
+        Ok(())
+    }
+
+    /// Deserializes a [`serialize`](Self::serialize)d word section from
+    /// `buf[*at..]`. With `paged: Some((path, base))` — `base` being the
+    /// absolute file offset of `buf[0]` — the blob is *not* copied: the
+    /// returned index pages posting bytes from the file on demand.
+    /// `case_fold` comes from the container's header flags.
+    ///
+    /// Structural errors return `Err(description)`; the caller wraps them
+    /// in its corruption diagnostic.
+    pub fn deserialize(
+        buf: &[u8],
+        at: &mut usize,
+        case_fold: bool,
+        paged: Option<(&Path, u64)>,
+    ) -> Result<Self, String> {
+        let truncated = || "word section truncated".to_owned();
+        let scope = match buf.get(*at).copied() {
+            Some(0) => {
+                *at += 1;
+                None
+            }
+            Some(1) => {
+                *at += 1;
+                let n = decode_u64(buf, at).ok_or_else(truncated)?;
+                let n = usize::try_from(n).map_err(|_| truncated())?;
+                let mut spans = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let start = decode_u32(buf, at).ok_or_else(truncated)?;
+                    let end = decode_u32(buf, at).ok_or_else(truncated)?;
+                    if start > end {
+                        return Err("inverted scope span".to_owned());
+                    }
+                    spans.push(start..end);
+                }
+                Some(spans)
+            }
+            _ => return Err("bad scope tag in word section".to_owned()),
+        };
+        let n_words = decode_u64(buf, at).ok_or_else(truncated)?;
+        let n_words = usize::try_from(n_words).map_err(|_| truncated())?;
+        let mut entries: Vec<Entry> = Vec::with_capacity(n_words.min(1 << 20));
+        let mut postings = 0usize;
+        let mut offset = 0u64;
+        for _ in 0..n_words {
+            let wlen = decode_u64(buf, at).ok_or_else(truncated)?;
+            let wlen = usize::try_from(wlen).map_err(|_| truncated())?;
+            let end = at.checked_add(wlen).ok_or_else(truncated)?;
+            let word = std::str::from_utf8(buf.get(*at..end).ok_or_else(truncated)?)
+                .map_err(|_| "dictionary word is not UTF-8".to_owned())?
+                .to_owned();
+            *at = end;
+            let count = decode_u64(buf, at).ok_or_else(truncated)?;
+            let len = decode_u32(buf, at).ok_or_else(truncated)?;
+            if entries.last().is_some_and(|e| e.word.as_str() >= word.as_str()) {
+                return Err("dictionary is not sorted".to_owned());
+            }
+            entries.push(Entry { word, count, offset, len, decoded: OnceLock::new() });
+            postings = postings
+                .checked_add(usize::try_from(count).map_err(|_| truncated())?)
+                .ok_or_else(truncated)?;
+            offset = offset.checked_add(u64::from(len)).ok_or_else(truncated)?;
+        }
+        let blob_len = decode_u64(buf, at).ok_or_else(truncated)?;
+        if blob_len != offset {
+            return Err("postings blob length disagrees with dictionary".to_owned());
+        }
+        let blob_len_us = usize::try_from(blob_len).map_err(|_| truncated())?;
+        let blob_end = at.checked_add(blob_len_us).ok_or_else(truncated)?;
+        if blob_end > buf.len() {
+            return Err(truncated());
+        }
+        let source = match paged {
+            Some((path, base)) => {
+                let file = File::open(path).map_err(|e| format!("reopen for paging: {e}"))?;
+                PostingsSource::Paged { file, offset: base + *at as u64, len: blob_len }
+            }
+            None => PostingsSource::Bytes(buf[*at..blob_end].to_vec()),
+        };
+        *at = blob_end;
+        Ok(CompressedWordIndex { entries, source, postings, case_fold, scope })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Corpus, Tokenizer, WordIndexBuilder};
+
+    fn sample_index(scoped: bool) -> (Corpus, WordIndex) {
+        let corpus = Corpus::from_text(
+            "the Quick brown fox jumps over the lazy dog the quick fox again and again \
+             zebra apple Apple APPLE banana the the the",
+        );
+        let tok = Tokenizer::new();
+        let index = if scoped {
+            WordIndexBuilder::new(&tok).scoped_to(vec![0..60, 80..120]).build(&corpus)
+        } else {
+            WordIndex::build(&corpus, &tok)
+        };
+        (corpus, index)
+    }
+
+    #[test]
+    fn lookups_match_the_uncompressed_index() {
+        for scoped in [false, true] {
+            let (_, index) = sample_index(scoped);
+            let c = CompressedWordIndex::from_word_index(&index);
+            assert_eq!(c.postings(), index.stats().postings);
+            assert_eq!(c.distinct_words(), index.stats().distinct_words);
+            assert_eq!(c.is_scoped(), index.is_scoped());
+            for word in ["the", "quick", "Quick", "APPLE", "zebra", "absent", "Fox"] {
+                assert_eq!(c.positions(word), index.positions(word), "{word} (scoped={scoped})");
+                assert_eq!(c.contains(word), index.contains(word), "{word}");
+                assert_eq!(c.frequency(word), index.frequency(word), "{word}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_through_word_index() {
+        let (_, index) = sample_index(true);
+        let c = CompressedWordIndex::from_word_index(&index);
+        let back = c.to_word_index();
+        assert_eq!(back.stats().postings, index.stats().postings);
+        assert_eq!(back.stats().distinct_words, index.stats().distinct_words);
+        for (word, positions) in index.iter() {
+            assert_eq!(back.positions(word), positions, "{word}");
+        }
+        assert_eq!(back.is_scoped(), index.is_scoped());
+    }
+
+    #[test]
+    fn serialization_round_trips_in_memory() {
+        let (_, index) = sample_index(false);
+        let c = CompressedWordIndex::from_word_index(&index);
+        let mut buf = vec![7u8; 5];
+        c.serialize(&mut buf).unwrap();
+        let mut at = 5;
+        let back = CompressedWordIndex::deserialize(&buf, &mut at, c.case_fold, None).unwrap();
+        assert_eq!(at, buf.len());
+        assert_eq!(back.postings(), c.postings());
+        for (word, positions) in index.iter() {
+            assert_eq!(back.positions(word), positions, "{word}");
+        }
+    }
+
+    #[test]
+    fn paged_source_reads_from_disk_lazily() {
+        let (_, index) = sample_index(false);
+        let c = CompressedWordIndex::from_word_index(&index);
+        let mut buf = vec![0u8; 11]; // pretend header
+        c.serialize(&mut buf).unwrap();
+        let path = std::env::temp_dir().join(format!("qof-paged-test-{}.bin", std::process::id()));
+        std::fs::write(&path, &buf).unwrap();
+        let mut at = 11;
+        let paged =
+            CompressedWordIndex::deserialize(&buf, &mut at, c.case_fold, Some((&path, 0))).unwrap();
+        assert!(paged.index_bytes() < c.index_bytes(), "paged keeps no blob resident");
+        // Counts need no IO; positions page in on demand.
+        assert_eq!(paged.frequency("the"), index.frequency("the"));
+        for (word, positions) in index.iter() {
+            assert_eq!(paged.positions(word), positions, "{word}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_sections_are_rejected_not_panicking() {
+        let (_, index) = sample_index(false);
+        let c = CompressedWordIndex::from_word_index(&index);
+        let mut buf = Vec::new();
+        c.serialize(&mut buf).unwrap();
+        for cut in [0, 1, buf.len() / 3, buf.len() - 1] {
+            let mut at = 0;
+            assert!(
+                CompressedWordIndex::deserialize(&buf[..cut], &mut at, true, None).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_index_is_smaller_than_approx_vec_footprint() {
+        let text: String = (0..2000).map(|i| format!("word{} common filler ", i % 50)).collect();
+        let corpus = Corpus::from_text(&text);
+        let index = WordIndex::build(&corpus, &Tokenizer::new());
+        let c = CompressedWordIndex::from_word_index(&index);
+        assert!(
+            c.index_bytes() < index.stats().approx_bytes,
+            "{} vs {}",
+            c.index_bytes(),
+            index.stats().approx_bytes
+        );
+    }
+}

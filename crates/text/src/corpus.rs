@@ -148,6 +148,30 @@ impl Corpus {
         out
     }
 
+    /// Reassembles a corpus from a previously captured global text and
+    /// file table — the persistent-index reopen path. Validates the
+    /// builder invariants an on-disk file could violate: spans must be
+    /// in bounds, ascending, non-overlapping, and lie on `char`
+    /// boundaries of `text`.
+    pub fn from_parts(text: String, files: Vec<FileEntry>) -> Result<Self, String> {
+        let len = text.len();
+        let mut prev_end = 0usize;
+        for (i, f) in files.iter().enumerate() {
+            let (start, end) = (f.span.start as usize, f.span.end as usize);
+            if start > end || end > len {
+                return Err(format!("file {i} span {start}..{end} out of bounds"));
+            }
+            if i > 0 && start < prev_end {
+                return Err(format!("file {i} span overlaps its predecessor"));
+            }
+            if !text.is_char_boundary(start) || !text.is_char_boundary(end) {
+                return Err(format!("file {i} span splits a character"));
+            }
+            prev_end = end;
+        }
+        Ok(Corpus { text, files })
+    }
+
     /// Appends a file to the corpus (the incremental-indexing path), with
     /// the same separator convention as [`CorpusBuilder::add_file`].
     /// Returns the new file's id; its span starts past all existing text,

@@ -140,6 +140,31 @@ impl WordIndex {
         self.scope.is_some()
     }
 
+    /// Whether lookups fold case (set by the build tokenizer).
+    pub(crate) fn case_fold(&self) -> bool {
+        self.case_fold
+    }
+
+    /// The selective-indexing scope spans, if any.
+    pub(crate) fn scope(&self) -> Option<&[Span]> {
+        self.scope.as_deref()
+    }
+
+    /// Reassembles an index from its parts — the compressed backend's
+    /// materialization path ([`CompressedWordIndex::to_word_index`]).
+    ///
+    /// [`CompressedWordIndex::to_word_index`]:
+    ///     crate::CompressedWordIndex::to_word_index
+    pub(crate) fn from_parts(
+        map: HashMap<String, Vec<Pos>>,
+        postings: usize,
+        case_fold: bool,
+        scope: Option<Vec<Span>>,
+    ) -> Self {
+        debug_assert_eq!(postings, map.values().map(Vec::len).sum::<usize>());
+        WordIndex { map, postings, case_fold, scope }
+    }
+
     /// Extends the scope of a selectively built index with more spans
     /// (e.g. the in-scope regions of a newly appended file) ahead of
     /// [`WordIndex::append_span`]. No-op on a full index, which always

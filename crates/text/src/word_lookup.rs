@@ -1,0 +1,167 @@
+//! [`WordLookup`]: the object-safe word-index interface the query engine
+//! evaluates against, letting the in-memory [`WordIndex`] and the
+//! compressed [`CompressedWordIndex`] backend serve the same hot path.
+//!
+//! The trait is deliberately visitation-based where iteration would
+//! otherwise force an allocation or an object-safety violation:
+//! [`for_each_word_count`](WordLookup::for_each_word_count) feeds the
+//! statistics store without decoding a single posting list, and
+//! [`for_each_word`](WordLookup::for_each_word) backs the vocabulary-scan
+//! fallback of prefix search.
+
+use crate::compressed::CompressedWordIndex;
+use crate::word_index::WordIndex;
+use crate::Pos;
+
+/// A read-only word index: the service contract of the paper's underlying
+/// text system (§2), backend-agnostic.
+pub trait WordLookup: Sync {
+    /// Sorted start positions of `word` (empty when unindexed). Case
+    /// folding follows the tokenizer the index was built with.
+    fn positions(&self, word: &str) -> &[Pos];
+
+    /// Whether `word` has at least one posting. Backends answer this from
+    /// their dictionary without decoding postings.
+    fn contains(&self, word: &str) -> bool;
+
+    /// Occurrence count of `word` — PAT's frequency search primitive,
+    /// likewise decode-free.
+    fn frequency(&self, word: &str) -> usize;
+
+    /// Visits every `(word, positions)` pair (order unspecified).
+    fn for_each_word(&self, f: &mut dyn FnMut(&str, &[Pos]));
+
+    /// Visits every `(word, posting count)` pair without decoding.
+    fn for_each_word_count(&self, f: &mut dyn FnMut(&str, u64));
+
+    /// Number of distinct words.
+    fn distinct_words(&self) -> usize;
+
+    /// Total posting count.
+    fn postings(&self) -> usize;
+
+    /// Resident size of the index in bytes (approximate; decoded-posting
+    /// caches excluded).
+    fn index_bytes(&self) -> usize;
+
+    /// Whether the index was selectively built (§7 word scoping).
+    fn is_scoped(&self) -> bool;
+}
+
+impl WordLookup for WordIndex {
+    fn positions(&self, word: &str) -> &[Pos] {
+        WordIndex::positions(self, word)
+    }
+
+    fn contains(&self, word: &str) -> bool {
+        WordIndex::contains(self, word)
+    }
+
+    fn frequency(&self, word: &str) -> usize {
+        WordIndex::frequency(self, word)
+    }
+
+    fn for_each_word(&self, f: &mut dyn FnMut(&str, &[Pos])) {
+        for (word, positions) in self.iter() {
+            f(word, positions);
+        }
+    }
+
+    fn for_each_word_count(&self, f: &mut dyn FnMut(&str, u64)) {
+        for (word, positions) in self.iter() {
+            f(word, positions.len() as u64);
+        }
+    }
+
+    fn distinct_words(&self) -> usize {
+        self.stats().distinct_words
+    }
+
+    fn postings(&self) -> usize {
+        self.stats().postings
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.stats().approx_bytes
+    }
+
+    fn is_scoped(&self) -> bool {
+        WordIndex::is_scoped(self)
+    }
+}
+
+impl WordLookup for CompressedWordIndex {
+    fn positions(&self, word: &str) -> &[Pos] {
+        CompressedWordIndex::positions(self, word)
+    }
+
+    fn contains(&self, word: &str) -> bool {
+        CompressedWordIndex::contains(self, word)
+    }
+
+    fn frequency(&self, word: &str) -> usize {
+        CompressedWordIndex::frequency(self, word)
+    }
+
+    fn for_each_word(&self, f: &mut dyn FnMut(&str, &[Pos])) {
+        CompressedWordIndex::for_each_word(self, f);
+    }
+
+    fn for_each_word_count(&self, f: &mut dyn FnMut(&str, u64)) {
+        CompressedWordIndex::for_each_word_count(self, f);
+    }
+
+    fn distinct_words(&self) -> usize {
+        CompressedWordIndex::distinct_words(self)
+    }
+
+    fn postings(&self) -> usize {
+        CompressedWordIndex::postings(self)
+    }
+
+    fn index_bytes(&self) -> usize {
+        CompressedWordIndex::index_bytes(self)
+    }
+
+    fn is_scoped(&self) -> bool {
+        CompressedWordIndex::is_scoped(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Corpus, Tokenizer};
+
+    /// Both backends answer the whole trait surface identically.
+    #[test]
+    fn backends_agree_through_the_trait_object() {
+        let corpus = Corpus::from_text("alpha beta beta gamma Alpha beta delta gamma gamma");
+        let mem = WordIndex::build(&corpus, &Tokenizer::new());
+        let compressed = CompressedWordIndex::from_word_index(&mem);
+        let a: &dyn WordLookup = &mem;
+        let b: &dyn WordLookup = &compressed;
+        assert_eq!(a.distinct_words(), b.distinct_words());
+        assert_eq!(a.postings(), b.postings());
+        assert_eq!(a.is_scoped(), b.is_scoped());
+        for word in ["alpha", "beta", "Gamma", "delta", "nope"] {
+            assert_eq!(a.positions(word), b.positions(word), "{word}");
+            assert_eq!(a.contains(word), b.contains(word), "{word}");
+            assert_eq!(a.frequency(word), b.frequency(word), "{word}");
+        }
+        let collect = |ix: &dyn WordLookup| {
+            let mut v: Vec<(String, Vec<Pos>)> = Vec::new();
+            ix.for_each_word(&mut |w, p| v.push((w.to_owned(), p.to_vec())));
+            v.sort();
+            v
+        };
+        assert_eq!(collect(a), collect(b));
+        let counts = |ix: &dyn WordLookup| {
+            let mut v: Vec<(String, u64)> = Vec::new();
+            ix.for_each_word_count(&mut |w, c| v.push((w.to_owned(), c)));
+            v.sort();
+            v
+        };
+        assert_eq!(counts(a), counts(b));
+    }
+}

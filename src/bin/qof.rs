@@ -49,12 +49,15 @@ fn usage() -> ExitCode {
         "usage:\n  \
          qof generate <schema> <count>\n  \
          qof rig <schema> [indexed,names]\n  \
-         qof query   <schema> [--index A,B,C] [--threads N] [--cache] [--strict]\n              \
-         [--explain-analyze] [--trace-json FILE] <file>... <query>\n  \
-         qof explain <schema> [--index A,B,C] <file>... <query>\n  \
-         qof stats   <schema> [--index A,B,C] [--threads N] [--cache] [--json] <file>... <query>...\n  \
-         qof serve   <schema> [--index A,B,C] [--threads N] [--cache] [--port P]\n              \
-         [--log FILE] [--slow-ms MS] [--recorder N] [--timeout-ms MS] <file>...\n  \
+         qof query   <schema> [--index A,B,C] [--from-index F.qofx] [--threads N] [--cache]\n              \
+         [--strict] [--explain-analyze] [--trace-json FILE] [<file>...] <query>\n  \
+         qof explain <schema> [--index A,B,C] [--from-index F.qofx] [<file>...] <query>\n  \
+         qof stats   <schema> [--index A,B,C] [--from-index F.qofx] [--threads N] [--cache]\n              \
+         [--json] [<file>...] <query>...\n  \
+         qof serve   <schema> [--index A,B,C] [--from-index F.qofx] [--threads N] [--cache]\n              \
+         [--port P] [--log FILE] [--slow-ms MS] [--recorder N] [--timeout-ms MS] [<file>...]\n  \
+         qof index build   <schema> [--index A,B,C] --out F.qofx <file>...\n  \
+         qof index inspect <F.qofx>\n  \
          qof advise  <schema> [--costed] [<file>...] <query>...\n  \
          qof check   <schema> [--index A,B,C] [--json] [--strict] [<query>...]\n\
          schemas: bibtex mail logs sgml code"
@@ -84,6 +87,38 @@ fn build_db(
     FileDatabase::build(corpus, schema, spec).map_err(|e| e.to_string())
 }
 
+/// Builds the database from source files, or reopens it from a persisted
+/// `.qofx` index when `--from-index` was given (O(1) start: no parsing,
+/// no tokenizing; posting lists page in from the file on demand). A
+/// corrupt or unreadable index file falls back to a fresh build when
+/// source files are at hand, and errors out otherwise.
+fn load_db(
+    schema: StructuringSchema,
+    files: &[String],
+    index: Option<&str>,
+    from_index: Option<&str>,
+) -> Result<FileDatabase, String> {
+    let Some(path) = from_index else {
+        return build_db(schema, files, index);
+    };
+    if files.is_empty() {
+        return FileDatabase::open(path, schema).map_err(|e| e.to_string());
+    }
+    let corpus = load_corpus(files)?;
+    let (db, why) = FileDatabase::open_or_rebuild(path, schema, |schema| {
+        let spec = match index {
+            None => IndexSpec::full(),
+            Some(names) => IndexSpec::names(names.split(',').map(str::trim)),
+        };
+        FileDatabase::build(corpus, schema, spec)
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(why) = why {
+        eprintln!("qof: index `{path}` unusable ({why}); rebuilt from source files");
+    }
+    Ok(db)
+}
+
 /// `qof stats`: runs every query traced against the corpus, then prints the
 /// process-wide metrics snapshot (queries executed, cache hit ratio,
 /// p50/p95 operator latencies). Trailing arguments are files when they
@@ -93,16 +128,17 @@ fn run_stats(
     schema: StructuringSchema,
     rest: Vec<String>,
     index: Option<&str>,
+    from_index: Option<&str>,
     threads: usize,
     cache: bool,
     json: bool,
 ) -> Result<ExitCode, String> {
     let (files, queries): (Vec<String>, Vec<String>) =
         rest.into_iter().partition(|a| std::path::Path::new(a).is_file());
-    if files.is_empty() || queries.is_empty() {
+    if (files.is_empty() && from_index.is_none()) || queries.is_empty() {
         return Ok(usage());
     }
-    let db = build_db(schema, &files, index)?
+    let db = load_db(schema, &files, index, from_index)?
         .with_exec_options(ExecOptions { threads: threads.max(1), cache });
     for q in &queries {
         if let Err(e) = db.query_traced(q) {
@@ -130,6 +166,15 @@ fn run_stats(
         snap.plan_cache_hits,
         snap.plan_cache_misses
     );
+    for (backend, bytes) in &snap.index_bytes {
+        #[allow(clippy::cast_precision_loss)]
+        let per_byte =
+            if snap.corpus_bytes == 0 { 0.0 } else { *bytes as f64 / snap.corpus_bytes as f64 };
+        println!(
+            "index bytes:        {bytes} ({backend}) — {per_byte:.3} per corpus byte ({} corpus bytes)",
+            snap.corpus_bytes
+        );
+    }
     let ql = snap.query_latency.summary();
     println!(
         "query latency:      p50 {}  p95 {}  ({} samples)",
@@ -165,16 +210,24 @@ fn run_serve(
     schema: StructuringSchema,
     files: &[String],
     index: Option<&str>,
+    from_index: Option<&str>,
     threads: usize,
     cache: bool,
     opts: &ServeOpts,
 ) -> Result<ExitCode, String> {
     use qof::server::{serve, QueryLog, ServerConfig};
-    if files.is_empty() {
+    if files.is_empty() && from_index.is_none() {
         return Ok(usage());
     }
-    let db = build_db(schema, files, index)?
+    let started = std::time::Instant::now();
+    let db = load_db(schema, files, index, from_index)?
         .with_exec_options(ExecOptions { threads: threads.max(1), cache });
+    eprintln!(
+        "qof serve: {} backend ready in {:.1}ms ({} index bytes)",
+        db.backend_label(),
+        started.elapsed().as_secs_f64() * 1e3,
+        db.index_bytes()
+    );
     let log = match opts.log_path.as_deref() {
         None => QueryLog::discard(),
         Some(path) => {
@@ -272,6 +325,7 @@ fn run() -> Result<ExitCode, String> {
             let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
             let mut rest: Vec<String> = args[2..].to_vec();
             let mut index: Option<String> = None;
+            let mut from_index: Option<String> = None;
             let mut threads: usize = 1;
             let mut cache = false;
             let mut strict = false;
@@ -290,6 +344,13 @@ fn run() -> Result<ExitCode, String> {
                             return Ok(usage());
                         }
                         index = Some(rest[1].clone());
+                        rest.drain(..2);
+                    }
+                    Some("--from-index") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        from_index = Some(rest[1].clone());
                         rest.drain(..2);
                     }
                     Some("--threads") => {
@@ -368,17 +429,33 @@ fn run() -> Result<ExitCode, String> {
                 }
             }
             if cmd == "stats" {
-                return run_stats(schema, rest, index.as_deref(), threads, cache, json);
+                return run_stats(
+                    schema,
+                    rest,
+                    index.as_deref(),
+                    from_index.as_deref(),
+                    threads,
+                    cache,
+                    json,
+                );
             }
             if cmd == "serve" {
                 let opts = ServeOpts { port, log_path, slow_ms, recorder, timeout_ms };
-                return run_serve(schema, &rest, index.as_deref(), threads, cache, &opts);
+                return run_serve(
+                    schema,
+                    &rest,
+                    index.as_deref(),
+                    from_index.as_deref(),
+                    threads,
+                    cache,
+                    &opts,
+                );
             }
             let Some((query, files)) = rest.split_last() else { return Ok(usage()) };
-            if files.is_empty() {
+            if files.is_empty() && from_index.is_none() {
                 return Ok(usage());
             }
-            let db = build_db(schema, files, index.as_deref())?
+            let db = load_db(schema, files, index.as_deref(), from_index.as_deref())?
                 .with_exec_options(ExecOptions { threads: threads.max(1), cache })
                 .with_strict(strict);
             if cmd == "explain" {
@@ -421,6 +498,76 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        "index" => match args.get(1).map(String::as_str) {
+            Some("build") => {
+                let Some(name) = args.get(2) else { return Ok(usage()) };
+                let schema =
+                    schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;
+                let mut rest: Vec<String> = args[3..].to_vec();
+                let mut index: Option<String> = None;
+                let mut out: Option<String> = None;
+                loop {
+                    match rest.first().map(String::as_str) {
+                        Some("--index") => {
+                            if rest.len() < 2 {
+                                return Ok(usage());
+                            }
+                            index = Some(rest[1].clone());
+                            rest.drain(..2);
+                        }
+                        Some("--out") => {
+                            if rest.len() < 2 {
+                                return Ok(usage());
+                            }
+                            out = Some(rest[1].clone());
+                            rest.drain(..2);
+                        }
+                        _ => break,
+                    }
+                }
+                let Some(out) = out else { return Ok(usage()) };
+                if rest.is_empty() {
+                    return Ok(usage());
+                }
+                let db = build_db(schema, &rest, index.as_deref())?;
+                let bytes = db.persist(&out).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+                let corpus_bytes = u64::from(db.corpus().len());
+                // The container embeds the corpus text (that is what makes
+                // reopen O(1)); the index proper is everything beyond it.
+                let index_bytes = bytes.saturating_sub(corpus_bytes);
+                #[allow(clippy::cast_precision_loss)]
+                let per_byte =
+                    if corpus_bytes == 0 { 0.0 } else { index_bytes as f64 / corpus_bytes as f64 };
+                eprintln!(
+                    "qof index build: wrote {out} ({bytes} bytes: {corpus_bytes} corpus + \
+                     {index_bytes} index, {per_byte:.3} index bytes per corpus byte, \
+                     {} postings, {} region names)",
+                    db.word_index().postings(),
+                    db.instance().name_count()
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            Some("inspect") => {
+                let Some(path) = args.get(2) else { return Ok(usage()) };
+                let summary = qof::inspect_qofx(std::path::Path::new(path))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("file:           {path}");
+                println!("format version: {}", summary.version);
+                println!("file bytes:     {}", summary.file_bytes);
+                println!("checksum:       {:#018x} (valid)", summary.checksum);
+                println!("files:          {}", summary.files);
+                println!("corpus bytes:   {}", summary.corpus_bytes);
+                println!("distinct words: {}", summary.distinct_words);
+                println!("postings:       {}", summary.postings);
+                println!("region names:   {}", summary.region_names);
+                println!("regions:        {}", summary.regions);
+                println!("full index:     {}", summary.full_index);
+                println!("case folding:   {}", summary.case_fold);
+                println!("scoped words:   {}", summary.scoped);
+                Ok(ExitCode::SUCCESS)
+            }
+            _ => Ok(usage()),
+        },
         "check" => {
             let Some(name) = args.get(1) else { return Ok(usage()) };
             let schema = schema_by_name(name).ok_or_else(|| format!("unknown schema `{name}`"))?;

@@ -330,7 +330,7 @@ fn selective_word_indexing() {
     let scoped =
         FileDatabase::build(Corpus::from_text(&text), bibtex::schema(), scoped_spec).unwrap();
     assert!(
-        scoped.word_index().stats().postings * 4 < full.word_index().stats().postings,
+        scoped.word_index().postings() * 4 < full.word_index().postings(),
         "the scoped word index must be much smaller"
     );
     let res = scoped.query(CHANG_AUTHOR).unwrap();
