@@ -93,6 +93,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("a1", "ablation: common-subexpression sharing in boolean queries (§5.2)"),
     ("a2", "analyzer: qof check latency and rewrite-certifier overhead"),
     ("a3", "cost model: cardinality-estimation error and plan-cache hit rate"),
+    ("a4", "observability: tracing overhead (traced vs untraced) and history-ring footprint"),
 ];
 
 /// All experiment ids, in canonical run order.
@@ -125,6 +126,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "a1" => a1(scale, &mut r),
         "a2" => a2(scale, &mut r),
         "a3" => a3(scale, &mut r),
+        "a4" => a4(scale, &mut r),
         _ => unreachable!("id came from EXPERIMENTS"),
     }
     Some(ExperimentReport {
@@ -1112,6 +1114,65 @@ fn a3(scale: Scale, r: &mut Recorder) {
     }
 }
 
+fn a4(scale: Scale, r: &mut Recorder) {
+    banner("A4", "observability: tracing overhead and history-ring footprint");
+    let workload = [
+        CHANG_AUTHOR,
+        CHANG_STAR,
+        EDITOR_IS_AUTHOR,
+        "SELECT r FROM References r WHERE r.Year = \"1982\"",
+    ];
+    println!(
+        "{:>8} | {:>10} {:>10} {:>9} | {:>10} {:>10}",
+        "refs", "untraced", "traced", "overhead", "ring cap", "ring bytes"
+    );
+    for n in scale.pick(vec![200usize], vec![800usize, 3200]) {
+        let fdb = bibtex_full(n);
+        // Warm both paths first so the plan cache and page cache state are
+        // identical for the timed passes.
+        for q in &workload {
+            fdb.query(q).unwrap();
+            fdb.query_traced(q).unwrap();
+        }
+        let passes = scale.pick(5usize, 11);
+        let t_plain = median_secs(passes, || {
+            let t = Instant::now();
+            for q in &workload {
+                std::hint::black_box(fdb.query(q).unwrap());
+            }
+            t.elapsed().as_secs_f64() / workload.len() as f64
+        });
+        let t_traced = median_secs(passes, || {
+            let t = Instant::now();
+            for q in &workload {
+                std::hint::black_box(fdb.query_traced(q).unwrap());
+            }
+            t.elapsed().as_secs_f64() / workload.len() as f64
+        });
+        let overhead = t_traced / t_plain.max(f64::EPSILON);
+        // The time-series ring at its configured capacity: a fixed,
+        // corpus-independent upper bound on resident bytes.
+        let history = qof_pat::MetricsHistory::default();
+        let ring_cap = history.capacity();
+        let ring_bytes = history.approx_max_bytes();
+        r.rec(format!("untraced_pass_secs_{n}"), t_plain, "s");
+        r.rec(format!("traced_pass_secs_{n}"), t_traced, "s");
+        r.rec(format!("trace_overhead_x_{n}"), overhead, "x");
+        println!(
+            "{:>8} | {} {} {:>8.2}x | {:>10} {:>10}",
+            n,
+            fmt_secs(t_plain),
+            fmt_secs(t_traced),
+            overhead,
+            ring_cap,
+            ring_bytes,
+        );
+    }
+    let history = qof_pat::MetricsHistory::default();
+    r.rec("history_ring_capacity", history.capacity() as f64, "samples");
+    r.rec("history_ring_max_bytes", history.approx_max_bytes() as f64, "bytes");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1139,10 +1200,32 @@ mod tests {
             .find(|m| m.name.starts_with("estimate_sound_rate_"))
             .unwrap();
         assert!((sound.value - 1.0).abs() < f64::EPSILON, "intervals must be sound");
-        // The embedded trace is a v4 document with estimates.
+        // The embedded trace is a v5 document with estimates.
         let trace = report.trace_json.as_deref().unwrap();
-        assert!(trace.contains("\"schema_version\":4"), "{trace}");
+        assert!(trace.contains("\"schema_version\":5"), "{trace}");
         assert!(trace.contains("\"estimates\":["), "{trace}");
+    }
+
+    #[test]
+    fn a4_reports_tracing_overhead_and_ring_footprint() {
+        let report = run("a4", Scale::Small).unwrap();
+        let get = |name: &str| {
+            report
+                .measurements
+                .iter()
+                .find(|m| m.name == name || m.name.starts_with(name))
+                .unwrap_or_else(|| panic!("missing measurement {name}"))
+                .value
+        };
+        assert!(get("untraced_pass_secs_") > 0.0);
+        assert!(get("traced_pass_secs_") > 0.0);
+        // A timing assertion loose enough for a loaded CI box: tracing must
+        // not change the asymptotics of a query (it stamps spans, it does
+        // not re-execute work).
+        assert!(get("trace_overhead_x_") < 10.0, "tracing blew up query time");
+        assert!(get("history_ring_capacity") >= 1.0);
+        // The ring's worst case stays small enough to forget about.
+        assert!(get("history_ring_max_bytes") < 1024.0 * 1024.0, "ring footprint must be bounded");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "scale": "small",
 //!   "total_wall_secs": 1.25,
 //!   "experiments": [
@@ -27,7 +27,11 @@
 //! `certified` and the static `facts` array; v4 adds estimated-vs-actual
 //! cardinalities and plan-cache counters); the `a2` analyzer-overhead and
 //! `a3` cost-model experiments joined the canonical order without a report
-//! schema bump — experiments are data, not schema.
+//! schema bump — experiments are data, not schema. v4 marks the embedded
+//! traces' move to trace schema v5, which restructures every operator span
+//! (sink-assigned `span_id`, timeline `start_nanos` offsets on ops, phases
+//! and shards) — a consumer reading v4 must be span-aware; the `a4`
+//! observability experiment rode along as data.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -96,7 +100,7 @@ pub fn render_json(scale: &str, reports: &[ExperimentReport]) -> String {
     let total: f64 = reports.iter().map(|r| r.wall_secs).sum();
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema_version\": 3,");
+    let _ = writeln!(out, "  \"schema_version\": 4,");
     let _ = writeln!(out, "  \"scale\": \"{}\",", esc(scale));
     let _ = writeln!(out, "  \"total_wall_secs\": {},", num(total));
     out.push_str("  \"experiments\": [\n");
@@ -149,7 +153,7 @@ mod tests {
             trace_json: None,
         }];
         let json = render_json("small", &reports);
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(!json.contains("\"trace\""), "no trace block unless one was attached");
         assert!(json.contains("quote \\\" and slash \\\\"));
         assert!(json.contains("\"value\": null"), "non-finite values become null");

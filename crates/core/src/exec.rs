@@ -796,6 +796,14 @@ impl FileDatabase {
             }
         };
         let total_nanos = elapsed_nanos(started);
+        // Each sink numbered its spans locally; renumber the whole query
+        // pre-order (main ops, then shard ops) so span ids are unique and
+        // stable within one trace.
+        let mut next_span = 1u64;
+        renumber_spans(&mut tr.ops, &mut next_span);
+        for shard in &mut tr.shards {
+            renumber_spans(&mut shard.ops, &mut next_span);
+        }
         let cache_after = self.cache.stats();
         // Estimated-vs-actual cardinalities: the planner's per-variable
         // intervals, matched with the phase-1 candidate counts the engine
@@ -908,8 +916,14 @@ impl FileDatabase {
         let plan = self.planner().plan(&q)?;
         let engine = self.engine();
         let mut stats = RunStats::default();
-        let mut states =
-            self.eval_phase1(&plan, &engine, self.options.threads, &mut stats, None)?;
+        let mut states = self.eval_phase1(
+            &plan,
+            &engine,
+            self.options.threads,
+            &mut stats,
+            None,
+            Instant::now(),
+        )?;
         let idx = plan.vars.iter().position(|vp| vp.var == q.projected_var()).unwrap_or(0);
         let VarState { regions, exact } = states.swap_remove(idx);
         stats.eval.absorb(&engine.stats());
@@ -1026,6 +1040,7 @@ impl FileDatabase {
         threads: usize,
         stats: &mut RunStats,
         shard_tr: Option<&mut Vec<ShardTrace>>,
+        origin: Instant,
     ) -> Result<Vec<VarState>, QueryError> {
         if threads > 1
             && self.corpus.files().len() > 1
@@ -1033,7 +1048,7 @@ impl FileDatabase {
         {
             let spans = self.corpus.shard_spans(threads);
             if spans.len() > 1 {
-                return self.eval_phase1_sharded(plan, &spans, stats, shard_tr);
+                return self.eval_phase1_sharded(plan, &spans, stats, shard_tr, origin);
             }
         }
         let mut states: Vec<VarState> = Vec::new();
@@ -1058,20 +1073,23 @@ impl FileDatabase {
         spans: &[Span],
         stats: &mut RunStats,
         mut shard_tr: Option<&mut Vec<ShardTrace>>,
+        origin: Instant,
     ) -> Result<Vec<VarState>, QueryError> {
         let traced = shard_tr.is_some();
         type ShardOut =
-            Result<(Vec<(RegionSet, bool)>, EvalStats, u64, u64, Vec<OpTrace>), QueryError>;
+            Result<(Vec<(RegionSet, bool)>, EvalStats, u64, u64, u64, Vec<OpTrace>), QueryError>;
         let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = spans
                 .iter()
                 .map(|span| {
                     scope.spawn(move || -> ShardOut {
-                        let shard_started = Instant::now();
+                        let shard_start = elapsed_nanos(origin);
                         // Each worker owns its sink (TraceSink is
-                        // single-threaded by design); the traces merge in
-                        // span order below.
-                        let sink = TraceSink::new();
+                        // single-threaded by design) but all sinks share
+                        // the executor's origin, so every span of the
+                        // query — main and sharded — lands on one
+                        // timeline; the traces merge in span order below.
+                        let sink = TraceSink::with_origin(origin);
                         let eng = self.shard_engine(span.clone());
                         let eng = if traced { eng.with_trace(&sink) } else { eng };
                         let mut content_bytes = 0u64;
@@ -1089,7 +1107,8 @@ impl FileDatabase {
                             per_var,
                             eval,
                             content_bytes,
-                            elapsed_nanos(shard_started),
+                            shard_start,
+                            elapsed_nanos(origin).saturating_sub(shard_start),
                             sink.take(),
                         ))
                     })
@@ -1100,11 +1119,11 @@ impl FileDatabase {
         let mut parts: Vec<Vec<RegionSet>> = vec![Vec::new(); plan.vars.len()];
         let mut exact = vec![true; plan.vars.len()];
         for (span, shard) in spans.iter().zip(shard_results) {
-            let (per_var, eval, content, nanos, ops) = shard?;
+            let (per_var, eval, content, start_nanos, nanos, ops) = shard?;
             stats.eval.absorb(&eval);
             stats.content_bytes += content;
             if let Some(tr) = shard_tr.as_deref_mut() {
-                tr.push(ShardTrace { start: span.start, end: span.end, nanos, ops });
+                tr.push(ShardTrace { start: span.start, end: span.end, start_nanos, nanos, ops });
             }
             for (i, (regions, x)) in per_var.into_iter().enumerate() {
                 parts[i].push(regions);
@@ -1134,7 +1153,12 @@ impl FileDatabase {
         tr: Option<&mut ExecTrace>,
     ) -> Result<QueryResult, QueryError> {
         let tracing = tr.is_some();
-        let sink = TraceSink::new();
+        // One monotonic origin for the whole execution: the main sink,
+        // every shard sink and every phase stamp offsets from it, so all
+        // spans of a query share a single timeline (what the Perfetto
+        // export relies on).
+        let exec_started = Instant::now();
+        let sink = TraceSink::with_origin(exec_started);
         let engine = self.engine();
         let engine = if tracing { engine.with_trace(&sink) } else { engine };
         let mut stats = RunStats::default();
@@ -1142,18 +1166,20 @@ impl FileDatabase {
         let mut shard_traces: Vec<ShardTrace> = Vec::new();
 
         // Phase 1: per-variable candidates through the index.
-        let phase_started = Instant::now();
+        let phase_started = elapsed_nanos(exec_started);
         let mut states = self.eval_phase1(
             plan,
             &engine,
             threads,
             &mut stats,
             if tracing { Some(&mut shard_traces) } else { None },
+            exec_started,
         )?;
         if tracing {
             phases.push(PhaseTrace {
                 name: "index-candidates".into(),
-                nanos: elapsed_nanos(phase_started),
+                start_nanos: phase_started,
+                nanos: elapsed_nanos(exec_started).saturating_sub(phase_started),
             });
         }
         // Phase-1 cardinalities, captured before the join prunes the
@@ -1161,7 +1187,7 @@ impl FileDatabase {
         let var_candidates: Vec<u64> = states.iter().map(|s| s.regions.len() as u64).collect();
 
         // Phase 2: cross-variable content join.
-        let phase_started = Instant::now();
+        let phase_started = elapsed_nanos(exec_started);
         let mut join_pairs: Option<Vec<(Region, Region)>> = None;
         let mut join_exact = true;
         if let Some(j) = &plan.join {
@@ -1201,7 +1227,8 @@ impl FileDatabase {
         if tracing {
             phases.push(PhaseTrace {
                 name: "content-join".into(),
-                nanos: elapsed_nanos(phase_started),
+                start_nanos: phase_started,
+                nanos: elapsed_nanos(exec_started).saturating_sub(phase_started),
             });
         }
 
@@ -1211,7 +1238,7 @@ impl FileDatabase {
             && plan.join.is_none() == join_pairs.is_none();
 
         // Phase 3: decide what must be parsed.
-        let phase_started = Instant::now();
+        let phase_started = elapsed_nanos(exec_started);
         let mut db = Database::new();
         let parser = Parser::new(&self.schema.grammar, self.corpus.text());
         // objects[var_index]: region -> built value
@@ -1292,12 +1319,13 @@ impl FileDatabase {
         if tracing {
             phases.push(PhaseTrace {
                 name: "parse-filter".into(),
-                nanos: elapsed_nanos(phase_started),
+                start_nanos: phase_started,
+                nanos: elapsed_nanos(exec_started).saturating_sub(phase_started),
             });
         }
 
         // Phase 4: projection.
-        let phase_started = Instant::now();
+        let phase_started = elapsed_nanos(exec_started);
         let result_regions = states[proj_idx].regions.clone();
         let mut values: Vec<Value> = Vec::new();
         match &plan.projection {
@@ -1339,7 +1367,8 @@ impl FileDatabase {
         if tracing {
             phases.push(PhaseTrace {
                 name: "projection".into(),
-                nanos: elapsed_nanos(phase_started),
+                start_nanos: phase_started,
+                nanos: elapsed_nanos(exec_started).saturating_sub(phase_started),
             });
         }
 
@@ -1360,6 +1389,16 @@ impl FileDatabase {
 /// Monotonic elapsed time in nanoseconds, saturating at `u64::MAX`.
 fn elapsed_nanos(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Renumbers a span forest pre-order, continuing from `next` — used to
+/// replace the per-sink span ids with ids unique across a whole query.
+fn renumber_spans(ops: &mut [OpTrace], next: &mut u64) {
+    for op in ops {
+        op.span_id = *next;
+        *next += 1;
+        renumber_spans(&mut op.children, next);
+    }
 }
 
 /// Position of a join variable among the plan's range variables.
@@ -1659,6 +1698,123 @@ mod tests {
         let errs = metrics.snapshot();
         assert_eq!(errs.queries, 3);
         assert_eq!(errs.query_errors, 1);
+    }
+
+    #[test]
+    fn assembled_traces_satisfy_span_invariants() {
+        // Deterministic mirror of crates/proptests/tests/property_spans.rs
+        // (the property suite needs network to build): children nest in
+        // parents, siblings are sequential, span ids are a pre-order
+        // renumbering, phases tile the window, spans fit in total_nanos.
+        fn check_nesting(ops: &[OpTrace]) {
+            for op in ops {
+                let end = op.start_nanos + op.nanos;
+                for child in &op.children {
+                    assert!(child.start_nanos >= op.start_nanos, "child precedes parent");
+                    assert!(child.start_nanos + child.nanos <= end, "child escapes parent");
+                }
+                for pair in op.children.windows(2) {
+                    assert!(
+                        pair[0].start_nanos + pair[0].nanos <= pair[1].start_nanos,
+                        "sibling spans overlap"
+                    );
+                }
+                check_nesting(&op.children);
+            }
+        }
+        fn collect_ids(ops: &[OpTrace], out: &mut Vec<u64>) {
+            for op in ops {
+                out.push(op.span_id);
+                collect_ids(&op.children, out);
+            }
+        }
+        fn check(trace: &QueryTrace) {
+            check_nesting(&trace.ops);
+            for shard in &trace.shards {
+                check_nesting(&shard.ops);
+                let end = shard.start_nanos + shard.nanos;
+                for op in &shard.ops {
+                    assert!(op.start_nanos >= shard.start_nanos, "shard op precedes shard");
+                    assert!(op.start_nanos + op.nanos <= end, "shard op escapes shard");
+                }
+            }
+            let mut ids = Vec::new();
+            collect_ids(&trace.ops, &mut ids);
+            for shard in &trace.shards {
+                collect_ids(&shard.ops, &mut ids);
+            }
+            let expect: Vec<u64> = (1..=ids.len() as u64).collect();
+            assert_eq!(ids, expect, "span ids are a pre-order renumbering");
+            for pair in trace.phases.windows(2) {
+                assert!(pair[0].start_nanos + pair[0].nanos <= pair[1].start_nanos);
+            }
+            let phase_sum: u64 = trace.phases.iter().map(|p| p.nanos).sum();
+            assert!(phase_sum <= trace.total_nanos, "phase sum exceeds total");
+            fn max_end(ops: &[OpTrace]) -> u64 {
+                ops.iter()
+                    .map(|op| (op.start_nanos + op.nanos).max(max_end(&op.children)))
+                    .max()
+                    .unwrap_or(0)
+            }
+            let spans_end = max_end(&trace.ops)
+                .max(trace.shards.iter().map(|s| s.start_nanos + s.nanos).max().unwrap_or(0));
+            assert!(spans_end <= trace.total_nanos, "span end exceeds total");
+        }
+        for threads in [1usize, 4] {
+            let corpus = multi_file_corpus(4, 10);
+            let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+                .unwrap()
+                .with_exec_options(ExecOptions { threads, cache: threads == 1 });
+            for q in QUERIES {
+                let (_, trace) = db.query_traced(q).unwrap();
+                check(&trace);
+                if threads > 1 && !trace.shards.is_empty() {
+                    assert!(!trace.shards[0].ops.is_empty(), "shards trace their operators");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_hit_records_each_counter_exactly_once() {
+        // Audit pin: the plan-cache-hit path shares most of the miss path's
+        // bookkeeping, so any counter recorded on both branches would show
+        // up here as a doubled value.
+        fn computed_ops(ops: &[OpTrace], n: &mut u64) {
+            for op in ops {
+                if op.source == qof_pat::CacheSource::Computed {
+                    *n += 1;
+                }
+                computed_ops(&op.children, n);
+            }
+        }
+        let corpus = multi_file_corpus(2, 10);
+        let metrics = MetricsRegistry::shared();
+        let db = FileDatabase::build(corpus, bibtex::schema(), IndexSpec::full())
+            .unwrap()
+            .with_exec_options(ExecOptions { threads: 1, cache: true })
+            .with_metrics(std::sync::Arc::clone(&metrics));
+        let (_, miss) = db.query_traced(QUERIES[0]).unwrap();
+        let (_, hit) = db.query_traced(QUERIES[0]).unwrap();
+        assert_eq!((miss.plan_cache_misses, miss.plan_cache_hits), (1, 0));
+        assert_eq!((hit.plan_cache_misses, hit.plan_cache_hits), (0, 1));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.query_errors, 0);
+        assert_eq!(snap.query_latency.count(), 2);
+        assert_eq!(snap.plan_cache_misses, 1, "exactly one miss recorded");
+        assert_eq!(snap.plan_cache_hits, 1, "exactly one hit recorded");
+        assert_eq!(snap.cache_hits, miss.cache_hits + hit.cache_hits);
+        assert_eq!(snap.cache_misses, miss.cache_misses + hit.cache_misses);
+        let mut expect = 0;
+        for t in [&miss, &hit] {
+            computed_ops(&t.ops, &mut expect);
+            for shard in &t.shards {
+                computed_ops(&shard.ops, &mut expect);
+            }
+        }
+        let recorded: u64 = snap.op_latency.values().map(qof_pat::Histogram::count).sum();
+        assert_eq!(recorded, expect, "one op_latency sample per computed operator");
     }
 
     #[test]

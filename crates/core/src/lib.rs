@@ -40,6 +40,7 @@ mod cost;
 mod exec;
 mod incl;
 mod optimizer;
+pub mod perfetto;
 mod plan;
 pub mod qofx;
 mod query;
@@ -65,6 +66,7 @@ pub use incl::{ChainOp, Direction, InclusionExpr, SelectKind};
 pub use optimizer::{
     is_trivially_empty, normal_forms, optimize, optimize_costed, Optimized, Rewrite, RewriteKind,
 };
+pub use perfetto::{trace_to_perfetto, traces_to_perfetto};
 pub use plan::{Exactness, InexactHop, InexactReason, Plan, PlanError, PlanRewrite, Planner};
 pub use qofx::{inspect_qofx, QofxError, QofxSummary, QOFX_MAGIC, QOFX_VERSION};
 pub use query::{parse_query, Cond, Projection, QPath, QStep, Query, QueryParseError, RightHand};

@@ -12,6 +12,7 @@
 
 use std::fmt::Write as _;
 
+use qof_pat::json::{get_arr, get_bool, get_str, get_str_arr, get_u64, opt_u64, Json};
 use qof_pat::{CacheSource, OpTrace};
 use qof_text::Pos;
 
@@ -27,9 +28,14 @@ use crate::plan::PlanRewrite;
 /// (the certifier's verdict). v4 added the cost model: `estimates`
 /// (per-variable estimated-vs-actual candidate cardinalities,
 /// [`CardEstimate`]) and the `plan_cache_hits`/`plan_cache_misses` pair
-/// recording how much planning work this run reused. All earlier fields
-/// are unchanged.
-pub const TRACE_SCHEMA_VERSION: u64 = 4;
+/// recording how much planning work this run reused. v5 made the trace a
+/// true span tree: every op node carries `span_id` (unique in the trace)
+/// and `start_nanos` (its start offset on the query's shared monotonic
+/// timeline), and phases and shards carry `start_nanos` too — enough to
+/// export the run as Chrome `trace_event` JSON
+/// ([`trace_to_perfetto`](crate::perfetto::trace_to_perfetto)). All
+/// earlier fields are unchanged.
+pub const TRACE_SCHEMA_VERSION: u64 = 5;
 
 /// The abstract interpreter's verdict on one plan node (trace schema v3):
 /// a static domain, a cardinality interval and an emptiness fact, as
@@ -80,6 +86,10 @@ pub struct PhaseTrace {
     /// Phase name (`index-candidates`, `content-join`, `parse-filter`,
     /// `projection`).
     pub name: String,
+    /// Start offset on the query's timeline, nanoseconds since execution
+    /// began (schema v5). Phases are timed back-to-back against one
+    /// clock, so each phase ends no later than the next one starts.
+    pub start_nanos: u64,
     /// Inclusive wall time, nanoseconds.
     pub nanos: u64,
 }
@@ -91,6 +101,11 @@ pub struct ShardTrace {
     pub start: Pos,
     /// End of the shard's corpus span.
     pub end: Pos,
+    /// Start offset of the shard's work on the query's timeline,
+    /// nanoseconds since execution began (schema v5). The shard's op
+    /// spans carry offsets on the same timeline — every sink of one query
+    /// shares the executor's origin instant.
+    pub start_nanos: u64,
     /// The shard worker's wall time, nanoseconds.
     pub nanos: u64,
     /// Operator trace recorded by the shard's scoped engine.
@@ -353,7 +368,13 @@ impl QueryTrace {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(s, "{{\"name\":\"{}\",\"nanos\":{}}}", esc(&ph.name), ph.nanos);
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"start_nanos\":{},\"nanos\":{}}}",
+                esc(&ph.name),
+                ph.start_nanos,
+                ph.nanos
+            );
         }
         s.push_str("],\"shards\":[");
         for (i, sh) in self.shards.iter().enumerate() {
@@ -362,8 +383,8 @@ impl QueryTrace {
             }
             let _ = write!(
                 s,
-                "{{\"start\":{},\"end\":{},\"nanos\":{},\"ops\":",
-                sh.start, sh.end, sh.nanos
+                "{{\"start\":{},\"end\":{},\"start_nanos\":{},\"nanos\":{},\"ops\":",
+                sh.start, sh.end, sh.start_nanos, sh.nanos
             );
             ops_to_json(&sh.ops, &mut s);
             s.push('}');
@@ -439,7 +460,11 @@ impl QueryTrace {
             .iter()
             .map(|v| {
                 let o = v.as_obj().ok_or("phase is not an object")?;
-                Ok(PhaseTrace { name: get_str(o, "name")?, nanos: get_u64(o, "nanos")? })
+                Ok(PhaseTrace {
+                    name: get_str(o, "name")?,
+                    start_nanos: get_u64(o, "start_nanos")?,
+                    nanos: get_u64(o, "nanos")?,
+                })
             })
             .collect::<Result<Vec<_>, String>>()?;
         let shards = get_arr(obj, "shards")?
@@ -449,6 +474,7 @@ impl QueryTrace {
                 Ok(ShardTrace {
                     start: pos_from(get_u64(o, "start")?)?,
                     end: pos_from(get_u64(o, "end")?)?,
+                    start_nanos: get_u64(o, "start_nanos")?,
                     nanos: get_u64(o, "nanos")?,
                     ops: ops_from_json(get_arr(o, "ops")?)?,
                 })
@@ -557,12 +583,15 @@ fn ops_to_json(ops: &[OpTrace], s: &mut String) {
         }
         let _ = write!(
             s,
-            "{{\"op\":\"{}\",\"detail\":\"{}\",\"input\":{},\"output\":{},\"nanos\":{},\
-             \"bytes\":{},\"probes\":{},\"source\":\"{}\",\"children\":",
+            "{{\"span_id\":{},\"op\":\"{}\",\"detail\":\"{}\",\"input\":{},\"output\":{},\
+             \"start_nanos\":{},\"nanos\":{},\"bytes\":{},\"probes\":{},\"source\":\"{}\",\
+             \"children\":",
+            op.span_id,
             esc(&op.op),
             esc(&op.detail),
             op.input,
             op.output,
+            op.start_nanos,
             op.nanos,
             op.bytes,
             op.probes,
@@ -580,6 +609,8 @@ fn ops_from_json(arr: &[Json]) -> Result<Vec<OpTrace>, String> {
             let o = v.as_obj().ok_or("op node is not an object")?;
             let source_label = get_str(o, "source")?;
             Ok(OpTrace {
+                span_id: get_u64(o, "span_id")?,
+                start_nanos: get_u64(o, "start_nanos")?,
                 op: get_str(o, "op")?,
                 detail: get_str(o, "detail")?,
                 input: usize_from(get_u64(o, "input")?)?,
@@ -595,251 +626,8 @@ fn ops_from_json(arr: &[Json]) -> Result<Vec<OpTrace>, String> {
         .collect()
 }
 
-// ---------------------------------------------------------------------------
-// A minimal JSON reader — just enough to round-trip our own writer's output
-// (objects, arrays, strings with escapes, unsigned integers, booleans).
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Str(String),
-    Num(u64),
-    Bool(bool),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let chars: Vec<char> = text.chars().collect();
-        let mut p = Parser { chars, i: 0 };
-        let v = p.value()?;
-        p.ws();
-        if p.i != p.chars.len() {
-            return Err(format!("trailing content at offset {}", p.i));
-        }
-        Ok(v)
-    }
-
-    fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(fields) => Some(fields),
-            _ => None,
-        }
-    }
-}
-
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
-    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| format!("missing key `{key}`"))
-}
-
-fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
-    match get(obj, key)? {
-        Json::Str(s) => Ok(s.clone()),
-        _ => Err(format!("key `{key}` is not a string")),
-    }
-}
-
-fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
-    match get(obj, key)? {
-        Json::Num(n) => Ok(*n),
-        _ => Err(format!("key `{key}` is not a number")),
-    }
-}
-
-fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
-    match get(obj, key)? {
-        Json::Bool(b) => Ok(*b),
-        _ => Err(format!("key `{key}` is not a boolean")),
-    }
-}
-
-fn get_arr<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a [Json], String> {
-    match get(obj, key)? {
-        Json::Arr(items) => Ok(items),
-        _ => Err(format!("key `{key}` is not an array")),
-    }
-}
-
-/// Optional unsigned field: `Ok(None)` when the key is absent (the writer
-/// omits unbounded `card_hi` — the reader has no `null`).
-fn opt_u64(obj: &[(String, Json)], key: &str) -> Result<Option<u64>, String> {
-    match obj.iter().find(|(k, _)| k == key) {
-        None => Ok(None),
-        Some((_, Json::Num(n))) => Ok(Some(*n)),
-        Some(_) => Err(format!("key `{key}` is not a number")),
-    }
-}
-
-fn get_str_arr(obj: &[(String, Json)], key: &str) -> Result<Vec<String>, String> {
-    get_arr(obj, key)?
-        .iter()
-        .map(|v| match v {
-            Json::Str(s) => Ok(s.clone()),
-            _ => Err(format!("key `{key}` holds a non-string element")),
-        })
-        .collect()
-}
-
-struct Parser {
-    chars: Vec<char>,
-    i: usize,
-}
-
-impl Parser {
-    fn ws(&mut self) {
-        while self.i < self.chars.len() && self.chars[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<char> {
-        self.chars.get(self.i).copied()
-    }
-
-    fn expect(&mut self, c: char) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{c}` at offset {}", self.i))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.ws();
-        match self.peek() {
-            Some('{') => self.object(),
-            Some('[') => self.array(),
-            Some('"') => Ok(Json::Str(self.string()?)),
-            Some('t') => self.literal("true", Json::Bool(true)),
-            Some('f') => self.literal("false", Json::Bool(false)),
-            Some(c) if c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected {other:?} at offset {}", self.i)),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        for c in word.chars() {
-            self.expect(c)?;
-        }
-        Ok(value)
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let mut n: u64 = 0;
-        let start = self.i;
-        while let Some(c) = self.peek() {
-            let Some(d) = c.to_digit(10) else { break };
-            n = n
-                .checked_mul(10)
-                .and_then(|n| n.checked_add(u64::from(d)))
-                .ok_or_else(|| format!("number overflow at offset {start}"))?;
-            self.i += 1;
-        }
-        if self.i == start {
-            return Err(format!("expected a digit at offset {start}"));
-        }
-        Ok(Json::Num(n))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some('"') => {
-                    self.i += 1;
-                    return Ok(out);
-                }
-                Some('\\') => {
-                    self.i += 1;
-                    match self.peek() {
-                        Some('"') => out.push('"'),
-                        Some('\\') => out.push('\\'),
-                        Some('/') => out.push('/'),
-                        Some('n') => out.push('\n'),
-                        Some('r') => out.push('\r'),
-                        Some('t') => out.push('\t'),
-                        Some('b') => out.push('\u{8}'),
-                        Some('f') => out.push('\u{c}'),
-                        Some('u') => {
-                            let hex: String = self
-                                .chars
-                                .get(self.i + 1..self.i + 5)
-                                .unwrap_or(&[])
-                                .iter()
-                                .collect();
-                            let code = u32::from_str_radix(&hex, 16)
-                                .map_err(|_| format!("bad \\u escape at offset {}", self.i))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| format!("bad code point U+{code:04X}"))?,
-                            );
-                            self.i += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.i += 1;
-                }
-                Some(c) => {
-                    out.push(c);
-                    self.i += 1;
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
-        let mut items = Vec::new();
-        self.ws();
-        if self.peek() == Some(']') {
-            self.i += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.ws();
-            match self.peek() {
-                Some(',') => self.i += 1,
-                Some(']') => {
-                    self.i += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected `,` or `]`, found {other:?}")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
-        let mut fields = Vec::new();
-        self.ws();
-        if self.peek() == Some('}') {
-            self.i += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.ws();
-            let key = self.string()?;
-            self.ws();
-            self.expect(':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.ws();
-            match self.peek() {
-                Some(',') => self.i += 1,
-                Some('}') => {
-                    self.i += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
-            }
-        }
-    }
-}
+// The JSON reader lives in `qof_pat::json` (shared with `qof top` and the
+// bench harness); this module only keeps the writer above.
 
 #[cfg(test)]
 mod tests {
@@ -847,26 +635,28 @@ mod tests {
 
     fn sample() -> QueryTrace {
         let leaf = OpTrace {
+            span_id: 2,
+            start_nanos: 110,
             op: "name".into(),
             detail: "Reference".into(),
-            input: 0,
             output: 2,
             nanos: 120,
-            bytes: 0,
-            probes: 0,
-            source: CacheSource::Computed,
-            children: Vec::new(),
+            ..OpTrace::default()
         };
         let root = OpTrace {
+            span_id: 1,
+            start_nanos: 100,
             op: "⊃".into(),
-            detail: String::new(),
             input: 3,
             output: 1,
             nanos: 900,
             bytes: 15,
             probes: 1,
-            source: CacheSource::Computed,
-            children: vec![leaf.clone(), OpTrace { source: CacheSource::LocalMemo, ..leaf }],
+            children: vec![
+                leaf.clone(),
+                OpTrace { span_id: 3, start_nanos: 240, source: CacheSource::LocalMemo, ..leaf },
+            ],
+            ..OpTrace::default()
         };
         QueryTrace {
             id: 7,
@@ -903,10 +693,16 @@ mod tests {
                 CardEstimate { var: "s".into(), est_lo: 0, est_hi: None, observed: 3 },
             ],
             phases: vec![
-                PhaseTrace { name: "index-candidates".into(), nanos: 1_500 },
-                PhaseTrace { name: "projection".into(), nanos: 2_000_000 },
+                PhaseTrace { name: "index-candidates".into(), start_nanos: 0, nanos: 1_500 },
+                PhaseTrace { name: "projection".into(), start_nanos: 1_500, nanos: 2_000_000 },
             ],
-            shards: vec![ShardTrace { start: 0, end: 512, nanos: 700, ops: vec![root.clone()] }],
+            shards: vec![ShardTrace {
+                start: 0,
+                end: 512,
+                start_nanos: 40,
+                nanos: 700,
+                ops: vec![root.clone()],
+            }],
             ops: vec![root],
             cache_hits: 3,
             cache_misses: 1,
@@ -931,7 +727,7 @@ mod tests {
 
     #[test]
     fn from_json_rejects_bad_versions_and_garbage() {
-        let json = sample().to_json().replace("\"schema_version\":4", "\"schema_version\":999");
+        let json = sample().to_json().replace("\"schema_version\":5", "\"schema_version\":999");
         assert!(QueryTrace::from_json(&json).unwrap_err().contains("schema version"));
         assert!(QueryTrace::from_json("{").is_err());
         assert!(QueryTrace::from_json("[]").is_err());

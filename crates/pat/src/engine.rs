@@ -248,13 +248,9 @@ impl<'a> Engine<'a> {
             sink.leaf(OpTrace {
                 op: op.to_owned(),
                 detail,
-                input: 0,
                 output: set.len(),
-                nanos: 0,
-                bytes: 0,
-                probes: 0,
                 source,
-                children: Vec::new(),
+                ..OpTrace::default()
             });
         };
         if self.share.get() {
@@ -276,10 +272,10 @@ impl<'a> Engine<'a> {
             let s = self.stats.borrow();
             (s.bytes_scanned, s.word_probes)
         };
+        // The sink stamps the span's start/duration and id itself
+        // (`enter`/`exit_with`), so the engine keeps no clock of its own.
         sink.enter();
-        let started = std::time::Instant::now();
         let result = self.eval_uncached(expr, cache);
-        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let (bytes1, probes1) = {
             let s = self.stats.borrow();
             (s.bytes_scanned, s.word_probes)
@@ -291,11 +287,11 @@ impl<'a> Engine<'a> {
             detail,
             input: children.iter().map(|c| c.output).sum(),
             output,
-            nanos,
             bytes: bytes1 - bytes0,
             probes: probes1 - probes0,
             source: CacheSource::Computed,
             children,
+            ..OpTrace::default()
         });
         let result = result?;
         if self.share.get() {

@@ -1,0 +1,311 @@
+//! Service-level objectives over the metrics history ring: declared
+//! latency/error targets (`--slo p95=50ms,err=0.1%`) evaluated as
+//! multi-window burn rates.
+//!
+//! The arithmetic follows the standard error-budget formulation. A `p95 ≤
+//! T` objective implicitly budgets 5% of requests to run slower than `T`;
+//! an `err ≤ B` objective budgets a `B` fraction of requests to fail. The
+//! *burn rate* of a window is the observed bad fraction divided by the
+//! budgeted fraction — 1.0 means the budget is being consumed exactly as
+//! fast as it accrues, 10 means ten times too fast. A single window is
+//! either too twitchy (short) or too slow to clear (long), so the
+//! evaluator checks two: an objective is **breached** only when both the
+//! short window (default 1 min) and the long window (default 5 min) burn
+//! at or above the threshold — fast enough to page on a real regression,
+//! self-clearing once the regression stops.
+
+use crate::history::MetricsHistory;
+
+/// Default short burn window, milliseconds (1 minute).
+pub const DEFAULT_SHORT_WINDOW_MS: u64 = 60_000;
+/// Default long burn window, milliseconds (5 minutes).
+pub const DEFAULT_LONG_WINDOW_MS: u64 = 300_000;
+/// Default burn-rate threshold: budget consumed exactly at accrual speed.
+pub const DEFAULT_BURN_THRESHOLD: f64 = 1.0;
+/// The tail fraction a p95 objective budgets for slow requests.
+pub const P95_BUDGET_FRACTION: f64 = 0.05;
+
+/// Parsed service-level objectives (`--slo p95=50ms,err=0.1%`). Either
+/// objective may be absent; windows and threshold carry defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Latency objective: p95 must stay at or under this many nanoseconds.
+    pub p95_nanos: Option<u64>,
+    /// Error objective: the failing fraction must stay at or under this
+    /// budget (0.001 = 0.1%).
+    pub error_budget: Option<f64>,
+    /// Short burn window, milliseconds.
+    pub short_window_ms: u64,
+    /// Long burn window, milliseconds.
+    pub long_window_ms: u64,
+    /// Burn rate at or above which a window counts as burning.
+    pub burn_threshold: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        Self {
+            p95_nanos: None,
+            error_budget: None,
+            short_window_ms: DEFAULT_SHORT_WINDOW_MS,
+            long_window_ms: DEFAULT_LONG_WINDOW_MS,
+            burn_threshold: DEFAULT_BURN_THRESHOLD,
+        }
+    }
+}
+
+impl SloSpec {
+    /// Parses the `--slo` flag syntax: comma-separated `key=value` pairs.
+    /// `p95` takes a duration (`50ms`, `1.5s`, `250us`, `80000ns`); `err`
+    /// takes a percentage (`0.1%`) or a bare fraction (`0.001`). Unknown
+    /// keys and malformed values are errors — an SLO silently dropped is
+    /// worse than none.
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        let mut spec = SloSpec::default();
+        let mut any = false;
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("`{part}`: expected key=value"))?;
+            match key.trim() {
+                "p95" => spec.p95_nanos = Some(parse_duration_nanos(value.trim())?),
+                "err" => spec.error_budget = Some(parse_fraction(value.trim())?),
+                other => {
+                    return Err(format!("unknown SLO key `{other}` (expected `p95` or `err`)"));
+                }
+            }
+            any = true;
+        }
+        if !any {
+            return Err("empty SLO spec (expected e.g. `p95=50ms,err=0.1%`)".into());
+        }
+        Ok(spec)
+    }
+
+    /// Human-readable restatement of the objectives, for logs and `qof
+    /// top` headers.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(nanos) = self.p95_nanos {
+            parts.push(format!("p95≤{}", fmt_duration(nanos)));
+        }
+        if let Some(budget) = self.error_budget {
+            parts.push(format!("err≤{}%", budget * 100.0));
+        }
+        parts.join(", ")
+    }
+
+    /// Evaluates both objectives over the history ring's short and long
+    /// trailing windows ending at `now_ms`.
+    pub fn evaluate(&self, history: &MetricsHistory, now_ms: u64) -> SloStatus {
+        let short = history.window(self.short_window_ms, now_ms);
+        let long = history.window(self.long_window_ms, now_ms);
+        let latency = self.p95_nanos.map(|threshold| {
+            let burn_short = short.slow_rate(threshold) / P95_BUDGET_FRACTION;
+            let burn_long = long.slow_rate(threshold) / P95_BUDGET_FRACTION;
+            ObjectiveStatus {
+                burn_short,
+                burn_long,
+                breached: short.queries > 0
+                    && burn_short >= self.burn_threshold
+                    && burn_long >= self.burn_threshold,
+            }
+        });
+        let error = self.error_budget.map(|budget| {
+            let budget = budget.max(f64::MIN_POSITIVE);
+            let burn_short = short.error_rate() / budget;
+            let burn_long = long.error_rate() / budget;
+            ObjectiveStatus {
+                burn_short,
+                burn_long,
+                breached: short.queries > 0
+                    && burn_short >= self.burn_threshold
+                    && burn_long >= self.burn_threshold,
+            }
+        });
+        SloStatus { latency, error }
+    }
+}
+
+/// Burn rates of one objective over the two windows, plus the combined
+/// verdict (both windows burning ⇒ breached).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ObjectiveStatus {
+    /// Burn rate over the short window.
+    pub burn_short: f64,
+    /// Burn rate over the long window.
+    pub burn_long: f64,
+    /// Whether both windows burn at or above the threshold (with actual
+    /// traffic in the short window — an idle server breaches nothing).
+    pub breached: bool,
+}
+
+/// The evaluated SLO state: one [`ObjectiveStatus`] per declared
+/// objective.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloStatus {
+    /// The latency (p95) objective, when declared.
+    pub latency: Option<ObjectiveStatus>,
+    /// The error-rate objective, when declared.
+    pub error: Option<ObjectiveStatus>,
+}
+
+impl SloStatus {
+    /// Whether any declared objective is breached.
+    pub fn breached(&self) -> bool {
+        self.latency.is_some_and(|o| o.breached) || self.error.is_some_and(|o| o.breached)
+    }
+
+    /// One-line summary for the query log's WARN line and `qof top`:
+    /// `latency burn 2.4/1.8 BREACH; error burn 0.0/0.0 ok`.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(o) = self.latency {
+            parts.push(format!(
+                "latency burn {:.1}/{:.1} {}",
+                o.burn_short,
+                o.burn_long,
+                if o.breached { "BREACH" } else { "ok" }
+            ));
+        }
+        if let Some(o) = self.error {
+            parts.push(format!(
+                "error burn {:.1}/{:.1} {}",
+                o.burn_short,
+                o.burn_long,
+                if o.breached { "BREACH" } else { "ok" }
+            ));
+        }
+        parts.join("; ")
+    }
+}
+
+/// `"50ms"` → nanoseconds. Accepts `ns`, `us`/`µs`, `ms`, `s`, decimals.
+fn parse_duration_nanos(text: &str) -> Result<u64, String> {
+    let (number, scale) = if let Some(n) = text.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = text.strip_suffix("µs") {
+        (n, 1e3)
+    } else if let Some(n) = text.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = text.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = text.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        return Err(format!("`{text}`: missing duration unit (ns/us/ms/s)"));
+    };
+    let value: f64 =
+        number.trim().parse().map_err(|_| format!("`{text}`: not a valid duration"))?;
+    if !value.is_finite() || value <= 0.0 {
+        return Err(format!("`{text}`: duration must be positive"));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok((value * scale) as u64)
+}
+
+/// `"0.1%"` or `"0.001"` → fraction in `(0, 1]`.
+fn parse_fraction(text: &str) -> Result<f64, String> {
+    let (number, scale) =
+        if let Some(n) = text.strip_suffix('%') { (n, 0.01) } else { (text, 1.0) };
+    let value: f64 = number.trim().parse().map_err(|_| format!("`{text}`: not a valid rate"))?;
+    let fraction = value * scale;
+    if !fraction.is_finite() || fraction <= 0.0 || fraction > 1.0 {
+        return Err(format!("`{text}`: error budget must be in (0%, 100%]"));
+    }
+    Ok(fraction)
+}
+
+/// Nanoseconds → the shortest unambiguous unit, for `describe`.
+#[allow(clippy::cast_precision_loss)]
+fn fmt_duration(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 && nanos.is_multiple_of(1_000_000_000) {
+        format!("{}s", nanos / 1_000_000_000)
+    } else if nanos >= 1_000_000 {
+        format!("{}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn parses_the_flag_syntax() {
+        let spec = SloSpec::parse("p95=50ms,err=0.1%").unwrap();
+        assert_eq!(spec.p95_nanos, Some(50_000_000));
+        let budget = spec.error_budget.unwrap();
+        assert!((budget - 0.001).abs() < 1e-12, "{budget}");
+        assert_eq!(SloSpec::parse("p95=1.5s").unwrap().p95_nanos, Some(1_500_000_000));
+        assert_eq!(SloSpec::parse("p95=250us").unwrap().p95_nanos, Some(250_000));
+        assert!((SloSpec::parse("err=0.02").unwrap().error_budget.unwrap() - 0.02).abs() < 1e-12);
+        assert!(SloSpec::parse("p99=1ms").is_err());
+        assert!(SloSpec::parse("p95=50").is_err());
+        assert!(SloSpec::parse("err=150%").is_err());
+        assert!(SloSpec::parse("").is_err());
+        assert_eq!(SloSpec::parse("p95=50ms,err=0.1%").unwrap().describe(), "p95≤50ms, err≤0.1%");
+    }
+
+    #[test]
+    fn burn_rate_breaches_only_when_both_windows_burn() {
+        // Threshold at a bucket boundary (2^20 ns ≈ 1.05 ms) so count_over
+        // is exact: 1024µs-bucket samples are "fast", ≥2^20 are "slow".
+        let spec = SloSpec { p95_nanos: Some(1 << 20), ..SloSpec::default() };
+        let reg = MetricsRegistry::new();
+        // Long window: 4 minutes of all-fast traffic (60 queries).
+        for t in 1..=4u64 {
+            for _ in 0..15 {
+                reg.record_query(1_000, true);
+            }
+            reg.record_history_sample(t * 60_000);
+        }
+        let status = spec.evaluate(reg.history(), 240_000);
+        let lat = status.latency.unwrap();
+        assert!(!lat.breached, "{lat:?}");
+        assert!(lat.burn_short.abs() < 1e-9);
+        // Fifth minute: every query blows the latency target. The short
+        // window burns at 1/0.05 = 20×; the long window (15 slow of 75)
+        // at 0.2/0.05 = 4×. Both over threshold ⇒ breach.
+        for _ in 0..15 {
+            reg.record_query(1 << 21, true);
+        }
+        reg.record_history_sample(300_000);
+        let status = spec.evaluate(reg.history(), 300_000);
+        let lat = status.latency.unwrap();
+        assert!((lat.burn_short - 20.0).abs() < 1e-9, "{lat:?}");
+        assert!((lat.burn_long - 4.0).abs() < 1e-9, "{lat:?}");
+        assert!(lat.breached);
+        assert!(status.breached());
+        assert!(status.summary().contains("latency burn 20.0/4.0 BREACH"));
+    }
+
+    #[test]
+    fn error_objective_and_idle_windows() {
+        let spec = SloSpec::parse("err=10%").unwrap();
+        let reg = MetricsRegistry::new();
+        // Idle: no traffic, no breach, burn 0.
+        reg.record_history_sample(1_000);
+        let status = spec.evaluate(reg.history(), 1_000);
+        let err = status.error.unwrap();
+        assert!(!err.breached);
+        assert!(err.burn_short.abs() < 1e-9);
+        // 50% errors against a 10% budget: burn 5× in both windows.
+        for i in 0..10 {
+            reg.record_query(1_000, i % 2 == 0);
+        }
+        reg.record_history_sample(2_000);
+        let status = spec.evaluate(reg.history(), 2_000);
+        let err = status.error.unwrap();
+        assert!((err.burn_short - 5.0).abs() < 1e-9, "{err:?}");
+        assert!(err.breached);
+        assert!(status.latency.is_none());
+    }
+}

@@ -18,10 +18,11 @@
 //!
 //! [`Engine::with_trace`]: crate::Engine::with_trace
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Where a traced node's result came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +60,16 @@ impl CacheSource {
 /// cost, in tree position (children are the operand evaluations).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpTrace {
+    /// Span id, unique within one trace. The sink assigns ids in `enter`
+    /// order starting from 1; when a query trace is assembled from several
+    /// sinks (main engine + shards) the assembler renumbers them so the
+    /// whole trace stays collision-free. 0 means "never stamped".
+    pub span_id: u64,
+    /// Start of this span on the sink's monotonic timeline: nanoseconds
+    /// since the sink's origin instant. Spans recorded by sinks sharing an
+    /// origin (the executor hands one to every shard) are directly
+    /// comparable.
+    pub start_nanos: u64,
     /// Operator label: the algebra symbol (`⊃`, `σ`, `∪`, …) or the leaf
     /// kind (`name`, `word`, `prefix`), matching the keys of
     /// [`EvalStats::op_counts`](crate::EvalStats).
@@ -82,10 +93,33 @@ pub struct OpTrace {
     pub children: Vec<OpTrace>,
 }
 
+impl Default for OpTrace {
+    fn default() -> Self {
+        Self {
+            span_id: 0,
+            start_nanos: 0,
+            op: String::new(),
+            detail: String::new(),
+            input: 0,
+            output: 0,
+            nanos: 0,
+            bytes: 0,
+            probes: 0,
+            source: CacheSource::Computed,
+            children: Vec::new(),
+        }
+    }
+}
+
 impl OpTrace {
     /// Wall time spent in this node exclusive of its children.
     pub fn self_nanos(&self) -> u64 {
         self.nanos.saturating_sub(self.children.iter().map(|c| c.nanos).sum())
+    }
+
+    /// End of this span on its sink's timeline (`start_nanos + nanos`).
+    pub fn end_nanos(&self) -> u64 {
+        self.start_nanos.saturating_add(self.nanos)
     }
 
     /// Total nodes in this subtree (itself included).
@@ -102,56 +136,118 @@ impl OpTrace {
     }
 }
 
-/// Collects an operator trace during one or more engine evaluations.
+/// Collects a hierarchical span tree during one or more engine
+/// evaluations.
 ///
 /// The sink keeps a stack of open frames mirroring the evaluator's
-/// recursion; [`TraceSink::enter`] opens a frame, [`TraceSink::exit`]
+/// recursion; [`TraceSink::enter`] opens a span (stamping its start on the
+/// sink's monotonic timeline and assigning its id), [`TraceSink::exit`]
 /// closes it and files the finished node under its parent. Completed
 /// top-level evaluations accumulate as roots until [`TraceSink::take`].
 ///
-/// The sink is single-threaded by design (the engine itself is); shard
-/// workers each attach their own sink and the shard traces are merged by
-/// the caller.
-#[derive(Debug, Default)]
+/// The sink — not the caller — is authoritative for timing: `enter` stamps
+/// `start_nanos`, `exit`/`exit_with` stamp the duration from the matching
+/// `enter`. Because the engine is single-threaded per sink, this makes the
+/// span-tree invariants true *by construction*: every child interval nests
+/// within its parent and sibling spans never overlap. Shard workers each
+/// attach their own sink; handing every sink the same origin instant
+/// ([`TraceSink::with_origin`]) puts all spans on one shared timeline.
+#[derive(Debug)]
 pub struct TraceSink {
     frames: RefCell<Vec<Vec<OpTrace>>>,
+    /// Open spans as `(span_id, start_nanos)`, parallel to the frames
+    /// opened by `enter`.
+    open: RefCell<Vec<(u64, u64)>>,
+    next_id: Cell<u64>,
+    origin: Instant,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TraceSink {
-    /// An empty sink.
+    /// An empty sink whose timeline starts now.
     pub fn new() -> Self {
-        Self { frames: RefCell::new(vec![Vec::new()]) }
+        Self::with_origin(Instant::now())
     }
 
-    /// Opens a span for an operator application about to run.
+    /// An empty sink stamping spans relative to `origin` — the executor
+    /// hands one origin to the main engine's sink and every shard's sink
+    /// so all spans of one query share a timeline.
+    pub fn with_origin(origin: Instant) -> Self {
+        Self {
+            frames: RefCell::new(vec![Vec::new()]),
+            open: RefCell::new(Vec::new()),
+            next_id: Cell::new(1),
+            origin,
+        }
+    }
+
+    /// Nanoseconds elapsed on this sink's timeline.
+    pub fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn fresh_id(&self) -> u64 {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        id
+    }
+
+    /// Opens a span for an operator application about to run: stamps its
+    /// start time and assigns its id.
     pub fn enter(&self) {
         self.frames.borrow_mut().push(Vec::new());
+        let id = self.fresh_id();
+        self.open.borrow_mut().push((id, self.now_nanos()));
     }
 
     /// Closes the innermost span: the finished node adopts the children
-    /// recorded inside the span and is filed under the enclosing span (or
+    /// recorded inside the span, receives the sink's id and interval for
+    /// the span (overriding whatever the caller put in `span_id` /
+    /// `start_nanos` / `nanos`), and is filed under the enclosing span (or
     /// as a root).
     pub fn exit(&self, mut node: OpTrace) {
-        let mut frames = self.frames.borrow_mut();
-        node.children = frames.pop().unwrap_or_default();
-        match frames.last_mut() {
-            Some(parent) => parent.push(node),
-            None => {
-                // Unbalanced exit; refile as a root rather than losing it.
-                frames.push(vec![node]);
-            }
-        }
+        node.children = self.frames.borrow_mut().pop().unwrap_or_default();
+        self.stamp(&mut node);
+        self.file(node);
     }
 
     /// Like [`TraceSink::exit`], but the caller builds the node *from* the
     /// recorded children (e.g. to derive the input cardinality as the sum
-    /// of child outputs before filing).
+    /// of child outputs before filing). Timing fields the builder sets are
+    /// overridden by the sink's stamps.
     pub fn exit_with(&self, build: impl FnOnce(Vec<OpTrace>) -> OpTrace) {
-        let children = {
-            let mut frames = self.frames.borrow_mut();
-            frames.pop().unwrap_or_default()
-        };
-        let node = build(children);
+        let children = self.frames.borrow_mut().pop().unwrap_or_default();
+        let mut node = build(children);
+        self.stamp(&mut node);
+        self.file(node);
+    }
+
+    /// Records a childless node (a cache hit or a leaf observed whole):
+    /// assigns an id and stamps its start at the current instant, keeping
+    /// the caller's duration (cache hits record 0 — a zero-width span).
+    pub fn leaf(&self, mut node: OpTrace) {
+        node.span_id = self.fresh_id();
+        node.start_nanos = self.now_nanos();
+        self.file(node);
+    }
+
+    /// Fills the timing fields of a node closing the innermost open span.
+    fn stamp(&self, node: &mut OpTrace) {
+        let end = self.now_nanos();
+        // An unbalanced exit (no matching `enter`) still gets a fresh id
+        // and a zero-width interval rather than being lost.
+        let (id, start) = self.open.borrow_mut().pop().unwrap_or_else(|| (self.fresh_id(), end));
+        node.span_id = id;
+        node.start_nanos = start;
+        node.nanos = end.saturating_sub(start);
+    }
+
+    fn file(&self, node: OpTrace) {
         let mut frames = self.frames.borrow_mut();
         match frames.last_mut() {
             Some(parent) => parent.push(node),
@@ -159,20 +255,13 @@ impl TraceSink {
         }
     }
 
-    /// Records a childless node (a cache hit or a leaf observed whole).
-    pub fn leaf(&self, node: OpTrace) {
-        let mut frames = self.frames.borrow_mut();
-        match frames.last_mut() {
-            Some(parent) => parent.push(node),
-            None => frames.push(vec![node]),
-        }
-    }
-
-    /// Takes the completed root nodes, leaving the sink empty and reusable.
+    /// Takes the completed root nodes, leaving the sink empty and reusable
+    /// (the timeline origin and id sequence carry on).
     pub fn take(&self) -> Vec<OpTrace> {
         let mut frames = self.frames.borrow_mut();
         let roots = if frames.is_empty() { Vec::new() } else { std::mem::take(&mut frames[0]) };
         *frames = vec![Vec::new()];
+        self.open.borrow_mut().clear();
         roots
     }
 }
@@ -253,6 +342,35 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// The bucket-wise difference `self − earlier` — the histogram of just
+    /// the samples recorded since `earlier` was snapshotted (the history
+    /// ring's delta encoding). Saturating, so a reset between snapshots
+    /// degrades to a partial delta instead of underflowing.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (a, b)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            out.buckets[i] = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
+    /// Samples recorded above `threshold_nanos`, bucket-granular: a sample
+    /// counts once its entire bucket lies at or above the threshold, so
+    /// the answer is exact when the threshold is a bucket boundary (a
+    /// power of two) and within one bucket (2×) otherwise — the same
+    /// resolution as [`Histogram::quantile`]. The SLO burn-rate evaluator
+    /// uses this to count latency-budget violations.
+    pub fn count_over(&self, threshold_nanos: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| (1u64 << i) >= threshold_nanos)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
     /// The raw per-bucket sample counts (not cumulative), bucket `i`
     /// covering `[2^i, 2^(i+1))` nanoseconds and the last bucket open-ended.
     pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
@@ -312,6 +430,7 @@ pub struct MetricsRegistry {
     op_latency: Mutex<BTreeMap<String, Histogram>>,
     index_bytes: Mutex<BTreeMap<String, u64>>,
     corpus_bytes: AtomicU64,
+    history: crate::history::MetricsHistory,
 }
 
 /// A point-in-time copy of a [`MetricsRegistry`]: counters plus the *full*
@@ -471,6 +590,19 @@ impl MetricsRegistry {
         }
     }
 
+    /// The registry's time-series history ring.
+    pub fn history(&self) -> &crate::history::MetricsHistory {
+        &self.history
+    }
+
+    /// Takes a snapshot and records its delta into the history ring,
+    /// stamped with the caller's wall clock (milliseconds since the Unix
+    /// epoch). Called once per interval by the server's snapshot ticker
+    /// or by `qof stats --history`; never on the query hot path.
+    pub fn record_history_sample(&self, ts_ms: u64) {
+        self.history.record(ts_ms, self.snapshot());
+    }
+
     /// A point-in-time copy of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -501,6 +633,7 @@ impl MetricsRegistry {
         self.op_latency.lock().expect("metrics lock poisoned").clear();
         self.index_bytes.lock().expect("metrics lock poisoned").clear();
         self.corpus_bytes.store(0, Ordering::Relaxed);
+        self.history.clear();
     }
 }
 
@@ -517,17 +650,7 @@ mod tests {
     use super::*;
 
     fn node(op: &str, nanos: u64) -> OpTrace {
-        OpTrace {
-            op: op.into(),
-            detail: String::new(),
-            input: 0,
-            output: 0,
-            nanos,
-            bytes: 0,
-            probes: 0,
-            source: CacheSource::Computed,
-            children: Vec::new(),
-        }
+        OpTrace { op: op.into(), nanos, ..OpTrace::default() }
     }
 
     #[test]
@@ -535,31 +658,78 @@ mod tests {
         let sink = TraceSink::new();
         sink.enter(); // ⊃
         sink.enter(); // name A
-        sink.exit(node("name A", 5));
+        sink.exit(node("name A", 0));
         sink.enter(); // name B
-        sink.exit(node("name B", 7));
-        sink.exit(node("⊃", 20));
+        sink.exit(node("name B", 0));
+        sink.exit(node("⊃", 0));
         let roots = sink.take();
         assert_eq!(roots.len(), 1);
         assert_eq!(roots[0].op, "⊃");
         assert_eq!(roots[0].children.len(), 2);
         assert_eq!(roots[0].children[0].op, "name A");
-        assert_eq!(roots[0].self_nanos(), 8);
         assert_eq!(roots[0].node_count(), 3);
         // The sink is reusable after take().
         sink.enter();
-        sink.exit(node("σ", 1));
+        sink.exit(node("σ", 0));
         assert_eq!(sink.take().len(), 1);
+    }
+
+    #[test]
+    fn sink_stamps_span_ids_and_nested_intervals() {
+        let sink = TraceSink::new();
+        sink.enter(); // ⊃ — span 1
+        sink.enter(); // name A — span 2
+        sink.exit(node("name A", 0));
+        sink.enter(); // name B — span 3
+        sink.exit(node("name B", 0));
+        sink.exit(node("⊃", 0));
+        let roots = sink.take();
+        let root = &roots[0];
+        assert_eq!(root.span_id, 1);
+        assert_eq!(root.children[0].span_id, 2);
+        assert_eq!(root.children[1].span_id, 3);
+        // Children nest within the parent interval …
+        for c in &root.children {
+            assert!(c.start_nanos >= root.start_nanos, "{c:?} starts before {root:?}");
+            assert!(c.end_nanos() <= root.end_nanos(), "{c:?} ends after {root:?}");
+        }
+        // … and siblings on one thread never overlap.
+        let (a, b) = (&root.children[0], &root.children[1]);
+        assert!(a.end_nanos() <= b.start_nanos, "siblings overlap: {a:?} vs {b:?}");
+        // Exclusive time is well-defined: the sink's stamps make the
+        // children's durations sum to no more than the parent's.
+        assert!(root.nanos >= a.nanos + b.nanos);
+        assert_eq!(root.self_nanos(), root.nanos - a.nanos - b.nanos);
+    }
+
+    #[test]
+    fn sinks_sharing_an_origin_share_a_timeline() {
+        let origin = Instant::now();
+        let first = TraceSink::with_origin(origin);
+        first.enter();
+        first.exit(node("σ", 0));
+        let second = TraceSink::with_origin(origin);
+        second.enter();
+        second.exit(node("∪", 0));
+        let a = first.take().pop().unwrap();
+        let b = second.take().pop().unwrap();
+        // The second sink was created after the first span closed, so its
+        // span starts no earlier on the shared timeline.
+        assert!(b.start_nanos >= a.start_nanos);
     }
 
     #[test]
     fn sink_collects_multiple_roots_and_leaves() {
         let sink = TraceSink::new();
         sink.enter();
-        sink.exit(node("∪", 3));
+        sink.exit(node("∪", 0));
         sink.leaf(node("memo-hit", 0));
         let roots = sink.take();
         assert_eq!(roots.len(), 2);
+        // Leaves get ids from the same sequence and a zero-width interval.
+        assert_eq!(roots[1].span_id, 2);
+        assert_eq!(roots[1].nanos, 0);
+        assert!(roots[1].start_nanos >= roots[0].end_nanos());
         assert!(sink.take().is_empty());
     }
 

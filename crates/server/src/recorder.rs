@@ -60,6 +60,33 @@ impl FlightRecorder {
         self.inner.lock().expect("recorder lock").recent.iter().map(|t| t.id).collect()
     }
 
+    /// Looks a retained trace up by query ID — the recent ring first, then
+    /// the slow ring (where a slow trace survives after scrolling out).
+    pub fn find(&self, id: u64) -> Option<QueryTrace> {
+        let rings = self.inner.lock().expect("recorder lock");
+        rings
+            .recent
+            .iter()
+            .find(|t| t.id == id)
+            .or_else(|| rings.slow.iter().find(|t| t.id == id))
+            .cloned()
+    }
+
+    /// Every retained trace, deduplicated across the two rings (a slow
+    /// trace sits in both while recent) and ordered by query ID — the
+    /// serve window the Perfetto export covers.
+    pub fn window(&self) -> Vec<QueryTrace> {
+        let rings = self.inner.lock().expect("recorder lock");
+        let mut out: Vec<QueryTrace> = Vec::with_capacity(rings.recent.len() + rings.slow.len());
+        for t in rings.recent.iter().chain(rings.slow.iter()) {
+            if !out.iter().any(|have| have.id == t.id) {
+                out.push(t.clone());
+            }
+        }
+        out.sort_by_key(|t| t.id);
+        out
+    }
+
     /// Number of traces in the recent ring.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("recorder lock").recent.len()
@@ -124,6 +151,19 @@ mod tests {
         let json = rec.to_json();
         let slow = json.split("\"slow\":").nth(1).unwrap();
         assert!(slow.contains("\"id\":1"), "slow ring still holds the slow trace: {slow}");
+    }
+
+    #[test]
+    fn find_searches_both_rings_and_window_dedups() {
+        let rec = FlightRecorder::new(2, 1_000);
+        rec.record(&trace(1, 5_000)); // slow
+        rec.record(&trace(2, 10));
+        rec.record(&trace(3, 10)); // evicts 1 from recent
+        assert_eq!(rec.find(1).map(|t| t.total_nanos), Some(5_000), "found via the slow ring");
+        assert_eq!(rec.find(3).map(|t| t.total_nanos), Some(10));
+        assert!(rec.find(99).is_none());
+        let ids: Vec<u64> = rec.window().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![1, 2, 3], "slow survivor + recent, deduplicated");
     }
 
     #[test]

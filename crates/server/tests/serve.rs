@@ -40,8 +40,8 @@ fn healthz_metrics_and_query_roundtrip() {
     assert_eq!(status, 200);
     assert!(body.contains("\"id\":2"), "{body}");
     assert!(body.contains("\"trace\":{"), "{body}");
-    assert!(body.contains("\"schema_version\":4"), "{body}");
-    // v4: estimated-vs-actual cardinalities and plan-cache counters ride
+    assert!(body.contains("\"schema_version\":5"), "{body}");
+    // v4+: estimated-vs-actual cardinalities and plan-cache counters ride
     // along in every explain response.
     assert!(body.contains("\"estimates\":["), "{body}");
     assert!(body.contains("\"est_lo\":"), "{body}");
@@ -172,6 +172,81 @@ fn query_log_lines_match_metrics_counter() {
         let want = if i % 2 == 0 { "\"outcome\":\"ok\"" } else { "\"outcome\":\"error\"" };
         assert!(line.contains(want), "{line}");
     }
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn history_slo_and_perfetto_endpoints() {
+    let config = ServerConfig {
+        slow_ms: 0,
+        history_interval_ms: 50,
+        // A vanishingly small error budget: one failed query burns it at
+        // thousands of times the accrual rate, tripping the monitor.
+        slo: Some(qof_server::SloSpec::parse("p95=50ms,err=0.0001%").unwrap()),
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!("qof-serve-slo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("query.log");
+    let handle = start(QueryLog::rotating(&log_path, 0, 0).unwrap(), &config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let (status, _) = client.post("/query", QUERY).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client.post("/query", "SELEC nope").unwrap();
+    assert_eq!(status, 400);
+
+    // Give the sampler a few 50 ms ticks to take ≥2 snapshots and see the
+    // burned budget.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+
+    let (status, body) = client.get("/metrics/history?window=60").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema_version\":1"), "{body}");
+    assert!(body.contains("\"window_ms\":60000"), "{body}");
+    assert!(body.matches("\"ts_ms\":").count() >= 2, "two sampler ticks: {body}");
+    assert!(body.contains("\"queries\":"), "{body}");
+    assert!(body.contains("\"slo\":{"), "{body}");
+    assert!(body.contains("\"breached\":true"), "one error vs a 1e-6 budget: {body}");
+    let (status, body) = client.get("/metrics/history?window=nope").unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    // The Prometheus exposition grows the SLO gauges.
+    let (_, metrics) = client.get("/metrics").unwrap();
+    assert!(metrics.contains("qof_slo_latency_p95_target_seconds 0.05"), "{metrics}");
+    assert!(metrics.contains("qof_slo_error_budget 0.000001"), "{metrics}");
+    assert!(
+        metrics.contains("qof_slo_burn_rate{objective=\"error\",window=\"short\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("qof_slo_breach{objective=\"error\"} 1"), "{metrics}");
+
+    // The breach wrote exactly one WARN line (edge-triggered), and it does
+    // not count as a query line.
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let warns: Vec<&str> = text.lines().filter(|l| l.contains("\"level\":\"warn\"")).collect();
+    assert_eq!(warns.len(), 1, "{text}");
+    assert!(warns[0].contains("SLO burn-rate breach"), "{warns:?}");
+    assert_eq!(handle.log_lines_written(), 2, "warn lines are not query lines");
+    assert_eq!(text.lines().count(), 3, "2 query lines + 1 warn line:\n{text}");
+
+    // Perfetto export: the whole window and a single trace by id.
+    let (status, body) = client.get("/flight-recorder?format=perfetto").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), "{body}");
+    assert!(body.contains("\"ph\":\"B\"") && body.contains("\"ph\":\"E\""), "{body}");
+    let (status, body) = client.get("/flight-recorder/1?format=perfetto").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"process_name\"") && body.contains("query 1:"), "{body}");
+    let (status, body) = client.get("/flight-recorder/1").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema_version\":5"), "{body}");
+    let (status, _) = client.get("/flight-recorder/999").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.get("/flight-recorder/xyz").unwrap();
+    assert_eq!(status, 400);
+
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

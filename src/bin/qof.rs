@@ -50,12 +50,15 @@ fn usage() -> ExitCode {
          qof generate <schema> <count>\n  \
          qof rig <schema> [indexed,names]\n  \
          qof query   <schema> [--index A,B,C] [--from-index F.qofx] [--threads N] [--cache]\n              \
-         [--strict] [--explain-analyze] [--trace-json FILE] [<file>...] <query>\n  \
+         [--strict] [--explain-analyze] [--trace-json FILE] [--trace-perfetto FILE]\n              \
+         [<file>...] <query>\n  \
          qof explain <schema> [--index A,B,C] [--from-index F.qofx] [<file>...] <query>\n  \
          qof stats   <schema> [--index A,B,C] [--from-index F.qofx] [--threads N] [--cache]\n              \
-         [--json] [<file>...] <query>...\n  \
+         [--json] [--history] [<file>...] <query>...\n  \
          qof serve   <schema> [--index A,B,C] [--from-index F.qofx] [--threads N] [--cache]\n              \
-         [--port P] [--log FILE] [--slow-ms MS] [--recorder N] [--timeout-ms MS] [<file>...]\n  \
+         [--port P] [--log FILE] [--qlog-max-bytes N] [--slow-ms MS] [--recorder N]\n              \
+         [--timeout-ms MS] [--history-interval-ms MS] [--slo p95=50ms,err=0.1%] [<file>...]\n  \
+         qof top     [--host H] [--port P] [--interval-ms MS] [--frames N] [--once]\n  \
          qof index build   <schema> [--index A,B,C] --out F.qofx <file>...\n  \
          qof index inspect <F.qofx>\n  \
          qof advise  <schema> [--costed] [<file>...] <query>...\n  \
@@ -124,6 +127,7 @@ fn load_db(
 /// p50/p95 operator latencies). Trailing arguments are files when they
 /// exist on disk and queries otherwise — queries contain spaces and SELECT
 /// keywords, never bare readable paths.
+#[allow(clippy::too_many_arguments)] // one parameter per CLI flag, dispatched once
 fn run_stats(
     schema: StructuringSchema,
     rest: Vec<String>,
@@ -132,6 +136,7 @@ fn run_stats(
     threads: usize,
     cache: bool,
     json: bool,
+    history: bool,
 ) -> Result<ExitCode, String> {
     let (files, queries): (Vec<String>, Vec<String>) =
         rest.into_iter().partition(|a| std::path::Path::new(a).is_file());
@@ -140,12 +145,26 @@ fn run_stats(
     }
     let db = load_db(schema, &files, index, from_index)?
         .with_exec_options(ExecOptions { threads: threads.max(1), cache });
+    let registry = qof::pat::MetricsRegistry::global();
     for q in &queries {
         if let Err(e) = db.query_traced(q) {
             eprintln!("error in `{q}`: {e}");
         }
+        if history {
+            // One history sample per query: the ring then holds the
+            // per-query deltas, like the server's periodic sampler does
+            // per interval.
+            registry.record_history_sample(wall_ms());
+        }
     }
-    let snap = qof::pat::MetricsRegistry::global().snapshot();
+    if history {
+        // The same envelope the server's `GET /metrics/history` serves.
+        let now = wall_ms();
+        let samples = registry.history().samples(0, now);
+        println!("{}", qof::pat::history_to_json(&samples, 0, now, None));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let snap = registry.snapshot();
     if json {
         // The same serializer that backs the server's `GET
         // /metrics?format=json`, so the two surfaces cannot drift.
@@ -195,13 +214,23 @@ fn run_stats(
     Ok(ExitCode::SUCCESS)
 }
 
+/// Milliseconds since the Unix epoch (the metrics-history time axis).
+fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
 /// `qof serve` knobs beyond the shared query flags.
 struct ServeOpts {
     port: u16,
     log_path: Option<String>,
+    qlog_max_bytes: u64,
     slow_ms: u64,
     recorder: usize,
     timeout_ms: u64,
+    history_interval_ms: u64,
+    slo: Option<String>,
 }
 
 /// `qof serve`: loads the corpus once, then serves queries over HTTP until
@@ -215,10 +244,14 @@ fn run_serve(
     cache: bool,
     opts: &ServeOpts,
 ) -> Result<ExitCode, String> {
-    use qof::server::{serve, QueryLog, ServerConfig};
+    use qof::server::{serve, QueryLog, ServerConfig, SloSpec, DEFAULT_QLOG_KEEP};
     if files.is_empty() && from_index.is_none() {
         return Ok(usage());
     }
+    let slo = match opts.slo.as_deref() {
+        None => None,
+        Some(spec) => Some(SloSpec::parse(spec).map_err(|e| format!("--slo: {e}"))?),
+    };
     let started = std::time::Instant::now();
     let db = load_db(schema, files, index, from_index)?
         .with_exec_options(ExecOptions { threads: threads.max(1), cache });
@@ -230,13 +263,10 @@ fn run_serve(
     );
     let log = match opts.log_path.as_deref() {
         None => QueryLog::discard(),
+        // The rotating log with a zero cap is a plain append-only file.
         Some(path) => {
-            let file = std::fs::File::options()
-                .create(true)
-                .append(true)
-                .open(path)
-                .map_err(|e| format!("cannot open log `{path}`: {e}"))?;
-            QueryLog::new(Box::new(file))
+            QueryLog::rotating(std::path::Path::new(path), opts.qlog_max_bytes, DEFAULT_QLOG_KEEP)
+                .map_err(|e| format!("cannot open log `{path}`: {e}"))?
         }
     };
     let listener = std::net::TcpListener::bind(("127.0.0.1", opts.port))
@@ -246,17 +276,226 @@ fn run_serve(
         recorder_capacity: opts.recorder,
         read_timeout_ms: opts.timeout_ms,
         write_timeout_ms: opts.timeout_ms,
+        history_interval_ms: opts.history_interval_ms,
+        slo,
     };
     let handle = serve(db, listener, log, &config).map_err(|e| e.to_string())?;
     eprintln!("qof serve: listening on http://{}", handle.addr());
-    eprintln!("  POST /query        query text in body (?explain=1 for a trace)");
-    eprintln!("  GET  /metrics      Prometheus text (?format=json)");
-    eprintln!("  GET  /healthz      liveness");
-    eprintln!("  GET  /flight-recorder");
+    eprintln!("  POST /query            query text in body (?explain=1 for a trace)");
+    eprintln!("  GET  /metrics          Prometheus text (?format=json)");
+    eprintln!("  GET  /metrics/history  time-series ring (?window=SECONDS)");
+    eprintln!("  GET  /healthz          liveness");
+    eprintln!("  GET  /flight-recorder  retained traces (/{{id}}, ?format=perfetto)");
     eprintln!("  POST /shutdown");
     handle.wait();
     eprintln!("qof serve: shut down");
     Ok(ExitCode::SUCCESS)
+}
+
+/// `qof top`: a live terminal dashboard over a running `qof serve`
+/// instance — QPS, latency quantiles, cache hit rates, SLO burn state and
+/// the slowest retained queries, refreshed in place with ANSI clears.
+/// Scrapes the same HTTP surfaces any monitoring stack would:
+/// `/metrics?format=json`, `/metrics/history`, `/healthz` and
+/// `/flight-recorder`.
+fn run_top(mut rest: Vec<String>) -> Result<ExitCode, String> {
+    let mut host = "127.0.0.1".to_owned();
+    let mut port: u16 = 7878;
+    let mut interval_ms: u64 = 1_000;
+    let mut frames: u64 = 0; // 0 = run until interrupted
+    let mut once = false;
+    loop {
+        match rest.first().map(String::as_str) {
+            Some("--host") => {
+                if rest.len() < 2 {
+                    return Ok(usage());
+                }
+                host = rest[1].clone();
+                rest.drain(..2);
+            }
+            Some("--port") => {
+                if rest.len() < 2 {
+                    return Ok(usage());
+                }
+                port = rest[1].parse().map_err(|_| "--port needs a port".to_owned())?;
+                rest.drain(..2);
+            }
+            Some("--interval-ms") => {
+                if rest.len() < 2 {
+                    return Ok(usage());
+                }
+                interval_ms =
+                    rest[1].parse().map_err(|_| "--interval-ms needs milliseconds".to_owned())?;
+                rest.drain(..2);
+            }
+            Some("--frames") => {
+                if rest.len() < 2 {
+                    return Ok(usage());
+                }
+                frames = rest[1].parse().map_err(|_| "--frames needs a count".to_owned())?;
+                rest.drain(..2);
+            }
+            Some("--once") => {
+                once = true;
+                rest.remove(0);
+            }
+            Some(_) => return Ok(usage()),
+            None => break,
+        }
+    }
+    if once {
+        frames = 1;
+    }
+    use std::net::ToSocketAddrs;
+    let addr = format!("{host}:{port}")
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {host}:{port}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {host}:{port}"))?;
+    let mut n = 0u64;
+    loop {
+        n += 1;
+        let frame = qof::server::Client::connect(addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))
+            .and_then(|mut c| top_frame(&mut c, &format!("http://{host}:{port}"), n));
+        match frame {
+            Ok(text) => {
+                if !once {
+                    // Clear + home: the dashboard repaints in place.
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!("{text}");
+            }
+            Err(e) => {
+                if once {
+                    return Err(e);
+                }
+                print!("\x1b[2J\x1b[H");
+                println!("qof top: {e} (retrying)");
+            }
+        }
+        if frames > 0 && n >= frames {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Scrapes one `qof top` frame. Every document it reads is produced by
+/// this workspace's own writers, parsed back with `qof::pat::json`.
+fn top_frame(client: &mut qof::server::Client, base: &str, frame: u64) -> Result<String, String> {
+    use qof::pat::json::{get, get_arr, get_f64, get_str, get_u64, Json};
+    use std::fmt::Write as _;
+
+    fn fetch(client: &mut qof::server::Client, path: &str) -> Result<Json, String> {
+        let (status, body) = client.get(path)?;
+        if status != 200 {
+            return Err(format!("GET {path} → HTTP {status}"));
+        }
+        Json::parse(&body).map_err(|e| format!("GET {path}: bad JSON: {e}"))
+    }
+
+    let health = fetch(client, "/healthz")?;
+    let metrics = fetch(client, "/metrics?format=json")?;
+    let history = fetch(client, "/metrics/history?window=60")?;
+    let recorder = fetch(client, "/flight-recorder")?;
+
+    let mut out = String::new();
+    let h = health.as_obj().ok_or("healthz: not an object")?;
+    let uptime_ms = get_u64(h, "uptime_ms")?;
+    let _ = writeln!(
+        out,
+        "qof top — {base} — uptime {} — frame {frame}",
+        fmt_nanos(uptime_ms.saturating_mul(1_000_000))
+    );
+    out.push('\n');
+
+    let m = metrics.as_obj().ok_or("metrics: not an object")?;
+    let queries = get_u64(m, "queries")?;
+    let errors = get_u64(m, "query_errors")?;
+    let lat = get(m, "query_latency")?.as_obj().ok_or("metrics: query_latency")?;
+
+    // QPS over the trailing 60 s window: the history ring's deltas give
+    // both the numerator and the covered wall time.
+    let hist = history.as_obj().ok_or("history: not an object")?;
+    let samples = get_arr(hist, "samples")?;
+    let mut win_queries = 0u64;
+    let mut win_errors = 0u64;
+    let mut win_ms = 0u64;
+    for s in samples {
+        let s = s.as_obj().ok_or("history: sample")?;
+        win_queries += get_u64(s, "queries")?;
+        win_errors += get_u64(s, "query_errors")?;
+        win_ms += get_u64(s, "dur_ms")?;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let qps = if win_ms == 0 { 0.0 } else { win_queries as f64 * 1_000.0 / win_ms as f64 };
+    let _ = writeln!(
+        out,
+        "queries   {queries} total ({errors} errors) — {qps:.1} q/s over {} samples/60s \
+         ({win_queries} queries, {win_errors} errors)",
+        samples.len()
+    );
+    let _ = writeln!(
+        out,
+        "latency   p50 {}   p95 {}",
+        fmt_nanos(get_u64(lat, "p50_nanos")?),
+        fmt_nanos(get_u64(lat, "p95_nanos")?)
+    );
+    let _ = writeln!(
+        out,
+        "caches    subexpr {:.1}% hit   plan {:.1}% hit",
+        get_f64(m, "cache_hit_rate")? * 100.0,
+        get_f64(m, "plan_cache_hit_rate")? * 100.0
+    );
+
+    // SLO state rides in the history envelope when `--slo` is declared.
+    if let Ok(slo) = get(hist, "slo") {
+        let s = slo.as_obj().ok_or("history: slo")?;
+        let mut line = String::from("slo       ");
+        for name in ["latency", "error"] {
+            if let Ok(obj) = get(s, name) {
+                let o = obj.as_obj().ok_or("history: slo objective")?;
+                let _ = write!(
+                    line,
+                    "{name} burn {:.2}/{:.2}{}   ",
+                    get_f64(o, "burn_short")?,
+                    get_f64(o, "burn_long")?,
+                    if get(o, "breached")? == &Json::Bool(true) { " BREACH" } else { "" }
+                );
+            }
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+
+    // Slowest retained queries, across both flight-recorder rings.
+    let rec = recorder.as_obj().ok_or("recorder: not an object")?;
+    let mut slow: Vec<(u64, u64, String)> = Vec::new();
+    for ring in ["recent", "slow"] {
+        for t in get_arr(rec, ring)? {
+            let t = t.as_obj().ok_or("recorder: trace")?;
+            let id = get_u64(t, "id")?;
+            if slow.iter().all(|(have, _, _)| *have != id) {
+                slow.push((id, get_u64(t, "total_nanos")?, get_str(t, "query")?));
+            }
+        }
+    }
+    slow.sort_by_key(|entry| std::cmp::Reverse(entry.1));
+    slow.truncate(5);
+    out.push('\n');
+    let _ = writeln!(out, "slowest retained queries");
+    if slow.is_empty() {
+        let _ = writeln!(out, "  (none yet)");
+    }
+    for (id, nanos, query) in &slow {
+        let mut q: String = query.split_whitespace().collect::<Vec<_>>().join(" ");
+        if q.chars().count() > 60 {
+            q = q.chars().take(59).collect::<String>() + "…";
+        }
+        let _ = writeln!(out, "  #{id:<5} {:>9}  {q}", fmt_nanos(*nanos));
+    }
+    Ok(out)
 }
 
 /// Minimal JSON string escaping for the `check --json` envelope (query
@@ -331,12 +570,17 @@ fn run() -> Result<ExitCode, String> {
             let mut strict = false;
             let mut explain_analyze = false;
             let mut trace_json: Option<String> = None;
+            let mut trace_perfetto: Option<String> = None;
             let mut json = false;
+            let mut history = false;
             let mut port: u16 = 7878;
             let mut log_path: Option<String> = None;
+            let mut qlog_max_bytes: u64 = 0;
             let mut slow_ms: u64 = 100;
             let mut recorder: usize = 64;
             let mut timeout_ms: u64 = 30_000;
+            let mut history_interval_ms: u64 = 1_000;
+            let mut slo: Option<String> = None;
             loop {
                 match rest.first().map(String::as_str) {
                     Some("--index") => {
@@ -381,8 +625,19 @@ fn run() -> Result<ExitCode, String> {
                         trace_json = Some(rest[1].clone());
                         rest.drain(..2);
                     }
+                    Some("--trace-perfetto") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        trace_perfetto = Some(rest[1].clone());
+                        rest.drain(..2);
+                    }
                     Some("--json") => {
                         json = true;
+                        rest.remove(0);
+                    }
+                    Some("--history") => {
+                        history = true;
                         rest.remove(0);
                     }
                     Some("--port") => {
@@ -425,6 +680,31 @@ fn run() -> Result<ExitCode, String> {
                         })?;
                         rest.drain(..2);
                     }
+                    Some("--qlog-max-bytes") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        qlog_max_bytes = rest[1].parse().map_err(|_| {
+                            "--qlog-max-bytes needs a byte count (0 disables rotation)".to_owned()
+                        })?;
+                        rest.drain(..2);
+                    }
+                    Some("--history-interval-ms") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        history_interval_ms = rest[1].parse().map_err(|_| {
+                            "--history-interval-ms needs milliseconds (0 disables)".to_owned()
+                        })?;
+                        rest.drain(..2);
+                    }
+                    Some("--slo") => {
+                        if rest.len() < 2 {
+                            return Ok(usage());
+                        }
+                        slo = Some(rest[1].clone());
+                        rest.drain(..2);
+                    }
                     _ => break,
                 }
             }
@@ -437,10 +717,20 @@ fn run() -> Result<ExitCode, String> {
                     threads,
                     cache,
                     json,
+                    history,
                 );
             }
             if cmd == "serve" {
-                let opts = ServeOpts { port, log_path, slow_ms, recorder, timeout_ms };
+                let opts = ServeOpts {
+                    port,
+                    log_path,
+                    qlog_max_bytes,
+                    slow_ms,
+                    recorder,
+                    timeout_ms,
+                    history_interval_ms,
+                    slo,
+                };
                 return run_serve(
                     schema,
                     &rest,
@@ -460,10 +750,16 @@ fn run() -> Result<ExitCode, String> {
                 .with_strict(strict);
             if cmd == "explain" {
                 print!("{}", db.explain(query).map_err(|e| e.to_string())?);
-            } else if explain_analyze || trace_json.is_some() {
+            } else if explain_analyze || trace_json.is_some() || trace_perfetto.is_some() {
                 let (res, trace) = db.query_traced(query).map_err(|e| e.to_string())?;
                 if let Some(path) = &trace_json {
                     std::fs::write(path, trace.to_json())
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                }
+                if let Some(path) = &trace_perfetto {
+                    // Chrome trace-event JSON: open the file in
+                    // https://ui.perfetto.dev or chrome://tracing.
+                    std::fs::write(path, qof::trace_to_perfetto(&trace))
                         .map_err(|e| format!("cannot write `{path}`: {e}"))?;
                 }
                 if explain_analyze {
@@ -474,7 +770,11 @@ fn run() -> Result<ExitCode, String> {
                     for v in &res.values {
                         println!("{v}");
                     }
-                    eprintln!("-- trace written to {}", trace_json.as_deref().unwrap_or("?"));
+                    let wrote: Vec<&str> = [trace_json.as_deref(), trace_perfetto.as_deref()]
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                    eprintln!("-- trace written to {}", wrote.join(", "));
                 }
             } else {
                 let res = db.query(query).map_err(|e| e.to_string())?;
@@ -498,6 +798,7 @@ fn run() -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        "top" => run_top(args[1..].to_vec()),
         "index" => match args.get(1).map(String::as_str) {
             Some("build") => {
                 let Some(name) = args.get(2) else { return Ok(usage()) };
