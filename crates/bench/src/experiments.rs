@@ -94,6 +94,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("a2", "analyzer: qof check latency and rewrite-certifier overhead"),
     ("a3", "cost model: cardinality-estimation error and plan-cache hit rate"),
     ("a4", "observability: tracing overhead (traced vs untraced) and history-ring footprint"),
+    ("a5", "workload analytics: fingerprint aggregation overhead and heavy-hitter accuracy"),
 ];
 
 /// All experiment ids, in canonical run order.
@@ -127,6 +128,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "a2" => a2(scale, &mut r),
         "a3" => a3(scale, &mut r),
         "a4" => a4(scale, &mut r),
+        "a5" => a5(scale, &mut r),
         _ => unreachable!("id came from EXPERIMENTS"),
     }
     Some(ExperimentReport {
@@ -1173,6 +1175,131 @@ fn a4(scale: Scale, r: &mut Recorder) {
     r.rec("history_ring_max_bytes", history.approx_max_bytes() as f64, "bytes");
 }
 
+fn a5(scale: Scale, r: &mut Recorder) {
+    use qof_pat::{WorkloadObs, WorkloadTable};
+    banner("A5", "workload analytics: fingerprint aggregation overhead and heavy-hitter accuracy");
+    let workload = [
+        CHANG_AUTHOR,
+        CHANG_STAR,
+        EDITOR_IS_AUTHOR,
+        "SELECT r FROM References r WHERE r.Year = \"1982\"",
+    ];
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>11} {:>9}",
+        "refs", "untraced", "traced", "observe", "analytics"
+    );
+    for n in scale.pick(vec![200usize], vec![800usize, 3200]) {
+        let fdb = bibtex_full(n);
+        for q in &workload {
+            fdb.query(q).unwrap();
+            fdb.query_traced(q).unwrap();
+        }
+        let passes = scale.pick(5usize, 11);
+        // The untraced path never touches the workload table; timing it
+        // documents that analytics cost zero off the traced path.
+        let t_plain = median_secs(passes, || {
+            let t = Instant::now();
+            for q in &workload {
+                std::hint::black_box(fdb.query(q).unwrap());
+            }
+            t.elapsed().as_secs_f64() / workload.len() as f64
+        });
+        let t_traced = median_secs(passes, || {
+            let t = Instant::now();
+            for q in &workload {
+                std::hint::black_box(fdb.query_traced(q).unwrap());
+            }
+            t.elapsed().as_secs_f64() / workload.len() as f64
+        });
+        // The analytics cost in isolation: feed a fresh table the same
+        // observation stream the traced passes produced, far more times
+        // than any pass would, and take ns per observe.
+        let observations: Vec<WorkloadObs> = workload
+            .iter()
+            .map(|q| {
+                let (_, tr) = fdb.query_traced(q).unwrap();
+                WorkloadObs {
+                    fingerprint: tr.fingerprint,
+                    exemplar: tr.query.clone(),
+                    nanos: tr.total_nanos,
+                    bytes: tr.bytes_touched,
+                    plan_cache_hits: tr.plan_cache_hits,
+                    plan_cache_misses: tr.plan_cache_misses,
+                    cache_hits: tr.cache_hits,
+                    cache_misses: tr.cache_misses,
+                    error: false,
+                    est_ratio: 1.0,
+                    trace_id: tr.id,
+                }
+            })
+            .collect();
+        let table = WorkloadTable::new();
+        let rounds = scale.pick(20_000usize, 100_000);
+        let t0 = Instant::now();
+        for i in 0..rounds {
+            table.observe(&observations[i % observations.len()]);
+        }
+        let observe_nanos = t0.elapsed().as_secs_f64() * 1e9 / rounds as f64;
+        // One observe per traced query: the analytics share of the traced
+        // path is observe time over whole-query time.
+        let analytics_pct = observe_nanos / (t_traced * 1e9).max(f64::EPSILON) * 100.0;
+        r.rec(format!("untraced_pass_secs_{n}"), t_plain, "s");
+        r.rec(format!("traced_pass_secs_{n}"), t_traced, "s");
+        r.rec(format!("workload_observe_nanos_{n}"), observe_nanos, "ns");
+        r.rec(format!("analytics_overhead_pct_{n}"), analytics_pct, "%");
+        println!(
+            "{:>8} | {} {} | {:>9.0}ns {:>8.3}%",
+            n,
+            fmt_secs(t_plain),
+            fmt_secs(t_traced),
+            observe_nanos,
+            analytics_pct,
+        );
+    }
+    // Heavy-hitter accuracy under eviction pressure: a skewed stream of 4×
+    // the table's capacity distinct fingerprints. The space-saving bound
+    // guarantees every entry's true count lies in [hits − overcount, hits].
+    let table = WorkloadTable::new();
+    let capacity = table.capacity();
+    let shapes = capacity * 4;
+    let mut true_hot = 0u64;
+    for round in 0..shapes {
+        let fp = (round % shapes) as u64 + 1;
+        // Fingerprint 1 is hot: it reappears every 4th observation.
+        let repeats = if fp == 1 { 64 } else { 1 };
+        for _ in 0..repeats {
+            table.observe(&WorkloadObs {
+                fingerprint: fp,
+                exemplar: format!("shape {fp}"),
+                nanos: 1_000,
+                bytes: 10,
+                plan_cache_hits: 1,
+                plan_cache_misses: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                error: false,
+                est_ratio: 1.0,
+                trace_id: fp,
+            });
+            if fp == 1 {
+                true_hot += 1;
+            }
+        }
+    }
+    let snapshot = table.snapshot();
+    let hot = snapshot.iter().find(|e| e.fingerprint == 1).expect("hot shape survives eviction");
+    println!(
+        "heavy hitters: {shapes} shapes through {capacity} slots — hot shape kept \
+         (hits {} overcount {} true {true_hot})",
+        hot.hits, hot.overcount
+    );
+    r.rec("workload_capacity", capacity as f64, "entries");
+    r.rec("hot_shape_hits", hot.hits as f64, "count");
+    r.rec("hot_shape_overcount", hot.overcount as f64, "count");
+    let (_, tr) = bibtex_full(scale.pick(50, 200)).query_traced(CHANG_AUTHOR).unwrap();
+    r.attach_trace(tr.to_json());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1200,9 +1327,9 @@ mod tests {
             .find(|m| m.name.starts_with("estimate_sound_rate_"))
             .unwrap();
         assert!((sound.value - 1.0).abs() < f64::EPSILON, "intervals must be sound");
-        // The embedded trace is a v5 document with estimates.
+        // The embedded trace is a v6 document with estimates.
         let trace = report.trace_json.as_deref().unwrap();
-        assert!(trace.contains("\"schema_version\":5"), "{trace}");
+        assert!(trace.contains("\"schema_version\":6"), "{trace}");
         assert!(trace.contains("\"estimates\":["), "{trace}");
     }
 
@@ -1226,6 +1353,32 @@ mod tests {
         assert!(get("history_ring_capacity") >= 1.0);
         // The ring's worst case stays small enough to forget about.
         assert!(get("history_ring_max_bytes") < 1024.0 * 1024.0, "ring footprint must be bounded");
+    }
+
+    #[test]
+    fn a5_reports_analytics_overhead_and_heavy_hitters() {
+        let report = run("a5", Scale::Small).unwrap();
+        let get = |name: &str| {
+            report
+                .measurements
+                .iter()
+                .find(|m| m.name == name || m.name.starts_with(name))
+                .unwrap_or_else(|| panic!("missing measurement {name}"))
+                .value
+        };
+        assert!(get("workload_observe_nanos_") > 0.0);
+        // The acceptance bar: analytics must stay a rounding error on the
+        // traced path (one table observe per multi-millisecond query).
+        assert!(get("analytics_overhead_pct_") <= 5.0, "analytics overhead above 5%");
+        // Space-saving accuracy: the hot shape survives a 4×-capacity
+        // sweep and its count bound contains the true count.
+        let (hits, over) = (get("hot_shape_hits"), get("hot_shape_overcount"));
+        assert!(hits - over <= 4096.0 && hits >= 4096.0 / 64.0, "hot shape bound");
+        // The embedded trace is a v6 document carrying the fingerprint.
+        let trace = report.trace_json.as_deref().unwrap();
+        assert!(trace.contains("\"schema_version\":6"), "{trace}");
+        assert!(trace.contains("\"fingerprint\":\""), "{trace}");
+        assert!(trace.contains("\"bytes_touched\":"), "{trace}");
     }
 
     #[test]

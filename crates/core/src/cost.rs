@@ -36,6 +36,16 @@ pub const DEFAULT_PLAN_CACHE_ENTRIES: usize = 1024;
 /// skewing the model).
 const MIN_CALIBRATION_OBS: u64 = 16;
 
+/// Minimum observations of an operator *under one fingerprint* before the
+/// per-fingerprint mean outranks the global blend. Lower than
+/// [`MIN_CALIBRATION_OBS`]: within one query shape the samples are far
+/// less noisy than across the whole workload.
+const MIN_FP_CALIBRATION_OBS: u64 = 4;
+
+/// Maximum fingerprints the per-fingerprint calibration map tracks —
+/// matches the workload table's top-K, and bounds memory the same way.
+const MAX_FP_CALIBRATION_ENTRIES: usize = 64;
+
 /// Weight of one scanned text byte relative to one consumed region in the
 /// scalar cost (scanning is streaming; region merging does comparisons).
 const BYTE_WEIGHT: f64 = 0.01;
@@ -109,6 +119,11 @@ pub struct StatsStore {
     total_postings: u64,
     fan_out: BTreeMap<String, usize>,
     observations: Mutex<CardObservations>,
+    /// Per-fingerprint operator observations (trace schema v6): hot query
+    /// shapes calibrate independently of the global blend. Bounded at
+    /// [`MAX_FP_CALIBRATION_ENTRIES`]; the least-observed fingerprint is
+    /// evicted on overflow.
+    per_fp: Mutex<BTreeMap<u64, CardObservations>>,
 }
 
 impl StatsStore {
@@ -194,22 +209,51 @@ impl StatsStore {
     /// node's observed output cardinality (main engine and shards)
     /// accumulates into the per-operator running means.
     pub fn observe_trace(&self, trace: &QueryTrace) {
-        let mut obs = self.observations.lock().expect("stats observations poisoned");
         fn walk(ops: &[OpTrace], obs: &mut CardObservations) {
             for op in ops {
                 obs.observe(&op.op, op.output as u64);
                 walk(&op.children, obs);
             }
         }
-        walk(&trace.ops, &mut obs);
-        for shard in &trace.shards {
-            walk(&shard.ops, &mut obs);
+        {
+            let mut obs = self.observations.lock().expect("stats observations poisoned");
+            walk(&trace.ops, &mut obs);
+            for shard in &trace.shards {
+                walk(&shard.ops, &mut obs);
+            }
+        }
+        // The same observations again, keyed by the trace's fingerprint
+        // (v6): hot shapes build their own calibration independent of the
+        // global blend. 0 means "not stamped" and is skipped.
+        if trace.fingerprint != 0 {
+            let mut map = self.per_fp.lock().expect("per-fp observations poisoned");
+            if !map.contains_key(&trace.fingerprint) && map.len() >= MAX_FP_CALIBRATION_ENTRIES {
+                // Evict the least-observed fingerprint (lowest key on
+                // ties — deterministic).
+                if let Some(victim) =
+                    map.iter().min_by_key(|(fp, o)| (o.total(), **fp)).map(|(fp, _)| *fp)
+                {
+                    map.remove(&victim);
+                }
+            }
+            let obs = map.entry(trace.fingerprint).or_default();
+            walk(&trace.ops, obs);
+            for shard in &trace.shards {
+                walk(&shard.ops, obs);
+            }
         }
     }
 
     /// A snapshot of the accumulated operator observations.
     pub fn observations(&self) -> CardObservations {
         self.observations.lock().expect("stats observations poisoned").clone()
+    }
+
+    /// A snapshot of the observations accumulated under `fingerprint`,
+    /// `None` until a trace with that fingerprint has been observed (or
+    /// after eviction by the bounded map).
+    pub fn fp_observations(&self, fingerprint: u64) -> Option<CardObservations> {
+        self.per_fp.lock().expect("per-fp observations poisoned").get(&fingerprint).cloned()
     }
 
     /// Blends a static per-hop output estimate with the observed mean for
@@ -222,6 +266,24 @@ impl StatsStore {
         }
     }
 
+    /// [`StatsStore::calibrated`], preferring the per-fingerprint mean
+    /// when the shape has enough of its own history (trace schema v6's
+    /// feedback loop). `fingerprint` 0 always falls through to the global
+    /// blend.
+    fn calibrated_fp(&self, fingerprint: u64, op: &str, structural: f64) -> f64 {
+        if fingerprint != 0 {
+            let map = self.per_fp.lock().expect("per-fp observations poisoned");
+            if let Some(obs) = map.get(&fingerprint) {
+                if obs.count(op) >= MIN_FP_CALIBRATION_OBS {
+                    if let Some(mean) = obs.mean(op) {
+                        return (structural + mean) / 2.0;
+                    }
+                }
+            }
+        }
+        self.calibrated(op, structural)
+    }
+
     /// Estimates the work of evaluating one inclusion chain bottom-up
     /// (deepest name first, the engine's own order). Each `⊃` hop is a
     /// merge over both operand sets; each `⊃d` hop additionally walks the
@@ -229,6 +291,15 @@ impl StatsStore {
     /// set by the word's posting count.
     #[allow(clippy::cast_precision_loss)]
     pub fn estimate_chain(&self, expr: &InclusionExpr) -> CostEstimate {
+        self.estimate_chain_fp(expr, 0)
+    }
+
+    /// [`StatsStore::estimate_chain`] with per-fingerprint calibration:
+    /// once `fingerprint` has accumulated its own operator history, the
+    /// shape's means replace the workload-wide blend. `fingerprint` 0
+    /// behaves exactly like [`StatsStore::estimate_chain`].
+    #[allow(clippy::cast_precision_loss)]
+    pub fn estimate_chain_fp(&self, expr: &InclusionExpr, fingerprint: u64) -> CostEstimate {
         let names = expr.names();
         let ops = expr.ops();
         let deepest = names.last().map(String::as_str).unwrap_or_default();
@@ -240,7 +311,7 @@ impl StatsStore {
             Some((_, word)) => {
                 let freq = self.word_frequency(word) as f64;
                 consumed += merge_cost(deep_count, freq);
-                self.calibrated("σ", freq.min(deep_count))
+                self.calibrated_fp(fingerprint, "σ", freq.min(deep_count))
             }
             None => deep_count,
         };
@@ -251,11 +322,11 @@ impl StatsStore {
             match ops[i] {
                 ChainOp::Incl => {
                     consumed += hop;
-                    cur = self.calibrated("⊃", outer.min(cur));
+                    cur = self.calibrated_fp(fingerprint, "⊃", outer.min(cur));
                 }
                 ChainOp::Direct => {
                     consumed += hop * DIRECT_PENALTY;
-                    cur = self.calibrated("⊃d", outer.min(cur));
+                    cur = self.calibrated_fp(fingerprint, "⊃d", outer.min(cur));
                 }
             }
         }
@@ -273,6 +344,12 @@ impl StatsStore {
     /// enumerated normal forms.
     pub fn estimate_cost(&self, expr: &InclusionExpr) -> f64 {
         self.estimate_chain(expr).scalar()
+    }
+
+    /// The scalar cost with per-fingerprint calibration — what the
+    /// planner's cost-ranked lowering minimizes for a known chain shape.
+    pub fn estimate_cost_fp(&self, expr: &InclusionExpr, fingerprint: u64) -> f64 {
+        self.estimate_chain_fp(expr, fingerprint).scalar()
     }
 }
 
@@ -504,6 +581,63 @@ mod tests {
         let after = store.estimate_chain(&e).output_card;
         assert!((before - 100.0).abs() < 1e-9);
         assert!((after - 55.0).abs() < 1e-9, "blend of 100 structural and 10 observed");
+    }
+
+    #[test]
+    fn per_fingerprint_calibration_beats_global_blend() {
+        let store = store_with(&[("A", 100), ("B", 100)]);
+        let e = chain(&["A", "B"]);
+        // Global blend: heavily skewed by a noisy mixed workload.
+        {
+            let mut obs = store.observations.lock().unwrap();
+            for _ in 0..MIN_CALIBRATION_OBS {
+                obs.observe("⊃", 90);
+            }
+        }
+        // One hot shape consistently produces 10 — feed it through the
+        // public trace path so eviction and bounding are exercised too.
+        let fp = 0xfeed;
+        for _ in 0..MIN_FP_CALIBRATION_OBS {
+            let trace = QueryTrace {
+                fingerprint: fp,
+                ops: vec![OpTrace { op: "⊃".into(), output: 10, ..OpTrace::default() }],
+                ..QueryTrace::default()
+            };
+            store.observe_trace(&trace);
+        }
+        let global = store.estimate_chain(&e).output_card;
+        let shaped = store.estimate_chain_fp(&e, fp).output_card;
+        // The fingerprinted traces feed the global pool too: 16 obs of 90
+        // plus 4 of 10 average to 74, blended with the structural 100.
+        assert!((global - 87.0).abs() < 1e-9, "blend of 100 structural and 74 observed");
+        assert!((shaped - 55.0).abs() < 1e-9, "blend of 100 structural and 10 per-fp observed");
+        // Unknown and zero fingerprints fall back to the global blend.
+        assert!((store.estimate_chain_fp(&e, 0x9999).output_card - global).abs() < 1e-9);
+        assert!((store.estimate_chain_fp(&e, 0).output_card - global).abs() < 1e-9);
+        let obs = store.fp_observations(fp).expect("fingerprint observed");
+        assert_eq!(obs.count("⊃"), MIN_FP_CALIBRATION_OBS);
+    }
+
+    #[test]
+    fn per_fingerprint_map_is_bounded() {
+        let store = StatsStore::new();
+        let trace_for = |fp: u64, n: usize| QueryTrace {
+            fingerprint: fp,
+            ops: vec![OpTrace { op: "⊃".into(), output: 5, ..OpTrace::default() }; n],
+            ..QueryTrace::default()
+        };
+        // A heavy fingerprint, then a full sweep of one-shot shapes.
+        store.observe_trace(&trace_for(1, 8));
+        for fp in 2..=(MAX_FP_CALIBRATION_ENTRIES as u64 + 8) {
+            store.observe_trace(&trace_for(fp, 1));
+        }
+        let map = store.per_fp.lock().unwrap();
+        assert!(map.len() <= MAX_FP_CALIBRATION_ENTRIES, "map stays bounded: {}", map.len());
+        assert!(map.contains_key(&1), "the heavy fingerprint survives eviction");
+        drop(map);
+        // Fingerprint 0 is never tracked.
+        store.observe_trace(&trace_for(0, 3));
+        assert!(store.fp_observations(0).is_none());
     }
 
     #[test]

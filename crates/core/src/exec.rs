@@ -15,7 +15,7 @@ use qof_grammar::{
 };
 use qof_pat::{
     CacheStats, Engine, EvalError, EvalStats, Instance, MetricsRegistry, OpTrace, Region,
-    RegionExpr, RegionSet, SubexprCache, TraceSink,
+    RegionExpr, RegionSet, SubexprCache, TraceSink, WorkloadObs, WorkloadTable,
 };
 use qof_text::{CompressedWordIndex, Corpus, Span, SuffixArray, Tokenizer, WordIndex, WordLookup};
 
@@ -238,6 +238,7 @@ pub struct FileDatabase {
     query_counter: AtomicU64,
     trace_hook: Option<TraceHook>,
     strict: bool,
+    workload: WorkloadTable,
 }
 
 /// Builds the word index for `corpus`, honoring the spec's §7 selective
@@ -307,6 +308,7 @@ impl FileDatabase {
             query_counter: AtomicU64::new(0),
             trace_hook: None,
             strict: false,
+            workload: WorkloadTable::new(),
         };
         db.publish_index_stats();
         Ok(db)
@@ -390,6 +392,7 @@ impl FileDatabase {
             query_counter: AtomicU64::new(0),
             trace_hook: None,
             strict: false,
+            workload: WorkloadTable::new(),
         };
         db.publish_index_stats();
         Ok(db)
@@ -447,6 +450,7 @@ impl FileDatabase {
             query_counter: AtomicU64::new(0),
             trace_hook: None,
             strict: false,
+            workload: WorkloadTable::new(),
         };
         db.publish_index_stats();
         Ok(db)
@@ -576,6 +580,14 @@ impl FileDatabase {
     /// The index statistics store driving cost-ranked plan selection.
     pub fn stats_store(&self) -> &StatsStore {
         &self.stats
+    }
+
+    /// The workload-analytics table: per-fingerprint heavy hitters fed by
+    /// every traced query (see [`qof_pat::WorkloadTable`]). Untraced
+    /// queries do not report here — analytics ride the trace path so the
+    /// hot path stays untouched.
+    pub fn workload(&self) -> &WorkloadTable {
+        &self.workload
     }
 
     /// Counters and gauges of the memoized plan cache.
@@ -821,6 +833,7 @@ impl FileDatabase {
             .collect();
         let trace = QueryTrace {
             id,
+            fingerprint: plan.fingerprint,
             query: src.to_owned(),
             plan: result.explain.clone(),
             rewrites: plan.rewrites.clone(),
@@ -834,6 +847,7 @@ impl FileDatabase {
             plan_cache_hits: pc_after.hits.saturating_sub(pc_before.hits),
             plan_cache_misses: pc_after.misses.saturating_sub(pc_before.misses),
             total_nanos,
+            bytes_touched: result.stats.bytes_touched(),
             candidates: result.stats.candidates,
             results: result.stats.results,
             exact_index: result.stats.exact_index,
@@ -850,6 +864,19 @@ impl FileDatabase {
         // Feed the observed cardinalities back into the stats store so
         // later cost estimates calibrate against real executions.
         self.stats.observe_trace(&trace);
+        self.workload.observe(&WorkloadObs {
+            fingerprint: trace.fingerprint,
+            exemplar: src.to_owned(),
+            nanos: total_nanos,
+            bytes: trace.bytes_touched,
+            plan_cache_hits: trace.plan_cache_hits,
+            plan_cache_misses: trace.plan_cache_misses,
+            cache_hits: trace.cache_hits,
+            cache_misses: trace.cache_misses,
+            error: false,
+            est_ratio: worst_estimate_ratio(&trace.estimates),
+            trace_id: id,
+        });
         if let Some(hook) = &self.trace_hook {
             hook(&trace);
         }
@@ -1389,6 +1416,27 @@ impl FileDatabase {
 /// Monotonic elapsed time in nanoseconds, saturating at `u64::MAX`.
 fn elapsed_nanos(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Worst estimated-vs-actual cardinality ratio across a trace's per-variable
+/// estimates, for the workload table's mis-estimation exemplar. The estimate
+/// interval collapses to its midpoint (unbounded highs fall back to the low
+/// bound) and both sides get +1 smoothing so empty results don't divide by
+/// zero; ratios below 1 are inverted so under- and over-estimates rank alike.
+fn worst_estimate_ratio(estimates: &[CardEstimate]) -> f64 {
+    estimates
+        .iter()
+        .map(|e| {
+            let hi = e.est_hi.unwrap_or(e.est_lo);
+            let mid = (e.est_lo as f64 + hi as f64) / 2.0;
+            let ratio = (mid + 1.0) / (e.observed as f64 + 1.0);
+            if ratio < 1.0 {
+                1.0 / ratio
+            } else {
+                ratio
+            }
+        })
+        .fold(1.0_f64, f64::max)
 }
 
 /// Renumbers a span forest pre-order, continuing from `next` — used to

@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use qof_grammar::{PathFilter, StructuringSchema};
-use qof_pat::{Instance, RegionExpr};
+use qof_pat::{fnv1a64, Instance, RegionExpr};
 
 use crate::analyze::absint::{certify, AbsInterp, CardInterval};
 use crate::cost::{CachedChain, PlanCache, StatsStore};
@@ -147,6 +147,13 @@ pub struct Plan {
     /// Every optimizer rewrite applied while lowering the query's chains,
     /// in application order.
     pub rewrites: Vec<PlanRewrite>,
+    /// The plan's deterministic workload fingerprint: FNV-1a over the
+    /// view symbols and every *pre-optimization* chain key the lowering
+    /// consulted (the plan cache's own keys), so one fingerprint ⇔ one
+    /// optimize-and-certify outcome, stable across processes. Trace
+    /// schema v6 stamps it; `GET /workload` and `qof qlog analyze`
+    /// aggregate under it.
+    pub fingerprint: u64,
 }
 
 /// Planning failures.
@@ -331,8 +338,11 @@ impl<'a> Planner<'a> {
         }
 
         // Plan per-var conditions, collecting push-down filter paths and
-        // the optimizer rewrites fired along the way.
+        // the optimizer rewrites fired along the way. Every chain key the
+        // lowering consults is also collected: the plan's workload
+        // fingerprint hashes them in planning order.
         let mut rewrites: Vec<PlanRewrite> = Vec::new();
+        let mut fp_keys: Vec<String> = Vec::new();
         for vp in &mut vars {
             let conds = &local
                 .iter()
@@ -344,7 +354,9 @@ impl<'a> Planner<'a> {
             let mut filter_specs: Vec<Vec<String>> = Vec::new();
             let planned = conds
                 .iter()
-                .map(|c| self.plan_cond(c, &vp.symbol, &mut filter_specs, &mut rewrites))
+                .map(|c| {
+                    self.plan_cond(c, &vp.symbol, &mut filter_specs, &mut rewrites, &mut fp_keys)
+                })
                 .collect::<Result<Vec<_>, _>>()?;
             vp.cond = planned.into_iter().reduce(|a, b| CondNode::And(Box::new(a), Box::new(b)));
             let folded = conds.iter().cloned().reduce(|a, b| Cond::And(Box::new(a), Box::new(b)));
@@ -380,8 +392,8 @@ impl<'a> Planner<'a> {
                     .clone();
                 let lspec = resolve_path(&self.schema.grammar, &lsym, &p.steps)?;
                 let rspec = resolve_path(&self.schema.grammar, &rsym, &qp.steps)?;
-                let (le, ld, lex) = self.deep_expr(&lspec, &mut rewrites)?;
-                let (re, rd, rex) = self.deep_expr(&rspec, &mut rewrites)?;
+                let (le, ld, lex) = self.deep_expr(&lspec, &mut rewrites, &mut fp_keys)?;
+                let (re, rd, rex) = self.deep_expr(&rspec, &mut rewrites, &mut fp_keys)?;
                 // Extend the push-down filters with the join paths.
                 for vp in &mut vars {
                     let spec = if vp.var == lv {
@@ -425,13 +437,34 @@ impl<'a> Planner<'a> {
                 let mut f = PathFilter::from_paths(&filter_paths(&spec));
                 f.merge(&vp.filter);
                 vp.filter = f;
-                let chain = self.deep_expr(&spec, &mut rewrites).ok();
+                let chain = self.deep_expr(&spec, &mut rewrites, &mut fp_keys).ok();
                 let steps = compile_steps(&self.schema.grammar, &vp.symbol, &p.steps)?;
                 ProjPlan::Values { var: p.var.clone(), steps, chain }
             }
         };
 
-        Ok(Plan { vars, join, projection, rewrites })
+        // The workload fingerprint. A single-chain plan (the common
+        // shape) hashes exactly its chain key — the same key the plan
+        // cache memoizes under and per-fingerprint calibration reads, so
+        // the feedback loop closes on the identical value. Multi-chain
+        // plans hash all keys in planning order; a bare scan hashes the
+        // strict flag and view symbols (so scans of different views
+        // differ). All material is deterministic spelling — the hash is
+        // identical across processes for the same query shape.
+        let fingerprint = match fp_keys.as_slice() {
+            [single] => fnv1a64(single.as_bytes()),
+            keys => {
+                let mut material = format!("plan|strict={}", self.strict);
+                for vp in &vars {
+                    let _ = write!(material, "|var:{}", vp.symbol);
+                }
+                for key in keys {
+                    let _ = write!(material, "|chain:{key}");
+                }
+                fnv1a64(material.as_bytes())
+            }
+        };
+        Ok(Plan { vars, join, projection, rewrites, fingerprint })
     }
 
     /// Plans a single-variable condition.
@@ -441,12 +474,13 @@ impl<'a> Planner<'a> {
         view_symbol: &str,
         filters: &mut Vec<Vec<String>>,
         rewrites: &mut Vec<PlanRewrite>,
+        fp_keys: &mut Vec<String>,
     ) -> Result<CondNode, PlanError> {
         match cond {
             Cond::Eq(p, crate::RightHand::Const(w)) => {
                 let spec = resolve_path(&self.schema.grammar, view_symbol, &p.steps)?;
                 filters.extend(filter_paths(&spec));
-                let (expr, display, exact) = self.container_expr(&spec, w, rewrites)?;
+                let (expr, display, exact) = self.container_expr(&spec, w, rewrites, fp_keys)?;
                 Ok(CondNode::IndexOnly { expr, display, exact })
             }
             Cond::Eq(p, crate::RightHand::Path(qp)) => {
@@ -454,8 +488,8 @@ impl<'a> Planner<'a> {
                 let rspec = resolve_path(&self.schema.grammar, view_symbol, &qp.steps)?;
                 filters.extend(filter_paths(&lspec));
                 filters.extend(filter_paths(&rspec));
-                let (le, ld, lex) = self.deep_expr(&lspec, rewrites)?;
-                let (re, rd, rex) = self.deep_expr(&rspec, rewrites)?;
+                let (le, ld, lex) = self.deep_expr(&lspec, rewrites, fp_keys)?;
+                let (re, rd, rex) = self.deep_expr(&rspec, rewrites, fp_keys)?;
                 Ok(CondNode::ContentCompare {
                     left: le,
                     right: re,
@@ -464,16 +498,20 @@ impl<'a> Planner<'a> {
                 })
             }
             Cond::And(a, b) => Ok(CondNode::And(
-                Box::new(self.plan_cond(a, view_symbol, filters, rewrites)?),
-                Box::new(self.plan_cond(b, view_symbol, filters, rewrites)?),
+                Box::new(self.plan_cond(a, view_symbol, filters, rewrites, fp_keys)?),
+                Box::new(self.plan_cond(b, view_symbol, filters, rewrites, fp_keys)?),
             )),
             Cond::Or(a, b) => Ok(CondNode::Or(
-                Box::new(self.plan_cond(a, view_symbol, filters, rewrites)?),
-                Box::new(self.plan_cond(b, view_symbol, filters, rewrites)?),
+                Box::new(self.plan_cond(a, view_symbol, filters, rewrites, fp_keys)?),
+                Box::new(self.plan_cond(b, view_symbol, filters, rewrites, fp_keys)?),
             )),
-            Cond::Not(a) => {
-                Ok(CondNode::Not(Box::new(self.plan_cond(a, view_symbol, filters, rewrites)?)))
-            }
+            Cond::Not(a) => Ok(CondNode::Not(Box::new(self.plan_cond(
+                a,
+                view_symbol,
+                filters,
+                rewrites,
+                fp_keys,
+            )?))),
         }
     }
 
@@ -484,6 +522,7 @@ impl<'a> Planner<'a> {
         spec: &PathSpec,
         word: &str,
         rewrites: &mut Vec<PlanRewrite>,
+        fp_keys: &mut Vec<String>,
     ) -> Result<(RegionExpr, String, bool), PlanError> {
         // A trailing `*` in the constant selects by word prefix — PAT's
         // lexical search (`r.Last_Name = "Ch*"`).
@@ -494,7 +533,8 @@ impl<'a> Planner<'a> {
         let mut exprs: Vec<(RegionExpr, String, bool)> = Vec::new();
         for alt in &spec.alternatives {
             let chain = self.project_chain(alt, Some(selector.clone()));
-            let (expr, display, exact) = self.lower_chain(&chain, Direction::Including, rewrites);
+            let (expr, display, exact) =
+                self.lower_chain(&chain, Direction::Including, rewrites, fp_keys);
             exprs.push((expr, display, exact));
         }
         combine_union(exprs)
@@ -506,11 +546,13 @@ impl<'a> Planner<'a> {
         &self,
         spec: &PathSpec,
         rewrites: &mut Vec<PlanRewrite>,
+        fp_keys: &mut Vec<String>,
     ) -> Result<(RegionExpr, String, bool), PlanError> {
         let mut exprs: Vec<(RegionExpr, String, bool)> = Vec::new();
         for alt in &spec.alternatives {
             let chain = self.project_chain(alt, None);
-            let (expr, display, exact) = self.lower_chain(&chain, Direction::IncludedIn, rewrites);
+            let (expr, display, exact) =
+                self.lower_chain(&chain, Direction::IncludedIn, rewrites, fp_keys);
             exprs.push((expr, display, exact));
         }
         combine_union(exprs)
@@ -652,6 +694,7 @@ impl<'a> Planner<'a> {
         chain: &ProjectedChain,
         dir: Direction,
         rewrites: &mut Vec<PlanRewrite>,
+        fp_keys: &mut Vec<String>,
     ) -> (RegionExpr, String, bool) {
         // Split at Exact ops; optimize each run as an InclusionExpr.
         let mut runs: Vec<(Vec<String>, Vec<ChainOp>)> = Vec::new();
@@ -685,6 +728,11 @@ impl<'a> Planner<'a> {
                 Direction::Including => InclusionExpr::including(names, ops, selector),
                 Direction::IncludedIn => InclusionExpr::included_in(names, ops, selector),
             };
+            // The chain key (the plan cache's own key) doubles as the
+            // workload-fingerprint material and the per-fingerprint
+            // calibration key — one spelling, three consumers.
+            let key = PlanCache::chain_key(&ie, self.strict);
+            fp_keys.push(key.clone());
             // Scoped keys are not RIG nodes; skip optimization for runs
             // containing them (they are already short).
             let has_scoped = ie.names().iter().any(|n| n.contains('.'));
@@ -696,7 +744,7 @@ impl<'a> Planner<'a> {
             // outcome per chain shape; entries only live within one
             // statistics epoch, so a hit is always byte-identical to what
             // a fresh lowering would produce.
-            let cache_key = self.plan_cache.map(|_| PlanCache::chain_key(&ie, self.strict));
+            let cache_key = self.plan_cache.map(|_| key.clone());
             if let (Some(pc), Some(key)) = (self.plan_cache, cache_key.as_deref()) {
                 if let Some(cached) = pc.get(key) {
                     rewrites.extend(cached.rewrites);
@@ -707,9 +755,14 @@ impl<'a> Planner<'a> {
             }
             // With statistics, rank the certified-equivalent normal forms
             // by estimated cost; without, keep the syntactic
-            // leftmost-first canonical form.
+            // leftmost-first canonical form. Hot shapes rank with their
+            // own calibration (keyed on the chain fingerprint) instead of
+            // the global per-operator blend.
+            let chain_fp = fnv1a64(key.as_bytes());
             let opt = match self.stats {
-                Some(st) => optimize_costed(&ie, self.partial_rig, &|e| st.estimate_cost(e)),
+                Some(st) => {
+                    optimize_costed(&ie, self.partial_rig, &|e| st.estimate_cost_fp(e, chain_fp))
+                }
                 None => optimize(&ie, self.partial_rig),
             };
             // Every recorded step goes through the abstract-interpretation

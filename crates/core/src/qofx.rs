@@ -41,7 +41,7 @@
 //! checksum is rejected rather than trusted.
 
 use qof_grammar::IndexSpec;
-use qof_pat::{Instance, Region, RegionSet};
+use qof_pat::{fnv1a64, Instance, Region, RegionSet};
 use qof_text::varint::{decode_u32, decode_u64, encode_u32, encode_u64};
 use qof_text::{CompressedWordIndex, Corpus, FileEntry, Pos};
 use std::fmt;
@@ -113,28 +113,14 @@ impl From<io::Error> for QofxError {
     }
 }
 
-/// FNV-1a 64 over `data`, widened to 8-byte lanes so the open-path
-/// checksum runs at memory speed instead of a byte per multiply. Each
-/// step is `h = (h ^ chunk) * prime` with an odd prime, which is a
-/// bijection in the chunk — so any single flipped bit anywhere in the
-/// file is guaranteed (not just likely) to change the digest, same as
-/// classic byte-wise FNV-1a. Not cryptographic: it guards against bit
-/// rot and truncation, not adversaries, and keeps the open path
-/// dependency-free and single-pass.
-fn fnv1a64(data: &[u8]) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut chunks = data.chunks_exact(8);
-    for c in &mut chunks {
-        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
-        h = h.wrapping_mul(PRIME);
-    }
-    for &b in chunks.remainder() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
+// The checksum is [`fnv1a64`]: FNV-1a 64 widened to 8-byte lanes, so the
+// open-path digest runs at memory speed instead of a byte per multiply.
+// Each step is `h = (h ^ chunk) * prime` with an odd prime — a bijection
+// in the chunk, so any single flipped bit anywhere in the file is
+// guaranteed (not just likely) to change the digest, same as classic
+// byte-wise FNV-1a. Not cryptographic: it guards against bit rot and
+// truncation, not adversaries. The same helper fingerprints query shapes
+// (workload analytics), so the spelling lives in `qof_pat` alone.
 
 /// Everything a `.qofx` file reconstructs.
 pub(crate) struct QofxContents {

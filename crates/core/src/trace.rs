@@ -33,9 +33,13 @@ use crate::plan::PlanRewrite;
 /// and `start_nanos` (its start offset on the query's shared monotonic
 /// timeline), and phases and shards carry `start_nanos` too — enough to
 /// export the run as Chrome `trace_event` JSON
-/// ([`trace_to_perfetto`](crate::perfetto::trace_to_perfetto)). All
-/// earlier fields are unchanged.
-pub const TRACE_SCHEMA_VERSION: u64 = 5;
+/// ([`trace_to_perfetto`](crate::perfetto::trace_to_perfetto)). v6 added
+/// workload analytics: `fingerprint` (the plan's deterministic FNV-1a
+/// fingerprint, serialized as a fixed-width 16-hex string — the
+/// aggregation key of `GET /workload` and `qof qlog analyze`) and
+/// `bytes_touched` (parse-phase bytes scanned plus content bytes read).
+/// All earlier fields are unchanged.
+pub const TRACE_SCHEMA_VERSION: u64 = 6;
 
 /// The abstract interpreter's verdict on one plan node (trace schema v3):
 /// a static domain, a cardinality interval and an emptiness fact, as
@@ -123,6 +127,10 @@ pub struct QueryTrace {
     ///
     /// [`FileDatabase`]: crate::FileDatabase
     pub id: u64,
+    /// The plan's deterministic fingerprint (schema v6): FNV-1a over the
+    /// normalized chain spellings the plan cache keys on, identical
+    /// across processes for the same query shape. 0 means "not stamped".
+    pub fingerprint: u64,
     /// The query source text.
     pub query: String,
     /// The EXPLAIN text of the executed plan.
@@ -151,6 +159,9 @@ pub struct QueryTrace {
     pub plan_cache_misses: u64,
     /// End-to-end wall time, nanoseconds.
     pub total_nanos: u64,
+    /// Bytes the run touched (schema v6): parse-phase bytes scanned plus
+    /// content bytes read by conditions, joins and projections.
+    pub bytes_touched: u64,
     /// Candidate view regions considered.
     pub candidates: usize,
     /// Result count.
@@ -199,6 +210,9 @@ impl QueryTrace {
         let _ = writeln!(out, "query: {}", self.query);
         if self.id != 0 {
             let _ = writeln!(out, "id: {}", self.id);
+        }
+        if self.fingerprint != 0 {
+            let _ = writeln!(out, "fingerprint: {:016x}", self.fingerprint);
         }
         let _ = writeln!(out, "plan:");
         for line in self.plan.lines() {
@@ -307,6 +321,9 @@ impl QueryTrace {
         s.push('{');
         let _ = write!(s, "\"schema_version\":{TRACE_SCHEMA_VERSION}");
         let _ = write!(s, ",\"id\":{}", self.id);
+        // 16-hex string, not a number: JSON consumers (python CI folds,
+        // jq) would round a u64 past 2^53.
+        let _ = write!(s, ",\"fingerprint\":\"{:016x}\"", self.fingerprint);
         let _ = write!(s, ",\"query\":\"{}\"", esc(&self.query));
         let _ = write!(s, ",\"plan\":\"{}\"", esc(&self.plan));
         s.push_str(",\"rewrites\":[");
@@ -399,6 +416,7 @@ impl QueryTrace {
             self.plan_cache_hits, self.plan_cache_misses
         );
         let _ = write!(s, ",\"total_nanos\":{}", self.total_nanos);
+        let _ = write!(s, ",\"bytes_touched\":{}", self.bytes_touched);
         let _ = write!(s, ",\"candidates\":{},\"results\":{}", self.candidates, self.results);
         let _ = write!(s, ",\"exact_index\":{}", self.exact_index);
         s.push('}');
@@ -480,8 +498,12 @@ impl QueryTrace {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let fingerprint_hex = get_str(obj, "fingerprint")?;
+        let fingerprint = u64::from_str_radix(&fingerprint_hex, 16)
+            .map_err(|_| format!("fingerprint `{fingerprint_hex}` is not a hex u64"))?;
         Ok(QueryTrace {
             id: get_u64(obj, "id")?,
+            fingerprint,
             query: get_str(obj, "query")?,
             plan: get_str(obj, "plan")?,
             rewrites,
@@ -495,6 +517,7 @@ impl QueryTrace {
             plan_cache_hits: get_u64(obj, "plan_cache_hits")?,
             plan_cache_misses: get_u64(obj, "plan_cache_misses")?,
             total_nanos: get_u64(obj, "total_nanos")?,
+            bytes_touched: get_u64(obj, "bytes_touched")?,
             candidates: usize_from(get_u64(obj, "candidates")?)?,
             results: usize_from(get_u64(obj, "results")?)?,
             exact_index: get_bool(obj, "exact_index")?,
@@ -660,6 +683,7 @@ mod tests {
         };
         QueryTrace {
             id: 7,
+            fingerprint: 0xdead_beef_0042_0007,
             query: "SELECT r FROM References r WHERE r.Year = \"1982\"".into(),
             plan: "var r : view References over <Reference>\n  index: …\n".into(),
             rewrites: vec![PlanRewrite {
@@ -709,6 +733,7 @@ mod tests {
             plan_cache_hits: 2,
             plan_cache_misses: 1,
             total_nanos: 2_100_000,
+            bytes_touched: 4_096,
             candidates: 5,
             results: 1,
             exact_index: true,
@@ -719,6 +744,8 @@ mod tests {
     fn json_round_trips() {
         let trace = sample();
         let json = trace.to_json();
+        assert!(json.contains("\"fingerprint\":\"deadbeef00420007\""), "{json}");
+        assert!(json.contains("\"bytes_touched\":4096"), "{json}");
         let back = QueryTrace::from_json(&json).expect("own output parses");
         assert_eq!(back, trace);
         // And the round trip is a fixpoint.
@@ -727,7 +754,7 @@ mod tests {
 
     #[test]
     fn from_json_rejects_bad_versions_and_garbage() {
-        let json = sample().to_json().replace("\"schema_version\":5", "\"schema_version\":999");
+        let json = sample().to_json().replace("\"schema_version\":6", "\"schema_version\":999");
         assert!(QueryTrace::from_json(&json).unwrap_err().contains("schema version"));
         assert!(QueryTrace::from_json("{").is_err());
         assert!(QueryTrace::from_json("[]").is_err());
@@ -739,6 +766,7 @@ mod tests {
         let text = sample().render();
         assert!(text.contains("query: SELECT r"));
         assert!(text.contains("id: 7"));
+        assert!(text.contains("fingerprint: deadbeef00420007"));
         assert!(text.contains("optimizer rewrites: 1"));
         assert!(text.contains("[3.5(b)] drop Name"));
         assert!(text.contains("✓ certified"));

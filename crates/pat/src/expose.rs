@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 use crate::history::HistorySample;
 use crate::slo::{SloSpec, SloStatus};
 use crate::trace::{Histogram, MetricsSnapshot};
+use crate::workload::WorkloadEntry;
 
 /// Version stamp of the `/metrics/history` JSON envelope.
 pub const HISTORY_SCHEMA_VERSION: u64 = 1;
@@ -309,6 +310,95 @@ pub fn history_to_json(
     out
 }
 
+/// Version stamp of the `GET /workload` JSON envelope.
+pub const WORKLOAD_SCHEMA_VERSION: u64 = 1;
+
+/// Serializes a workload-table snapshot as the `GET /workload` document,
+/// also printed by `qof stats --workload` and rebuilt offline by
+/// `qof qlog analyze --json`. Fingerprints render as fixed-width 16-hex
+/// strings (JSON numbers would lose bits past 2^53 in consumers).
+pub fn workload_to_json(entries: &[WorkloadEntry], capacity: usize) -> String {
+    let mut out = format!(
+        "{{\"schema_version\":{WORKLOAD_SCHEMA_VERSION},\"capacity\":{capacity},\
+         \"entries\":["
+    );
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"fingerprint\":\"{:016x}\",\"exemplar\":\"{}\",\"hits\":{},\
+             \"overcount\":{},\"errors\":{},\"total_bytes\":{},\"max_bytes\":{},\
+             \"plan_cache_hits\":{},\"plan_cache_misses\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\
+             \"worst_est_ratio\":{},\"worst_est_trace\":{},\"latency\":{}}}",
+            e.fingerprint,
+            esc_json(&e.exemplar),
+            e.hits,
+            e.overcount,
+            e.errors,
+            e.total_bytes,
+            e.max_bytes,
+            e.plan_cache_hits,
+            e.plan_cache_misses,
+            e.cache_hits,
+            e.cache_misses,
+            e.worst_est_ratio,
+            e.worst_est_trace,
+            histogram_json(&e.latency)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the workload table as Prometheus series with `fingerprint`
+/// labels — appended after [`render_prometheus`] by the server when
+/// `GET /workload?format=prometheus` is asked, so the base exposition
+/// (and its golden test) stays byte-identical.
+///
+/// Everything is a gauge, not a counter: space-saving eviction can
+/// recycle an entry, so a series may reset or vanish between scrapes.
+pub fn render_workload_prometheus(entries: &[WorkloadEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP qof_workload_hits Observations counted against the fingerprint \
+         (space-saving: up to `overcount` may be inherited)."
+    );
+    let _ = writeln!(out, "# TYPE qof_workload_hits gauge");
+    for e in entries {
+        let _ =
+            writeln!(out, "qof_workload_hits{{fingerprint=\"{:016x}\"}} {}", e.fingerprint, e.hits);
+    }
+    let _ = writeln!(out, "# HELP qof_workload_errors Failed queries per fingerprint.");
+    let _ = writeln!(out, "# TYPE qof_workload_errors gauge");
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "qof_workload_errors{{fingerprint=\"{:016x}\"}} {}",
+            e.fingerprint, e.errors
+        );
+    }
+    let _ = writeln!(out, "# HELP qof_workload_bytes_total Bytes touched per fingerprint.");
+    let _ = writeln!(out, "# TYPE qof_workload_bytes_total gauge");
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "qof_workload_bytes_total{{fingerprint=\"{:016x}\"}} {}",
+            e.fingerprint, e.total_bytes
+        );
+    }
+    let _ = writeln!(out, "# HELP qof_workload_latency_seconds Per-fingerprint query latency.");
+    let _ = writeln!(out, "# TYPE qof_workload_latency_seconds histogram");
+    for e in entries {
+        let label = format!("fingerprint=\"{:016x}\"", e.fingerprint);
+        histogram_series(&mut out, "qof_workload_latency_seconds", &label, &e.latency);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +547,49 @@ qof_op_latency_seconds_count{op=\"⊃\"} 1
         let parsed = crate::json::Json::parse(&json).expect("envelope parses");
         let obj = parsed.as_obj().unwrap();
         assert_eq!(crate::json::get_arr(obj, "samples").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn workload_json_and_prometheus() {
+        use crate::workload::{WorkloadObs, WorkloadTable};
+        let t = WorkloadTable::new();
+        t.observe(&WorkloadObs {
+            fingerprint: 0xabcd,
+            exemplar: "SELECT r FROM References r".to_owned(),
+            nanos: 1_000,
+            bytes: 42,
+            plan_cache_hits: 1,
+            plan_cache_misses: 1,
+            cache_hits: 0,
+            cache_misses: 3,
+            error: false,
+            est_ratio: 2.5,
+            trace_id: 9,
+        });
+        let snap = t.snapshot();
+        let json = workload_to_json(&snap, t.capacity());
+        assert!(json.contains("\"schema_version\":1,\"capacity\":64"), "{json}");
+        assert!(json.contains("\"fingerprint\":\"000000000000abcd\""), "{json}");
+        assert!(json.contains("\"hits\":1,\"overcount\":0,\"errors\":0"), "{json}");
+        assert!(json.contains("\"total_bytes\":42,\"max_bytes\":42"), "{json}");
+        assert!(json.contains("\"worst_est_ratio\":2.5,\"worst_est_trace\":9"), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+        let parsed = crate::json::Json::parse(&json).expect("workload document parses");
+        let obj = parsed.as_obj().unwrap();
+        assert_eq!(crate::json::get_arr(obj, "entries").unwrap().len(), 1);
+        let text = render_workload_prometheus(&snap);
+        assert!(text.contains("qof_workload_hits{fingerprint=\"000000000000abcd\"} 1"), "{text}");
+        assert!(text.contains("qof_workload_errors{fingerprint=\"000000000000abcd\"} 0"), "{text}");
+        assert!(
+            text.contains("qof_workload_bytes_total{fingerprint=\"000000000000abcd\"} 42"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qof_workload_latency_seconds_count{fingerprint=\"000000000000abcd\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! [`QueryTrace`]: qof_core::QueryTrace
 //! [`MetricsRegistry`]: qof_pat::MetricsRegistry
 
+mod analyzer;
 pub mod http;
 mod qlog;
 mod recorder;
@@ -48,9 +49,13 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use qof_core::{trace_to_perfetto, traces_to_perfetto, FileDatabase};
 pub use qof_pat::SloSpec;
 use qof_pat::{
-    history_to_json, render_prometheus, render_slo_prometheus, snapshot_to_json, MetricsRegistry,
+    history_to_json, render_prometheus, render_slo_prometheus, render_workload_prometheus,
+    snapshot_to_json, workload_to_json, MetricsRegistry,
 };
 
+pub use analyzer::{
+    analyze_qlog, render_report, report_json, QlogReport, QLOG_REPORT_SCHEMA_VERSION,
+};
 pub use http::Client;
 use http::{esc_json, read_request, write_response, Request, RequestError};
 pub use qlog::{error_line, normalize_query, success_line, warn_line, QueryLog, DEFAULT_QLOG_KEEP};
@@ -352,6 +357,15 @@ fn route(state: &State, req: &Request) -> (u16, &'static str, String) {
         }
         ("GET", p) if p.strip_prefix("/flight-recorder/").is_some() => {
             handle_recorded(state, req, p.strip_prefix("/flight-recorder/").unwrap_or_default())
+        }
+        ("GET", "/workload") => {
+            let workload = state.db.workload();
+            let entries = workload.snapshot();
+            if req.query_param("format") == Some("prometheus") {
+                (200, PROM, render_workload_prometheus(&entries))
+            } else {
+                (200, JSON, workload_to_json(&entries, workload.capacity()))
+            }
         }
         ("POST", "/shutdown") => {
             // Only sets the flag; the caller wakes the accept loop after the

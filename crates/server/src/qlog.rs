@@ -36,28 +36,40 @@ fn now_ms() -> u128 {
     SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis())
 }
 
-/// The log line for a successful traced query (no trailing newline).
+/// The log line for a successful traced query (no trailing newline). The
+/// query fingerprint is rendered as a fixed 16-hex-digit string — like the
+/// trace JSON, because a u64 does not survive an f64 round-trip as a JSON
+/// number — so `qof qlog analyze` rebuilds the same workload table the
+/// server aggregates live.
 pub fn success_line(trace: &QueryTrace, ts_ms: u128) -> String {
     format!(
-        "{{\"ts_ms\":{ts_ms},\"id\":{},\"query\":\"{}\",\"outcome\":\"ok\",\
-         \"total_nanos\":{},\"candidates\":{},\"results\":{},\
-         \"cache_hits\":{},\"cache_misses\":{},\"exact_index\":{}}}",
+        "{{\"ts_ms\":{ts_ms},\"id\":{},\"fp\":\"{:016x}\",\"query\":\"{}\",\"outcome\":\"ok\",\
+         \"total_nanos\":{},\"bytes\":{},\"candidates\":{},\"results\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\
+         \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"exact_index\":{}}}",
         trace.id,
+        trace.fingerprint,
         esc_json(&normalize_query(&trace.query)),
         trace.total_nanos,
+        trace.bytes_touched,
         trace.candidates,
         trace.results,
         trace.cache_hits,
         trace.cache_misses,
+        trace.plan_cache_hits,
+        trace.plan_cache_misses,
         trace.exact_index,
     )
 }
 
-/// The log line for a failed query (no trailing newline).
+/// The log line for a failed query (no trailing newline). A failed query
+/// died before planning finished, so it has no fingerprint; the analyzer
+/// groups these under the all-zero fingerprint.
 pub fn error_line(id: u64, query: &str, error: &str, total_nanos: u64, ts_ms: u128) -> String {
     format!(
-        "{{\"ts_ms\":{ts_ms},\"id\":{id},\"query\":\"{}\",\"outcome\":\"error\",\
-         \"error\":\"{}\",\"total_nanos\":{total_nanos}}}",
+        "{{\"ts_ms\":{ts_ms},\"id\":{id},\"fp\":\"{:016x}\",\"query\":\"{}\",\
+         \"outcome\":\"error\",\"error\":\"{}\",\"total_nanos\":{total_nanos}}}",
+        0u64,
         esc_json(&normalize_query(query)),
         esc_json(error),
     )
@@ -224,22 +236,27 @@ mod tests {
     fn success_line_shape() {
         let trace = QueryTrace {
             id: 3,
+            fingerprint: 0xdead_beef_0042_0007,
             query: "SELECT r\nFROM References r".into(),
             total_nanos: 1234,
+            bytes_touched: 4096,
             candidates: 10,
             results: 2,
             cache_hits: 1,
             cache_misses: 4,
+            plan_cache_hits: 1,
+            plan_cache_misses: 0,
             exact_index: true,
             ..Default::default()
         };
         let line = success_line(&trace, 1700000000000);
         assert_eq!(
             line,
-            "{\"ts_ms\":1700000000000,\"id\":3,\
+            "{\"ts_ms\":1700000000000,\"id\":3,\"fp\":\"deadbeef00420007\",\
              \"query\":\"SELECT r FROM References r\",\"outcome\":\"ok\",\
-             \"total_nanos\":1234,\"candidates\":10,\"results\":2,\
-             \"cache_hits\":1,\"cache_misses\":4,\"exact_index\":true}"
+             \"total_nanos\":1234,\"bytes\":4096,\"candidates\":10,\"results\":2,\
+             \"cache_hits\":1,\"cache_misses\":4,\
+             \"plan_cache_hits\":1,\"plan_cache_misses\":0,\"exact_index\":true}"
         );
     }
 
@@ -273,10 +290,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("qof-qlog-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("query.log");
-        // ~120-byte lines against a 300-byte cap: rotation every 2–3 lines.
+        // ~160-byte lines against a 400-byte cap: rotation every 2 lines.
         let total = 40u64;
         {
-            let log = QueryLog::rotating(&path, 300, 2).unwrap();
+            let log = QueryLog::rotating(&path, 400, 2).unwrap();
             for id in 1..=total {
                 log.log_error(id, "SELECT r FROM References r", "synthetic failure", 1_000);
             }

@@ -40,7 +40,7 @@ fn healthz_metrics_and_query_roundtrip() {
     assert_eq!(status, 200);
     assert!(body.contains("\"id\":2"), "{body}");
     assert!(body.contains("\"trace\":{"), "{body}");
-    assert!(body.contains("\"schema_version\":5"), "{body}");
+    assert!(body.contains("\"schema_version\":6"), "{body}");
     // v4+: estimated-vs-actual cardinalities and plan-cache counters ride
     // along in every explain response.
     assert!(body.contains("\"estimates\":["), "{body}");
@@ -241,7 +241,7 @@ fn history_slo_and_perfetto_endpoints() {
     assert!(body.contains("\"process_name\"") && body.contains("query 1:"), "{body}");
     let (status, body) = client.get("/flight-recorder/1").unwrap();
     assert_eq!(status, 200);
-    assert!(body.contains("\"schema_version\":5"), "{body}");
+    assert!(body.contains("\"schema_version\":6"), "{body}");
     let (status, _) = client.get("/flight-recorder/999").unwrap();
     assert_eq!(status, 404);
     let (status, _) = client.get("/flight-recorder/xyz").unwrap();
@@ -249,6 +249,38 @@ fn history_slo_and_perfetto_endpoints() {
 
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn workload_endpoint_aggregates_fingerprints() {
+    let handle = start(QueryLog::discard(), &ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Two spellings of the same shape (whitespace only) plus a different
+    // shape: the fingerprint keys the normalized region expression, so
+    // the table must show two entries with hits 2 and 1.
+    client.post("/query", QUERY).unwrap();
+    client.post("/query", "SELECT r\n  FROM References r\n  WHERE r.Year = \"1982\"").unwrap();
+    let other = "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = \"Chang\"";
+    client.post("/query", other).unwrap();
+
+    let (status, body) = client.get("/workload").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema_version\":1"), "{body}");
+    assert!(body.contains("\"capacity\":64"), "{body}");
+    assert!(body.contains("\"hits\":2"), "{body}");
+    assert!(body.contains("\"hits\":1"), "{body}");
+    assert_eq!(body.matches("\"fingerprint\":").count(), 2, "two shapes: {body}");
+    // The second run of the repeated shape hit the plan cache.
+    assert!(body.contains("\"plan_cache_hits\":1"), "{body}");
+
+    let (status, prom) = client.get("/workload?format=prometheus").unwrap();
+    assert_eq!(status, 200);
+    assert!(prom.contains("# TYPE qof_workload_hits gauge"), "{prom}");
+    assert!(prom.contains("} 2"), "{prom}");
+    assert!(prom.contains("qof_workload_latency_seconds_bucket"), "{prom}");
+
+    handle.shutdown();
 }
 
 #[test]

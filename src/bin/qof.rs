@@ -54,13 +54,14 @@ fn usage() -> ExitCode {
          [<file>...] <query>\n  \
          qof explain <schema> [--index A,B,C] [--from-index F.qofx] [<file>...] <query>\n  \
          qof stats   <schema> [--index A,B,C] [--from-index F.qofx] [--threads N] [--cache]\n              \
-         [--json] [--history] [<file>...] <query>...\n  \
+         [--json] [--history] [--workload] [<file>...] <query>...\n  \
          qof serve   <schema> [--index A,B,C] [--from-index F.qofx] [--threads N] [--cache]\n              \
          [--port P] [--log FILE] [--qlog-max-bytes N] [--slow-ms MS] [--recorder N]\n              \
          [--timeout-ms MS] [--history-interval-ms MS] [--slo p95=50ms,err=0.1%] [<file>...]\n  \
          qof top     [--host H] [--port P] [--interval-ms MS] [--frames N] [--once]\n  \
          qof index build   <schema> [--index A,B,C] --out F.qofx <file>...\n  \
          qof index inspect <F.qofx>\n  \
+         qof qlog analyze  <query.log> [--json]\n  \
          qof advise  <schema> [--costed] [<file>...] <query>...\n  \
          qof check   <schema> [--index A,B,C] [--json] [--strict] [<query>...]\n\
          schemas: bibtex mail logs sgml code"
@@ -137,6 +138,7 @@ fn run_stats(
     cache: bool,
     json: bool,
     history: bool,
+    workload: bool,
 ) -> Result<ExitCode, String> {
     let (files, queries): (Vec<String>, Vec<String>) =
         rest.into_iter().partition(|a| std::path::Path::new(a).is_file());
@@ -161,7 +163,24 @@ fn run_stats(
         // The same envelope the server's `GET /metrics/history` serves.
         let now = wall_ms();
         let samples = registry.history().samples(0, now);
+        if samples.is_empty() {
+            return Err("metrics history ring is empty — a sampler that never ran records \
+                        nothing (a server started with --history-interval-ms 0 has the same \
+                        symptom); re-run with sampling enabled"
+                .to_owned());
+        }
         println!("{}", qof::pat::history_to_json(&samples, 0, now, None));
+        return Ok(ExitCode::SUCCESS);
+    }
+    if workload {
+        let table = db.workload();
+        let entries = table.snapshot();
+        if json {
+            // The same envelope the server's `GET /workload` serves.
+            println!("{}", qof::pat::workload_to_json(&entries, table.capacity()));
+        } else {
+            print!("{}", render_workload_table(&entries));
+        }
         return Ok(ExitCode::SUCCESS);
     }
     let snap = registry.snapshot();
@@ -212,6 +231,41 @@ fn run_stats(
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The human rendering of a workload snapshot, shared by
+/// `qof stats --workload` and the `qof top` pane.
+fn render_workload_table(entries: &[qof::pat::WorkloadEntry]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if entries.is_empty() {
+        let _ = writeln!(out, "  (no traced queries yet)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>6} {:>9} {:>9} {:>6} {:>6}  exemplar",
+        "fingerprint", "hits", "p50", "p95", "plan%", "cache%"
+    );
+    for e in entries {
+        let s = e.latency.summary();
+        let pct = |r: Option<f64>| r.map_or("-".to_owned(), |r| format!("{:.0}", r * 100.0));
+        let mut q: String = e.exemplar.split_whitespace().collect::<Vec<_>>().join(" ");
+        if q.chars().count() > 44 {
+            q = q.chars().take(43).collect::<String>() + "…";
+        }
+        let _ = writeln!(
+            out,
+            "  {:016x} {:>6} {:>9} {:>9} {:>6} {:>6}  {q}",
+            e.fingerprint,
+            e.hits,
+            fmt_nanos(s.p50_nanos),
+            fmt_nanos(s.p95_nanos),
+            pct(e.plan_cache_hit_rate()),
+            pct(e.cache_hit_rate()),
+        );
+    }
+    out
 }
 
 /// Milliseconds since the Unix epoch (the metrics-history time axis).
@@ -286,6 +340,7 @@ fn run_serve(
     eprintln!("  GET  /metrics/history  time-series ring (?window=SECONDS)");
     eprintln!("  GET  /healthz          liveness");
     eprintln!("  GET  /flight-recorder  retained traces (/{{id}}, ?format=perfetto)");
+    eprintln!("  GET  /workload         per-fingerprint heavy hitters (?format=prometheus)");
     eprintln!("  POST /shutdown");
     handle.wait();
     eprintln!("qof serve: shut down");
@@ -400,6 +455,7 @@ fn top_frame(client: &mut qof::server::Client, base: &str, frame: u64) -> Result
     let metrics = fetch(client, "/metrics?format=json")?;
     let history = fetch(client, "/metrics/history?window=60")?;
     let recorder = fetch(client, "/flight-recorder")?;
+    let workload = fetch(client, "/workload")?;
 
     let mut out = String::new();
     let h = health.as_obj().ok_or("healthz: not an object")?;
@@ -420,6 +476,14 @@ fn top_frame(client: &mut qof::server::Client, base: &str, frame: u64) -> Result
     // both the numerator and the covered wall time.
     let hist = history.as_obj().ok_or("history: not an object")?;
     let samples = get_arr(hist, "samples")?;
+    if samples.is_empty() {
+        // Without this the dashboard renders an all-zero frame with no
+        // explanation; the usual cause is a sampler that was never started.
+        return Err("metrics history is empty — the server's sampler has not recorded a tick \
+                    (a server started with --history-interval-ms 0 never samples; restart it \
+                    with a positive interval)"
+            .to_owned());
+    }
     let mut win_queries = 0u64;
     let mut win_errors = 0u64;
     let mut win_ms = 0u64;
@@ -494,6 +558,30 @@ fn top_frame(client: &mut qof::server::Client, base: &str, frame: u64) -> Result
             q = q.chars().take(59).collect::<String>() + "…";
         }
         let _ = writeln!(out, "  #{id:<5} {:>9}  {q}", fmt_nanos(*nanos));
+    }
+
+    // Hottest query shapes, from the server's workload table.
+    let w = workload.as_obj().ok_or("workload: not an object")?;
+    let entries = get_arr(w, "entries")?;
+    out.push('\n');
+    let _ = writeln!(out, "hot query shapes (by fingerprint)");
+    if entries.is_empty() {
+        let _ = writeln!(out, "  (none yet)");
+    }
+    for e in entries.iter().take(5) {
+        let e = e.as_obj().ok_or("workload: entry")?;
+        let lat = get(e, "latency")?.as_obj().ok_or("workload: latency")?;
+        let mut q: String = get_str(e, "exemplar")?;
+        if q.chars().count() > 44 {
+            q = q.chars().take(43).collect::<String>() + "…";
+        }
+        let _ = writeln!(
+            out,
+            "  {} ×{:<5} p95 {:>9}  {q}",
+            get_str(e, "fingerprint")?,
+            get_u64(e, "hits")?,
+            fmt_nanos(get_u64(lat, "p95_nanos")?),
+        );
     }
     Ok(out)
 }
@@ -573,6 +661,7 @@ fn run() -> Result<ExitCode, String> {
             let mut trace_perfetto: Option<String> = None;
             let mut json = false;
             let mut history = false;
+            let mut workload = false;
             let mut port: u16 = 7878;
             let mut log_path: Option<String> = None;
             let mut qlog_max_bytes: u64 = 0;
@@ -638,6 +727,10 @@ fn run() -> Result<ExitCode, String> {
                     }
                     Some("--history") => {
                         history = true;
+                        rest.remove(0);
+                    }
+                    Some("--workload") => {
+                        workload = true;
                         rest.remove(0);
                     }
                     Some("--port") => {
@@ -718,6 +811,7 @@ fn run() -> Result<ExitCode, String> {
                     cache,
                     json,
                     history,
+                    workload,
                 );
             }
             if cmd == "serve" {
@@ -799,6 +893,25 @@ fn run() -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "top" => run_top(args[1..].to_vec()),
+        "qlog" => match args.get(1).map(String::as_str) {
+            Some("analyze") => {
+                let mut rest: Vec<String> = args[2..].to_vec();
+                let json = rest.iter().any(|a| a == "--json");
+                rest.retain(|a| a != "--json");
+                let [path] = rest.as_slice() else { return Ok(usage()) };
+                let report = qof::server::analyze_qlog(std::path::Path::new(path))
+                    .map_err(|e| format!("cannot read `{path}` chain: {e}"))?;
+                if json {
+                    println!("{}", qof::server::report_json(&report));
+                } else {
+                    print!("{}", qof::server::render_report(&report));
+                }
+                // A broken id chain is worth a nonzero exit: rotation lost
+                // or reordered lines, which CI should catch.
+                Ok(if report.ids_contiguous() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            }
+            _ => Ok(usage()),
+        },
         "index" => match args.get(1).map(String::as_str) {
             Some("build") => {
                 let Some(name) = args.get(2) else { return Ok(usage()) };
